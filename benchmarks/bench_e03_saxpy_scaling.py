@@ -1,0 +1,68 @@
+"""E3 -- Section 4: 'SAXPY operations can be performed in O(n/N_P) time on
+any architecture.'
+
+Sweeps n and N_P, comparing the simulated SAXPY time against the paper's
+O(n/N_P) model on every topology, and verifies zero communication.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table, saxpy_time
+from repro.hpf import DistributedArray
+from repro.machine import Machine
+
+
+def _simulated_saxpy_time(n, nprocs, topology):
+    machine = Machine(nprocs=nprocs, topology=topology)
+    x = DistributedArray(machine, n, fill=1.0)
+    y = DistributedArray(machine, n, fill=2.0)
+    t0 = machine.elapsed()
+    y.axpy(3.0, x)
+    return machine.elapsed() - t0, machine.stats.total_messages
+
+
+def test_e03_saxpy_scaling(benchmark):
+    n = 65536
+
+    benchmark(_simulated_saxpy_time, n, 8, "hypercube")
+
+    t = Table(
+        ["N_P", "model O(n/N_P) (s)", "simulated (s)", "speedup", "messages"],
+        title=f"E3  SAXPY scaling, n={n} (hypercube)",
+    )
+    base = None
+    for p in (1, 2, 4, 8, 16, 32):
+        machine = Machine(nprocs=p)
+        sim, msgs = _simulated_saxpy_time(n, p, "hypercube")
+        model = saxpy_time(n, p, machine.cost)
+        if base is None:
+            base = sim
+        t.add_row(p, model, sim, base / sim, msgs)
+        assert msgs == 0  # "on any architecture": no communication at all
+        assert sim == pytest.approx(model, rel=1e-9)
+    record_table(
+        "e03_saxpy", t,
+        notes="Simulated time equals the O(n/N_P) model exactly and carries "
+        "zero messages, on every machine size.",
+    )
+
+
+def test_e03_any_architecture(benchmark):
+    """'on any architecture': identical cost on all four topologies."""
+    n = 16384
+
+    benchmark(_simulated_saxpy_time, n, 8, "ring")
+
+    t = Table(
+        ["topology", "simulated (s)", "messages"],
+        title=f"E3b SAXPY is topology-independent, n={n}, N_P=8",
+    )
+    times = []
+    for topo in ("hypercube", "ring", "mesh2d", "complete"):
+        sim, msgs = _simulated_saxpy_time(n, 8, topo)
+        times.append(sim)
+        t.add_row(topo, sim, msgs)
+    assert len(set(times)) == 1
+    record_table("e03b_saxpy_topologies", t)

@@ -1,0 +1,67 @@
+"""E5 -- Scenario 1 / Figure 3: row-wise (BLOCK, *) dense mat-vec.
+
+'This all-to-all broadcast of messages containing n/N_P vector elements
+among N_P processors, takes t_start_up * log N_P + t_comm * n/N_P time if a
+tree-like broadcasting mechanism is used. ... Hence, no communication is
+needed to rearrange the distribution of the results.'
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table, scenario1_broadcast_time
+from repro.core.matvec import RowBlockDense
+from repro.machine import Machine
+from repro.sparse import poisson2d
+
+
+def _one_apply(n_grid, nprocs):
+    A = poisson2d(n_grid, n_grid)
+    machine = Machine(nprocs=nprocs)
+    strat = RowBlockDense(machine, A)
+    p = strat.make_vector("p", np.linspace(0, 1, A.nrows))
+    q = strat.make_vector("q")
+    t0 = machine.elapsed()
+    strat.apply(p, q)
+    return machine, A, q, machine.elapsed() - t0
+
+
+def test_e05_rowwise_matvec(benchmark):
+    benchmark(_one_apply, 16, 8)
+
+    n_grid = 16
+    n = n_grid * n_grid
+    t = Table(
+        ["N_P", "broadcast model (s)", "simulated comm (s)",
+         "local flops/rank", "extra q comm"],
+        title=f"E5  Scenario 1 (BLOCK, *) dense mat-vec, n={n}",
+    )
+    for p in (2, 4, 8, 16):
+        machine, A, q, _ = _one_apply(n_grid, p)
+        ops = machine.stats.by_op()
+        comm_time = machine.stats.comm_time
+        model = scenario1_broadcast_time(n, p, machine.cost)
+        flops_per_rank = machine.stats.flops_per_rank.max()
+        # the ONLY communication is the allgather of p
+        extra = {k: v for k, v in ops.items() if k != "allgather"}
+        assert not extra, extra
+        t.add_row(p, model, comm_time, flops_per_rank, "none")
+        # same shape: simulated = model within a small constant factor
+        assert comm_time == pytest.approx(model, rel=4.0)
+    record_table(
+        "e05_scenario1", t,
+        notes="All traffic is the all-to-all broadcast of p; the result "
+        "vector q needs no rearrangement, exactly as Figure 3 claims.",
+    )
+
+
+def test_e05_correctness(benchmark):
+    machine, A, q, _ = _one_apply(12, 4)
+    expected = A.matvec(np.linspace(0, 1, A.nrows))
+    assert np.allclose(q.to_global(), expected)
+
+    def rerun():
+        return _one_apply(12, 4)[3]
+
+    benchmark(rerun)

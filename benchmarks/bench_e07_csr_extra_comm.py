@@ -1,0 +1,83 @@
+"""E7 -- Section 4: CSR's extra communication.
+
+'Since the index set of the FORALL in the outer loop is partitioned among
+the processors, a processor that is responsible from a specific row may not
+have all the actual data elements (i.e., col and a) on that row.
+Therefore, additional communication is needed to bring in those missing
+elements.'
+
+Measures the non-local col/a element volume under the Figure-2 layout
+(elements BLOCK over nz) versus the row-aligned atom layout, across
+matrices and machine sizes.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table
+from repro.core import StoppingCriterion, hpf_cg
+from repro.core.matvec import CsrForall
+from repro.machine import Machine
+from repro.sparse import irregular_powerlaw, nas_cg_style, poisson2d
+
+
+def _strategies(A, nprocs):
+    m_plain = Machine(nprocs=nprocs)
+    m_aligned = Machine(nprocs=nprocs)
+    return CsrForall(m_plain, A, aligned=False), CsrForall(m_aligned, A, aligned=True)
+
+
+def test_e07_nonlocal_element_volume(benchmark):
+    A = poisson2d(16, 16)
+    benchmark(_strategies, A, 8)
+
+    t = Table(
+        ["matrix", "N_P", "nnz", "non-local words (BLOCK nz)",
+         "non-local words (row atoms)"],
+        title="E7  extra col/a communication per mat-vec",
+    )
+    for name, A in [
+        ("poisson2d 16x16", poisson2d(16, 16)),
+        ("nas_cg n=256", nas_cg_style(256, seed=1)),
+        ("powerlaw n=256", irregular_powerlaw(256, seed=1)),
+    ]:
+        for p in (4, 8):
+            plain, aligned = _strategies(A, p)
+            w_plain = plain.nonlocal_element_words()
+            w_aligned = aligned.nonlocal_element_words()
+            t.add_row(name, p, A.nnz, w_plain, w_aligned)
+            assert w_plain > 0
+            assert w_aligned == 0
+    record_table(
+        "e07_nonlocal", t,
+        notes="The default element-BLOCK layout leaves part of every rank's "
+        "rows remote; whole-row atoms (Section 5.2.1) eliminate the fetch.",
+    )
+
+
+def test_e07_effect_on_cg_time(benchmark):
+    A = poisson2d(12, 12)
+    b = np.ones(A.nrows)
+    crit = StoppingCriterion(rtol=1e-8)
+
+    def run(aligned):
+        m = Machine(nprocs=8)
+        return hpf_cg(CsrForall(m, A, aligned=aligned), b, criterion=crit)
+
+    benchmark(run, True)
+
+    res_plain = run(False)
+    res_aligned = run(True)
+    t = Table(
+        ["layout", "iterations", "comm words", "sim time (s)"],
+        title="E7b CG cost with vs without the extra CSR communication",
+    )
+    t.add_row("col/a BLOCK over nz", res_plain.iterations,
+              res_plain.comm["words"], res_plain.machine_elapsed)
+    t.add_row("col/a by row atoms", res_aligned.iterations,
+              res_aligned.comm["words"], res_aligned.machine_elapsed)
+    assert res_plain.comm["words"] > res_aligned.comm["words"]
+    assert res_plain.machine_elapsed > res_aligned.machine_elapsed
+    assert res_plain.iterations == res_aligned.iterations
+    record_table("e07b_cg_effect", t)

@@ -1,0 +1,105 @@
+"""E10 -- Section 5.2.1: indivisable entities and ATOM: BLOCK.
+
+'The HPF regular block distributions divide the data array in an even
+fashion without paying attention to whether the division point is at the
+middle of a column or not. ... This ensures that elements of an atom is not
+divided among two or more processors. ... A small array in the size of the
+number of processors keeps the cut-off points.'
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table
+from repro.extensions import IndivisableSpec, atom_block, atom_cyclic
+from repro.hpf import Block, Cyclic
+from repro.machine import Machine
+from repro.sparse import irregular_powerlaw, nas_cg_style, poisson2d
+
+
+def _spec_for(matrix):
+    return IndivisableSpec(matrix.to_csc().indptr)
+
+
+def test_e10_split_atoms(benchmark):
+    A = poisson2d(16, 16)
+    spec = _spec_for(A)
+
+    benchmark(spec.split_atoms_under, Block(A.nnz, 8))
+
+    t = Table(
+        ["matrix", "N_P", "atoms", "split by BLOCK", "split by CYCLIC",
+         "split by ATOM:BLOCK", "split by ATOM:CYCLIC"],
+        title="E10  atoms split across processors, by distribution",
+    )
+    for name, A in [
+        ("poisson2d 16x16", poisson2d(16, 16)),
+        ("nas_cg n=192", nas_cg_style(192, seed=2)),
+        ("powerlaw n=192", irregular_powerlaw(192, seed=2)),
+    ]:
+        spec = _spec_for(A)
+        for p in (4, 8):
+            blk = spec.split_atoms_under(Block(A.nnz, p)).size
+            cyc = spec.split_atoms_under(Cyclic(A.nnz, p)).size
+            ab, _ = atom_block(spec, p)
+            ac = atom_cyclic(spec, p)
+            t.add_row(
+                name, p, spec.natoms, blk, cyc,
+                spec.split_atoms_under(ab).size,
+                spec.split_atoms_under(ac).size,
+            )
+            assert blk > 0
+            assert spec.split_atoms_under(ab).size == 0
+            assert spec.split_atoms_under(ac).size == 0
+    record_table(
+        "e10_split_atoms", t,
+        notes="Regular element distributions cut columns in half; the ATOM "
+        "distributions never do.",
+    )
+
+
+def test_e10_cutoff_array_size(benchmark):
+    """Distribution state: N_P+1 cut points, not an O(n) map."""
+    A = irregular_powerlaw(512, seed=4)
+    spec = _spec_for(A)
+
+    dist, cuts = benchmark(atom_block, spec, 8)
+
+    t = Table(
+        ["representation", "words of state"],
+        title=f"E10b distribution map size, nnz={A.nnz}, N_P=8",
+    )
+    t.add_row("full per-element map (inspector-style)", A.nnz)
+    t.add_row("ATOM:BLOCK cut-off points", dist.boundaries().size)
+    assert dist.boundaries().size == 9
+    record_table(
+        "e10b_cutoffs", t,
+        notes="'the compiler avoids generating a full distribution map of "
+        "the size of the target arrays'",
+    )
+
+
+def test_e10_alignment_cascade_on_trio(benchmark):
+    """Redistributing the trio keeps ptr/idx/val consistent (tight binding)."""
+    from repro.extensions import SparseMatrixBinding
+
+    A = poisson2d(12, 12).to_csr()
+
+    def rebind():
+        m = Machine(nprocs=8)
+        binding = SparseMatrixBinding(m, A)
+        binding.redistribute_atoms_uniform(charge=False)
+        return binding
+
+    binding = benchmark(rebind)
+    assert binding.nonlocal_elements().sum() == 0
+    assert np.allclose(binding.val.to_global(), A.data)
+
+    t = Table(
+        ["member", "distribution after ATOM:BLOCK"],
+        title="E10c SPARSE_MATRIX trio after atom redistribution",
+    )
+    for arr in (binding.ptr, binding.idx, binding.val):
+        t.add_row(arr.name, repr(arr.distribution))
+    record_table("e10c_trio", t)

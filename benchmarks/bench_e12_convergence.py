@@ -1,0 +1,120 @@
+"""E12 -- Section 2.1: convergence properties.
+
+'The CG algorithm will generally converge to the solution of the system
+A.x = b in at most n_e iterations, where n_e is the number of distinct
+eigenvalues of the coefficient matrix A. ... A preconditioner for A can be
+added ... which will increase the speed of convergence.'
+
+Plus the framing claim of the introduction: iterative methods are preferred
+over Gaussian elimination when A is large and sparse.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table
+from repro.baselines import direct_vs_cg_flops
+from repro.core import (
+    JacobiPreconditioner,
+    SSORPreconditioner,
+    StoppingCriterion,
+    cg_reference,
+    pcg_reference,
+)
+from repro.sparse import COOMatrix, matrix_with_eigenvalues, poisson2d
+
+
+def test_e12_distinct_eigenvalue_bound(benchmark):
+    n = 36
+
+    def solve_for(n_e):
+        eigs = np.tile(np.linspace(1.0, 10.0, n_e), n // n_e + 1)[:n]
+        A = matrix_with_eigenvalues(eigs, seed=n_e)
+        return cg_reference(A, np.ones(n), criterion=StoppingCriterion(rtol=1e-9))
+
+    benchmark(solve_for, 4)
+
+    t = Table(
+        ["distinct eigenvalues n_e", "CG iterations", "bound holds"],
+        title=f"E12  CG converges in <= n_e iterations (n={n})",
+    )
+    for n_e in (1, 2, 3, 4, 6, 9, 12):
+        res = solve_for(n_e)
+        holds = res.iterations <= n_e + 1
+        t.add_row(n_e, res.iterations, "yes" if holds else "NO")
+        assert res.converged
+        assert holds
+    record_table(
+        "e12_eigenvalue_bound", t,
+        notes="(+1 slack for floating-point roundoff at rtol=1e-9.)",
+    )
+
+
+def _ill_conditioned(n_side=10):
+    A = poisson2d(n_side, n_side).to_coo()
+    n = n_side * n_side
+    scales = np.logspace(0, 2.5, n)
+    return COOMatrix(
+        A.rows, A.cols, A.data * scales[A.rows] * scales[A.cols], (n, n)
+    ).to_csr()
+
+
+def test_e12_preconditioning(benchmark):
+    A = _ill_conditioned()
+    n = A.nrows
+    b = np.ones(n)
+    crit = StoppingCriterion(rtol=1e-10, maxiter=5000)
+
+    benchmark(pcg_reference, A, b, JacobiPreconditioner(A), criterion=crit)
+
+    plain = cg_reference(A, b, criterion=crit)
+    jac = pcg_reference(A, b, JacobiPreconditioner(A), criterion=crit)
+    ssor = pcg_reference(A, b, SSORPreconditioner(A, omega=1.2), criterion=crit)
+
+    t = Table(
+        ["solver", "iterations", "converged", "final residual"],
+        title="E12b preconditioning an ill-conditioned system (n=100)",
+    )
+    t.add_row("CG (no preconditioner)", plain.iterations, plain.converged,
+              plain.final_residual)
+    t.add_row("PCG + Jacobi", jac.iterations, jac.converged, jac.final_residual)
+    t.add_row("PCG + SSOR(1.2)", ssor.iterations, ssor.converged,
+              ssor.final_residual)
+    assert jac.iterations < plain.iterations
+    assert ssor.iterations < jac.iterations
+    record_table(
+        "e12b_preconditioning", t,
+        notes="'will increase the speed of convergence of the CG algorithm' "
+        "-- Jacobi helps, SSOR helps more (at a serial per-apply cost, E2).",
+    )
+
+
+def test_e12_cg_vs_gaussian_elimination(benchmark):
+    sizes = [(6, 36), (10, 100), (14, 196), (18, 324)]
+
+    benchmark(direct_vs_cg_flops, poisson2d(10, 10), np.ones(100))
+
+    t = Table(
+        ["n", "nnz", "GE flops", "CG flops", "CG wins", "GE/CG"],
+        title="E12c direct vs iterative on sparse Poisson systems",
+    )
+    for side, n in sizes:
+        A = poisson2d(side, side)
+        cmp = direct_vs_cg_flops(A, np.ones(n),
+                                 criterion=StoppingCriterion(rtol=1e-8))
+        t.add_row(n, cmp["nnz"], cmp["ge_flops"], cmp["cg_flops"],
+                  cmp["cg_wins"], cmp["ratio"])
+        if n >= 100:
+            assert cmp["cg_wins"]
+    ratios = [
+        direct_vs_cg_flops(poisson2d(s, s), np.ones(nn),
+                           criterion=StoppingCriterion(rtol=1e-8))["ratio"]
+        for s, nn in sizes
+    ]
+    assert ratios == sorted(ratios)  # the gap widens with n
+    record_table(
+        "e12c_direct_vs_cg", t,
+        notes="'Conjugate Gradient and other iterative methods are preferred "
+        "over simple Gaussian elimination when A is very large and sparse.'",
+    )

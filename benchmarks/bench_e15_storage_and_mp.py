@@ -1,0 +1,118 @@
+"""E15 -- Sections 5.1/6: storage trade-offs and HPF vs message passing.
+
+'Using two-dimensional arrays ... eliminates the allocation/deallocation
+costs of vectors at each loop entry/exit.  However, keeping large vectors
+in each processor's memory permanently is costly especially if both n and
+N_P are very big and this kind of loops are executed just a few times.'
+
+'The advantages are the potential for faster computation ... and
+additional code portability and ease of maintenance by comparison with
+message-passing implementations.  Disadvantages ... are additional
+temporary data-storage requirements of parallel algorithms.'
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table, private_storage_words
+from repro.baselines import spmd_cg
+from repro.core import StoppingCriterion, hpf_cg
+from repro.core.matvec import ColBlockDenseTwoDimTemp, CscPrivateMerge, CsrForall
+from repro.machine import Machine
+from repro.sparse import poisson2d
+
+
+def test_e15_hpf_vs_message_passing(benchmark):
+    A = poisson2d(10, 10)
+    b = np.ones(A.nrows)
+    crit = StoppingCriterion(rtol=1e-8)
+
+    def run_both():
+        m_hpf = Machine(nprocs=8)
+        res_hpf = hpf_cg(CsrForall(m_hpf, A, aligned=True), b, criterion=crit)
+        m_mp = Machine(nprocs=8)
+        res_mp = spmd_cg(m_mp, A, b, criterion=crit)
+        return res_hpf, res_mp
+
+    res_hpf, res_mp = benchmark(run_both)
+
+    t = Table(
+        ["implementation", "iterations", "messages", "comm words",
+         "sim time (s)"],
+        title="E15  HPF runtime vs explicit message passing (CG, n=100, N_P=8)",
+    )
+    t.add_row("HPF (csr_forall_aligned)", res_hpf.iterations,
+              res_hpf.comm["messages"], res_hpf.comm["words"],
+              res_hpf.machine_elapsed)
+    t.add_row("SPMD message passing", res_mp.iterations,
+              res_mp.comm["messages"], res_mp.comm["words"],
+              res_mp.machine_elapsed)
+    assert abs(res_hpf.iterations - res_mp.iterations) <= 1
+    assert np.allclose(res_hpf.x, res_mp.x, atol=1e-8)
+    ratio = res_hpf.comm["words"] / res_mp.comm["words"]
+    assert 0.4 < ratio < 2.5
+    record_table(
+        "e15_hpf_vs_mp", t,
+        notes="Same numerics and comparable communication: the HPF "
+        "formulation costs little over hand-written message passing, which "
+        "is the paper's portability argument.",
+    )
+
+
+def test_e15_storage_accounting(benchmark):
+    """Temporary storage: private per-loop vs permanent 2-D temp vs none."""
+    A = poisson2d(12, 12)
+    n = A.nrows
+    niter = 10
+
+    def measure(strategy_cls, applies):
+        m = Machine(nprocs=8)
+        strat = strategy_cls(m, A)
+        p = strat.make_vector("p", np.linspace(0, 1, n))
+        q = strat.make_vector("q")
+        base = m.stats.storage_words_per_rank.max()
+        for _ in range(applies):
+            strat.apply(p, q)
+        return m.stats.storage_words_per_rank.max() - base
+
+    benchmark(measure, CscPrivateMerge, 2)
+
+    private_total = measure(CscPrivateMerge, niter)
+    twodim_total = measure(ColBlockDenseTwoDimTemp, niter)
+    csr_total = measure(lambda m, a: CsrForall(m, a, aligned=True), niter)
+
+    t = Table(
+        ["strategy", f"temp words/rank over {niter} applies", "pattern"],
+        title=f"E15b temporary storage per rank, n={n}, N_P=8",
+    )
+    t.add_row("CSC private (alloc per loop)", private_total,
+              "n per apply, freed at merge")
+    t.add_row("2-D temp (permanent)", twodim_total,
+              "n once, held forever")
+    t.add_row("CSR row-aligned (no temp)", csr_total, "none")
+    assert private_total == pytest.approx(niter * n)
+    assert twodim_total == 0.0  # charged once at construction, not per apply
+    assert csr_total == 0.0
+    record_table(
+        "e15b_storage", t,
+        notes="The paper's trade-off, measured: repeated private allocation "
+        "costs n words per loop entry; the permanent temp pays n once but "
+        "holds it for the program lifetime.",
+    )
+
+
+def test_e15_private_storage_formula(benchmark):
+    benchmark(private_storage_words, 10**6, 128)
+    t = Table(
+        ["n", "N_P", "private storage (words)", "fraction of matrix (5n nnz)"],
+        title="E15c PRIVATE storage vs problem size",
+    )
+    for n, p in [(10**4, 16), (10**5, 64), (10**6, 128)]:
+        words = private_storage_words(n, p)
+        t.add_row(n, p, words, words / (2 * 5 * n))
+    record_table(
+        "e15c_formula", t,
+        notes="'potentially unnecessary storage requirements, particularly "
+        "if n >> N_P' -- the bill grows as n * N_P.",
+    )

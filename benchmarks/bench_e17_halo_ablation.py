@@ -1,0 +1,195 @@
+"""E17 -- ablation: SHADOW halo exchange vs the paper's full broadcast.
+
+The paper's row-wise layouts broadcast all of ``p`` every mat-vec because
+"a row can have a nonzero entry in any column".  For the banded stencil
+matrices of its motivating applications that is pessimistic; HPF-2's
+SHADOW directive later standardised ghost-cell exchange.  This ablation
+measures both:
+
+* on stencil matrices the halo moves a small, *constant-per-rank* boundary
+  -- an order of magnitude less traffic than the broadcast;
+* on the irregular matrices of Section 5.2.2 the shadow region balloons
+  toward the whole vector, so the optimisation evaporates -- which is why
+  the paper's atom/partitioner machinery (not ghost cells) is the right
+  tool there.
+"""
+
+import numpy as np
+import pytest
+
+from _harness import record_table
+from repro.analysis import Table
+from repro.core import CsrHalo, StoppingCriterion, hpf_cg, make_strategy
+from repro.machine import Machine
+from repro.sparse import irregular_powerlaw, poisson1d, poisson2d
+
+
+def _matvec_words(strategy_factory, A, nprocs):
+    machine = Machine(nprocs=nprocs)
+    strat = strategy_factory(machine, A)
+    p = strat.make_vector("p", np.linspace(0, 1, A.nrows))
+    q = strat.make_vector("q")
+    strat.apply(p, q)
+    assert np.allclose(q.to_global(), A.matvec(np.linspace(0, 1, A.nrows)))
+    return machine.stats.total_words, machine.elapsed(), strat
+
+
+def test_e17_halo_vs_broadcast_words(benchmark):
+    A = poisson2d(16, 16)
+    benchmark(_matvec_words, CsrHalo, A, 8)
+
+    t = Table(
+        ["matrix", "N_P", "broadcast words", "halo words", "saving x",
+         "shadow frac"],
+        title="E17  SHADOW halo vs Scenario-1 broadcast, per mat-vec",
+    )
+    for name, A in [
+        ("poisson1d n=256", poisson1d(256)),
+        ("poisson2d 16x16", poisson2d(16, 16)),
+        ("poisson2d 24x24", poisson2d(24, 24)),
+        ("powerlaw n=256", irregular_powerlaw(256, seed=3)),
+    ]:
+        for p in (4, 8):
+            bw, _, _ = _matvec_words(
+                lambda m, a: make_strategy("csr_forall_aligned", m, a), A, p
+            )
+            hw, _, halo = _matvec_words(CsrHalo, A, p)
+            t.add_row(name, p, bw, hw, bw / max(hw, 1.0),
+                      halo.shadow_fraction())
+            if "poisson" in name:
+                assert hw < bw / 3  # stencils: big saving
+    record_table(
+        "e17_halo_words", t,
+        notes="Stencil shadows are thin boundaries; the power-law matrix's "
+        "shadow approaches the whole vector, erasing the advantage -- the "
+        "irregular case still needs Section 5.2's machinery.",
+    )
+
+
+def test_e17_effect_on_cg_time(benchmark):
+    A = poisson2d(20, 20)
+    b = np.ones(A.nrows)
+    crit = StoppingCriterion(rtol=1e-8)
+
+    def run(factory):
+        machine = Machine(nprocs=8)
+        return hpf_cg(factory(machine, A), b, criterion=crit)
+
+    benchmark(run, CsrHalo)
+
+    res_halo = run(CsrHalo)
+    res_bcast = run(lambda m, a: make_strategy("csr_forall_aligned", m, a))
+
+    t = Table(
+        ["strategy", "iterations", "comm words", "sim time (ms)"],
+        title="E17b full CG with halo vs broadcast (poisson2d 20x20, N_P=8)",
+    )
+    t.add_row("broadcast (csr_forall_aligned)", res_bcast.iterations,
+              res_bcast.comm["words"], res_bcast.machine_elapsed * 1e3)
+    t.add_row("halo (csr_halo)", res_halo.iterations,
+              res_halo.comm["words"], res_halo.machine_elapsed * 1e3)
+    assert res_halo.iterations == res_bcast.iterations
+    assert np.allclose(res_halo.x, res_bcast.x, atol=1e-8)
+    assert res_halo.comm["words"] < res_bcast.comm["words"]
+    assert res_halo.machine_elapsed < res_bcast.machine_elapsed
+    record_table(
+        "e17b_cg_effect", t,
+        notes="Same numerics; the halo removes most of the mat-vec traffic "
+        "that made the sparse solve communication-bound.",
+    )
+
+
+def test_e17_scaling_recovered(benchmark):
+    """With the halo, sparse CG recovers real parallel speedup.
+
+    Run on a lower-latency machine (t_s = 2 us, t_c = 2 ns -- an early-2000s
+    cluster rather than the default 1996 multicomputer) at n = 4096, where
+    the broadcast's O(n) transfer per mat-vec is the binding constraint.
+    """
+    from repro.machine import CostModel
+
+    A = poisson2d(64, 64)  # n = 4096
+    b = np.ones(A.nrows)
+    crit = StoppingCriterion(rtol=1e-6, maxiter=400)
+    cost = CostModel(t_startup=2e-6, t_comm=2e-9)
+
+    def run(factory, p):
+        machine = Machine(nprocs=p, cost=cost)
+        return hpf_cg(factory(machine, A), b, criterion=crit).machine_elapsed
+
+    benchmark(run, CsrHalo, 8)
+
+    t = Table(
+        ["N_P", "broadcast speedup", "halo speedup"],
+        title="E17c sparse CG scaling, broadcast vs halo "
+              "(poisson2d 64x64, t_s=2us)",
+    )
+    base_b = base_h = None
+    bcast_factory = lambda m, a: make_strategy("csr_forall_aligned", m, a)
+    bcast_speedups, halo_speedups = [], []
+    for p in (1, 2, 4, 8, 16):
+        tb = run(bcast_factory, p)
+        th = run(CsrHalo, p)
+        if base_b is None:
+            base_b, base_h = tb, th
+        bcast_speedups.append(base_b / tb)
+        halo_speedups.append(base_h / th)
+        t.add_row(p, base_b / tb, base_h / th)
+        if p >= 4:
+            assert base_h / th > base_b / tb  # halo scales strictly better
+    assert halo_speedups[-1] > 2.8
+    assert max(bcast_speedups) < max(halo_speedups)
+    record_table(
+        "e17c_scaling", t,
+        notes="The broadcast saturates near 2.3x (it still ships the whole "
+        "vector every mat-vec); the halo keeps climbing. On the default "
+        "1996 cost model neither scales at this n -- latency swamps the "
+        "~5 flops/element stencil, the regime the paper wrote in.",
+    )
+
+
+def test_e17_rcm_ordering(benchmark):
+    """Ordering vs structure: RCM fixes a scrambled stencil's halo but makes
+    the power-law matrix *worse* -- hub rows defeat bandwidth reduction,
+    confirming that Section 5.2.2's irregularity is structural, not an
+    artefact of numbering."""
+    from repro.sparse import bandwidth, permute_symmetric, reorder_rcm
+
+    rng = np.random.default_rng(3)
+    A = poisson2d(16, 16)
+    scrambled = permute_symmetric(A, rng.permutation(A.nrows))
+    recovered, _ = reorder_rcm(scrambled)
+    P = irregular_powerlaw(256, seed=3)
+    P_rcm, _ = reorder_rcm(P)
+
+    benchmark(reorder_rcm, scrambled)
+
+    t = Table(
+        ["matrix", "bandwidth", "halo words (N_P=8)", "halo pairs"],
+        title="E17d RCM reordering: ordering vs structural irregularity",
+    )
+    rows = {}
+    for label, M in [
+        ("stencil, natural order", A),
+        ("stencil, scrambled", scrambled),
+        ("stencil, scrambled + RCM", recovered),
+        ("power-law", P),
+        ("power-law + RCM", P_rcm),
+    ]:
+        halo = CsrHalo(Machine(nprocs=8), M)
+        rows[label] = halo
+        t.add_row(label, bandwidth(M), halo.halo_words_total(), halo.halo_pairs())
+    assert (
+        rows["stencil, scrambled + RCM"].halo_words_total()
+        < rows["stencil, scrambled"].halo_words_total() / 2
+    )
+    assert (
+        rows["power-law + RCM"].halo_words_total()
+        > rows["power-law"].halo_words_total() * 0.8
+    )
+    record_table(
+        "e17d_rcm", t,
+        notes="RCM restores the scrambled stencil's thin halo (a numbering "
+        "problem); the power-law matrix stays expensive under any ordering "
+        "(a structure problem) -- the case the paper's partitioners target.",
+    )

@@ -1,0 +1,23 @@
+"""Benchmark-suite conftest: print every experiment table at session end."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _harness import registered_tables  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = registered_tables()
+    if not tables:
+        return
+    tr = terminalreporter
+    tr.section("paper reproduction tables")
+    for name, text in tables:
+        tr.write_line("")
+        tr.write_line(f"== {name} ==")
+        for line in text.splitlines():
+            tr.write_line(line)

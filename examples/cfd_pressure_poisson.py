@@ -1,0 +1,114 @@
+"""CFD scenario: pressure-Poisson solves across data layouts and machines.
+
+The paper's introduction cites computational fluid dynamics as a canonical
+CG workload.  A projection-method flow solver calls a Poisson solve for the
+pressure correction every time step; this example runs that solve under
+every mat-vec layout of the paper (Scenarios 1 and 2, CSR FORALL, CSC with
+the PRIVATE/MERGE extension) and sweeps the machine size, printing the
+paper's trade-offs as tables.
+
+Run:  python examples/cfd_pressure_poisson.py
+"""
+
+import numpy as np
+
+from repro import (
+    Machine,
+    StoppingCriterion,
+    Table,
+    hpf_cg,
+    make_strategy,
+    poisson2d,
+    rhs_for_solution,
+)
+
+LAYOUTS = [
+    ("dense_rowblock", "Scenario 1: A(BLOCK,*), broadcast p"),
+    ("dense_colblock_serial", "Scenario 2: A(*,BLOCK), serial loop"),
+    ("dense_colblock_2dtemp", "Scenario 2 + 2-D temp + SUM"),
+    ("csr_forall", "Figure 2: CSR FORALL (naive col/a layout)"),
+    ("csr_forall_aligned", "Figure 2 + row atoms (Section 5.2.1)"),
+    ("csc_private", "Section 5.1: CSC + PRIVATE/MERGE"),
+]
+
+
+def pressure_solve(nx: int, ny: int, nprocs: int, layout: str):
+    """One pressure-correction solve on a fresh machine."""
+    A = poisson2d(nx, ny)
+    rng = np.random.default_rng(42)
+    divergence = rng.standard_normal(A.nrows)  # velocity divergence field
+    b = divergence - divergence.mean()  # compatible RHS
+    machine = Machine(nprocs=nprocs, topology="hypercube")
+    strategy = make_strategy(layout, machine, A)
+    result = hpf_cg(strategy, b, criterion=StoppingCriterion(rtol=1e-8))
+    return result
+
+
+def main() -> None:
+    nx = ny = 24  # 576-cell grid
+    nprocs = 8
+
+    print(f"pressure-Poisson grid {nx}x{ny} (n={nx * ny}), N_P={nprocs}\n")
+
+    t = Table(
+        ["layout", "iters", "sim time (ms)", "comm words", "imbalance"],
+        title="one pressure solve under each data layout",
+    )
+    for layout, label in LAYOUTS:
+        res = pressure_solve(nx, ny, nprocs, layout)
+        t.add_row(
+            label,
+            res.iterations,
+            res.machine_elapsed * 1e3,
+            res.comm["words"],
+            res.extras["load_imbalance"],
+        )
+    t.print()
+
+    # --- scaling sweeps -------------------------------------------------- #
+    # (a) the sparse 5-point solve: each mat-vec moves the whole vector p
+    #     (the paper: "it is not possible to reduce the communication time"
+    #     with regular stripes), so with only ~5 nonzeros per row the solve
+    #     is communication-bound and stops scaling almost immediately;
+    # (b) the dense operator (the paper's computational-electromagnetics
+    #     case): O(n^2/N_P) local work amortises the same broadcast, and
+    #     speedup follows until the t_s*log(N_P) dot merges bite.
+    from repro import poisson2d as _p2d
+
+    dense_A = _p2d(48, 48)  # n = 2304, treated as dense in Scenario 1
+    rng = np.random.default_rng(7)
+    dense_b = rng.standard_normal(dense_A.nrows)
+
+    t2 = Table(
+        ["N_P", "sparse CG speedup", "dense CG speedup"],
+        title="scaling: sparse (comm-bound) vs dense (compute-bound)",
+    )
+    base_sparse = base_dense = None
+    for p in (1, 2, 4, 8, 16, 32):
+        sparse_res = pressure_solve(nx, ny, p, "csr_forall_aligned")
+        machine = Machine(nprocs=p, topology="hypercube")
+        dense_res = hpf_cg(
+            make_strategy("dense_rowblock", machine, dense_A),
+            dense_b,
+            criterion=StoppingCriterion(rtol=1e-8),
+        )
+        if base_sparse is None:
+            base_sparse = sparse_res.machine_elapsed
+            base_dense = dense_res.machine_elapsed
+        t2.add_row(
+            p,
+            base_sparse / sparse_res.machine_elapsed,
+            base_dense / dense_res.machine_elapsed,
+        )
+    t2.print()
+
+    print("Notes: the serial Scenario-2 layout is orders of magnitude "
+          "slower, exactly why the paper proposes the PRIVATE extension. "
+          "The sparse stencil solve is latency/bandwidth-bound on the 1996 "
+          "cost model (broadcasting all of p for ~5 flops per element), "
+          "while the dense Scenario-1 solve scales until the t_s*log(N_P) "
+          "inner-product merges dominate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Irregular-grid scenario: load balancing a power-law sparse system.
+
+'This might arise from a very irregular grid model in which some grid
+points may have many neighbours, while others have very few.'  (Section
+5.2.2.)  This example builds such a matrix, shows the nnz imbalance a
+uniform distribution suffers, runs the paper's CG_BALANCED_PARTITIONER_1
+plus the LPT and edge-cut alternatives, and measures the effect on a full
+CG solve.
+
+Run:  python examples/irregular_load_balancing.py
+"""
+
+import numpy as np
+
+from repro import (
+    Machine,
+    StoppingCriterion,
+    Table,
+    cg_balanced_partitioner_1,
+    hpf_cg,
+    irregular_powerlaw,
+    load_report,
+    make_strategy,
+)
+from repro.extensions import (
+    assignment_imbalance,
+    edge_cut_partitioner,
+    imbalance,
+    lpt_partitioner,
+)
+
+
+def main() -> None:
+    n, nprocs = 600, 8
+    A = irregular_powerlaw(n, seed=17)
+    weights = np.diff(A.to_csc().indptr).astype(float)
+
+    print(f"power-law matrix: n={n}, nnz={A.nnz}, "
+          f"row lengths {int(weights.min())}..{int(weights.max())} "
+          f"(mean {weights.mean():.1f})\n")
+
+    # --- partitioner comparison ---------------------------------------- #
+    k = -(-n // nprocs)
+    uniform_cuts = np.minimum(np.arange(nprocs + 1) * k, n)
+    balanced_cuts = cg_balanced_partitioner_1(weights, nprocs)
+    lpt_assign = lpt_partitioner(weights, nprocs)
+    ec_assign = edge_cut_partitioner(A, nprocs, seed=1)
+
+    t = Table(
+        ["partitioner", "contiguous", "distribution state", "nnz imbalance"],
+        title=f"partitioning {nprocs} ways",
+    )
+    t.add_row("uniform BLOCK (HPF-1)", "yes", f"{nprocs + 1} cuts",
+              imbalance(weights, uniform_cuts))
+    t.add_row("CG_BALANCED_PARTITIONER_1", "yes", f"{nprocs + 1} cuts",
+              imbalance(weights, balanced_cuts))
+    t.add_row("LPT greedy", "no", f"{n}-entry map",
+              assignment_imbalance(weights, lpt_assign, nprocs))
+    t.add_row("Kernighan-Lin edge cut", "no", f"{n}-entry map",
+              assignment_imbalance(weights, ec_assign, nprocs))
+    t.print()
+
+    # --- effect on a CG solve ------------------------------------------ #
+    # (a random load: the Laplacian's rows sum to 1, so b = ones would be
+    # solved in a single iteration)
+    b = np.random.default_rng(5).standard_normal(n)
+    crit = StoppingCriterion(rtol=1e-8, maxiter=500)
+    results = {}
+    for label, layout in [
+        ("uniform columns", "csc_private"),
+        ("balanced partitioner", "csc_private_balanced"),
+    ]:
+        machine = Machine(nprocs=nprocs)
+        strategy = make_strategy(layout, machine, A)
+        res = hpf_cg(strategy, b, criterion=crit)
+        results[label] = (res, strategy)
+
+    t2 = Table(
+        ["layout", "iters", "max nnz/rank", "nnz imbalance", "sim time (ms)"],
+        title="CG on the irregular system",
+    )
+    for label, (res, strategy) in results.items():
+        rep = load_report(strategy.per_rank_nnz())
+        t2.add_row(label, res.iterations, rep.maximum, rep.imbalance,
+                   res.machine_elapsed * 1e3)
+    t2.print()
+
+    x_uni = results["uniform columns"][0].x
+    x_bal = results["balanced partitioner"][0].x
+    assert np.allclose(x_uni, x_bal, atol=1e-6)
+    print("identical solutions -- the partitioner moves work, not numerics.")
+
+
+if __name__ == "__main__":
+    main()

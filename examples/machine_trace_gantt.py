@@ -1,0 +1,73 @@
+"""Visualising the machine: ASCII Gantt charts of the paper's scenarios.
+
+Attaches a :class:`~repro.machine.Tracer` to the simulated machine and
+renders per-rank timelines for three mat-vec executions:
+
+1. the serialised Scenario-2 / CSC loop (one rank computing at a time --
+   the staircase the paper says HPF-1 is stuck with),
+2. the PRIVATE/MERGE parallel version (all ranks compute, one merge),
+3. the SHADOW halo version (thin communication stripes instead of the
+   broadcast wall).
+
+Legend: ``#`` compute, ``~`` communication, ``.`` idle.
+
+Run:  python examples/machine_trace_gantt.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.core import CsrHalo, make_strategy
+from repro.machine import Tracer
+from repro.sparse import poisson2d
+
+
+def trace_one(label: str, strategy_factory, nprocs: int = 4, width: int = 68,
+              cost=None):
+    A = poisson2d(16, 16)
+    machine = Machine(nprocs=nprocs) if cost is None else Machine(
+        nprocs=nprocs, cost=cost)
+    tracer = Tracer.attach(machine)
+    strategy = strategy_factory(machine, A)
+    pv = np.linspace(0.0, 1.0, A.nrows)
+    p = strategy.make_vector("p", pv)
+    q = strategy.make_vector("q")
+    strategy.apply(p, q)
+    assert np.allclose(q.to_global(), A.matvec(pv))
+
+    print(f"--- {label} ---")
+    print(tracer.ascii_gantt(width=width))
+    util = tracer.utilization()
+    print(f"utilization per rank: {np.round(util, 2).tolist()}  "
+          f"(compute fraction {tracer.compute_fraction():.2f})\n")
+
+
+def main() -> None:
+    print("one sparse mat-vec (poisson2d 16x16, N_P=4) under three executions\n")
+    trace_one(
+        "Scenario 2 / CSC serial: 'can not be performed in parallel'",
+        lambda m, a: make_strategy("csc_serial", m, a),
+    )
+    trace_one(
+        "Section 5.1: ON PROCESSOR + PRIVATE(q) WITH MERGE(+)",
+        lambda m, a: make_strategy("csc_private", m, a),
+    )
+    from repro.machine import CostModel
+
+    trace_one(
+        "HPF-2 SHADOW halo exchange, low-latency network (t_s=2us)",
+        CsrHalo,
+        cost=CostModel(t_startup=2e-6, t_comm=2e-9),
+    )
+    print("The serial loop shows the diagonal staircase of one-rank-at-a-"
+          "time compute (the trace spans only the traced compute; the "
+          "untraced serialised messages follow it).  The privatised loop "
+          "is parallel compute followed by a long MERGE stripe -- on the "
+          "1996 cost model the merge latency dominates at this small n.  "
+          "The halo pane shows one short pairwise exchange, then all ranks "
+          "computing together; at larger n the compute block widens while "
+          "the halo stripe stays constant.")
+
+
+if __name__ == "__main__":
+    main()

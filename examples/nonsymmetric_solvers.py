@@ -1,0 +1,74 @@
+"""The Section-2.1 solver family on a nonsymmetric system.
+
+CG requires symmetry ("the residual vectors employed by CG cannot be made
+orthogonal with short recurrences" otherwise); this example builds a
+convection-dominated transport system and runs the whole nonsymmetric
+family the paper surveys -- BiCG (needs A^T), CGS (no A^T, unstable),
+BiCGSTAB (no A^T, four inner products) and restarted GMRES (long
+recurrences, big basis) -- reporting exactly the trade-offs Section 2.1
+enumerates: transpose traffic, inner-product pressure, storage, stability.
+
+Run:  python examples/nonsymmetric_solvers.py
+"""
+
+import numpy as np
+
+from repro import (
+    Machine,
+    StoppingCriterion,
+    Table,
+    hpf_bicg,
+    hpf_bicgstab,
+    hpf_cgs,
+    hpf_gmres,
+    make_strategy,
+    nonsymmetric_diag_dominant,
+    rhs_for_solution,
+)
+
+
+def main() -> None:
+    n = 200
+    A = nonsymmetric_diag_dominant(n, nnz_per_row=7, seed=8)
+    x_true = np.sin(np.arange(float(n)))
+    b = rhs_for_solution(A, x_true)
+    crit = StoppingCriterion(rtol=1e-10, maxiter=800)
+
+    def run(solver, **kwargs):
+        machine = Machine(nprocs=8)
+        strategy = make_strategy("csr_forall_aligned", machine, A)
+        res = solver(strategy, b, criterion=crit, **kwargs)
+        dots = machine.stats.by_tag().get("dot", {"count": 0})["count"]
+        merges = machine.stats.by_op().get("reduce_scatter", {"words": 0})["words"]
+        storage = machine.stats.storage_words_per_rank.max()
+        return res, dots, merges, storage
+
+    t = Table(
+        ["solver", "A^T?", "iters", "dots/iter", "transpose merge words",
+         "peak words/rank", "max err"],
+        title=f"nonsymmetric family on a diag-dominant system, n={n}, N_P=8",
+    )
+    for name, solver, needs_t, kwargs in [
+        ("BiCG", hpf_bicg, "yes", {}),
+        ("CGS", hpf_cgs, "no", {}),
+        ("BiCGSTAB", hpf_bicgstab, "no", {}),
+        ("GMRES(20)", hpf_gmres, "no", {"restart": 20}),
+    ]:
+        res, dots, merges, storage = run(solver, **kwargs)
+        assert res.converged, name
+        t.add_row(
+            name, needs_t, res.iterations,
+            round(dots / max(1, res.iterations), 1),
+            merges, storage,
+            float(np.abs(res.x - x_true).max()),
+        )
+    t.print()
+
+    print("Section 2.1's ledger, measured: BiCG pays the wrong-way A^T "
+          "merge every iteration; CGS and BiCGSTAB avoid it (BiCGSTAB at "
+          "4+ inner products per iteration); GMRES trades both for a "
+          "21-vector Krylov basis per restart cycle.")
+
+
+if __name__ == "__main__":
+    main()

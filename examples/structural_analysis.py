@@ -1,0 +1,81 @@
+"""Structural-analysis scenario: stiffness systems with preconditioned CG.
+
+Assembles the stiffness matrix of a randomly-stiffened truss (one of the
+paper's motivating applications), then compares plain CG against
+preconditioned CG with the Jacobi, SSOR and Neumann preconditioners -- both
+the convergence gain (Section 2.1) and the parallel price: SSOR's
+triangular sweeps serialise on the simulated machine while Jacobi/Neumann
+stay owner-computes-local.
+
+Run:  python examples/structural_analysis.py
+"""
+
+import numpy as np
+
+from repro import (
+    JacobiPreconditioner,
+    Machine,
+    NeumannPreconditioner,
+    SSORPreconditioner,
+    StoppingCriterion,
+    Table,
+    hpf_cg,
+    hpf_pcg,
+    make_strategy,
+    rhs_for_solution,
+    structural_truss,
+)
+
+
+def main() -> None:
+    n = 400
+    A = structural_truss(n, seed=11)
+    # load: a point force mid-span plus distributed self-weight
+    load = np.full(n, -0.5)
+    load[n // 2] = -50.0
+    crit = StoppingCriterion(rtol=1e-10, maxiter=5000)
+
+    def solve(precond=None):
+        machine = Machine(nprocs=8)
+        strategy = make_strategy("csr_forall_aligned", machine, A)
+        if precond is None:
+            return hpf_cg(strategy, load, criterion=crit)
+        return hpf_pcg(strategy, load, precond, criterion=crit)
+
+    rows = [
+        ("CG (none)", solve()),
+        ("PCG + Jacobi", solve(JacobiPreconditioner(A))),
+        ("PCG + Neumann(2)", solve(NeumannPreconditioner(A, 2))),
+        ("PCG + SSOR(1.2)", solve(SSORPreconditioner(A, 1.2))),
+    ]
+
+    t = Table(
+        ["solver", "iters", "sim time (ms)", "time/iter (us)", "parallel apply"],
+        title=f"truss stiffness solve, n={n}, N_P=8",
+    )
+    parallel = {"CG (none)": "-", "PCG + Jacobi": "yes",
+                "PCG + Neumann(2)": "yes", "PCG + SSOR(1.2)": "NO (serial sweeps)"}
+    for name, res in rows:
+        assert res.converged, name
+        t.add_row(
+            name,
+            res.iterations,
+            res.machine_elapsed * 1e3,
+            res.machine_elapsed / res.iterations * 1e6,
+            parallel[name],
+        )
+    t.print()
+
+    # sanity: all four produce the same displacement field
+    ref = rows[0][1].x
+    for name, res in rows[1:]:
+        assert np.allclose(res.x, ref, atol=1e-6), name
+    print(f"max displacement: {np.abs(ref).max():.4f} "
+          f"(at node {int(np.argmax(np.abs(ref)))})")
+    print("\nThe Section-2.1 trade-off: SSOR needs the fewest iterations "
+          "but its serialised sweeps cost the most per iteration on the "
+          "simulated machine; Jacobi/Neumann keep every apply local.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy installer shim: all metadata lives in pyproject.toml.
+
+Kept so `python setup.py develop` works in offline environments that lack
+the `wheel` package (which PEP 660 editable installs require).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""``python -m repro`` entry point."""
+
+import sys
+
+from .cli import main
+
+try:
+    sys.exit(main())
+except BrokenPipeError:  # e.g. `python -m repro ... | head`
+    sys.stderr.close()
+    sys.exit(0)

@@ -1,0 +1,39 @@
+"""Analytic cost formulas (the paper's Section 4), load-balance metrics,
+and benchmark table rendering."""
+
+from .cost_model import (
+    csc_serial_time,
+    csr_storage_words,
+    dense_storage_words,
+    inner_product_local_time,
+    inner_product_merge_time,
+    inner_product_time,
+    private_merge_matvec_time,
+    private_storage_words,
+    rowwise_matvec_time,
+    saxpy_time,
+    scenario1_broadcast_time,
+    scenario2_comm_time,
+)
+from .load_balance import LoadReport, load_report, parallel_efficiency
+from .report import Table, format_quantity
+
+__all__ = [
+    "saxpy_time",
+    "inner_product_local_time",
+    "inner_product_merge_time",
+    "inner_product_time",
+    "scenario1_broadcast_time",
+    "scenario2_comm_time",
+    "rowwise_matvec_time",
+    "private_storage_words",
+    "csc_serial_time",
+    "private_merge_matvec_time",
+    "dense_storage_words",
+    "csr_storage_words",
+    "LoadReport",
+    "load_report",
+    "parallel_efficiency",
+    "Table",
+    "format_quantity",
+]

@@ -1,0 +1,140 @@
+"""The paper's closed-form cost expressions (Section 4), verbatim.
+
+Every formula the evaluation states is encoded here once, so benchmarks
+compare simulator measurements against *these* functions rather than
+re-deriving them:
+
+* SAXPY: "can be performed in O(n/N_P) time on any architecture";
+* inner product: "O(n/N_P) time for the local phase ... on a hypercube
+  architecture it [the merge] is done in t_start_up * log N_P time";
+* Scenario 1's all-to-all broadcast: "takes
+  t_start_up * log N_P + t_comm * n/N_P time if a tree-like broadcasting
+  mechanism is used";
+* Scenario 2: "the communication time ... is the same as the communication
+  time for the global broadcast used in Scenario 1";
+* the PRIVATE extension's storage: "N_P temporary vectors each of length
+  n" -- "potentially unnecessary ... particularly if n >> N_P".
+
+All times are produced for a given :class:`~repro.machine.CostModel`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..machine.costmodel import CostModel
+
+__all__ = [
+    "saxpy_time",
+    "inner_product_local_time",
+    "inner_product_merge_time",
+    "inner_product_time",
+    "scenario1_broadcast_time",
+    "scenario2_comm_time",
+    "rowwise_matvec_time",
+    "private_storage_words",
+    "csc_serial_time",
+    "private_merge_matvec_time",
+    "dense_storage_words",
+    "csr_storage_words",
+]
+
+
+def _chunk(n: int, nprocs: int) -> float:
+    """``ceil(n / N_P)`` -- the per-processor share of an n-vector."""
+    return float(-(-n // nprocs))
+
+
+def saxpy_time(n: int, nprocs: int, cost: CostModel) -> float:
+    """O(n/N_P): two flops per local element, zero communication."""
+    return 2.0 * _chunk(n, nprocs) * cost.t_flop
+
+
+def inner_product_local_time(n: int, nprocs: int, cost: CostModel) -> float:
+    """The local multiply-add phase: O(n/N_P)."""
+    return 2.0 * _chunk(n, nprocs) * cost.t_flop
+
+
+def inner_product_merge_time(nprocs: int, cost: CostModel) -> float:
+    """The hypercube merge: ``t_start_up * log N_P``."""
+    if nprocs <= 1:
+        return 0.0
+    return cost.t_startup * math.log2(nprocs)
+
+
+def inner_product_time(n: int, nprocs: int, cost: CostModel) -> float:
+    """Local phase plus hypercube merge."""
+    return inner_product_local_time(n, nprocs, cost) + inner_product_merge_time(
+        nprocs, cost
+    )
+
+
+def scenario1_broadcast_time(n: int, nprocs: int, cost: CostModel) -> float:
+    """The paper's all-to-all broadcast bound for replicating ``p``:
+
+    ``t_start_up * log N_P + t_comm * n / N_P``
+    (messages of ``n/N_P`` vector elements among ``N_P`` processors with a
+    tree-like broadcast).
+    """
+    if nprocs <= 1:
+        return 0.0
+    return cost.t_startup * math.log2(nprocs) + cost.t_comm * _chunk(n, nprocs)
+
+
+def scenario2_comm_time(n: int, nprocs: int, cost: CostModel) -> float:
+    """Scenario 2's claim: same as Scenario 1's broadcast.
+
+    "Hence, it is not possible to reduce the communication time if the
+    matrix is partitioned into regular stripes either in a row-wise or
+    column-wise fashion."
+    """
+    return scenario1_broadcast_time(n, nprocs, cost)
+
+
+def rowwise_matvec_time(
+    n: int, nnz: int, nprocs: int, cost: CostModel
+) -> float:
+    """Scenario-1 sparse mat-vec estimate: broadcast + balanced local work.
+
+    Local phase: 2 flops per nonzero, nonzeros assumed evenly spread.
+    """
+    return scenario1_broadcast_time(n, nprocs, cost) + 2.0 * _chunk(
+        nnz, nprocs
+    ) * cost.t_flop
+
+
+def private_storage_words(n: int, nprocs: int) -> float:
+    """PRIVATE(q(n)) storage: "N_P temporary vectors each of length n"."""
+    return float(n) * float(nprocs)
+
+
+def csc_serial_time(nnz: int, cost: CostModel) -> float:
+    """Lower bound for the unparallelised CSC loop: all 2*nnz flops in sequence."""
+    return 2.0 * float(nnz) * cost.t_flop
+
+
+def private_merge_matvec_time(
+    n: int, nnz: int, nprocs: int, cost: CostModel
+) -> float:
+    """Privatised CSC mat-vec estimate: parallel local phase + SUM merge.
+
+    Merge modelled as the recursive-halving reduce-scatter of an n-vector:
+    ``log N_P`` start-ups plus ``(N_P-1)/N_P * n`` transfer+add words.
+    """
+    local = 2.0 * _chunk(nnz, nprocs) * cost.t_flop
+    if nprocs <= 1:
+        return local
+    merge = cost.t_startup * math.ceil(math.log2(nprocs)) + (
+        (nprocs - 1) / nprocs
+    ) * n * (cost.t_comm + cost.t_flop)
+    return local + merge
+
+
+def dense_storage_words(n: int) -> float:
+    """Dense n x n storage."""
+    return float(n) * float(n)
+
+
+def csr_storage_words(n: int, nnz: int) -> float:
+    """CSR/CSC trio storage: values + indices + pointer."""
+    return 2.0 * float(nnz) + float(n) + 1.0

@@ -1,0 +1,56 @@
+"""Load-balance diagnostics for distributed solves (Section 5.2.2).
+
+Quantifies the imbalance the paper's balanced partitioner exists to fix:
+per-rank work distributions, max/mean ratios, and parallel efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadReport", "load_report", "parallel_efficiency"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Summary of a per-rank work distribution."""
+
+    per_rank: tuple
+    total: float
+    mean: float
+    maximum: float
+    minimum: float
+    imbalance: float  # max / mean; 1.0 = perfect
+    cv: float  # coefficient of variation
+
+    def __str__(self) -> str:
+        return (
+            f"total={self.total:.0f} max={self.maximum:.0f} "
+            f"mean={self.mean:.1f} imbalance={self.imbalance:.3f}"
+        )
+
+
+def load_report(per_rank_work) -> LoadReport:
+    """Build a :class:`LoadReport` from per-rank flops / nonzero counts."""
+    work = np.asarray(per_rank_work, dtype=np.float64)
+    if work.ndim != 1 or work.size == 0:
+        raise ValueError("per_rank_work must be a non-empty 1-D array")
+    mean = float(work.mean())
+    return LoadReport(
+        per_rank=tuple(float(w) for w in work),
+        total=float(work.sum()),
+        mean=mean,
+        maximum=float(work.max()),
+        minimum=float(work.min()),
+        imbalance=float(work.max() / mean) if mean else 1.0,
+        cv=float(work.std() / mean) if mean else 0.0,
+    )
+
+
+def parallel_efficiency(serial_time: float, parallel_time: float, nprocs: int) -> float:
+    """``T_serial / (N_P * T_parallel)`` -- 1.0 is ideal speedup."""
+    if parallel_time <= 0 or nprocs < 1:
+        raise ValueError("parallel_time must be positive and nprocs >= 1")
+    return serial_time / (nprocs * parallel_time)

@@ -1,0 +1,72 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness prints paper-style tables (measured vs model,
+strategy comparisons, sweeps over N_P) through :class:`Table`, keeping all
+formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["Table", "format_quantity"]
+
+Cell = Union[str, int, float]
+
+
+def format_quantity(value: Cell, precision: int = 4) -> str:
+    """Human-friendly numeric formatting (SI-free, fixed significant digits)."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.{precision - 1}e}"
+    return f"{value:.{precision}g}"
+
+
+class Table:
+    """Append rows, then render right-aligned fixed-width text."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.columns = list(columns)
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_quantity(c) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[Cell]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()

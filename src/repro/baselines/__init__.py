@@ -1,0 +1,6 @@
+"""Comparator implementations: explicit message-passing CG and dense LU."""
+
+from .direct import direct_solve, direct_vs_cg_flops
+from .message_passing import spmd_cg
+
+__all__ = ["spmd_cg", "direct_solve", "direct_vs_cg_flops"]

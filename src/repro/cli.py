@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package, paper and machine-model summary.
+``solve``
+    Run one distributed CG solve and print the result plus the
+    communication bill (options: matrix family, size, processors,
+    topology, strategy, solver).
+``strategies``
+    List the available mat-vec strategies with their paper references.
+``gantt``
+    Trace one mat-vec under a chosen strategy and print the ASCII Gantt
+    chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+STRATEGIES = {
+    "dense_rowblock": "Scenario 1 / Figure 3: A(BLOCK,*), broadcast of p",
+    "dense_colblock_serial": "Scenario 2 / Figure 4: serial column loop",
+    "dense_colblock_2dtemp": "Scenario 2 + permanent 2-D temp + SUM merge",
+    "csr_forall": "Figure 2: CSR FORALL (naive col/a layout)",
+    "csr_forall_aligned": "Figure 2 + Section 5.2.1 whole-row atoms",
+    "csc_serial": "Section 5.1 baseline: serialised CSC scatter",
+    "csc_private": "Section 5.1: ON PROCESSOR + PRIVATE/MERGE",
+    "csc_private_balanced": "Section 5.2.2: CG_BALANCED_PARTITIONER_1",
+    "csr_halo": "HPF-2 SHADOW halo exchange (ablation)",
+}
+
+MATRICES = {
+    "poisson2d": "2-D five-point Poisson (CFD pressure solve)",
+    "poisson1d": "1-D Poisson chain",
+    "truss": "random-stiffness truss (structural analysis)",
+    "circuit": "resistor-network conductance (circuit simulation)",
+    "nas_cg": "NAS-CG-style random sparse SPD",
+    "powerlaw": "irregular power-law Laplacian (Section 5.2.2)",
+}
+
+SOLVERS = ("cg", "pcg", "bicg", "cgs", "bicgstab", "gmres")
+
+
+def _make_matrix(family: str, n: int):
+    from . import (
+        circuit_nodal,
+        irregular_powerlaw,
+        nas_cg_style,
+        poisson1d,
+        poisson2d,
+        structural_truss,
+    )
+
+    if family == "poisson2d":
+        side = max(2, int(round(np.sqrt(n))))
+        return poisson2d(side, side)
+    if family == "poisson1d":
+        return poisson1d(n)
+    if family == "truss":
+        return structural_truss(n, seed=0)
+    if family == "circuit":
+        return circuit_nodal(n, seed=0)
+    if family == "nas_cg":
+        return nas_cg_style(n, seed=0)
+    if family == "powerlaw":
+        return irregular_powerlaw(n, seed=0)
+    raise ValueError(f"unknown matrix family {family!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'HPF and Possible Extensions to support "
+            "Conjugate Gradient Algorithms' (Dincer et al., 1995/96)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="package / paper / machine-model summary")
+    sub.add_parser("strategies", help="list mat-vec strategies")
+
+    solve = sub.add_parser("solve", help="run one distributed solve")
+    solve.add_argument("--matrix", choices=sorted(MATRICES), default="poisson2d")
+    solve.add_argument("--n", type=int, default=256, help="problem size")
+    solve.add_argument("--nprocs", type=int, default=8)
+    solve.add_argument(
+        "--topology", choices=("hypercube", "ring", "mesh2d", "complete"),
+        default="hypercube",
+    )
+    solve.add_argument("--strategy", choices=sorted(STRATEGIES),
+                       default="csr_forall_aligned")
+    solve.add_argument("--solver", choices=SOLVERS, default="cg")
+    solve.add_argument("--rtol", type=float, default=1e-8)
+    solve.add_argument("--maxiter", type=int, default=None)
+
+    gantt = sub.add_parser("gantt", help="ASCII Gantt of one mat-vec")
+    gantt.add_argument("--matrix", choices=sorted(MATRICES), default="poisson2d")
+    gantt.add_argument("--n", type=int, default=256)
+    gantt.add_argument("--nprocs", type=int, default=4)
+    gantt.add_argument("--strategy", choices=sorted(STRATEGIES),
+                       default="csc_private")
+    gantt.add_argument("--width", type=int, default=72)
+    return parser
+
+
+def _cmd_info() -> int:
+    from . import __version__
+    from .machine import CostModel
+
+    cost = CostModel()
+    print("repro", __version__)
+    print("paper : Dincer, Hawick, Choudhary, Fox -- 'High Performance")
+    print("        Fortran and Possible Extensions to support Conjugate")
+    print("        Gradient Algorithms', NPAC SCCS-703 / HPDC 1996")
+    print(f"model : t_startup={cost.t_startup:.1e}s  t_comm={cost.t_comm:.1e}s/word"
+          f"  t_flop={cost.t_flop:.1e}s")
+    print("docs  : README.md, DESIGN.md, EXPERIMENTS.md")
+    print("bench : pytest benchmarks/ --benchmark-only   (E1..E17)")
+    return 0
+
+
+def _cmd_strategies() -> int:
+    width = max(len(k) for k in STRATEGIES)
+    for name in sorted(STRATEGIES):
+        print(f"{name:<{width}}  {STRATEGIES[name]}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from . import (
+        JacobiPreconditioner,
+        Machine,
+        StoppingCriterion,
+        hpf_bicg,
+        hpf_bicgstab,
+        hpf_cg,
+        hpf_cgs,
+        hpf_gmres,
+        hpf_pcg,
+        make_strategy,
+    )
+
+    A = _make_matrix(args.matrix, args.n)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.nrows)
+    machine = Machine(nprocs=args.nprocs, topology=args.topology)
+    strategy = make_strategy(args.strategy, machine, A)
+    crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
+
+    if args.solver == "cg":
+        result = hpf_cg(strategy, b, criterion=crit)
+    elif args.solver == "pcg":
+        result = hpf_pcg(strategy, b, JacobiPreconditioner(A), criterion=crit)
+    elif args.solver == "bicg":
+        result = hpf_bicg(strategy, b, criterion=crit)
+    elif args.solver == "cgs":
+        result = hpf_cgs(strategy, b, criterion=crit)
+    elif args.solver == "bicgstab":
+        result = hpf_bicgstab(strategy, b, criterion=crit)
+    else:
+        result = hpf_gmres(strategy, b, criterion=crit)
+
+    print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
+    print(f"machine   : {args.nprocs} procs, {args.topology}")
+    print(f"solver    : {result.solver} / {result.strategy}")
+    print(f"converged : {result.converged} in {result.iterations} iterations")
+    print(f"residual  : {result.final_residual:.3e}")
+    print(f"sim time  : {result.machine_elapsed * 1e3:.3f} ms")
+    print(f"comm      : {result.comm['messages']} messages, "
+          f"{result.comm['words']:.0f} words")
+    for op, agg in sorted(machine.stats.by_op().items()):
+        print(f"  {op:<15} {agg['words']:>12.0f} words  {agg['time'] * 1e3:8.3f} ms")
+    return 0 if result.converged else 1
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from . import Machine, make_strategy
+    from .machine import Tracer
+
+    A = _make_matrix(args.matrix, args.n)
+    machine = Machine(nprocs=args.nprocs)
+    tracer = Tracer.attach(machine)
+    strategy = make_strategy(args.strategy, machine, A)
+    p = strategy.make_vector("p", np.linspace(0, 1, A.nrows))
+    q = strategy.make_vector("q")
+    strategy.apply(p, q)
+    print(f"{args.strategy} on {args.matrix} n={A.nrows}, N_P={args.nprocs}")
+    print(tracer.ascii_gantt(width=args.width))
+    util = tracer.utilization()
+    print(f"utilization: {np.round(util, 2).tolist()}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "strategies":
+        return _cmd_strategies()
+    if args.command == "solve":
+        return _cmd_solve(args)
+    if args.command == "gantt":
+        return _cmd_gantt(args)
+    parser.error(f"unknown command {args.command}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

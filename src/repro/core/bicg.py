@@ -1,0 +1,77 @@
+"""Distributed Bi-Conjugate Gradient (paper Section 2.1).
+
+BiCG's structure mirrors CG but with a shadow residual system driven by
+``A^T``: "BiCG does however require two matrix-vector multiply operations
+one of which uses the matrix transpose A^T, and therefore any storage
+distribution optimisations made on the basis of row access vs. column
+access will be negated with the use of BiCG."  The strategy's
+``apply_transpose`` carries that wrong-way cost; benchmark E13 measures
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .driver import finish_solve, start_solve
+from .matvec import MatvecStrategy
+from .result import SolveResult
+from .stopping import StoppingCriterion
+
+__all__ = ["hpf_bicg"]
+
+
+def hpf_bicg(
+    strategy: MatvecStrategy,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Solve (possibly nonsymmetric) ``A x = b`` with distributed BiCG."""
+    ctx = start_solve(strategy, b, x0, criterion)
+    rnorm = ctx.r.norm2()
+    ctx.history.append(rnorm)
+    if ctx.stop(rnorm):
+        return finish_solve(ctx, "bicg", True, 0)
+
+    # the "three extra vectors" of Section 2.1: shadow residual + 2 directions
+    rt = ctx.new_vector("rt")
+    rt.assign(ctx.r)
+    p = ctx.new_vector("p")
+    pt = ctx.new_vector("pt")
+    q = ctx.new_vector("q")
+    qt = ctx.new_vector("qt")
+
+    rho = 1.0
+    converged = False
+    iterations = 0
+    for k in range(1, ctx.maxiter + 1):
+        rho0 = rho
+        rho = rt.dot(ctx.r)
+        if rho == 0.0:
+            break  # breakdown
+        beta = 0.0 if k == 1 else rho / rho0
+        if k == 1:
+            p.assign(ctx.r)
+            pt.assign(rt)
+        else:
+            p.saypx(beta, ctx.r)  # p  = r  + beta p
+            pt.saypx(beta, rt)  # pt = rt + beta pt
+        strategy.apply(p, q)  # q  = A p
+        strategy.apply_transpose(pt, qt)  # qt = A^T pt
+        ptq = pt.dot(q)
+        if ptq == 0.0:
+            break
+        alpha = rho / ptq
+        ctx.x.axpy(alpha, p)
+        ctx.r.axpy(-alpha, q)
+        rt.axpy(-alpha, qt)
+        rnorm = ctx.r.norm2()
+        ctx.history.append(rnorm)
+        iterations = k
+        if ctx.stop(rnorm):
+            converged = True
+            break
+    return finish_solve(ctx, "bicg", converged, iterations)

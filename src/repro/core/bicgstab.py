@@ -1,0 +1,91 @@
+"""Distributed stabilised BiCG (paper Section 2.1).
+
+"The Stabilized BiCG algorithm also uses two matrix vector operations but
+avoids using A^T and therefore can be optimized using the data
+distribution ideas we discuss here.  It does however involve four inner
+products, so will have a greater demand for an efficient intrinsic for
+this than basic CG."
+
+Those four inner products per iteration (rho, rt.v, t.s, t.t) each pay an
+allreduce merge; benchmark E13 counts them against CG's two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .driver import finish_solve, start_solve
+from .matvec import MatvecStrategy
+from .result import SolveResult
+from .stopping import StoppingCriterion
+
+__all__ = ["hpf_bicgstab"]
+
+
+def hpf_bicgstab(
+    strategy: MatvecStrategy,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with distributed BiCGSTAB (no transpose products)."""
+    ctx = start_solve(strategy, b, x0, criterion)
+    rnorm = ctx.r.norm2()
+    ctx.history.append(rnorm)
+    if ctx.stop(rnorm):
+        return finish_solve(ctx, "bicgstab", True, 0)
+
+    rt = ctx.new_vector("rt")
+    rt.assign(ctx.r)
+    p = ctx.new_vector("p")
+    v = ctx.new_vector("v")
+    s = ctx.new_vector("s")
+    t = ctx.new_vector("t")
+
+    rho = alpha = omega = 1.0
+    converged = False
+    iterations = 0
+    for k in range(1, ctx.maxiter + 1):
+        rho0 = rho
+        rho = rt.dot(ctx.r)  # inner product 1
+        if rho == 0.0 or omega == 0.0:
+            break
+        if k == 1:
+            p.assign(ctx.r)
+        else:
+            beta = (rho / rho0) * (alpha / omega)
+            # p = r + beta (p - omega v)
+            p.axpy(-omega, v)
+            p.saypx(beta, ctx.r)
+        strategy.apply(p, v)  # v = A p
+        rtv = rt.dot(v)  # inner product 2
+        if rtv == 0.0:
+            break
+        alpha = rho / rtv
+        s.assign(ctx.r)
+        s.axpy(-alpha, v)
+        snorm = s.norm2()
+        if ctx.stop(snorm):
+            ctx.x.axpy(alpha, p)
+            ctx.history.append(snorm)
+            iterations = k
+            converged = True
+            break
+        strategy.apply(s, t)  # t = A s
+        tt = t.dot(t)  # inner product 3
+        if tt == 0.0:
+            break
+        omega = t.dot(s) / tt  # inner product 4
+        ctx.x.axpy(alpha, p)
+        ctx.x.axpy(omega, s)
+        ctx.r.assign(s)
+        ctx.r.axpy(-omega, t)
+        rnorm = ctx.r.norm2()
+        ctx.history.append(rnorm)
+        iterations = k
+        if ctx.stop(rnorm):
+            converged = True
+            break
+    return finish_solve(ctx, "bicgstab", converged, iterations)

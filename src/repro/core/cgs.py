@@ -1,0 +1,90 @@
+"""Distributed Conjugate Gradient Squared (paper Section 2.1).
+
+"The Conjugate Gradient Squared (CGS) algorithm avoids using A^T
+operations but also requires additional vectors of storage over the basic
+CG.  CGS can be built using the operations and data distributions we
+describe here, but can have some undesirable numerical properties such as
+actual divergence or irregular rates of convergence."
+
+Both mat-vecs are forward products, so CGS keeps whatever layout
+optimisation the strategy provides -- at the price of the extra vectors
+and CGS's erratic convergence (visible in benchmark E13's histories).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .driver import finish_solve, start_solve
+from .matvec import MatvecStrategy
+from .result import SolveResult
+from .stopping import StoppingCriterion
+
+__all__ = ["hpf_cgs"]
+
+
+def hpf_cgs(
+    strategy: MatvecStrategy,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with distributed CGS (no transpose products)."""
+    ctx = start_solve(strategy, b, x0, criterion)
+    rnorm = ctx.r.norm2()
+    ctx.history.append(rnorm)
+    if ctx.stop(rnorm):
+        return finish_solve(ctx, "cgs", True, 0)
+
+    rt = ctx.new_vector("rt")
+    rt.assign(ctx.r)
+    p = ctx.new_vector("p")
+    u = ctx.new_vector("u")
+    qv = ctx.new_vector("q")
+    v = ctx.new_vector("v")
+    w = ctx.new_vector("w")
+
+    rho = 1.0
+    converged = False
+    iterations = 0
+    for k in range(1, ctx.maxiter + 1):
+        rho0 = rho
+        rho = rt.dot(ctx.r)
+        if rho == 0.0:
+            break
+        if k == 1:
+            u.assign(ctx.r)
+            p.assign(u)
+        else:
+            beta = rho / rho0
+            # u = r + beta q
+            u.assign(ctx.r)
+            u.axpy(beta, qv)
+            # p = u + beta (q + beta p)
+            p.scale(beta)
+            p.iadd(qv)
+            p.scale(beta)
+            p.iadd(u)
+        strategy.apply(p, v)  # v = A p
+        rtv = rt.dot(v)
+        if rtv == 0.0:
+            break
+        alpha = rho / rtv
+        # q = u - alpha v
+        qv.assign(u)
+        qv.axpy(-alpha, v)
+        # w = u + q ; x += alpha w ; r -= alpha A w
+        w.assign(u)
+        w.iadd(qv)
+        ctx.x.axpy(alpha, w)
+        strategy.apply(w, v)  # v = A (u + q), the second forward mat-vec
+        ctx.r.axpy(-alpha, v)
+        rnorm = ctx.r.norm2()
+        ctx.history.append(rnorm)
+        iterations = k
+        if ctx.stop(rnorm):
+            converged = True
+            break
+    return finish_solve(ctx, "cgs", converged, iterations)

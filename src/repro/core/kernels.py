@@ -1,0 +1,39 @@
+"""BLAS-1-style distributed kernels named as the paper names them.
+
+Figure 2 annotates its statements ``! sdot``, ``! saypx``, ``! saxpy``;
+these free functions provide exactly that vocabulary over
+:class:`~repro.hpf.array.DistributedArray`, so example code can read like
+the paper.  They are thin wrappers -- the cost charging lives in the array
+methods.
+"""
+
+from __future__ import annotations
+
+from ..hpf.array import DistributedArray
+
+__all__ = ["saxpy", "saypx", "sdot", "scopy", "sscal"]
+
+
+def saxpy(alpha: float, x: DistributedArray, y: DistributedArray) -> DistributedArray:
+    """``y = y + alpha * x`` -- O(n/N_P), no communication."""
+    return y.axpy(alpha, x)
+
+
+def saypx(alpha: float, y: DistributedArray, x: DistributedArray) -> DistributedArray:
+    """``y = alpha * y + x`` (the paper's saypx: ``p = beta*p + r``)."""
+    return y.saypx(alpha, x)
+
+
+def sdot(x: DistributedArray, y: DistributedArray, tag: str = "dot") -> float:
+    """``DOT_PRODUCT(x, y)``: local phase O(n/N_P) + allreduce merge."""
+    return x.dot(y, tag=tag)
+
+
+def scopy(x: DistributedArray, y: DistributedArray) -> DistributedArray:
+    """``y = x`` for aligned operands (no communication)."""
+    return y.assign(x)
+
+
+def sscal(alpha: float, x: DistributedArray) -> DistributedArray:
+    """``x = alpha * x``."""
+    return x.scale(alpha)

@@ -1,0 +1,348 @@
+"""Sequential reference solvers (pure NumPy, no machine model).
+
+These are the numerical ground truth the distributed HPF implementations
+are validated against, plus the dense direct solver the paper contrasts CG
+with ("Conjugate Gradient and other iterative methods are preferred over
+simple Gaussian elimination when A is very large and sparse").
+
+The CG loop follows the paper's Figure-2 structure exactly: ``rho = r.r``,
+``beta = rho/rho0``, ``p = beta*p + r`` (saypx), ``q = A p``,
+``alpha = rho / p.q``, then the two SAXPY updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sparse.convert import as_matrix
+from .result import ConvergenceHistory, SolveResult
+from .stopping import StoppingCriterion
+
+__all__ = [
+    "cg_reference",
+    "pcg_reference",
+    "bicg_reference",
+    "cgs_reference",
+    "bicgstab_reference",
+    "gaussian_elimination",
+]
+
+
+def _prep(matrix, b, x0):
+    A = as_matrix(matrix)
+    b = np.asarray(b, dtype=np.float64)
+    n = A.nrows
+    if A.nrows != A.ncols:
+        raise ValueError("iterative solvers need a square matrix")
+    if b.shape != (n,):
+        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+    x = (
+        np.zeros(n)
+        if x0 is None
+        else np.array(x0, dtype=np.float64, copy=True)
+    )
+    if x.shape != (n,):
+        raise ValueError(f"x0 must have shape ({n},)")
+    return A, b, x
+
+
+def cg_reference(
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Classic non-preconditioned CG (paper Section 2, Figure 2)."""
+    A, b, x = _prep(matrix, b, x0)
+    crit = criterion or StoppingCriterion()
+    bnorm = float(np.linalg.norm(b))
+    history = ConvergenceHistory()
+
+    r = b - A.matvec(x)
+    p = r.copy()
+    rho = float(r @ r)
+    history.append(np.sqrt(rho))
+    if crit.satisfied(np.sqrt(rho), bnorm):
+        return SolveResult(x, True, 0, history, "cg")
+    converged = False
+    iterations = 0
+    for k in range(1, crit.cap(A.nrows) + 1):
+        if k > 1:
+            beta = rho / rho0
+            p = r + beta * p  # saypx
+        q = A.matvec(p)
+        pq = float(p @ q)
+        if pq == 0.0:
+            break
+        alpha = rho / pq
+        x += alpha * p  # saxpy
+        r -= alpha * q  # saxpy
+        rho0 = rho
+        rho = float(r @ r)
+        history.append(np.sqrt(rho))
+        iterations = k
+        if crit.satisfied(np.sqrt(rho), bnorm):
+            converged = True
+            break
+    return SolveResult(x, converged, iterations, history, "cg")
+
+
+def pcg_reference(
+    matrix,
+    b: np.ndarray,
+    preconditioner,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Preconditioned CG: same recurrence on the preconditioned residual.
+
+    "A preconditioner for A can be added to any of the algorithms described
+    above and which will increase the speed of convergence" (Section 2.1).
+    ``preconditioner`` must expose ``solve(r) -> z``.
+    """
+    A, b, x = _prep(matrix, b, x0)
+    crit = criterion or StoppingCriterion()
+    bnorm = float(np.linalg.norm(b))
+    history = ConvergenceHistory()
+
+    r = b - A.matvec(x)
+    history.append(np.linalg.norm(r))
+    if crit.satisfied(history.final, bnorm):
+        return SolveResult(x, True, 0, history, "pcg")
+    z = preconditioner.solve(r)
+    p = z.copy()
+    rho = float(r @ z)
+    converged = False
+    iterations = 0
+    for k in range(1, crit.cap(A.nrows) + 1):
+        q = A.matvec(p)
+        pq = float(p @ q)
+        if pq == 0.0:
+            break
+        alpha = rho / pq
+        x += alpha * p
+        r -= alpha * q
+        history.append(np.linalg.norm(r))
+        iterations = k
+        if crit.satisfied(history.final, bnorm):
+            converged = True
+            break
+        z = preconditioner.solve(r)
+        rho0 = rho
+        rho = float(r @ z)
+        beta = rho / rho0
+        p = z + beta * p
+    return SolveResult(x, converged, iterations, history, "pcg")
+
+
+def bicg_reference(
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Bi-Conjugate Gradient for nonsymmetric systems (Section 2.1).
+
+    "The BiCG algorithm employs an alternative approach of using two
+    mutually orthogonal sequences of residuals.  This requires three extra
+    vectors to be stored ... BiCG does however require two matrix-vector
+    multiply operations one of which uses the matrix transpose A^T."
+    """
+    A, b, x = _prep(matrix, b, x0)
+    crit = criterion or StoppingCriterion()
+    bnorm = float(np.linalg.norm(b))
+    history = ConvergenceHistory()
+
+    r = b - A.matvec(x)
+    rt = r.copy()  # shadow residual
+    history.append(np.linalg.norm(r))
+    if crit.satisfied(history.final, bnorm):
+        return SolveResult(x, True, 0, history, "bicg")
+    p = np.zeros_like(r)
+    pt = np.zeros_like(r)
+    rho = 1.0
+    converged = False
+    iterations = 0
+    for k in range(1, crit.cap(A.nrows) + 1):
+        rho0 = rho
+        rho = float(rt @ r)
+        if rho == 0.0:
+            break  # breakdown
+        beta = 0.0 if k == 1 else rho / rho0
+        p = r + beta * p
+        pt = rt + beta * pt
+        q = A.matvec(p)
+        qt = A.rmatvec(pt)  # the A^T product
+        ptq = float(pt @ q)
+        if ptq == 0.0:
+            break
+        alpha = rho / ptq
+        x += alpha * p
+        r -= alpha * q
+        rt -= alpha * qt
+        history.append(np.linalg.norm(r))
+        iterations = k
+        if crit.satisfied(history.final, bnorm):
+            converged = True
+            break
+    return SolveResult(x, converged, iterations, history, "bicg")
+
+
+def cgs_reference(
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Conjugate Gradient Squared (Section 2.1).
+
+    "Avoids using A^T operations but also requires additional vectors of
+    storage over the basic CG ... can have some undesirable numerical
+    properties such as actual divergence or irregular rates of
+    convergence."
+    """
+    A, b, x = _prep(matrix, b, x0)
+    crit = criterion or StoppingCriterion()
+    bnorm = float(np.linalg.norm(b))
+    history = ConvergenceHistory()
+
+    r = b - A.matvec(x)
+    rt = r.copy()
+    history.append(np.linalg.norm(r))
+    if crit.satisfied(history.final, bnorm):
+        return SolveResult(x, True, 0, history, "cgs")
+    rho = 1.0
+    p = np.zeros_like(r)
+    u = np.zeros_like(r)
+    q = np.zeros_like(r)
+    converged = False
+    iterations = 0
+    for k in range(1, crit.cap(A.nrows) + 1):
+        rho0 = rho
+        rho = float(rt @ r)
+        if rho == 0.0:
+            break
+        if k == 1:
+            u = r.copy()
+            p = u.copy()
+        else:
+            beta = rho / rho0
+            u = r + beta * q
+            p = u + beta * (q + beta * p)
+        v = A.matvec(p)
+        rtv = float(rt @ v)
+        if rtv == 0.0:
+            break
+        alpha = rho / rtv
+        q = u - alpha * v
+        x += alpha * (u + q)
+        r -= alpha * A.matvec(u + q)
+        history.append(np.linalg.norm(r))
+        iterations = k
+        if crit.satisfied(history.final, bnorm):
+            converged = True
+            break
+    return SolveResult(x, converged, iterations, history, "cgs")
+
+
+def bicgstab_reference(
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Stabilised BiCG (Section 2.1).
+
+    "Also uses two matrix vector operations but avoids using A^T ...  It
+    does however involve four inner products, so will have a greater demand
+    for an efficient intrinsic for this than basic CG."
+    """
+    A, b, x = _prep(matrix, b, x0)
+    crit = criterion or StoppingCriterion()
+    bnorm = float(np.linalg.norm(b))
+    history = ConvergenceHistory()
+
+    r = b - A.matvec(x)
+    rt = r.copy()
+    history.append(np.linalg.norm(r))
+    if crit.satisfied(history.final, bnorm):
+        return SolveResult(x, True, 0, history, "bicgstab")
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(r)
+    p = np.zeros_like(r)
+    converged = False
+    iterations = 0
+    for k in range(1, crit.cap(A.nrows) + 1):
+        rho0 = rho
+        rho = float(rt @ r)  # inner product 1
+        if rho == 0.0 or omega == 0.0:
+            break
+        if k == 1:
+            p = r.copy()
+        else:
+            beta = (rho / rho0) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        v = A.matvec(p)
+        rtv = float(rt @ v)  # inner product 2
+        if rtv == 0.0:
+            break
+        alpha = rho / rtv
+        s = r - alpha * v
+        snorm = float(np.linalg.norm(s))
+        if crit.satisfied(snorm, bnorm):
+            x += alpha * p
+            history.append(snorm)
+            iterations = k
+            converged = True
+            break
+        t = A.matvec(s)
+        tt = float(t @ t)  # inner product 3
+        if tt == 0.0:
+            break
+        omega = float(t @ s) / tt  # inner product 4
+        x += alpha * p + omega * s
+        r = s - omega * t
+        history.append(np.linalg.norm(r))
+        iterations = k
+        if crit.satisfied(history.final, bnorm):
+            converged = True
+            break
+    return SolveResult(x, converged, iterations, history, "bicgstab")
+
+
+def gaussian_elimination(matrix, b: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Dense LU with partial pivoting -- the direct-method baseline.
+
+    Returns ``(x, flops)`` where flops counts the ~2/3 n^3 factorisation
+    plus the triangular solves, so examples can contrast the O(n^3) direct
+    cost with CG's O(iterations * nnz).
+    """
+    A = as_matrix(matrix).toarray().astype(np.float64)
+    b = np.asarray(b, dtype=np.float64).copy()
+    n = A.shape[0]
+    if A.shape[0] != A.shape[1] or b.shape != (n,):
+        raise ValueError("gaussian_elimination needs square A and matching b")
+    flops = 0.0
+    for k in range(n - 1):
+        piv = k + int(np.argmax(np.abs(A[k:, k])))
+        if A[piv, k] == 0.0:
+            raise np.linalg.LinAlgError("matrix is singular")
+        if piv != k:
+            A[[k, piv]] = A[[piv, k]]
+            b[[k, piv]] = b[[piv, k]]
+        m = A[k + 1:, k] / A[k, k]
+        A[k + 1:, k:] -= np.outer(m, A[k, k:])
+        b[k + 1:] -= m * b[k]
+        rows = n - k - 1
+        cols = n - k
+        flops += rows + 2.0 * rows * cols + 2.0 * rows
+    # back substitution
+    x = np.zeros(n)
+    for i in range(n - 1, -1, -1):
+        if A[i, i] == 0.0:
+            raise np.linalg.LinAlgError("matrix is singular")
+        x[i] = (b[i] - A[i, i + 1:] @ x[i + 1:]) / A[i, i]
+        flops += 2.0 * (n - i - 1) + 2.0
+    return x, flops

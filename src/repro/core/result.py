@@ -1,0 +1,96 @@
+"""Solver results and convergence histories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ConvergenceHistory", "SolveResult"]
+
+
+@dataclass
+class ConvergenceHistory:
+    """Residual norms per iteration (iteration 0 = initial residual)."""
+
+    residual_norms: List[float] = field(default_factory=list)
+
+    def append(self, rnorm: float) -> None:
+        self.residual_norms.append(float(rnorm))
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations performed (excluding the initial residual)."""
+        return max(0, len(self.residual_norms) - 1)
+
+    @property
+    def final(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+    @property
+    def initial(self) -> float:
+        return self.residual_norms[0] if self.residual_norms else float("nan")
+
+    def reduction(self) -> float:
+        """Final/initial residual ratio."""
+        if not self.residual_norms or self.residual_norms[0] == 0:
+            return 0.0
+        return self.final / self.residual_norms[0]
+
+    def convergence_rate(self) -> float:
+        """Geometric mean per-iteration residual reduction factor."""
+        if self.iterations < 1 or self.initial == 0 or self.final == 0:
+            return float("nan")
+        return float((self.final / self.initial) ** (1.0 / self.iterations))
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one linear solve.
+
+    Attributes
+    ----------
+    x:
+        Solution vector (global NumPy array).
+    converged:
+        Whether the stopping criterion was met within the iteration cap.
+    iterations:
+        Iterations performed.
+    history:
+        Residual-norm history.
+    solver:
+        Solver name (``"cg"``, ``"bicg"``, ...).
+    strategy:
+        Mat-vec strategy name for distributed solves, ``None`` for
+        sequential references.
+    machine_elapsed:
+        Simulated parallel time consumed by the solve (seconds), when run
+        on a machine.
+    comm:
+        Aggregated communication numbers for the solve (messages, words,
+        time), when run on a machine.
+    extras:
+        Free-form diagnostics (per-phase timings, storage, flops...).
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    history: ConvergenceHistory
+    solver: str
+    strategy: Optional[str] = None
+    machine_elapsed: Optional[float] = None
+    comm: Optional[Dict[str, float]] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def final_residual(self) -> float:
+        return self.history.final
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult(solver={self.solver!r}, strategy={self.strategy!r}, "
+            f"converged={self.converged}, iterations={self.iterations}, "
+            f"final_residual={self.final_residual:.3e})"
+        )

@@ -1,0 +1,48 @@
+"""Stopping criteria for the iterative solvers.
+
+The paper's loop reads ``IF ( stop_criterion ) EXIT``; the conventional
+criterion (and the one the Templates book [2] recommends) is a relative
+residual test ``||r|| <= rtol * ||b|| + atol`` plus an iteration cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StoppingCriterion"]
+
+
+@dataclass(frozen=True)
+class StoppingCriterion:
+    """Relative/absolute residual test with an iteration cap.
+
+    Parameters
+    ----------
+    rtol:
+        Relative tolerance against the right-hand-side norm.
+    atol:
+        Absolute residual floor.
+    maxiter:
+        Iteration cap (``None`` -> ``10 * n`` chosen by the solver).
+    """
+
+    rtol: float = 1e-8
+    atol: float = 0.0
+    maxiter: int = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rtol < 0 or self.atol < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.maxiter is not None and self.maxiter < 1:
+            raise ValueError("maxiter must be >= 1")
+
+    def threshold(self, bnorm: float) -> float:
+        """The residual norm below which the solve is converged."""
+        return self.rtol * bnorm + self.atol
+
+    def satisfied(self, rnorm: float, bnorm: float) -> bool:
+        return rnorm <= self.threshold(bnorm)
+
+    def cap(self, n: int) -> int:
+        """Effective iteration cap for an ``n``-dimensional system."""
+        return self.maxiter if self.maxiter is not None else max(10 * n, 100)

@@ -1,0 +1,43 @@
+"""The paper's proposed HPF-2 extensions, as working runtime mechanisms.
+
+Section 5.1: :class:`PrivateRegion` (PRIVATE with MERGE/DISCARD),
+:class:`OnProcessor` (compile-time iteration mapping) and the
+:class:`InspectorExecutor` baseline it replaces.
+
+Section 5.2: :class:`IndivisableSpec` (atoms), the atom distributions
+(:func:`atom_block`, :func:`atom_block_balanced`, :class:`AtomCyclic`),
+the load-balancing partitioners, and :class:`SparseMatrixBinding` (the
+``SPARSE_MATRIX`` trio directive).
+"""
+
+from .atom_dist import AtomCyclic, atom_block, atom_block_balanced, atom_cyclic
+from .atoms import IndivisableSpec
+from .inspector import CommunicationSchedule, InspectorExecutor
+from .on_processor import OnProcessor
+from .partitioners import (
+    assignment_imbalance,
+    cg_balanced_partitioner_1,
+    edge_cut_partitioner,
+    imbalance,
+    lpt_partitioner,
+)
+from .private import PrivateRegion
+from .sparse_directive import SparseMatrixBinding
+
+__all__ = [
+    "PrivateRegion",
+    "OnProcessor",
+    "InspectorExecutor",
+    "CommunicationSchedule",
+    "IndivisableSpec",
+    "atom_block",
+    "atom_block_balanced",
+    "atom_cyclic",
+    "AtomCyclic",
+    "cg_balanced_partitioner_1",
+    "lpt_partitioner",
+    "edge_cut_partitioner",
+    "imbalance",
+    "assignment_imbalance",
+    "SparseMatrixBinding",
+]

@@ -1,0 +1,134 @@
+"""Atom-based distributions: ``REDISTRIBUTE x(ATOM: BLOCK)`` etc. (Section 5.2).
+
+"This directive ensures that the elements of the row vector are distributed
+in a similar fashion to the regular HPF BLOCK distribution, yet the atoms
+instead of individual elements are used as the basis in the distribution.
+This ensures that elements of an atom is not divided among two or more
+processors."
+
+Given an :class:`~repro.extensions.atoms.IndivisableSpec`, these builders
+return *element* distributions (over the ``row``/``a`` arrays) together
+with the atom cut points:
+
+* :func:`atom_block` -- even atom counts per rank (the uniform case of
+  Section 5.2.1);
+* :func:`atom_block_balanced` -- cut points from
+  :func:`~repro.extensions.partitioners.cg_balanced_partitioner_1` applied
+  to the atom weights (the irregular case of Section 5.2.2);
+* :func:`atom_cyclic` -- round-robin whole atoms (``ATOM: CYCLIC``).
+
+BLOCK variants produce an :class:`~repro.hpf.distribution.IrregularBlock`
+whose state is exactly the ``N_P + 1`` cut-point array the paper says can
+be "replicated over all processors" instead of a full distribution map.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..hpf.distribution import Distribution, IrregularBlock
+from ..hpf.errors import DistributionError
+from .atoms import IndivisableSpec
+from .partitioners import cg_balanced_partitioner_1
+
+__all__ = ["atom_block", "atom_block_balanced", "atom_cyclic", "AtomCyclic"]
+
+
+def _element_cuts(spec: IndivisableSpec, atom_cuts: np.ndarray) -> np.ndarray:
+    """Translate atom cut points to element cut points via the pointer."""
+    return spec.pointer[atom_cuts]
+
+
+def atom_block(
+    spec: IndivisableSpec, nprocs: int
+) -> Tuple[IrregularBlock, np.ndarray]:
+    """``(ATOM: BLOCK)``: contiguous, equal *atom counts* per rank.
+
+    Returns ``(element_distribution, atom_cuts)``.
+    """
+    if nprocs < 1:
+        raise DistributionError("nprocs must be >= 1")
+    k = max(1, -(-spec.natoms // nprocs))
+    atom_cuts = np.minimum(np.arange(nprocs + 1, dtype=np.int64) * k, spec.natoms)
+    return IrregularBlock(_element_cuts(spec, atom_cuts), nprocs), atom_cuts
+
+
+def atom_block_balanced(
+    spec: IndivisableSpec, nprocs: int, weights: Optional[np.ndarray] = None
+) -> Tuple[IrregularBlock, np.ndarray]:
+    """``(ATOM: BLOCK)`` with load-balancing cut points.
+
+    ``weights`` defaults to the atom sizes (nonzeros per column), which is
+    the mat-vec work per atom; the optimal contiguous bottleneck partition
+    is used -- the runtime of ``REDISTRIBUTE smA USING
+    CG_BALANCED_PARTITIONER_1``.
+    """
+    if weights is None:
+        weights = spec.atom_sizes().astype(np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size != spec.natoms:
+        raise DistributionError(
+            f"need one weight per atom ({spec.natoms}), got {weights.size}"
+        )
+    atom_cuts = cg_balanced_partitioner_1(weights, nprocs)
+    return IrregularBlock(_element_cuts(spec, atom_cuts), nprocs), atom_cuts
+
+
+class AtomCyclic(Distribution):
+    """``(ATOM: CYCLIC)``: whole atoms dealt round-robin to processors.
+
+    Elements of atom ``i`` live on rank ``i % nprocs``; an atom is never
+    split.  Local element order follows global element order.
+    """
+
+    def __init__(self, spec: IndivisableSpec, nprocs: int):
+        super().__init__(spec.nelements, nprocs)
+        self.spec = spec
+        self._atom_owner = (
+            np.arange(spec.natoms, dtype=np.int64) % nprocs
+            if spec.natoms
+            else np.empty(0, dtype=np.int64)
+        )
+        elem_atoms = (
+            spec.atom_of_element(np.arange(spec.nelements, dtype=np.int64))
+            if spec.nelements
+            else np.empty(0, dtype=np.int64)
+        )
+        self._elem_owner = (
+            self._atom_owner[elem_atoms] if spec.nelements else elem_atoms
+        )
+        # local position: running count of elements per owner
+        self._local_pos = np.zeros(spec.nelements, dtype=np.int64)
+        for r in range(nprocs):
+            mask = self._elem_owner == r
+            self._local_pos[mask] = np.arange(int(mask.sum()), dtype=np.int64)
+
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        return self._elem_owner[idx]
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        self._check_rank(rank)
+        return np.nonzero(self._elem_owner == rank)[0].astype(np.int64)
+
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        return self._local_pos[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.n == other.n  # type: ignore[union-attr]
+            and self.nprocs == other.nprocs  # type: ignore[union-attr]
+            and np.array_equal(self.spec.pointer, other.spec.pointer)  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash(("AtomCyclic", self.n, self.nprocs, self.spec.pointer.tobytes()))
+
+
+def atom_cyclic(spec: IndivisableSpec, nprocs: int) -> AtomCyclic:
+    """Build the ``(ATOM: CYCLIC)`` element distribution."""
+    return AtomCyclic(spec, nprocs)

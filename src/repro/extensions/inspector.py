@@ -1,0 +1,123 @@
+"""Inspector--executor baseline for runtime iteration mapping.
+
+"As the array q is accessed through a level of indirection, the value of
+its index (i.e. row(k)) can be known only at run-time.  Inspector-executor
+mechanisms [15] which are costly in nature should be employed for the
+determination of the owner of the lhs."  The paper proposes ``ON
+PROCESSOR(f(i))`` precisely to avoid this runtime cost.
+
+:class:`InspectorExecutor` implements the costly baseline so benchmark E9
+can measure the difference: an *inspector* phase scans every iteration,
+resolves the owner of its left-hand-side element through the indirection
+array, and exchanges a communication schedule; the *executor* then runs
+iterations on their owners.  Schedules can be **reused** across iterations
+of the CG loop ("Runtime Compilation Techniques for Data Partitioning and
+Communication Schedule Reuse", the paper's reference [20]) -- reuse makes
+the amortised cost approach ON PROCESSOR's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..hpf.distribution import Block, Distribution
+
+__all__ = ["CommunicationSchedule", "InspectorExecutor"]
+
+
+@dataclass
+class CommunicationSchedule:
+    """The inspector's product: per-rank iteration lists plus cost record."""
+
+    partition: List[np.ndarray]
+    moved_iterations: int
+    build_messages: int
+    build_words: float
+    build_time: float
+    reuses: int = field(default=0)
+
+    def iterations_for(self, rank: int) -> np.ndarray:
+        return self.partition[rank]
+
+    def reuse(self) -> "CommunicationSchedule":
+        """Reuse the schedule for another loop instance (free)."""
+        self.reuses += 1
+        return self
+
+
+class InspectorExecutor:
+    """Runtime owner discovery for indirection-addressed loops."""
+
+    #: flops charged per inspected iteration (indirection load, owner
+    #: lookup, branch) -- the "costly in nature" per-element overhead
+    INSPECT_FLOPS_PER_ITERATION = 5.0
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def build_schedule(
+        self,
+        n_iterations: int,
+        lhs_indices: np.ndarray,
+        lhs_distribution: Distribution,
+        initial: Distribution = None,
+        tag: str = "inspector",
+    ) -> CommunicationSchedule:
+        """Run the inspector phase and charge its cost.
+
+        Parameters
+        ----------
+        n_iterations:
+            Loop trip count.
+        lhs_indices:
+            ``lhs_indices[i]`` is the element the ``i``-th iteration assigns
+            (e.g. ``row(k)`` for the CSC scatter loop).
+        lhs_distribution:
+            Distribution of the assigned array -- owner-computes places the
+            iteration on ``lhs_distribution.owner(lhs_indices[i])``.
+        initial:
+            Where iterations start out before the inspector moves them
+            (default: HPF BLOCK over the iteration space).
+        """
+        lhs_indices = np.asarray(lhs_indices, dtype=np.int64)
+        if lhs_indices.shape != (n_iterations,):
+            raise ValueError(
+                f"need one lhs index per iteration, got shape {lhs_indices.shape}"
+            )
+        machine = self.machine
+        if initial is None:
+            initial = Block(n_iterations, machine.nprocs)
+        iters = np.arange(n_iterations, dtype=np.int64)
+        init_rank = (
+            initial.owners(iters)
+            if not initial.is_replicated
+            else np.zeros(n_iterations, dtype=np.int64)
+        )
+        owner_rank = lhs_distribution.owners(lhs_indices)
+
+        before = machine.stats.snapshot()
+        t0 = machine.elapsed()
+        # inspect: every rank scans its initial iterations
+        for r in range(machine.nprocs):
+            count = int(np.count_nonzero(init_rank == r))
+            machine.charge_compute(r, self.INSPECT_FLOPS_PER_ITERATION * count)
+        # exchange: iterations whose owner differs move (index word each);
+        # schedule metadata goes through an alltoall
+        moved = int(np.count_nonzero(init_rank != owner_rank))
+        per_pair = moved / max(1, machine.nprocs * (machine.nprocs - 1))
+        if machine.nprocs > 1:
+            machine.alltoall(per_pair, tag=tag)
+        build_time = machine.elapsed() - t0
+        delta = before.since(machine.stats)
+
+        partition = [iters[owner_rank == r] for r in range(machine.nprocs)]
+        return CommunicationSchedule(
+            partition=partition,
+            moved_iterations=moved,
+            build_messages=delta.messages,
+            build_words=delta.words,
+            build_time=build_time,
+        )

@@ -1,0 +1,109 @@
+"""The proposed ``PRIVATE`` abstraction with MERGE / DISCARD (Section 5.1).
+
+"We propose a new mechanism which we call PRIVATE abstraction to allow the
+program to fork copies of a data structure that are private to each
+processor. ... The private variables are merged into a global single copy
+again (WITH MERGE option) or discarded completely (WITH DISCARD option) at
+the end of the loop (private region)."
+
+A :class:`PrivateRegion` allocates one full-length copy of the array per
+processor (charging ``n`` words of temporary storage per rank -- the cost
+the paper worries about when ``n >> N_P``), lets each rank accumulate into
+its copy freely (eliminating the many-to-one dependency), and merges with a
+reduce-scatter into a distributed array, or discards.
+
+Usage::
+
+    with PrivateRegion(machine, n, merge="+") as priv:
+        for rank in machine.ranks:
+            ...accumulate into priv.local(rank)...
+        priv.merge_into(q)          # q: DistributedArray
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..hpf.array import DistributedArray
+from ..hpf.intrinsics import sum_private_copies
+
+__all__ = ["PrivateRegion"]
+
+
+class PrivateRegion:
+    """Per-processor private copies of an ``n``-vector.
+
+    Parameters
+    ----------
+    machine:
+        The simulated multicomputer.
+    n:
+        Length of the privatised array.
+    merge:
+        ``"+"`` to allow merging, ``None`` for discard-only regions.
+    fill:
+        Initial value of every private copy (0.0, the additive identity,
+        for MERGE(+) regions).
+    """
+
+    def __init__(self, machine, n: int, merge: Optional[str] = "+", fill: float = 0.0):
+        if merge not in (None, "+"):
+            raise ValueError(f"unsupported merge operation {merge!r}")
+        self.machine = machine
+        self.n = int(n)
+        self.merge_op = merge
+        self._copies: List[np.ndarray] = [
+            np.full(self.n, fill) for _ in range(machine.nprocs)
+        ]
+        self._closed = False
+        # the storage cost the paper flags: n words on *every* processor
+        machine.charge_storage_all(float(self.n))
+
+    # ------------------------------------------------------------------ #
+    def local(self, rank: int) -> np.ndarray:
+        """Rank ``rank``'s private copy (free to mutate, no dependencies)."""
+        self._check_open()
+        return self._copies[rank]
+
+    @property
+    def storage_words_total(self) -> float:
+        """Total temporary storage: ``n * N_P`` words."""
+        return float(self.n * self.machine.nprocs)
+
+    def merge_into(self, out: DistributedArray, tag: str = "merge") -> DistributedArray:
+        """MERGE(+): combine all private copies into the distributed ``out``.
+
+        Implemented as the paper suggests: "A runtime library function
+        similar to Fortran 90 SUM intrinsic reduction function" -- a
+        reduce-scatter over the private vectors.
+        """
+        self._check_open()
+        if self.merge_op is None:
+            raise ValueError("this private region was declared WITH DISCARD")
+        if out.n != self.n:
+            raise ValueError(f"merge target extent {out.n} != region extent {self.n}")
+        sum_private_copies(self._copies, out, tag=tag)
+        self._closed = True
+        return out
+
+    def discard(self) -> None:
+        """WITH DISCARD: drop all private copies, no communication."""
+        self._check_open()
+        self._copies = []
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("private region already merged or discarded")
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "PrivateRegion":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # leaving the region without an explicit merge discards, as the
+        # paper's region semantics imply for DISCARD-mode variables
+        if not self._closed:
+            self.discard()

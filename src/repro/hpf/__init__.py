@@ -1,0 +1,80 @@
+"""HPF-1 language runtime: distributions, alignment, distributed arrays,
+FORALL/INDEPENDENT semantics, intrinsics, and the directive front-end.
+
+This package models what an HPF compiler and its runtime do with the
+paper's directives: data layouts (:mod:`~repro.hpf.distribution`), the
+owner-computes array execution (:class:`DistributedArray`), the language
+rules that *reject* the CSC scatter loop (:mod:`~repro.hpf.forall`,
+:mod:`~repro.hpf.independent`), and a parser accepting the paper's
+``!HPF$`` / ``!EXT$`` lines verbatim (:mod:`~repro.hpf.directives`,
+applied by :class:`HpfNamespace`).
+"""
+
+from .align import AlignmentGroup, aligned
+from .array import DistributedArray, DistributedDenseMatrix
+from .descriptor import DistributedArrayDescriptor
+from .directives import parse_directive, parse_directives
+from .distribution import (
+    Block,
+    BlockK,
+    Cyclic,
+    CyclicK,
+    Distribution,
+    IrregularBlock,
+    Replicated,
+    block_boundaries,
+)
+from .errors import (
+    AlignmentError,
+    BernsteinViolationError,
+    DirectiveSemanticError,
+    DirectiveSyntaxError,
+    DistributionError,
+    HpfError,
+    ManyToOneAssignmentError,
+    MappingError,
+)
+from .forall import forall, forall_indexed
+from .independent import AccessLog, RecordingArray, check_independent, independent_do
+from .intrinsics import dot_product, maxval, minval, sum_, sum_private_copies
+from .processors import ProcessorArrangement
+from .program import HpfNamespace
+
+__all__ = [
+    "DistributedArray",
+    "DistributedDenseMatrix",
+    "DistributedArrayDescriptor",
+    "AlignmentGroup",
+    "aligned",
+    "Distribution",
+    "Block",
+    "BlockK",
+    "Cyclic",
+    "CyclicK",
+    "Replicated",
+    "IrregularBlock",
+    "block_boundaries",
+    "ProcessorArrangement",
+    "HpfNamespace",
+    "parse_directive",
+    "parse_directives",
+    "forall",
+    "forall_indexed",
+    "independent_do",
+    "check_independent",
+    "RecordingArray",
+    "AccessLog",
+    "dot_product",
+    "sum_",
+    "maxval",
+    "minval",
+    "sum_private_copies",
+    "HpfError",
+    "DistributionError",
+    "AlignmentError",
+    "MappingError",
+    "ManyToOneAssignmentError",
+    "BernsteinViolationError",
+    "DirectiveSyntaxError",
+    "DirectiveSemanticError",
+]

@@ -1,0 +1,102 @@
+"""ALIGN semantics: alignment groups with cascading redistribution.
+
+The paper aligns all CG vectors with ``p``::
+
+    !HPF$ ALIGN (:) WITH p(:) :: q, r, x
+    !HPF$ DISTRIBUTE p(BLOCK)
+
+"Vector p is chosen as the target of the ultimate alignment thus the
+distribution of p determines the distribution of all other vectors aligned
+with it.  Whenever its distribution is changed, the others are also
+automatically redistributed."  :class:`AlignmentGroup` implements exactly
+that: one *target* array, any number of identity-aligned members, and a
+:meth:`redistribute` that moves every member at once (charging the machine
+for the data motion).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from .distribution import Distribution
+from .errors import AlignmentError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .array import DistributedArray
+
+__all__ = ["AlignmentGroup", "aligned"]
+
+
+class AlignmentGroup:
+    """A set of equal-extent arrays sharing one distribution.
+
+    The first array is the alignment target; members follow its
+    distribution forever after.
+    """
+
+    def __init__(self, target: "DistributedArray"):
+        self.target = target
+        self.members: List["DistributedArray"] = [target]
+
+    def add(self, array: "DistributedArray") -> None:
+        """Identity-align ``array`` with the group's target.
+
+        The array is redistributed to the target's current distribution if
+        necessary (this is creation-time layout, not runtime traffic, so it
+        is not charged to the machine).
+        """
+        if array in self.members:
+            return
+        if array.n != self.target.n:
+            raise AlignmentError(
+                f"cannot align extent {array.n} with target extent "
+                f"{self.target.n} (only identity alignment is supported)"
+            )
+        if array.group is not None and array.group is not self:
+            raise AlignmentError(
+                f"array {array.name!r} already belongs to another alignment group"
+            )
+        if not array.distribution.same_mapping(self.target.distribution):
+            array._relayout(self.target.distribution)
+        array.group = self
+        self.members.append(array)
+
+    def redistribute(
+        self, new_distribution: Distribution, charge: bool = True
+    ) -> None:
+        """Move every member to ``new_distribution`` (cascade semantics)."""
+        for member in self.members:
+            member._redistribute_single(new_distribution, charge=charge)
+
+    def names(self) -> List[Optional[str]]:
+        return [m.name for m in self.members]
+
+    def __contains__(self, array: "DistributedArray") -> bool:
+        return array in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AlignmentGroup(target={self.target.name!r}, size={len(self.members)})"
+
+
+def aligned(*arrays: "DistributedArray") -> bool:
+    """True when all arrays place every element on the same rank.
+
+    This is the owner-computes precondition for element-wise operations:
+    HPF performs "parallel array assignments" without communication only on
+    co-located operands.
+    """
+    if len(arrays) < 2:
+        return True
+    first = arrays[0]
+    return all(
+        a.n == first.n
+        and (
+            a.distribution.same_mapping(first.distribution)
+            or a.distribution.is_replicated
+            or first.distribution.is_replicated
+        )
+        for a in arrays[1:]
+    )

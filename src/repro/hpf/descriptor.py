@@ -1,0 +1,76 @@
+"""Distributed Array Descriptors (DADs).
+
+"Distributed array descriptors (DAD) for the dynamically distributed arrays
+are generated at runtime.  DADs contain information about the portions of
+the arrays residing on each processor.  The compiler uses this hint to
+generate communication calls and to distribute corresponding loop
+iterations." (Section 5.2.1.)
+
+:class:`DistributedArrayDescriptor` is that runtime record: a frozen
+snapshot of an array's layout that redistribution, the inspector--executor
+and the atom machinery consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .distribution import Distribution
+
+__all__ = ["DistributedArrayDescriptor"]
+
+
+@dataclass(frozen=True)
+class DistributedArrayDescriptor:
+    """Immutable snapshot of one distributed array's layout."""
+
+    name: Optional[str]
+    extent: int
+    dtype: str
+    nprocs: int
+    distribution: Distribution
+    counts: Tuple[int, ...]
+    dynamic: bool = False
+    align_target: Optional[str] = None
+
+    @classmethod
+    def of(cls, array, dynamic: bool = False) -> "DistributedArrayDescriptor":
+        """Build the descriptor of a :class:`~repro.hpf.array.DistributedArray`."""
+        target = None
+        if array.group is not None and array.group.target is not array:
+            target = array.group.target.name
+        return cls(
+            name=array.name,
+            extent=array.n,
+            dtype=str(array.dtype),
+            nprocs=array.machine.nprocs,
+            distribution=array.distribution,
+            counts=tuple(int(c) for c in array.distribution.counts()),
+            dynamic=dynamic,
+            align_target=target,
+        )
+
+    def local_extent(self, rank: int) -> int:
+        """Portion of the array residing on ``rank``."""
+        return self.counts[rank]
+
+    @property
+    def max_local_extent(self) -> int:
+        return max(self.counts) if self.counts else 0
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when rank loads differ by at most one element."""
+        if not self.counts:
+            return True
+        return max(self.counts) - min(self.counts) <= 1
+
+    def imbalance(self) -> float:
+        """Max/mean element count across ranks (1.0 = perfect)."""
+        mean = float(np.mean(self.counts)) if self.counts else 0.0
+        if mean == 0:
+            return 1.0
+        return max(self.counts) / mean

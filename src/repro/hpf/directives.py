@@ -1,0 +1,623 @@
+"""Parser for ``!HPF$`` and ``!EXT$`` directive lines.
+
+This front-end accepts the directive text of the paper's figures *verbatim*
+(including ``$HPF$`` spellings, Fortran ``&`` continuations and arithmetic
+block sizes like ``BLOCK((n+NP-1)/NP)``) and produces small AST records the
+:mod:`~repro.hpf.program` layer applies to named arrays.
+
+Supported directives
+--------------------
+HPF-1 (Section 4):
+  ``PROCESSORS``, ``TEMPLATE``, ``ALIGN``, ``DISTRIBUTE`` (with optional
+  ``DYNAMIC,`` prefix), ``REDISTRIBUTE``, ``INDEPENDENT``.
+Proposed extensions (Section 5):
+  ``INDIVISABLE a(ATOM:i) :: ptr(i:i+1)``,
+  ``REDISTRIBUTE a(ATOM: BLOCK)``,
+  ``REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1``,
+  ``SPARSE_MATRIX (CSR) :: smA(row, col, a)``,
+  ``ITERATION j ON PROCESSOR(j/np), PRIVATE(q(n)) WITH MERGE(+), NEW(pj, k)``.
+
+Arithmetic in block sizes is evaluated with Fortran integer-division
+semantics against a caller-supplied environment (``n``, ``NP``, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .errors import DirectiveSyntaxError
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Var",
+    "BinOp",
+    "DimSpec",
+    "DistSpec",
+    "Directive",
+    "ProcessorsDirective",
+    "TemplateDirective",
+    "AlignDirective",
+    "DistributeDirective",
+    "RedistributeDirective",
+    "SparseMatrixDirective",
+    "IndivisableDirective",
+    "IterationDirective",
+    "IndependentDirective",
+    "tokenize",
+    "parse_directive",
+    "parse_directives",
+]
+
+
+# ---------------------------------------------------------------------- #
+# expression AST (block sizes, iteration mappings)
+# ---------------------------------------------------------------------- #
+class Expr:
+    """Arithmetic expression over integers and named parameters."""
+
+    def eval(self, env: Dict[str, int]) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+    def eval(self, env: Dict[str, int]) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def eval(self, env: Dict[str, int]) -> int:
+        for key, val in env.items():
+            if key.lower() == self.name.lower():
+                return int(val)
+        raise DirectiveSyntaxError(
+            f"unknown parameter {self.name!r} in directive expression "
+            f"(environment has {sorted(env)})"
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, env: Dict[str, int]) -> int:
+        a, b = self.left.eval(env), self.right.eval(env)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        if self.op == "/":
+            if b == 0:
+                raise DirectiveSyntaxError("division by zero in directive")
+            return int(a / b) if (a < 0) != (b < 0) else a // b  # Fortran truncation
+        raise DirectiveSyntaxError(f"unknown operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left}{self.op}{self.right})"
+
+
+# ---------------------------------------------------------------------- #
+# directive AST
+# ---------------------------------------------------------------------- #
+#: one dimension of an ALIGN source spec: ":" (aligned), "*" (collapsed /
+#: replicated), ("ATOM", var) for atom alignment, or a dummy variable name.
+DimSpec = Union[str, Tuple[str, str]]
+
+
+@dataclass(frozen=True)
+class DistSpec:
+    """``BLOCK`` / ``CYCLIC`` with optional block-size expression and ATOM flag."""
+
+    kind: str  # "BLOCK" or "CYCLIC"
+    block_size: Optional[Expr] = None
+    atom: bool = False
+
+    def __str__(self) -> str:
+        inner = f"({self.block_size})" if self.block_size is not None else ""
+        prefix = "ATOM: " if self.atom else ""
+        return f"{prefix}{self.kind}{inner}"
+
+
+class Directive:
+    """Base class of all parsed directives."""
+
+    #: the raw source line (set by the parser)
+    source: str = ""
+
+
+@dataclass
+class ProcessorsDirective(Directive):
+    name: str
+    shape: List[Expr]
+    source: str = ""
+
+
+@dataclass
+class TemplateDirective(Directive):
+    name: str
+    extent: Expr
+    source: str = ""
+
+
+@dataclass
+class AlignDirective(Directive):
+    """``ALIGN <source>(dims) WITH <target>(dims) [:: alignees]``.
+
+    ``alignees`` lists the arrays being aligned; for the inline form
+    (``ALIGN a(:) WITH col(:)``) it is the single source array.
+    """
+
+    alignees: List[str]
+    source_dims: List[DimSpec]
+    target: str
+    target_dims: List[DimSpec]
+    dynamic: bool = False
+    source: str = ""
+
+
+@dataclass
+class DistributeDirective(Directive):
+    array: str
+    dist: DistSpec
+    dynamic: bool = False
+    source: str = ""
+
+
+@dataclass
+class RedistributeDirective(Directive):
+    array: str
+    dist: Optional[DistSpec] = None
+    partitioner: Optional[str] = None
+    source: str = ""
+
+
+@dataclass
+class SparseMatrixDirective(Directive):
+    fmt: str  # "CSR" or "CSC"
+    name: str
+    arrays: List[str]  # the (ptr, idx, val) trio in declaration order
+    source: str = ""
+
+
+@dataclass
+class IndivisableDirective(Directive):
+    """``INDIVISABLE data(ATOM:i) :: ptr(i:i+1)``."""
+
+    array: str
+    atom_var: str
+    indirection: str
+    lo: Expr
+    hi: Expr
+    source: str = ""
+
+
+@dataclass
+class IterationDirective(Directive):
+    """``ITERATION j ON PROCESSOR(expr), PRIVATE(a(n)) WITH MERGE(+), NEW(...)``."""
+
+    var: str
+    on_processor: Optional[Expr] = None
+    privates: List[Tuple[str, Expr]] = field(default_factory=list)
+    merge_op: Optional[str] = None
+    discard: bool = False
+    news: List[str] = field(default_factory=list)
+    source: str = ""
+
+
+@dataclass
+class IndependentDirective(Directive):
+    source: str = ""
+
+
+# ---------------------------------------------------------------------- #
+# tokenizer
+# ---------------------------------------------------------------------- #
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<dcolon>::)|(?P<num>\d+)|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<sym>[(),:*+\-/=]))"
+)
+
+_PREFIX_RE = re.compile(r"^\s*[!$](HPF|EXT)\$\s*", re.IGNORECASE)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split a directive body into tokens (``::`` is one token)."""
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            rest = text[pos:].strip()
+            if not rest:
+                break
+            raise DirectiveSyntaxError(f"cannot tokenize {rest!r}")
+        tokens.append(m.group(m.lastgroup))
+        pos = m.end()
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[str], source: str):
+        self.tokens = list(tokens)
+        self.pos = 0
+        self.source = source
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise DirectiveSyntaxError(f"unexpected end of directive: {self.source!r}")
+        self.pos += 1
+        return tok
+
+    def expect(self, token: str) -> str:
+        tok = self.next()
+        if tok.lower() != token.lower():
+            raise DirectiveSyntaxError(
+                f"expected {token!r}, got {tok!r} in {self.source!r}"
+            )
+        return tok
+
+    def accept(self, token: str) -> bool:
+        if self.peek() is not None and self.peek().lower() == token.lower():
+            self.pos += 1
+            return True
+        return False
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+            raise DirectiveSyntaxError(
+                f"expected identifier, got {tok!r} in {self.source!r}"
+            )
+        return tok
+
+
+# ---------------------------------------------------------------------- #
+# expression parser (precedence climbing)
+# ---------------------------------------------------------------------- #
+def _parse_expr(ts: _TokenStream) -> Expr:
+    return _parse_additive(ts)
+
+
+def _parse_additive(ts: _TokenStream) -> Expr:
+    left = _parse_multiplicative(ts)
+    while ts.peek() in ("+", "-"):
+        op = ts.next()
+        left = BinOp(op, left, _parse_multiplicative(ts))
+    return left
+
+
+def _parse_multiplicative(ts: _TokenStream) -> Expr:
+    left = _parse_primary(ts)
+    while ts.peek() in ("*", "/"):
+        op = ts.next()
+        left = BinOp(op, left, _parse_primary(ts))
+    return left
+
+
+def _parse_primary(ts: _TokenStream) -> Expr:
+    tok = ts.next()
+    if tok == "(":
+        inner = _parse_expr(ts)
+        ts.expect(")")
+        return inner
+    if tok == "-":
+        return BinOp("-", Num(0), _parse_primary(ts))
+    if tok.isdigit():
+        return Num(int(tok))
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", tok):
+        return Var(tok)
+    raise DirectiveSyntaxError(f"unexpected token {tok!r} in expression")
+
+
+# ---------------------------------------------------------------------- #
+# directive parsers
+# ---------------------------------------------------------------------- #
+def _parse_dims(ts: _TokenStream) -> List[DimSpec]:
+    """Parse an ALIGN dim list: ``(:)``, ``(:, *)``, ``(ATOM:i)``, ``(i)``."""
+    ts.expect("(")
+    dims: List[DimSpec] = []
+    while True:
+        tok = ts.peek()
+        if tok == ":":
+            ts.next()
+            dims.append(":")
+        elif tok == "*":
+            ts.next()
+            dims.append("*")
+        elif tok is not None and tok.lower() == "atom":
+            ts.next()
+            ts.expect(":")
+            dims.append(("ATOM", ts.expect_ident()))
+        else:
+            dims.append(ts.expect_ident())
+        if ts.accept(","):
+            continue
+        ts.expect(")")
+        return dims
+
+
+def _parse_dist_spec(ts: _TokenStream) -> DistSpec:
+    """Parse ``BLOCK``, ``BLOCK(expr)``, ``CYCLIC``, ``CYCLIC(expr)``,
+    optionally preceded by ``ATOM:``."""
+    atom = False
+    tok = ts.expect_ident()
+    if tok.lower() == "atom":
+        ts.expect(":")
+        atom = True
+        tok = ts.expect_ident()
+    kind = tok.upper()
+    if kind not in ("BLOCK", "CYCLIC"):
+        raise DirectiveSyntaxError(
+            f"unknown distribution kind {tok!r} (expected BLOCK or CYCLIC)"
+        )
+    block_size = None
+    if ts.accept("("):
+        block_size = _parse_expr(ts)
+        ts.expect(")")
+    return DistSpec(kind, block_size, atom)
+
+
+def _parse_processors(ts: _TokenStream, source: str) -> ProcessorsDirective:
+    ts.accept("::")
+    name = ts.expect_ident()
+    ts.expect("(")
+    shape = [_parse_expr(ts)]
+    while ts.accept(","):
+        shape.append(_parse_expr(ts))
+    ts.expect(")")
+    return ProcessorsDirective(name, shape, source=source)
+
+
+def _parse_template(ts: _TokenStream, source: str) -> TemplateDirective:
+    ts.accept("::")
+    name = ts.expect_ident()
+    ts.expect("(")
+    extent = _parse_expr(ts)
+    ts.expect(")")
+    return TemplateDirective(name, extent, source=source)
+
+
+def _parse_align(ts: _TokenStream, source: str, dynamic: bool) -> AlignDirective:
+    # two forms:
+    #   ALIGN (:) WITH p(:) :: q, r, x, b
+    #   ALIGN a(:) WITH col(:)
+    #   ALIGN A(:, *) WITH p(:)
+    #   ALIGN row(ATOM:i) WITH col(i)
+    inline_name: Optional[str] = None
+    if ts.peek() == "(":
+        source_dims = _parse_dims(ts)
+    else:
+        inline_name = ts.expect_ident()
+        source_dims = _parse_dims(ts)
+    ts.expect("WITH")
+    target = ts.expect_ident()
+    target_dims = _parse_dims(ts)
+    alignees: List[str] = []
+    if ts.accept("::"):
+        alignees.append(ts.expect_ident())
+        while ts.accept(","):
+            alignees.append(ts.expect_ident())
+        if inline_name is not None:
+            raise DirectiveSyntaxError(
+                f"ALIGN cannot name both an inline array and an alignee list: "
+                f"{source!r}"
+            )
+    elif inline_name is not None:
+        alignees.append(inline_name)
+    else:
+        raise DirectiveSyntaxError(f"ALIGN names no arrays: {source!r}")
+    if not ts.at_end():
+        raise DirectiveSyntaxError(f"trailing tokens in {source!r}")
+    return AlignDirective(
+        alignees, source_dims, target, target_dims, dynamic=dynamic, source=source
+    )
+
+
+def _parse_distribute(
+    ts: _TokenStream, source: str, dynamic: bool
+) -> DistributeDirective:
+    array = ts.expect_ident()
+    ts.expect("(")
+    dist = _parse_dist_spec(ts)
+    ts.expect(")")
+    return DistributeDirective(array, dist, dynamic=dynamic, source=source)
+
+
+def _parse_redistribute(ts: _TokenStream, source: str) -> RedistributeDirective:
+    array = ts.expect_ident()
+    if ts.accept("USING"):
+        partitioner = ts.expect_ident()
+        return RedistributeDirective(array, partitioner=partitioner, source=source)
+    ts.expect("(")
+    dist = _parse_dist_spec(ts)
+    ts.expect(")")
+    return RedistributeDirective(array, dist=dist, source=source)
+
+
+def _parse_sparse_matrix(ts: _TokenStream, source: str) -> SparseMatrixDirective:
+    ts.expect("(")
+    fmt = ts.expect_ident().upper()
+    if fmt not in ("CSR", "CSC"):
+        raise DirectiveSyntaxError(f"unknown sparse format {fmt!r}")
+    ts.expect(")")
+    ts.expect("::")
+    name = ts.expect_ident()
+    ts.expect("(")
+    arrays = [ts.expect_ident()]
+    while ts.accept(","):
+        arrays.append(ts.expect_ident())
+    ts.expect(")")
+    if len(arrays) != 3:
+        raise DirectiveSyntaxError(
+            f"SPARSE_MATRIX needs exactly three arrays, got {arrays}"
+        )
+    return SparseMatrixDirective(fmt, name, arrays, source=source)
+
+
+def _parse_indivisable(ts: _TokenStream, source: str) -> IndivisableDirective:
+    array = ts.expect_ident()
+    ts.expect("(")
+    ts.expect("ATOM")
+    ts.expect(":")
+    atom_var = ts.expect_ident()
+    ts.expect(")")
+    ts.expect("::")
+    indirection = ts.expect_ident()
+    ts.expect("(")
+    lo = _parse_expr(ts)
+    ts.expect(":")
+    hi = _parse_expr(ts)
+    ts.expect(")")
+    return IndivisableDirective(array, atom_var, indirection, lo, hi, source=source)
+
+
+def _parse_iteration(ts: _TokenStream, source: str) -> IterationDirective:
+    var = ts.expect_ident()
+    directive = IterationDirective(var, source=source)
+    ts.expect("ON")
+    ts.expect("PROCESSOR")
+    ts.expect("(")
+    directive.on_processor = _parse_expr(ts)
+    ts.expect(")")
+    while ts.accept(","):
+        if ts.at_end():
+            break
+        key = ts.expect_ident().upper()
+        if key == "PRIVATE":
+            ts.expect("(")
+            pname = ts.expect_ident()
+            extent: Expr = Num(0)
+            if ts.accept("("):
+                extent = _parse_expr(ts)
+                ts.expect(")")
+            ts.expect(")")
+            directive.privates.append((pname, extent))
+            if ts.accept("WITH"):
+                mode = ts.expect_ident().upper()
+                if mode == "MERGE":
+                    ts.expect("(")
+                    directive.merge_op = ts.next()
+                    ts.expect(")")
+                elif mode == "DISCARD":
+                    directive.discard = True
+                else:
+                    raise DirectiveSyntaxError(
+                        f"unknown PRIVATE mode {mode!r} (MERGE or DISCARD)"
+                    )
+        elif key == "NEW":
+            ts.expect("(")
+            directive.news.append(ts.expect_ident())
+            while ts.accept(","):
+                directive.news.append(ts.expect_ident())
+            ts.expect(")")
+        else:
+            raise DirectiveSyntaxError(f"unknown ITERATION clause {key!r}")
+    return directive
+
+
+_DISPATCH = {
+    "PROCESSORS": lambda ts, src: _parse_processors(ts, src),
+    "TEMPLATE": lambda ts, src: _parse_template(ts, src),
+    "ALIGN": lambda ts, src: _parse_align(ts, src, dynamic=False),
+    "DISTRIBUTE": lambda ts, src: _parse_distribute(ts, src, dynamic=False),
+    "REDISTRIBUTE": lambda ts, src: _parse_redistribute(ts, src),
+    "SPARSE_MATRIX": lambda ts, src: _parse_sparse_matrix(ts, src),
+    "INDIVISABLE": lambda ts, src: _parse_indivisable(ts, src),
+    "ITERATION": lambda ts, src: _parse_iteration(ts, src),
+    "INDEPENDENT": lambda ts, src: IndependentDirective(source=src),
+}
+
+
+def parse_directive(line: str) -> Directive:
+    """Parse one (already continuation-joined) directive line."""
+    m = _PREFIX_RE.match(line)
+    if not m:
+        raise DirectiveSyntaxError(
+            f"not a directive line (missing !HPF$ / !EXT$ prefix): {line!r}"
+        )
+    body = line[m.end():].strip()
+    ts = _TokenStream(tokenize(body), line.strip())
+    keyword = ts.expect_ident().upper()
+    dynamic = False
+    if keyword == "DYNAMIC":
+        dynamic = True
+        ts.accept(",")
+        keyword = ts.expect_ident().upper()
+        if keyword not in ("DISTRIBUTE", "ALIGN"):
+            raise DirectiveSyntaxError(
+                f"DYNAMIC must prefix DISTRIBUTE or ALIGN, got {keyword}"
+            )
+    if keyword == "DISTRIBUTE":
+        out: Directive = _parse_distribute(ts, line.strip(), dynamic)
+    elif keyword == "ALIGN":
+        out = _parse_align(ts, line.strip(), dynamic)
+    elif keyword in _DISPATCH:
+        out = _DISPATCH[keyword](ts, line.strip())
+    else:
+        raise DirectiveSyntaxError(f"unknown directive keyword {keyword!r}")
+    if not ts.at_end() and not isinstance(out, IterationDirective):
+        raise DirectiveSyntaxError(
+            f"trailing tokens {ts.tokens[ts.pos:]} in {line.strip()!r}"
+        )
+    return out
+
+
+def parse_directives(text: str) -> List[Directive]:
+    """Parse a block of directive lines (handles ``&`` continuations).
+
+    Non-directive lines (Fortran statements, blanks, plain comments) are
+    skipped, so the paper's figures can be fed in whole.
+    """
+    # join continuations: a directive line ending in '&' absorbs the next
+    # directive line's body
+    logical_lines: List[str] = []
+    pending: Optional[str] = None
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if pending is not None:
+            m = _PREFIX_RE.match(stripped)
+            if not m:
+                raise DirectiveSyntaxError(
+                    f"continuation line is not a directive: {stripped!r}"
+                )
+            fragment = stripped[m.end():].strip()
+            if fragment.endswith("&"):
+                pending += " " + fragment[:-1].strip()
+            else:
+                logical_lines.append(pending + " " + fragment)
+                pending = None
+            continue
+        if not _PREFIX_RE.match(stripped):
+            continue  # not a directive
+        if stripped.endswith("&"):
+            pending = stripped[:-1].strip()
+        else:
+            logical_lines.append(stripped)
+    if pending is not None:
+        raise DirectiveSyntaxError(f"unterminated continuation: {pending!r}")
+    return [parse_directive(line) for line in logical_lines]

@@ -1,0 +1,333 @@
+"""HPF data distributions: BLOCK, BLOCK(k), CYCLIC, CYCLIC(k), replicated.
+
+A distribution maps the index space ``0..n-1`` of a one-dimensional array
+(or of one dimension of a template) onto ``P`` abstract processors.  The
+paper's directives use:
+
+* ``DISTRIBUTE p(BLOCK)`` -- even contiguous blocks;
+* ``DISTRIBUTE row(BLOCK((n+NP-1)/NP))`` -- explicit block size "to ensure
+  that the (n+1)'th element of row is placed in the last processor";
+* ``DISTRIBUTE row(CYCLIC((n+NP-1)/np))`` -- block-cyclic;
+* alignment with ``*`` (replication).
+
+:class:`IrregularBlock` is the *extension* layout produced by the paper's
+``ATOM: BLOCK`` redistribution and the load-balancing partitioners: still
+contiguous per rank, but with data-dependent cut points ("a small array in
+the size of the number of processors keeps the cut-off points").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple, Union
+
+import numpy as np
+
+from .errors import DistributionError
+
+__all__ = [
+    "Distribution",
+    "Block",
+    "BlockK",
+    "Cyclic",
+    "CyclicK",
+    "Replicated",
+    "IrregularBlock",
+    "block_boundaries",
+]
+
+IndexLike = Union[int, np.ndarray]
+
+
+def block_boundaries(n: int, nprocs: int) -> np.ndarray:
+    """Cut points of the default HPF BLOCK distribution.
+
+    HPF BLOCK is BLOCK(ceil(n/P)): the first ranks get full blocks of
+    ``ceil(n/P)`` and trailing ranks may be empty.
+    """
+    k = -(-n // nprocs) if n else 0
+    return np.minimum(np.arange(nprocs + 1, dtype=np.int64) * k, n)
+
+
+class Distribution(ABC):
+    """Mapping of a 1-D global index space onto processors."""
+
+    #: replicated distributions own every element on every rank
+    is_replicated: bool = False
+    #: contiguous distributions expose :meth:`local_range`
+    is_contiguous: bool = False
+
+    def __init__(self, n: int, nprocs: int):
+        if n < 0:
+            raise DistributionError(f"extent must be non-negative, got {n}")
+        if nprocs < 1:
+            raise DistributionError(f"nprocs must be >= 1, got {nprocs}")
+        self.n = int(n)
+        self.nprocs = int(nprocs)
+
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        """Owning rank of each global index (vectorised)."""
+
+    @abstractmethod
+    def local_indices(self, rank: int) -> np.ndarray:
+        """Sorted global indices owned by ``rank``."""
+
+    @abstractmethod
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        """Position of each global index within its owner's local array."""
+
+    def owner(self, i: int) -> int:
+        """Owning rank of global index ``i``."""
+        self._check_index(i)
+        return int(self.owners(np.asarray([i]))[0])
+
+    def local_count(self, rank: int) -> int:
+        """Number of elements ``rank`` owns."""
+        return int(self.local_indices(rank).size)
+
+    def counts(self) -> np.ndarray:
+        """Per-rank element counts."""
+        return np.array(
+            [self.local_count(r) for r in range(self.nprocs)], dtype=np.int64
+        )
+
+    def max_local_count(self) -> int:
+        return int(self.counts().max()) if self.nprocs else 0
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(f"global index {i} out of range [0, {self.n})")
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise DistributionError(f"rank {rank} out of range")
+
+    # ------------------------------------------------------------------ #
+    def same_mapping(self, other: "Distribution") -> bool:
+        """True when both distributions place every index identically."""
+        if self.n != other.n or self.nprocs != other.nprocs:
+            return False
+        if self == other:
+            return True
+        if self.is_replicated or other.is_replicated:
+            return self.is_replicated and other.is_replicated
+        idx = np.arange(self.n, dtype=np.int64)
+        return bool(
+            np.array_equal(self.owners(idx), other.owners(idx))
+            and np.array_equal(self.global_to_local(idx), other.global_to_local(idx))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.__dict__ == other.__dict__  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.n, self.nprocs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, nprocs={self.nprocs})"
+
+
+class BlockK(Distribution):
+    """``BLOCK(k)``: contiguous blocks of exactly ``k`` elements per rank.
+
+    HPF requires ``k * nprocs >= n``; the paper uses
+    ``BLOCK((n+NP-1)/NP)`` to force the ``n+1``-th element of ``row`` onto
+    the last processor.
+    """
+
+    is_contiguous = True
+
+    def __init__(self, n: int, nprocs: int, k: int, clamp: bool = False):
+        """``clamp=True`` sends overflow elements to the last processor.
+
+        Strict HPF requires ``k * nprocs >= n``; the paper's
+        ``DISTRIBUTE row(BLOCK((n+NP-1)/NP))`` on the ``n+1``-element
+        pointer array relies on the trailing element being "placed in the
+        last processor", which the clamped variant provides.
+        """
+        super().__init__(n, nprocs)
+        if k < 1:
+            raise DistributionError(f"block size must be >= 1, got {k}")
+        if not clamp and k * nprocs < n:
+            raise DistributionError(
+                f"BLOCK({k}) on {nprocs} processors covers only "
+                f"{k * nprocs} < {n} elements"
+            )
+        self.k = int(k)
+        self.clamp = bool(clamp)
+
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        owners = idx // self.k
+        if self.clamp:
+            owners = np.minimum(owners, self.nprocs - 1)
+        return owners
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        lo, hi = self.local_range(rank)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def local_range(self, rank: int) -> Tuple[int, int]:
+        """Half-open global range ``[lo, hi)`` owned by ``rank``."""
+        self._check_rank(rank)
+        lo = min(rank * self.k, self.n)
+        hi = min((rank + 1) * self.k, self.n)
+        if self.clamp and rank == self.nprocs - 1:
+            hi = self.n
+        return lo, hi
+
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        if self.clamp:
+            lo = np.minimum(self.owners(idx), self.nprocs - 1) * self.k
+            return idx - lo
+        return idx % self.k
+
+    def boundaries(self) -> np.ndarray:
+        """Cut points array of length ``nprocs + 1``."""
+        return np.minimum(
+            np.arange(self.nprocs + 1, dtype=np.int64) * self.k, self.n
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlockK(n={self.n}, nprocs={self.nprocs}, k={self.k})"
+
+
+class Block(BlockK):
+    """Default HPF ``BLOCK``: block size ``ceil(n / nprocs)``."""
+
+    def __init__(self, n: int, nprocs: int):
+        k = max(1, -(-n // nprocs)) if n else 1
+        super().__init__(n, nprocs, k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Block(n={self.n}, nprocs={self.nprocs})"
+
+
+class CyclicK(Distribution):
+    """``CYCLIC(k)``: blocks of ``k`` dealt round-robin to processors."""
+
+    def __init__(self, n: int, nprocs: int, k: int):
+        super().__init__(n, nprocs)
+        if k < 1:
+            raise DistributionError(f"cyclic block size must be >= 1, got {k}")
+        self.k = int(k)
+
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        return (idx // self.k) % self.nprocs
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        self._check_rank(rank)
+        idx = np.arange(self.n, dtype=np.int64)
+        return idx[(idx // self.k) % self.nprocs == rank]
+
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        block = idx // self.k
+        return (block // self.nprocs) * self.k + idx % self.k
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CyclicK(n={self.n}, nprocs={self.nprocs}, k={self.k})"
+
+
+class Cyclic(CyclicK):
+    """``CYCLIC``: round-robin single elements (``CYCLIC(1)``)."""
+
+    def __init__(self, n: int, nprocs: int):
+        super().__init__(n, nprocs, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Cyclic(n={self.n}, nprocs={self.nprocs})"
+
+
+class Replicated(Distribution):
+    """Every rank holds the full array (HPF ``*`` / unaligned dimension)."""
+
+    is_replicated = True
+
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        raise DistributionError("replicated arrays have no unique owner")
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        self._check_rank(rank)
+        return np.arange(self.n, dtype=np.int64)
+
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        return np.asarray(idx, dtype=np.int64)
+
+    def local_count(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self.n
+
+
+class IrregularBlock(Distribution):
+    """Contiguous blocks with arbitrary cut points.
+
+    This is the layout the paper's ``ATOM: BLOCK`` redistribution and the
+    ``CG_BALANCED_PARTITIONER_1`` produce: rank ``r`` owns
+    ``boundaries[r]:boundaries[r+1]``.  Only the ``nprocs + 1`` cut points
+    are stored ("the compiler avoids generating a full distribution map of
+    the size of the target arrays").
+    """
+
+    is_contiguous = True
+
+    def __init__(self, boundaries, nprocs: int = None):
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise DistributionError("boundaries must be 1-D with >= 2 entries")
+        if nprocs is None:
+            nprocs = boundaries.size - 1
+        if boundaries.size != nprocs + 1:
+            raise DistributionError(
+                f"need {nprocs + 1} cut points for {nprocs} ranks, "
+                f"got {boundaries.size}"
+            )
+        if boundaries[0] != 0:
+            raise DistributionError("boundaries must start at 0")
+        if (np.diff(boundaries) < 0).any():
+            raise DistributionError("boundaries must be non-decreasing")
+        super().__init__(int(boundaries[-1]), nprocs)
+        self._boundaries = boundaries.copy()
+
+    def boundaries(self) -> np.ndarray:
+        return self._boundaries.copy()
+
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        return np.searchsorted(self._boundaries, idx, side="right") - 1
+
+    def local_range(self, rank: int) -> Tuple[int, int]:
+        self._check_rank(rank)
+        return int(self._boundaries[rank]), int(self._boundaries[rank + 1])
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        lo, hi = self.local_range(rank)
+        return np.arange(lo, hi, dtype=np.int64)
+
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        return idx - self._boundaries[self.owners(idx)]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.n == other.n  # type: ignore[union-attr]
+            and self.nprocs == other.nprocs  # type: ignore[union-attr]
+            and np.array_equal(self._boundaries, other._boundaries)  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash(("IrregularBlock", self.n, self.nprocs, self._boundaries.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IrregularBlock(nprocs={self.nprocs}, "
+            f"boundaries={self._boundaries.tolist()})"
+        )

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the HPF runtime.
+
+Several of these encode *language rules* the paper leans on: HPF-1 rejects
+the CSC scatter loop both as a FORALL (accumulation not allowed --
+:class:`ManyToOneAssignmentError`) and as an INDEPENDENT DO (write-after-
+write dependency violates Bernstein's conditions --
+:class:`BernsteinViolationError`).  Raising them is how this runtime
+reproduces the compiler behaviour that motivates the paper's Section-5
+extensions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HpfError",
+    "DistributionError",
+    "AlignmentError",
+    "MappingError",
+    "ManyToOneAssignmentError",
+    "BernsteinViolationError",
+    "DirectiveSyntaxError",
+    "DirectiveSemanticError",
+]
+
+
+class HpfError(Exception):
+    """Base class of every HPF-runtime error."""
+
+
+class DistributionError(HpfError):
+    """Invalid distribution specification (bad block size, extent, ...)."""
+
+
+class AlignmentError(HpfError):
+    """Operands are not aligned / array cannot join an alignment group."""
+
+
+class MappingError(HpfError):
+    """Iteration or data mapping is inconsistent (e.g. ON PROCESSOR out of range)."""
+
+
+class ManyToOneAssignmentError(HpfError):
+    """A FORALL attempted to assign one element from several iterations.
+
+    "The option of using a FORALL is eliminated because its semantics
+    require that all the right-hand sides should be computed before an
+    assignment to the left-hand sides be done.  An accumulation operation
+    like we would like to express is not allowed within the FORALL body."
+    (Section 5.1.)
+    """
+
+
+class BernsteinViolationError(HpfError):
+    """An INDEPENDENT loop's iterations violate Bernstein's conditions.
+
+    "The write-after-write dependency violates Bernstein's conditions [3],
+    and eliminates the possibility of using an INDEPENDENT DO."
+    (Section 5.1.)
+    """
+
+
+class DirectiveSyntaxError(HpfError):
+    """A ``!HPF$`` / ``!EXT$`` directive failed to parse."""
+
+
+class DirectiveSemanticError(HpfError):
+    """A directive parsed but refers to unknown arrays / invalid mappings."""

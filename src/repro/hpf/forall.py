@@ -1,0 +1,125 @@
+"""FORALL semantics: full-RHS-before-LHS evaluation and many-to-one checks.
+
+HPF's FORALL "semantics require that all the right-hand sides should be
+computed before an assignment to the left-hand sides be done.  An
+accumulation operation ... is not allowed within the FORALL body."
+(Section 5.1.)
+
+:func:`forall` implements the legal CG use (Figure 2): one value computed
+per index ``j``, assigned to ``q(j)``, with a sequential inner DO allowed
+inside the body.  :func:`forall_indexed` implements the general indexed
+form ``FORALL(k) out(target(k)) = value(k)`` and raises
+:class:`~repro.hpf.errors.ManyToOneAssignmentError` when two iterations hit
+one element -- exactly why the CSC scatter loop cannot be written as a
+FORALL, which motivates the PRIVATE/MERGE extension.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from .array import DistributedArray
+from .errors import ManyToOneAssignmentError
+
+__all__ = ["forall", "forall_indexed"]
+
+Body = Callable[[int], float]
+
+
+def forall(
+    out: DistributedArray,
+    body: Body,
+    flops_per_iteration: Union[float, Callable[[int], float]] = 0.0,
+) -> DistributedArray:
+    """``FORALL (j = 1:n) out(j) = body(j)`` under owner-computes.
+
+    Each iteration ``j`` executes on the owner of ``out(j)``; all values
+    are materialised before any assignment (temporaries first), preserving
+    FORALL's RHS-before-LHS semantics even if ``body`` reads ``out``.
+
+    Parameters
+    ----------
+    out:
+        Target distributed array; its distribution partitions the index set
+        ("the index set of the FORALL in the outer loop is partitioned
+        among the processors").
+    body:
+        Callable computing the scalar value of iteration ``j``.  May contain
+        an arbitrary sequential inner loop, as in Figure 2's sparse mat-vec.
+    flops_per_iteration:
+        Work charged to the executing rank per iteration (constant or
+        callable of ``j``).
+    """
+    machine = out.machine
+    flops_fn = (
+        flops_per_iteration
+        if callable(flops_per_iteration)
+        else (lambda j, c=float(flops_per_iteration): c)
+    )
+    staged = []
+    for r in range(machine.nprocs):
+        idx = out.distribution.local_indices(r)
+        values = np.empty(idx.size, dtype=out.dtype)
+        flops = 0.0
+        for pos, j in enumerate(idx):
+            values[pos] = body(int(j))
+            flops += flops_fn(int(j))
+        staged.append(values)
+        machine.charge_compute(r, flops)
+    # assignment phase: only after every RHS is computed
+    for r in range(machine.nprocs):
+        out.local(r)[:] = staged[r]
+    return out
+
+
+def forall_indexed(
+    out: DistributedArray,
+    indices: Sequence[int],
+    target: Callable[[int], int],
+    value: Callable[[int], float],
+    flops_per_iteration: float = 0.0,
+    combine: Optional[str] = None,
+) -> DistributedArray:
+    """General indexed FORALL: ``FORALL(k in indices) out(target(k)) = value(k)``.
+
+    Enforces the language rule: if two iterations assign the same element,
+    :class:`ManyToOneAssignmentError` is raised (unless ``combine`` is
+    given, which is *not legal HPF-1* -- callers use it only to show what
+    the proposed extension would permit).
+    """
+    machine = out.machine
+    idx = np.asarray(list(indices), dtype=np.int64)
+    targets = np.fromiter((target(int(k)) for k in idx), dtype=np.int64, count=idx.size)
+    values = np.fromiter((value(int(k)) for k in idx), dtype=np.float64, count=idx.size)
+    unique_targets, counts = (
+        np.unique(targets, return_counts=True) if idx.size else (targets, targets)
+    )
+    if idx.size and (counts > 1).any():
+        if combine is None:
+            clashing = unique_targets[counts > 1][:5].tolist()
+            raise ManyToOneAssignmentError(
+                "FORALL iterations assign elements "
+                f"{clashing}{'...' if (counts > 1).sum() > 5 else ''} more than "
+                "once; accumulation is not allowed within a FORALL body "
+                "(HPF-1, Section 5.1 of the paper)"
+            )
+        if combine != "+":
+            raise ValueError(f"unsupported combine operation {combine!r}")
+    # owner-computes: charge each target's owner for its iterations
+    if idx.size:
+        owners = out.distribution.owners(targets)
+        for r in range(machine.nprocs):
+            machine.charge_compute(
+                r, flops_per_iteration * float(np.count_nonzero(owners == r))
+            )
+    # full-RHS-first staging, then assignment/accumulation
+    staged = out.to_global()
+    if combine == "+":
+        np.add.at(staged, targets, values)
+    else:
+        staged[targets] = values
+    for r in range(machine.nprocs):
+        out.local(r)[:] = staged[out.distribution.local_indices(r)]
+    return out

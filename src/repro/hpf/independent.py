@@ -1,0 +1,137 @@
+"""INDEPENDENT loops with runtime Bernstein-condition checking.
+
+HPF's ``INDEPENDENT`` asserts that loop iterations do not interfere.  The
+paper rejects it for the CSC scatter loop because "the write-after-write
+dependency violates Bernstein's conditions [3]".  This module *checks* the
+assertion: iteration bodies run against recording proxies, the read/write
+sets are intersected pairwise (Bernstein 1966: parallel composition is
+valid iff W_i∩W_j, W_i∩R_j and R_i∩W_j are all empty), and a violation
+raises :class:`~repro.hpf.errors.BernsteinViolationError` -- reproducing
+the compiler's rejection that motivates the PRIVATE extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Set, Tuple
+
+import numpy as np
+
+from .errors import BernsteinViolationError
+
+__all__ = ["RecordingArray", "AccessLog", "check_independent", "independent_do"]
+
+
+@dataclass
+class AccessLog:
+    """Read/write index sets of one loop iteration, per array name."""
+
+    reads: Dict[str, Set[int]] = field(default_factory=dict)
+    writes: Dict[str, Set[int]] = field(default_factory=dict)
+
+    def record_read(self, name: str, index: int) -> None:
+        self.reads.setdefault(name, set()).add(index)
+
+    def record_write(self, name: str, index: int) -> None:
+        self.writes.setdefault(name, set()).add(index)
+
+
+class RecordingArray:
+    """NumPy-array proxy that logs element reads and writes.
+
+    Scalar indexing only (loop bodies index element-wise, as the paper's
+    Fortran loops do).  Reading an element that is later written in the
+    same iteration is still a read -- Bernstein's conditions operate on the
+    full sets.
+    """
+
+    def __init__(self, name: str, data: np.ndarray, log: AccessLog):
+        self.name = name
+        self.data = data
+        self._log = log
+
+    def __getitem__(self, index: int) -> float:
+        index = int(index)
+        self._log.record_read(self.name, index)
+        return float(self.data[index])
+
+    def __setitem__(self, index: int, value: float) -> None:
+        index = int(index)
+        self._log.record_write(self.name, index)
+        self.data[index] = value
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+def check_independent(
+    logs: Sequence[AccessLog],
+) -> None:
+    """Verify Bernstein's conditions across iteration access logs.
+
+    Raises :class:`BernsteinViolationError` naming the array, the kind of
+    dependency (write-write or read-write) and a witness element.
+    """
+    # aggregate: element -> first iteration that wrote/read it
+    writes_seen: Dict[Tuple[str, int], int] = {}
+    reads_seen: Dict[Tuple[str, int], int] = {}
+    for it, log in enumerate(logs):
+        for name, idxs in log.writes.items():
+            for i in idxs:
+                key = (name, i)
+                prev = writes_seen.get(key)
+                if prev is not None and prev != it:
+                    raise BernsteinViolationError(
+                        f"write-after-write on {name}({i}): iterations {prev} "
+                        f"and {it} both assign it (violates Bernstein's "
+                        "conditions; loop is not INDEPENDENT)"
+                    )
+                writes_seen.setdefault(key, it)
+    for it, log in enumerate(logs):
+        for name, idxs in log.reads.items():
+            for i in idxs:
+                key = (name, i)
+                w_it = writes_seen.get(key)
+                if w_it is not None and w_it != it:
+                    raise BernsteinViolationError(
+                        f"read-write conflict on {name}({i}): iteration {it} "
+                        f"reads what iteration {w_it} writes (violates "
+                        "Bernstein's conditions; loop is not INDEPENDENT)"
+                    )
+                reads_seen.setdefault(key, it)
+
+
+def independent_do(
+    indices: Sequence[int],
+    body: Callable[..., None],
+    arrays: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """``!HPF$ INDEPENDENT`` DO loop with runtime verification.
+
+    Runs ``body(j, **proxies)`` for each ``j`` against recording proxies of
+    ``arrays`` (each iteration sees a private *trace* copy so the check is
+    order-insensitive), validates Bernstein's conditions, and only then
+    commits the effects by re-running on the real arrays.
+
+    Returns ``arrays`` (mutated in place) for convenience.
+    """
+    logs = []
+    # trace phase on scratch copies
+    scratch = {name: a.copy() for name, a in arrays.items()}
+    for j in indices:
+        log = AccessLog()
+        proxies = {
+            name: RecordingArray(name, data, log) for name, data in scratch.items()
+        }
+        body(int(j), **proxies)
+        logs.append(log)
+    check_independent(logs)
+    # commit phase on the real data
+    commit_log = AccessLog()
+    for j in indices:
+        proxies = {
+            name: RecordingArray(name, data, commit_log)
+            for name, data in arrays.items()
+        }
+        body(int(j), **proxies)
+    return arrays

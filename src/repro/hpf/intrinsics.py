@@ -1,0 +1,94 @@
+"""Fortran-90 / HPF intrinsic functions over distributed arrays.
+
+"HPF readily supports the inner product operations by an intrinsic
+function, called DOT_PRODUCT()."  These wrappers use the HPF spelling of
+each intrinsic and charge the machine for the local phase plus the merge
+phase, exactly as :class:`~repro.hpf.array.DistributedArray` does.
+``sum_private_copies`` is the runtime-library merge the paper describes for
+privatised loops ("A runtime library function similar to Fortran 90 SUM
+intrinsic reduction function can provide the necessary merging of these
+temporary values into a single vector outside the loop").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .array import DistributedArray
+
+__all__ = [
+    "dot_product",
+    "sum_",
+    "maxval",
+    "minval",
+    "sum_private_copies",
+]
+
+
+def dot_product(x: DistributedArray, y: DistributedArray, tag: str = "dot") -> float:
+    """``DOT_PRODUCT(x, y)`` -- local multiplies plus a scalar allreduce."""
+    return x.dot(y, tag=tag)
+
+
+def sum_(x: DistributedArray, tag: str = "sum") -> float:
+    """``SUM(x)`` over a distributed array."""
+    return x.sum(tag=tag)
+
+
+def _reduce_scalar(x: DistributedArray, np_op, flops_per_elem: float, tag: str) -> float:
+    vals = []
+    for r in range(x.machine.nprocs):
+        block = x.local(r)
+        if block.size:
+            vals.append(float(np_op(block)))
+        x.machine.charge_compute(r, flops_per_elem * block.size)
+    if not x.distribution.is_replicated:
+        x.machine.allreduce(1.0, tag=tag)
+    if not vals:
+        raise ValueError("reduction over an empty array")
+    return float(np_op(np.asarray(vals)))
+
+
+def maxval(x: DistributedArray, tag: str = "maxval") -> float:
+    """``MAXVAL(x)``: local maxima + one-word allreduce."""
+    return _reduce_scalar(x, np.max, 1.0, tag)
+
+
+def minval(x: DistributedArray, tag: str = "minval") -> float:
+    """``MINVAL(x)``: local minima + one-word allreduce."""
+    return _reduce_scalar(x, np.min, 1.0, tag)
+
+
+def sum_private_copies(
+    copies: List[np.ndarray], out: DistributedArray, tag: str = "merge"
+) -> DistributedArray:
+    """Merge per-processor private vectors into a distributed result.
+
+    ``out[i] = sum_r copies[r][i]`` restricted to each rank's owned block:
+    a reduce-scatter of ``n`` words plus the local additions.  This is the
+    SUM-style runtime merge of Section 5.1, also used by the Scenario-2
+    two-dimensional-temporary variant ("At the end of the outer loop we use
+    the HPF SUM intrinsic to generate the final vector").
+    """
+    machine = out.machine
+    n = out.n
+    if len(copies) != machine.nprocs:
+        raise ValueError(
+            f"need one private copy per rank ({machine.nprocs}), got {len(copies)}"
+        )
+    for r, c in enumerate(copies):
+        if c.shape != (n,):
+            raise ValueError(
+                f"private copy of rank {r} has shape {c.shape}, expected ({n},)"
+            )
+    stacked = np.sum(np.stack(copies, axis=0), axis=0)
+    for r in range(machine.nprocs):
+        out.local(r)[:] = stacked[out.distribution.local_indices(r)]
+        # each rank adds P partial blocks of its n/P elements
+        machine.charge_compute(
+            r, float((machine.nprocs - 1) * out.local(r).size)
+        )
+    machine.reduce_scatter(float(n), tag=tag)
+    return out

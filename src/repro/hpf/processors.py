@@ -1,0 +1,66 @@
+"""The ``!HPF$ PROCESSORS`` directive: named processor arrangements.
+
+The paper only uses one-dimensional arrangements (``PROCESSORS ::
+PROCS(NP)``); multi-dimensional shapes are supported for completeness since
+HPF-1 allows them.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .errors import MappingError
+
+__all__ = ["ProcessorArrangement"]
+
+
+class ProcessorArrangement:
+    """A named grid of abstract processors.
+
+    Parameters
+    ----------
+    name:
+        Arrangement name from the directive (e.g. ``"PROCS"``).
+    shape:
+        Extent per dimension; total size is the machine's ``N_P``.
+    """
+
+    def __init__(self, name: str, shape: Tuple[int, ...]):
+        if isinstance(shape, int):
+            shape = (shape,)
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s < 1 for s in shape):
+            raise MappingError(f"invalid processor shape {shape}")
+        self.name = name
+        self.shape = shape
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def rank_of(self, *coords: int) -> int:
+        """Linearise grid coordinates (row-major) to a machine rank."""
+        if len(coords) != self.ndim:
+            raise MappingError(
+                f"{self.name} has {self.ndim} dimensions, got {len(coords)} coords"
+            )
+        for c, s in zip(coords, self.shape):
+            if not 0 <= c < s:
+                raise MappingError(f"coordinate {coords} out of range for {self.shape}")
+        return int(np.ravel_multi_index(coords, self.shape))
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a machine rank."""
+        if not 0 <= rank < self.size:
+            raise MappingError(f"rank {rank} out of range for {self.shape}")
+        return tuple(int(c) for c in np.unravel_index(rank, self.shape))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(str(s) for s in self.shape)
+        return f"ProcessorArrangement({self.name}({dims}))"

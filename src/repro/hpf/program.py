@@ -1,0 +1,431 @@
+"""Applying parsed directives to named arrays: the HPF "compile" step.
+
+:class:`HpfNamespace` plays the role of the compiler's symbol table plus
+the runtime's data-mapping machinery: declare arrays (with host values),
+feed it the paper's directive text, and it creates / aligns / distributes
+the corresponding :class:`~repro.hpf.array.DistributedArray` objects,
+registers :class:`~repro.extensions.sparse_directive.SparseMatrixBinding`
+trios, atom specs, and iteration-mapping directives.
+
+Example (the paper's Figure-2 declarations)::
+
+    ns = HpfNamespace(machine, env={"n": n, "nz": nz, "NP": machine.nprocs})
+    ns.declare("p", n, values=p0)
+    ...
+    ns.apply('''
+        !HPF$ PROCESSORS :: PROCS(NP)
+        !HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+        !HPF$ DISTRIBUTE p(BLOCK)
+    ''')
+    p = ns.array("p")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..extensions.atoms import IndivisableSpec
+from ..extensions.on_processor import OnProcessor
+from ..extensions.sparse_directive import SparseMatrixBinding
+from .array import DistributedArray, DistributedDenseMatrix
+from .directives import (
+    AlignDirective,
+    Directive,
+    DistributeDirective,
+    DistSpec,
+    IndependentDirective,
+    IndivisableDirective,
+    IterationDirective,
+    ProcessorsDirective,
+    RedistributeDirective,
+    SparseMatrixDirective,
+    TemplateDirective,
+    parse_directives,
+)
+from .distribution import Block, BlockK, Cyclic, CyclicK, Distribution
+from .errors import DirectiveSemanticError
+from .processors import ProcessorArrangement
+
+__all__ = ["HpfNamespace"]
+
+
+class HpfNamespace:
+    """Named arrays plus the directives that map them.
+
+    Parameters
+    ----------
+    machine:
+        The simulated multicomputer.
+    env:
+        Integer parameters directive expressions may reference (``n``,
+        ``nz``, ...).  ``NP`` / ``np`` default to the machine size.
+    """
+
+    def __init__(self, machine, env: Optional[Dict[str, int]] = None):
+        self.machine = machine
+        self.env: Dict[str, int] = dict(env or {})
+        self.env.setdefault("NP", machine.nprocs)
+        self.arrays: Dict[str, DistributedArray] = {}
+        self.matrices: Dict[str, DistributedDenseMatrix] = {}
+        self._matrix_values: Dict[str, np.ndarray] = {}
+        self.processors: Dict[str, ProcessorArrangement] = {}
+        self.templates: Dict[str, int] = {}
+        self.sparse_bindings: Dict[str, SparseMatrixBinding] = {}
+        self.atom_specs: Dict[str, IndivisableSpec] = {}
+        self.iterations: Dict[str, IterationDirective] = {}
+        self.dynamic: set = set()
+
+    # ------------------------------------------------------------------ #
+    # declarations
+    # ------------------------------------------------------------------ #
+    def declare(
+        self,
+        name: str,
+        extent: int,
+        values: Optional[np.ndarray] = None,
+        dtype=np.float64,
+    ) -> DistributedArray:
+        """Declare a 1-D array (default BLOCK layout until directed)."""
+        key = name.lower()
+        if key in self.arrays:
+            raise DirectiveSemanticError(f"array {name!r} already declared")
+        if values is not None:
+            values = np.asarray(values, dtype=dtype)
+            if values.shape != (extent,):
+                raise DirectiveSemanticError(
+                    f"values shape {values.shape} != extent ({extent},)"
+                )
+            arr = DistributedArray.from_global(
+                self.machine, values, Block(extent, self.machine.nprocs), name=name
+            )
+        else:
+            arr = DistributedArray(self.machine, extent, name=name, dtype=dtype)
+        self.arrays[key] = arr
+        return arr
+
+    def declare_matrix(self, name: str, values: np.ndarray) -> None:
+        """Declare a dense 2-D array; ALIGN decides its partitioned axis."""
+        key = name.lower()
+        if key in self._matrix_values or key in self.matrices:
+            raise DirectiveSemanticError(f"matrix {name!r} already declared")
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2:
+            raise DirectiveSemanticError("declare_matrix expects a 2-D array")
+        self._matrix_values[key] = values
+
+    def declare_sparse(self, name: str, matrix) -> SparseMatrixBinding:
+        """Pre-register the matrix object a SPARSE_MATRIX directive will bind."""
+        binding = SparseMatrixBinding(self.machine, matrix, name=name)
+        self.sparse_bindings[name.lower()] = binding
+        return binding
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def array(self, name: str) -> DistributedArray:
+        try:
+            return self.arrays[name.lower()]
+        except KeyError:
+            raise DirectiveSemanticError(f"unknown array {name!r}") from None
+
+    def matrix(self, name: str) -> DistributedDenseMatrix:
+        try:
+            return self.matrices[name.lower()]
+        except KeyError:
+            raise DirectiveSemanticError(
+                f"matrix {name!r} is not distributed yet (missing ALIGN?)"
+            ) from None
+
+    def sparse(self, name: str) -> SparseMatrixBinding:
+        try:
+            return self.sparse_bindings[name.lower()]
+        except KeyError:
+            raise DirectiveSemanticError(f"unknown sparse matrix {name!r}") from None
+
+    def iteration_mapping(self, var: str, n: Optional[int] = None) -> OnProcessor:
+        """Build the :class:`OnProcessor` of an ITERATION directive."""
+        try:
+            spec = self.iterations[var.lower()]
+        except KeyError:
+            raise DirectiveSemanticError(
+                f"no ITERATION directive for variable {var!r}"
+            ) from None
+        expr = spec.on_processor
+        env = self.env
+
+        def fn(i):
+            arr = np.asarray(i, dtype=np.int64)
+            flat = np.atleast_1d(arr)
+            out = np.empty(flat.shape, dtype=np.int64)
+            for pos, val in enumerate(flat):
+                local_env = dict(env)
+                local_env[spec.var] = int(val)
+                out[pos] = expr.eval(local_env)
+            return out.reshape(arr.shape) if arr.shape else int(out[0])
+
+        return OnProcessor(fn, self.machine.nprocs)
+
+    # ------------------------------------------------------------------ #
+    # directive application
+    # ------------------------------------------------------------------ #
+    def apply(self, text: str) -> "HpfNamespace":
+        """Parse and apply a block of directive text."""
+        for directive in parse_directives(text):
+            self.apply_directive(directive)
+        return self
+
+    def apply_directive(self, d: Directive) -> None:
+        if isinstance(d, ProcessorsDirective):
+            self._apply_processors(d)
+        elif isinstance(d, TemplateDirective):
+            self.templates[d.name.lower()] = d.extent.eval(self.env)
+        elif isinstance(d, AlignDirective):
+            self._apply_align(d)
+        elif isinstance(d, DistributeDirective):
+            self._apply_distribute(d)
+        elif isinstance(d, RedistributeDirective):
+            self._apply_redistribute(d)
+        elif isinstance(d, SparseMatrixDirective):
+            self._apply_sparse_matrix(d)
+        elif isinstance(d, IndivisableDirective):
+            self._apply_indivisable(d)
+        elif isinstance(d, IterationDirective):
+            self.iterations[d.var.lower()] = d
+        elif isinstance(d, IndependentDirective):
+            pass  # an assertion on the following loop; checked at loop level
+        else:  # pragma: no cover - defensive
+            raise DirectiveSemanticError(f"unhandled directive {d!r}")
+
+    # -- individual directives ------------------------------------------ #
+    def _apply_processors(self, d: ProcessorsDirective) -> None:
+        shape = tuple(e.eval(self.env) for e in d.shape)
+        arrangement = ProcessorArrangement(d.name, shape)
+        if arrangement.size != self.machine.nprocs:
+            raise DirectiveSemanticError(
+                f"PROCESSORS {d.name}{shape} has {arrangement.size} processors "
+                f"but the machine has {self.machine.nprocs}"
+            )
+        self.processors[d.name.lower()] = arrangement
+
+    def _build_distribution(self, spec: DistSpec, extent: int) -> Distribution:
+        size = (
+            spec.block_size.eval(self.env) if spec.block_size is not None else None
+        )
+        if spec.kind == "BLOCK":
+            if size is None:
+                return Block(extent, self.machine.nprocs)
+            # the paper's pointer-array idiom needs the clamped variant
+            clamp = size * self.machine.nprocs < extent
+            return BlockK(extent, self.machine.nprocs, size, clamp=clamp)
+        if spec.kind == "CYCLIC":
+            if size is None:
+                return Cyclic(extent, self.machine.nprocs)
+            return CyclicK(extent, self.machine.nprocs, size)
+        raise DirectiveSemanticError(f"unknown distribution kind {spec.kind}")
+
+    def _apply_distribute(self, d: DistributeDirective) -> None:
+        if d.dist.atom:
+            raise DirectiveSemanticError(
+                "ATOM distributions arrive via REDISTRIBUTE (runtime data needed)"
+            )
+        arr = self.array(d.array)
+        dist = self._build_distribution(d.dist, arr.n)
+        # DISTRIBUTE is the *initial* layout: no traffic charged
+        arr.redistribute(dist, charge=False)
+        if d.dynamic:
+            self.dynamic.add(d.array.lower())
+
+    def _apply_align(self, d: AlignDirective) -> None:
+        if d.dynamic:
+            for name in d.alignees:
+                self.dynamic.add(name.lower())
+        # atom alignment (ALIGN row(ATOM:i) WITH col(i)) is a declaration of
+        # coupling; the coupling is realised by SparseMatrixBinding, so just
+        # record it
+        if any(isinstance(dim, tuple) and dim[0] == "ATOM" for dim in d.source_dims):
+            return
+        # 2-D dense alignment: A(:, *) or A(*, :) WITH p(:)
+        if len(d.source_dims) == 2:
+            if len(d.alignees) != 1:
+                raise DirectiveSemanticError(
+                    "2-D ALIGN supports a single matrix alignee"
+                )
+            name = d.alignees[0].lower()
+            if name not in self._matrix_values:
+                raise DirectiveSemanticError(
+                    f"matrix {d.alignees[0]!r} not declared (declare_matrix)"
+                )
+            target = self.array(d.target)
+            dims = d.source_dims
+            if dims == [":", "*"]:
+                axis = 0
+            elif dims == ["*", ":"]:
+                axis = 1
+            else:
+                raise DirectiveSemanticError(
+                    f"unsupported 2-D alignment dims {dims}"
+                )
+            values = self._matrix_values[name]
+            if values.shape[axis] != target.n:
+                raise DirectiveSemanticError(
+                    f"matrix axis extent {values.shape[axis]} != target extent "
+                    f"{target.n}"
+                )
+            self.matrices[name] = DistributedDenseMatrix(
+                self.machine,
+                values,
+                target.distribution,
+                axis=axis,
+                name=d.alignees[0],
+            )
+            return
+        # 1-D identity alignment
+        target = self.array(d.target)
+        for name in d.alignees:
+            self.array(name).align_with(target)
+
+    def _apply_redistribute(self, d: RedistributeDirective) -> None:
+        name = d.array.lower()
+        if d.partitioner is not None:
+            self.sparse(name).apply_partitioner(d.partitioner)
+            return
+        assert d.dist is not None
+        if d.dist.atom:
+            spec = self.atom_specs.get(name)
+            binding = self._binding_of_element_array(name)
+            if binding is not None:
+                if d.dist.kind == "BLOCK":
+                    binding.redistribute_atoms_uniform()
+                else:
+                    raise DirectiveSemanticError(
+                        "ATOM: CYCLIC on a bound trio is not supported via "
+                        "directives; use atom_cyclic() directly"
+                    )
+                return
+            if spec is None:
+                raise DirectiveSemanticError(
+                    f"REDISTRIBUTE {d.array}(ATOM: ...) needs a prior "
+                    "INDIVISABLE directive"
+                )
+            from ..extensions.atom_dist import atom_block, atom_cyclic
+
+            arr = self.array(name)
+            if d.dist.kind == "BLOCK":
+                dist, _ = atom_block(spec, self.machine.nprocs)
+            else:
+                dist = atom_cyclic(spec, self.machine.nprocs)
+            arr.redistribute(dist)
+            return
+        arr = self.array(name)
+        arr.redistribute(self._build_distribution(d.dist, arr.n))
+
+    def _binding_of_element_array(self, name: str) -> Optional[SparseMatrixBinding]:
+        for binding in self.sparse_bindings.values():
+            if name in (
+                binding.idx.name.lower() if binding.idx.name else "",
+                binding.val.name.lower() if binding.val.name else "",
+            ):
+                return binding
+        return None
+
+    def _apply_sparse_matrix(self, d: SparseMatrixDirective) -> None:
+        key = d.name.lower()
+        if key not in self.sparse_bindings:
+            raise DirectiveSemanticError(
+                f"SPARSE_MATRIX {d.name!r}: register the matrix object first "
+                "with declare_sparse()"
+            )
+        binding = self.sparse_bindings[key]
+        if binding.fmt != d.fmt:
+            raise DirectiveSemanticError(
+                f"SPARSE_MATRIX format {d.fmt} does not match the registered "
+                f"{binding.fmt} matrix"
+            )
+        # adopt the directive's array names for the trio
+        ptr_name, idx_name, val_name = d.arrays
+        binding.ptr.name = ptr_name
+        binding.idx.name = idx_name
+        binding.val.name = val_name
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def report(self) -> str:
+        """Human-readable data-mapping report (an HPF compiler's -Minfo).
+
+        Lists every declared array with its distribution, alignment target
+        and DAD balance, plus processor arrangements, sparse-matrix trio
+        bindings, atom specs and iteration directives.
+        """
+        lines = [
+            f"HPF data mapping report  (machine: {self.machine.nprocs} procs, "
+            f"{self.machine.topology.name})"
+        ]
+        if self.processors:
+            for name, arrangement in sorted(self.processors.items()):
+                lines.append(f"  PROCESSORS {arrangement!r}")
+        if self.templates:
+            for name, extent in sorted(self.templates.items()):
+                lines.append(f"  TEMPLATE {name}({extent})")
+        lines.append("  arrays:")
+        for name in sorted(self.arrays):
+            arr = self.arrays[name]
+            dad = arr.descriptor(dynamic=name in self.dynamic)
+            target = (
+                arr.group.target.name
+                if arr.group is not None and arr.group.target is not arr
+                else "-"
+            )
+            dyn = " DYNAMIC" if dad.dynamic else ""
+            lines.append(
+                f"    {name:<10} n={arr.n:<8} {arr.distribution!r:<40} "
+                f"align={target:<8} imbalance={dad.imbalance():.3f}{dyn}"
+            )
+        for name in sorted(self.matrices):
+            m = self.matrices[name]
+            kind = "(BLOCK, *)" if m.axis == 0 else "(*, BLOCK)"
+            lines.append(f"    {name:<10} {m.shape} dense {kind}")
+        if self.sparse_bindings:
+            lines.append("  sparse matrices:")
+            for name, binding in sorted(self.sparse_bindings.items()):
+                nonlocal_ = int(binding.nonlocal_elements().sum())
+                lines.append(
+                    f"    {binding.name}: {binding.fmt} n={binding.n} "
+                    f"nnz={binding.nnz} non-local elements={nonlocal_}"
+                )
+        if self.atom_specs:
+            lines.append("  indivisable entities:")
+            for name, spec in sorted(self.atom_specs.items()):
+                lines.append(
+                    f"    {name}: {spec.natoms} atoms over "
+                    f"{spec.nelements} elements"
+                )
+        if self.iterations:
+            lines.append("  iteration mappings:")
+            for var, spec in sorted(self.iterations.items()):
+                merge = f" MERGE({spec.merge_op})" if spec.merge_op else ""
+                lines.append(
+                    f"    {var}: ON PROCESSOR({spec.on_processor}) "
+                    f"privates={[p for p, _ in spec.privates]}{merge}"
+                )
+        return "\n".join(lines)
+
+    def _apply_indivisable(self, d: IndivisableDirective) -> None:
+        # the indirection array must hold integer offsets; prefer the bound
+        # sparse trio's pointer if the names match, else a declared array
+        name = d.array.lower()
+        binding = self._binding_of_element_array(name)
+        if binding is not None:
+            self.atom_specs[name] = binding.indivisable_spec()
+            return
+        indirection = self.array(d.indirection)
+        pointer = indirection.to_global().astype(np.int64)
+        # the paper writes col(i:i+1) with 1-based Fortran pointers; accept
+        # both conventions by normalising to a 0-based leading offset
+        if pointer.size and pointer[0] == 1:
+            pointer = pointer - 1
+        self.atom_specs[name] = IndivisableSpec(
+            pointer, array_name=d.array, pointer_name=d.indirection
+        )

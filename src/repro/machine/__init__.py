@@ -1,0 +1,74 @@
+"""Simulated distributed-memory multicomputer.
+
+This package stands in for the 1990s HPCC platform the paper targets: a
+collection of processors with private memories connected by a hypercube (or
+ring / mesh / complete) network, with communication priced as
+``t_startup + nwords * t_comm`` per message.
+
+Public surface:
+
+* :class:`Machine` -- per-rank clocks, flop charging and collective ops;
+* :class:`CostModel` -- the ``t_startup`` / ``t_comm`` / ``t_flop`` triple;
+* topologies (:class:`Hypercube`, :class:`Ring`, :class:`Mesh2D`,
+  :class:`Complete`);
+* the SPMD layer: :class:`Scheduler`, :func:`run_spmd` and the
+  :mod:`~repro.machine.events` operations plus :mod:`~repro.machine.spmd`
+  collectives for explicit message-passing programs.
+"""
+
+from .collectives import (
+    CollectiveCost,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    broadcast_cost,
+    gather_cost,
+    reduce_cost,
+    reduce_scatter_cost,
+    scatter_cost,
+)
+from .costmodel import CostModel
+from .events import ANY_SOURCE, Barrier, Compute, Op, Recv, Send, payload_words
+from .machine import Machine
+from .scheduler import DeadlockError, Scheduler, run_spmd
+from .stats import CommRecord, MachineStats, StatsDelta
+from .trace import TraceEvent, Tracer
+from .topology import Complete, Hypercube, Mesh2D, Ring, Topology, ceil_log2, make_topology
+
+__all__ = [
+    "Machine",
+    "CostModel",
+    "Topology",
+    "Hypercube",
+    "Ring",
+    "Mesh2D",
+    "Complete",
+    "make_topology",
+    "ceil_log2",
+    "CollectiveCost",
+    "broadcast_cost",
+    "reduce_cost",
+    "allreduce_cost",
+    "allgather_cost",
+    "reduce_scatter_cost",
+    "gather_cost",
+    "scatter_cost",
+    "alltoall_cost",
+    "barrier_cost",
+    "CommRecord",
+    "MachineStats",
+    "StatsDelta",
+    "Op",
+    "Send",
+    "Recv",
+    "Compute",
+    "Barrier",
+    "ANY_SOURCE",
+    "payload_words",
+    "Scheduler",
+    "DeadlockError",
+    "run_spmd",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,274 @@
+"""Closed-form collective-communication algorithms per topology.
+
+Each function prices one collective on a given :class:`Topology` under a
+:class:`CostModel`, returning a :class:`CollectiveCost` (elapsed time,
+message count, total words moved).  The algorithms are the standard ones
+from Kumar et al., *Introduction to Parallel Computing* (the paper's
+reference [17]):
+
+* hypercube: binomial-tree broadcast/reduce, recursive-doubling
+  allgather/allreduce, pairwise-exchange all-to-all;
+* ring: pipeline / ring algorithms;
+* 2-D mesh: row-then-column decompositions of the hypercube algorithms;
+* complete graph: log-tree latency with single-hop links.
+
+The paper's own Scenario-1 formula, ``t_startup * log N_P + t_comm * n/N_P``
+per broadcast stage, is kept separately in :mod:`repro.analysis.cost_model`;
+benchmark E4/E5 compares it with these algorithmic costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .costmodel import CostModel
+from .topology import Hypercube, Mesh2D, Ring, Topology, ceil_log2
+
+__all__ = [
+    "CollectiveCost",
+    "broadcast_cost",
+    "reduce_cost",
+    "allreduce_cost",
+    "allgather_cost",
+    "reduce_scatter_cost",
+    "gather_cost",
+    "scatter_cost",
+    "alltoall_cost",
+    "barrier_cost",
+]
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Price of one collective operation."""
+
+    time: float
+    messages: int
+    words: float
+
+    def __add__(self, other: "CollectiveCost") -> "CollectiveCost":
+        return CollectiveCost(
+            self.time + other.time,
+            self.messages + other.messages,
+            self.words + other.words,
+        )
+
+
+def _zero() -> CollectiveCost:
+    return CollectiveCost(0.0, 0, 0.0)
+
+
+def _stages(topology: Topology) -> int:
+    """Number of tree stages for latency-bound collectives."""
+    p = topology.size
+    if p == 1:
+        return 0
+    if isinstance(topology, Ring):
+        return p - 1
+    if isinstance(topology, Mesh2D):
+        return (topology.rows - 1) + (topology.cols - 1) if topology.rows > 1 or topology.cols > 1 else 0
+    # hypercube and complete use a log tree
+    return ceil_log2(p)
+
+
+def broadcast_cost(topology: Topology, cost: CostModel, nwords: float) -> CollectiveCost:
+    """One-to-all broadcast of ``nwords`` words.
+
+    Binomial tree on hypercube/complete (``log P`` stages of one message
+    each), pipeline on ring, row+column tree on mesh.
+    """
+    p = topology.size
+    if p == 1:
+        return _zero()
+    if isinstance(topology, Ring):
+        # send both ways around the ring: ceil((p-1)/2) sequential hops,
+        # p-1 messages in total.
+        stages = math.ceil((p - 1) / 2)
+        msgs = p - 1
+        return CollectiveCost(stages * cost.message_time(nwords), msgs, msgs * nwords)
+    if isinstance(topology, Mesh2D):
+        row_stages = ceil_log2(topology.cols)
+        col_stages = ceil_log2(topology.rows)
+        stages = row_stages + col_stages
+        msgs = p - 1
+        return CollectiveCost(stages * cost.message_time(nwords), msgs, msgs * nwords)
+    stages = ceil_log2(p)
+    msgs = p - 1
+    return CollectiveCost(stages * cost.message_time(nwords), msgs, msgs * nwords)
+
+
+def reduce_cost(topology: Topology, cost: CostModel, nwords: float) -> CollectiveCost:
+    """All-to-one reduction: broadcast pattern reversed plus combine flops."""
+    base = broadcast_cost(topology, cost, nwords)
+    if topology.size == 1:
+        return base
+    stages = _reduce_stages(topology)
+    return CollectiveCost(
+        base.time + stages * nwords * cost.t_flop, base.messages, base.words
+    )
+
+
+def _reduce_stages(topology: Topology) -> int:
+    p = topology.size
+    if p == 1:
+        return 0
+    if isinstance(topology, Ring):
+        return math.ceil((p - 1) / 2)
+    if isinstance(topology, Mesh2D):
+        return ceil_log2(topology.cols) + ceil_log2(topology.rows)
+    return ceil_log2(p)
+
+
+def allreduce_cost(topology: Topology, cost: CostModel, nwords: float) -> CollectiveCost:
+    """All-reduce of ``nwords`` words (every rank ends with the result).
+
+    Recursive doubling on hypercube/complete: ``log P`` exchange stages,
+    each moving ``nwords`` both ways and combining.  Ring: reduce-scatter +
+    allgather.  Mesh: row and column recursive doubling.
+    """
+    p = topology.size
+    if p == 1:
+        return _zero()
+    if isinstance(topology, Ring):
+        # reduce-scatter + allgather, each (p-1) stages of nwords/p words
+        m = nwords / p
+        stage_t = cost.message_time(m)
+        time = 2 * (p - 1) * stage_t + (p - 1) * m * cost.t_flop
+        msgs = 2 * p * (p - 1)
+        return CollectiveCost(time, msgs, msgs * m)
+    if isinstance(topology, Mesh2D):
+        stages = ceil_log2(topology.cols) + ceil_log2(topology.rows)
+    else:
+        stages = ceil_log2(p)
+    time = stages * (cost.message_time(nwords) + nwords * cost.t_flop)
+    msgs = stages * p  # every rank sends once per stage
+    return CollectiveCost(time, msgs, msgs * nwords)
+
+
+def allgather_cost(
+    topology: Topology, cost: CostModel, nwords_per_rank: float
+) -> CollectiveCost:
+    """All-to-all broadcast: every rank contributes ``nwords_per_rank`` words
+    and ends with all ``P * nwords_per_rank`` words.
+
+    Recursive doubling on hypercube: stage ``i`` exchanges ``2**i * m`` words,
+    total time ``log P * t_s + (P-1) * m * t_c``.  Ring: ``P-1`` stages of
+    ``m`` words.  This is the operation Scenario 1 (Figure 3) requires to
+    replicate the vector ``p``.
+    """
+    p = topology.size
+    m = nwords_per_rank
+    if p == 1:
+        return _zero()
+    if isinstance(topology, Ring):
+        time = (p - 1) * cost.message_time(m)
+        msgs = p * (p - 1)
+        return CollectiveCost(time, msgs, msgs * m)
+    if isinstance(topology, Mesh2D):
+        # allgather along rows then along columns
+        rc = _doubling_allgather(topology.cols, cost, m)
+        cc = _doubling_allgather(topology.rows, cost, m * topology.cols)
+        total = CollectiveCost(
+            rc.time + cc.time,
+            rc.messages * topology.rows + cc.messages * topology.cols,
+            rc.words * topology.rows + cc.words * topology.cols,
+        )
+        return total
+    return _scale_ranks(_doubling_allgather(p, cost, m), p)
+
+
+def _doubling_allgather(p: int, cost: CostModel, m: float) -> CollectiveCost:
+    """Per-rank recursive-doubling allgather cost among ``p`` ranks."""
+    if p == 1:
+        return _zero()
+    stages = ceil_log2(p)
+    time = stages * cost.t_startup + (p - 1) * m * cost.t_comm
+    # one message per rank per stage; words double each stage
+    msgs = stages
+    words = (p - 1) * m
+    return CollectiveCost(time, msgs, words)
+
+
+def _scale_ranks(per_rank: CollectiveCost, p: int) -> CollectiveCost:
+    """Scale per-rank message/word counts to whole-machine totals."""
+    return CollectiveCost(per_rank.time, per_rank.messages * p, per_rank.words * p)
+
+
+def reduce_scatter_cost(
+    topology: Topology, cost: CostModel, nwords_total: float
+) -> CollectiveCost:
+    """Reduce ``nwords_total``-word vectors from all ranks, leaving each rank
+    with its ``nwords_total / P`` block of the sum.
+
+    This is the merge step of the paper's ``PRIVATE ... WITH MERGE(+)``
+    extension (Figure 5): per-processor private copies of ``q`` are combined
+    into the distributed global ``q``.
+    """
+    p = topology.size
+    if p == 1:
+        return _zero()
+    m = nwords_total / p
+    if isinstance(topology, Ring):
+        time = (p - 1) * (cost.message_time(m) + m * cost.t_flop)
+        msgs = p * (p - 1)
+        return CollectiveCost(time, msgs, msgs * m)
+    stages = (
+        ceil_log2(topology.cols) + ceil_log2(topology.rows)
+        if isinstance(topology, Mesh2D)
+        else ceil_log2(p)
+    )
+    # recursive halving: stage i moves nwords_total / 2**(i+1)
+    time = stages * cost.t_startup + (p - 1) / p * nwords_total * (
+        cost.t_comm + cost.t_flop
+    )
+    msgs = stages * p
+    words = (p - 1) * nwords_total  # each rank moves (p-1)/p * n words
+    return CollectiveCost(time, msgs, words)
+
+
+def gather_cost(
+    topology: Topology, cost: CostModel, nwords_per_rank: float
+) -> CollectiveCost:
+    """All-to-one gather of ``nwords_per_rank`` words from each rank."""
+    p = topology.size
+    if p == 1:
+        return _zero()
+    m = nwords_per_rank
+    stages = _stages(topology)
+    # binomial gather: stage i receives 2**i * m words
+    time = stages * cost.t_startup + (p - 1) * m * cost.t_comm
+    msgs = p - 1
+    return CollectiveCost(time, msgs, (p - 1) * m)
+
+
+def scatter_cost(
+    topology: Topology, cost: CostModel, nwords_per_rank: float
+) -> CollectiveCost:
+    """One-to-all personalised scatter (mirror of gather)."""
+    return gather_cost(topology, cost, nwords_per_rank)
+
+
+def alltoall_cost(
+    topology: Topology, cost: CostModel, nwords_per_pair: float
+) -> CollectiveCost:
+    """All-to-all personalised exchange, ``nwords_per_pair`` per (src, dst)."""
+    p = topology.size
+    if p == 1:
+        return _zero()
+    m = nwords_per_pair
+    if isinstance(topology, Hypercube):
+        stages = ceil_log2(p)
+        # pairwise exchange: log P stages of p/2 * m words per rank
+        time = stages * cost.message_time(m * p / 2)
+        msgs = stages * p
+        return CollectiveCost(time, msgs, msgs * m * p / 2)
+    # generic: p-1 rounds of pairwise sends
+    time = (p - 1) * cost.message_time(m)
+    msgs = p * (p - 1)
+    return CollectiveCost(time, msgs, msgs * m)
+
+
+def barrier_cost(topology: Topology, cost: CostModel) -> CollectiveCost:
+    """Barrier = 1-word allreduce."""
+    return allreduce_cost(topology, cost, 1.0)

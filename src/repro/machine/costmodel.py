@@ -1,0 +1,84 @@
+"""Communication and computation cost model for the simulated multicomputer.
+
+The paper (Dincer et al., SCCS-703) expresses every communication cost in
+terms of a *start-up time* ``t_startup`` charged once per message and a
+*per-word transfer time* ``t_comm`` (e.g. the all-to-all broadcast of
+Scenario 1 costs ``t_startup * log N_P + t_comm * n / N_P``).  Computation is
+charged per floating-point operation.  :class:`CostModel` bundles those
+parameters; every simulated operation in :mod:`repro.machine` is priced
+through it so that a single object controls the whole machine model.
+
+Times are in seconds but the absolute scale is irrelevant to the paper's
+claims -- only ratios (who wins, how costs scale with ``n`` and ``N_P``)
+matter.  Defaults approximate a mid-1990s multicomputer (high message
+latency relative to flop rate), which is the regime in which the paper's
+trade-offs are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine cost parameters.
+
+    Parameters
+    ----------
+    t_startup:
+        Fixed cost charged once per point-to-point message (seconds).  The
+        paper calls this ``t_start_up``.
+    t_comm:
+        Transfer cost per *word* (seconds).  The paper's ``t_comm`` is "the
+        transfer time per byte"; we price per 8-byte word for convenience and
+        scale accordingly.
+    t_flop:
+        Cost of one floating-point operation (seconds).
+    t_hop:
+        Extra per-hop latency for multi-hop routes (cut-through routing).
+        Zero by default, matching the paper's hop-free formulas.
+    word_bytes:
+        Size of one word in bytes (informational; stats report words).
+    """
+
+    t_startup: float = 5.0e-5
+    t_comm: float = 1.0e-8
+    t_flop: float = 1.0e-9
+    t_hop: float = 0.0
+    word_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        for field in ("t_startup", "t_comm", "t_flop", "t_hop"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+        if self.word_bytes <= 0:
+            raise ValueError("word_bytes must be positive")
+
+    def message_time(self, nwords: float, hops: int = 1) -> float:
+        """Time to move one message of ``nwords`` words over ``hops`` links."""
+        if nwords < 0:
+            raise ValueError("nwords must be non-negative")
+        if hops < 1:
+            raise ValueError("hops must be at least 1")
+        return self.t_startup + self.t_hop * (hops - 1) + self.t_comm * nwords
+
+    def compute_time(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations on one rank."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return self.t_flop * flops
+
+    def with_(self, **kwargs: float) -> "CostModel":
+        """Return a copy with some parameters replaced."""
+        current = {
+            "t_startup": self.t_startup,
+            "t_comm": self.t_comm,
+            "t_flop": self.t_flop,
+            "t_hop": self.t_hop,
+            "word_bytes": self.word_bytes,
+        }
+        current.update(kwargs)
+        return CostModel(**current)

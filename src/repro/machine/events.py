@@ -1,0 +1,101 @@
+r"""Communication operations for SPMD rank programs.
+
+An SPMD program is a Python generator (one instance per rank) that ``yield``\ s
+these operations to the :class:`~repro.machine.scheduler.Scheduler`:
+
+* ``payload = yield Recv(source)`` -- blocking receive,
+* ``yield Send(dest, payload)`` -- blocking (rendezvous) send,
+* ``yield Compute(flops)`` -- advance the local clock,
+* ``yield Barrier()`` -- global synchronisation.
+
+This is the "explicit message-passing SPMD model" the paper contrasts HPF
+against; the baselines in :mod:`repro.baselines.message_passing` are written
+in this style and executed deterministically by the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = ["Op", "Send", "Recv", "Compute", "Barrier", "payload_words"]
+
+ANY_SOURCE = -1
+
+
+def payload_words(payload: Any) -> float:
+    """Estimate message size in words for a Python payload.
+
+    NumPy arrays count their elements; scalars count 1; tuples/lists sum
+    their parts; ``None`` is a zero-word control message.
+    """
+    if payload is None:
+        return 0.0
+    if isinstance(payload, np.ndarray):
+        return float(payload.size)
+    if isinstance(payload, (int, float, complex, np.generic, bool)):
+        return 1.0
+    if isinstance(payload, (tuple, list)):
+        return float(sum(payload_words(p) for p in payload))
+    if isinstance(payload, dict):
+        return float(sum(payload_words(v) for v in payload.values()))
+    return 1.0
+
+
+class Op:
+    """Base class for operations yielded by SPMD rank programs."""
+
+
+@dataclass
+class Send(Op):
+    """Blocking (rendezvous) send of ``payload`` to rank ``dest``.
+
+    ``nwords`` overrides the automatic payload size estimate when the Python
+    object does not reflect the modelled wire size.
+    """
+
+    dest: int
+    payload: Any = None
+    tag: int = 0
+    nwords: Optional[float] = None
+
+    def words(self) -> float:
+        return self.nwords if self.nwords is not None else payload_words(self.payload)
+
+
+@dataclass
+class Recv(Op):
+    """Blocking receive from rank ``source`` (``ANY_SOURCE`` matches any)."""
+
+    source: int = ANY_SOURCE
+    tag: int = 0
+
+
+@dataclass
+class Compute(Op):
+    """Local computation of ``flops`` floating-point operations."""
+
+    flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError("flops must be non-negative")
+
+
+@dataclass
+class Barrier(Op):
+    """Global barrier across all ranks."""
+
+    label: str = ""
+
+
+@dataclass
+class _PendingSend:
+    """Internal scheduler bookkeeping for a posted send."""
+
+    src: int
+    op: Send
+    post_time: float
+    seq: int = field(default=0)

@@ -1,0 +1,296 @@
+"""The simulated distributed-memory multicomputer.
+
+A :class:`Machine` is the substrate every distributed operation in this
+package runs on.  It holds:
+
+* a :class:`~repro.machine.topology.Topology` (hypercube by default, as in
+  the paper's cost derivations),
+* a :class:`~repro.machine.costmodel.CostModel`,
+* one simulated clock per rank, and
+* a :class:`~repro.machine.stats.MachineStats` accumulator.
+
+Two usage styles share one machine:
+
+1. the **HPF runtime** (:mod:`repro.hpf`) executes array operations
+   globally and charges each rank's clock for its local work, invoking the
+   machine's collective methods for communication -- this models the code an
+   HPF compiler would emit under the owner-computes rule;
+2. the **SPMD simulator** (:mod:`repro.machine.scheduler`) runs per-rank
+   generator programs exchanging point-to-point messages and advances the
+   same clocks -- this models the explicit message-passing programs the
+   paper compares against.
+
+``machine.elapsed()`` (the maximum rank clock) is the simulated parallel
+wall time; ``machine.stats`` holds message/word/flop accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from . import collectives as coll
+from .collectives import CollectiveCost
+from .costmodel import CostModel
+from .stats import MachineStats
+from .topology import Topology, make_topology
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Simulated multicomputer with per-rank clocks and cost accounting.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of processors ``N_P``.
+    topology:
+        Topology name (``"hypercube"``, ``"ring"``, ``"mesh2d"``,
+        ``"complete"``) or a :class:`Topology` instance.
+    cost:
+        The :class:`CostModel`; defaults model a 1990s multicomputer.
+    """
+
+    def __init__(
+        self,
+        nprocs: int = 4,
+        topology: Union[str, Topology] = "hypercube",
+        cost: Optional[CostModel] = None,
+    ):
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        self.topology = make_topology(topology, nprocs)
+        self.cost = cost if cost is not None else CostModel()
+        self.nprocs = nprocs
+        self.clock = np.zeros(nprocs, dtype=float)
+        self.stats = MachineStats(nprocs)
+        #: optional Tracer (see repro.machine.trace) recording timelines
+        self.tracer = None
+
+    # ------------------------------------------------------------------ #
+    # basics
+    # ------------------------------------------------------------------ #
+    @property
+    def ranks(self) -> range:
+        return range(self.nprocs)
+
+    def elapsed(self) -> float:
+        """Simulated parallel wall time so far (max over rank clocks)."""
+        return float(self.clock.max())
+
+    def reset(self) -> None:
+        """Zero all clocks and statistics."""
+        self.clock[:] = 0.0
+        self.stats.reset()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range (nprocs={self.nprocs})")
+
+    # ------------------------------------------------------------------ #
+    # computation charging
+    # ------------------------------------------------------------------ #
+    def charge_compute(self, rank: int, flops: float) -> None:
+        """Charge ``flops`` of local work to one rank's clock."""
+        self._check_rank(rank)
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        start = float(self.clock[rank])
+        self.clock[rank] += self.cost.compute_time(flops)
+        self.stats.record_flops(rank, flops)
+        if self.tracer is not None:
+            self.tracer.record(rank, "compute", start, float(self.clock[rank]))
+
+    def charge_compute_all(self, flops: Union[float, Sequence[float], np.ndarray]) -> None:
+        """Charge flops to every rank (scalar = same amount everywhere)."""
+        arr = np.broadcast_to(np.asarray(flops, dtype=float), (self.nprocs,))
+        if (arr < 0).any():
+            raise ValueError("flops must be non-negative")
+        starts = self.clock.copy()
+        self.clock += arr * self.cost.t_flop
+        self.stats.flops_per_rank += arr
+        if self.tracer is not None:
+            for r in self.ranks:
+                self.tracer.record(r, "compute", float(starts[r]), float(self.clock[r]))
+
+    def charge_serialized_compute(self, flops_per_rank: Sequence[float]) -> None:
+        """Charge work that must execute *serially* across ranks.
+
+        Models loops the paper identifies as unparallelisable (the Scenario-2
+        column-wise loop): every rank's clock advances by the *sum* of all
+        ranks' work, because each waits for the previous.
+        """
+        arr = np.asarray(flops_per_rank, dtype=float)
+        if arr.shape != (self.nprocs,):
+            raise ValueError("flops_per_rank must have one entry per rank")
+        total_time = float(arr.sum()) * self.cost.t_flop
+        start = self.elapsed()
+        self.clock[:] = start + total_time
+        self.stats.flops_per_rank += arr
+        if self.tracer is not None:
+            # the work executes one rank after another
+            offset = start
+            for r in self.ranks:
+                dur = float(arr[r]) * self.cost.t_flop
+                self.tracer.record(r, "compute", offset, offset + dur,
+                                   "serialized")
+                offset += dur
+
+    def charge_storage(self, rank: int, words: float) -> None:
+        """Track temporary storage allocated on ``rank`` (words)."""
+        self._check_rank(rank)
+        self.stats.record_storage(rank, words)
+
+    def charge_storage_all(self, words_per_rank: float) -> None:
+        for r in self.ranks:
+            self.stats.record_storage(r, words_per_rank)
+
+    def charge_comm_interval(
+        self,
+        op: str,
+        messages: int,
+        words: float,
+        time: float,
+        tag: Optional[str] = None,
+        participants: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Charge an irregular communication pattern as one timed interval.
+
+        Used by strategies whose traffic does not map onto a standard
+        collective (the Scenario-2 per-column updates, the CSR element
+        prefetch, halo exchanges, redistribution): all clocks advance by
+        ``time`` and the stats record the message/word totals.
+
+        ``participants`` names the ranks actually driving traffic; only
+        they appear busy in the trace (the rest are waiting).  ``None``
+        leaves the interval untraced -- serialised patterns where no rank
+        is meaningfully "busy" for the whole span.
+        """
+        if time < 0 or words < 0 or messages < 0:
+            raise ValueError("comm interval quantities must be non-negative")
+        start = self.elapsed()
+        self.clock[:] = start + time
+        self.stats.record_comm(op, messages, words, time, tag)
+        if self.tracer is not None and time > 0 and participants is not None:
+            for r in participants:
+                self._check_rank(r)
+                self.tracer.record(r, op, start, start + time, tag or "")
+
+    # ------------------------------------------------------------------ #
+    # point-to-point
+    # ------------------------------------------------------------------ #
+    def send_recv(
+        self, src: int, dst: int, nwords: float, tag: Optional[str] = None
+    ) -> float:
+        """Synchronous point-to-point transfer; returns completion time.
+
+        Both clocks advance to ``max(clock[src], clock[dst]) + message_time``
+        (rendezvous semantics).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            return float(self.clock[src])
+        hops = max(1, self.topology.hops(src, dst))
+        t = self.cost.message_time(nwords, hops)
+        begin = max(self.clock[src], self.clock[dst])
+        done = begin + t
+        self.clock[src] = done
+        self.clock[dst] = done
+        self.stats.record_comm("p2p", 1, nwords, t, tag)
+        if self.tracer is not None:
+            self.tracer.record(src, "p2p", begin, done, f"-> {dst}")
+            self.tracer.record(dst, "p2p", begin, done, f"<- {src}")
+        return done
+
+    # ------------------------------------------------------------------ #
+    # collectives (cost-model level, used by the HPF runtime)
+    # ------------------------------------------------------------------ #
+    def _apply_collective(self, op: str, c: CollectiveCost, tag: Optional[str]) -> None:
+        start = self.elapsed()  # collectives synchronise all ranks
+        self.clock[:] = start + c.time
+        self.stats.record_comm(op, c.messages, c.words, c.time, tag)
+        if self.tracer is not None:
+            for r in self.ranks:
+                self.tracer.record(r, op, start, start + c.time, tag or "")
+
+    def broadcast(self, nwords: float, root: int = 0, tag: Optional[str] = None) -> None:
+        """One-to-all broadcast of ``nwords`` words from ``root``."""
+        self._check_rank(root)
+        self._apply_collective(
+            "broadcast", coll.broadcast_cost(self.topology, self.cost, nwords), tag
+        )
+
+    def reduce(self, nwords: float, root: int = 0, tag: Optional[str] = None) -> None:
+        """All-to-one reduction of ``nwords`` words to ``root``."""
+        self._check_rank(root)
+        self._apply_collective(
+            "reduce", coll.reduce_cost(self.topology, self.cost, nwords), tag
+        )
+
+    def allreduce(self, nwords: float, tag: Optional[str] = None) -> None:
+        """All-reduce of ``nwords`` words.
+
+        This is the merge phase of the paper's inner products: "the merge
+        phase for adding up the partial results from processors involves
+        communication overhead ... on a hypercube architecture it is done in
+        ``t_start_up * log N_P`` time".
+        """
+        self._apply_collective(
+            "allreduce", coll.allreduce_cost(self.topology, self.cost, nwords), tag
+        )
+
+    def allgather(self, nwords_per_rank: float, tag: Optional[str] = None) -> None:
+        """All-to-all broadcast; every rank ends with all blocks.
+
+        Scenario 1 (Figure 3) uses this to replicate the vector ``p``.
+        """
+        self._apply_collective(
+            "allgather",
+            coll.allgather_cost(self.topology, self.cost, nwords_per_rank),
+            tag,
+        )
+
+    def reduce_scatter(self, nwords_total: float, tag: Optional[str] = None) -> None:
+        """Combine P vectors of ``nwords_total`` words; each rank keeps its block.
+
+        The merge step of ``PRIVATE ... WITH MERGE(+)`` (Figure 5).
+        """
+        self._apply_collective(
+            "reduce_scatter",
+            coll.reduce_scatter_cost(self.topology, self.cost, nwords_total),
+            tag,
+        )
+
+    def gather(self, nwords_per_rank: float, root: int = 0, tag: Optional[str] = None) -> None:
+        self._check_rank(root)
+        self._apply_collective(
+            "gather", coll.gather_cost(self.topology, self.cost, nwords_per_rank), tag
+        )
+
+    def scatter(self, nwords_per_rank: float, root: int = 0, tag: Optional[str] = None) -> None:
+        self._check_rank(root)
+        self._apply_collective(
+            "scatter", coll.scatter_cost(self.topology, self.cost, nwords_per_rank), tag
+        )
+
+    def alltoall(self, nwords_per_pair: float, tag: Optional[str] = None) -> None:
+        self._apply_collective(
+            "alltoall",
+            coll.alltoall_cost(self.topology, self.cost, nwords_per_pair),
+            tag,
+        )
+
+    def barrier(self, tag: Optional[str] = None) -> None:
+        self._apply_collective(
+            "barrier", coll.barrier_cost(self.topology, self.cost), tag
+        )
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(nprocs={self.nprocs}, topology={self.topology!r}, "
+            f"elapsed={self.elapsed():.3e}s)"
+        )

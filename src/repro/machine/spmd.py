@@ -1,0 +1,174 @@
+"""Collective operations for SPMD rank programs, built from point-to-point.
+
+These are generator helpers used inside rank programs with ``yield from``::
+
+    total = yield from spmd.allreduce_sum(rank, size, local_dot)
+
+Algorithms are the standard binomial-tree / recursive patterns (Kumar et
+al. [17] in the paper), so the *measured* cost of, e.g., an allreduce in the
+event simulator can be compared against the closed-form hypercube formulas
+of :mod:`repro.machine.collectives` -- that comparison is benchmark E4.
+
+All helpers work for any rank count (not just powers of two) and combine
+NumPy arrays or Python scalars with ``+`` by default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from .events import Op, Recv, Send
+
+__all__ = [
+    "bcast",
+    "reduce_to_root",
+    "allreduce_sum",
+    "gather_to_root",
+    "allgather",
+    "scatter_from_root",
+]
+
+GenOp = Generator[Op, Any, Any]
+
+
+def _combine_default(a: Any, b: Any) -> Any:
+    return a + b
+
+
+def bcast(rank: int, size: int, value: Any, root: int = 0, tag: int = 1) -> GenOp:
+    """Binomial-tree broadcast; returns the broadcast value on every rank."""
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank < mask:
+            partner = vrank + mask
+            if partner < size:
+                yield Send(dest=(partner + root) % size, payload=value, tag=tag)
+        elif vrank < 2 * mask:
+            value = yield Recv(source=((vrank - mask) + root) % size, tag=tag)
+        mask <<= 1
+    return value
+
+
+def reduce_to_root(
+    rank: int,
+    size: int,
+    value: Any,
+    root: int = 0,
+    op: Callable[[Any, Any], Any] = _combine_default,
+    tag: int = 2,
+) -> GenOp:
+    """Binomial-tree reduction; ``root`` returns the combined value, others None."""
+    vrank = (rank - root) % size
+    mask = 1
+    result = value
+    while mask < size:
+        if vrank & mask:
+            yield Send(dest=((vrank - mask) + root) % size, payload=result, tag=tag)
+            return None
+        partner = vrank + mask
+        if partner < size:
+            other = yield Recv(source=(partner + root) % size, tag=tag)
+            result = op(result, other)
+        mask <<= 1
+    return result if vrank == 0 else None
+
+
+def allreduce_sum(
+    rank: int,
+    size: int,
+    value: Any,
+    op: Callable[[Any, Any], Any] = _combine_default,
+    tag: int = 3,
+) -> GenOp:
+    """All-reduce: reduce to rank 0, then broadcast the result.
+
+    Recursive doubling would halve the latency on a hypercube; the
+    reduce+bcast composition is used because it is correct for any rank
+    count, and its cost (2 log P stages) is what benchmark E4 checks against
+    the closed-form model.
+    """
+    reduced = yield from reduce_to_root(rank, size, value, root=0, op=op, tag=tag)
+    result = yield from bcast(rank, size, reduced, root=0, tag=tag + 1)
+    return result
+
+
+def gather_to_root(
+    rank: int, size: int, value: Any, root: int = 0, tag: int = 5
+) -> GenOp:
+    """Binomial-tree gather; ``root`` returns ``[value_0, ..., value_{P-1}]``.
+
+    Each rank accumulates a dict of contributions from its subtree and
+    forwards it, so message sizes grow up the tree exactly as in the
+    textbook algorithm.
+    """
+    vrank = (rank - root) % size
+    contributions = {rank: value}
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            yield Send(
+                dest=((vrank - mask) + root) % size, payload=contributions, tag=tag
+            )
+            return None
+        partner = vrank + mask
+        if partner < size:
+            sub = yield Recv(source=(partner + root) % size, tag=tag)
+            contributions.update(sub)
+        mask <<= 1
+    if vrank == 0:
+        return [contributions[r] for r in range(size)]
+    return None
+
+
+def allgather(rank: int, size: int, value: Any, tag: int = 7) -> GenOp:
+    """All-to-all broadcast: every rank returns the full list of values.
+
+    Gather to rank 0 then broadcast the list -- the "tree-like broadcasting
+    mechanism" the paper assumes for replicating the vector ``p`` in
+    Scenario 1.
+    """
+    gathered = yield from gather_to_root(rank, size, value, root=0, tag=tag)
+    result = yield from bcast(rank, size, gathered, root=0, tag=tag + 1)
+    return result
+
+
+def scatter_from_root(
+    rank: int,
+    size: int,
+    values: Optional[List[Any]],
+    root: int = 0,
+    tag: int = 9,
+) -> GenOp:
+    """Binomial-tree scatter of per-rank values held by ``root``.
+
+    ``values`` must be a list of length ``size`` on ``root`` and is ignored
+    elsewhere; each rank returns its own element.
+    """
+    vrank = (rank - root) % size
+    if vrank == 0:
+        if values is None or len(values) != size:
+            raise ValueError("root must supply one value per rank")
+        # keyed by virtual rank so subtree ranges are contiguous
+        holding = {v: values[(v + root) % size] for v in range(size)}
+        mask = 1
+        while mask < size:
+            mask <<= 1
+        mask >>= 1
+    else:
+        # a rank receives exactly once, from vrank with its lowest set bit
+        # cleared (mirror of the binomial gather tree)
+        recv_mask = vrank & (-vrank)
+        src_vrank = vrank - recv_mask
+        holding = yield Recv(source=(src_vrank + root) % size, tag=tag)
+        mask = recv_mask >> 1
+    # forward the subtrees below us
+    while mask >= 1:
+        partner = vrank + mask
+        if partner < size:
+            subtree = {v: holding[v] for v in list(holding) if partner <= v < partner + mask}
+            for v in subtree:
+                del holding[v]
+            yield Send(dest=(partner + root) % size, payload=subtree, tag=tag)
+        mask >>= 1
+    return holding[vrank]

@@ -1,0 +1,176 @@
+"""Accounting of communication and computation on the simulated machine.
+
+Every priced operation on a :class:`~repro.machine.machine.Machine` appends a
+:class:`CommRecord` (for communication) or updates per-rank flop counters
+(for computation).  Benchmarks read these to report message counts, word
+volumes, time decompositions and per-rank load balance -- the quantities the
+paper reasons about analytically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["CommRecord", "MachineStats", "StatsDelta"]
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One communication operation.
+
+    Attributes
+    ----------
+    op:
+        Operation kind (``"broadcast"``, ``"allreduce"``, ``"p2p"``, ...).
+    messages:
+        Number of point-to-point messages the operation required.
+    words:
+        Total words moved over the network (sum across all messages).
+    time:
+        Modelled elapsed time of the operation (seconds).
+    tag:
+        Optional free-form label so callers can attribute traffic to solver
+        phases (``"matvec"``, ``"dot"``, ...).
+    """
+
+    op: str
+    messages: int
+    words: float
+    time: float
+    tag: Optional[str] = None
+
+
+@dataclass
+class MachineStats:
+    """Mutable accumulator for a machine's communication and compute."""
+
+    nprocs: int
+    comm_records: List[CommRecord] = field(default_factory=list)
+    flops_per_rank: np.ndarray = None  # type: ignore[assignment]
+    storage_words_per_rank: np.ndarray = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.flops_per_rank is None:
+            self.flops_per_rank = np.zeros(self.nprocs, dtype=float)
+        if self.storage_words_per_rank is None:
+            self.storage_words_per_rank = np.zeros(self.nprocs, dtype=float)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_comm(
+        self,
+        op: str,
+        messages: int,
+        words: float,
+        time: float,
+        tag: Optional[str] = None,
+    ) -> None:
+        """Append one communication record."""
+        self.comm_records.append(CommRecord(op, messages, words, time, tag))
+
+    def record_flops(self, rank: int, flops: float) -> None:
+        """Charge ``flops`` operations to ``rank``'s counter."""
+        self.flops_per_rank[rank] += flops
+
+    def record_storage(self, rank: int, words: float) -> None:
+        """Track ``words`` of additional temporary storage on ``rank``."""
+        self.storage_words_per_rank[rank] += words
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_messages(self) -> int:
+        return sum(r.messages for r in self.comm_records)
+
+    @property
+    def total_words(self) -> float:
+        return float(sum(r.words for r in self.comm_records))
+
+    @property
+    def comm_time(self) -> float:
+        """Sum of modelled times of all communication operations."""
+        return float(sum(r.time for r in self.comm_records))
+
+    @property
+    def total_flops(self) -> float:
+        return float(self.flops_per_rank.sum())
+
+    @property
+    def max_rank_flops(self) -> float:
+        return float(self.flops_per_rank.max()) if self.nprocs else 0.0
+
+    def load_imbalance(self) -> float:
+        """Max/mean ratio of per-rank flops (1.0 = perfectly balanced)."""
+        mean = self.flops_per_rank.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.flops_per_rank.max() / mean)
+
+    def by_op(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate messages/words/time grouped by operation kind."""
+        agg: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: {"messages": 0, "words": 0.0, "time": 0.0, "count": 0}
+        )
+        for r in self.comm_records:
+            a = agg[r.op]
+            a["messages"] += r.messages
+            a["words"] += r.words
+            a["time"] += r.time
+            a["count"] += 1
+        return dict(agg)
+
+    def by_tag(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate messages/words/time grouped by caller-supplied tag."""
+        agg: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: {"messages": 0, "words": 0.0, "time": 0.0, "count": 0}
+        )
+        for r in self.comm_records:
+            a = agg[r.tag or "(untagged)"]
+            a["messages"] += r.messages
+            a["words"] += r.words
+            a["time"] += r.time
+            a["count"] += 1
+        return dict(agg)
+
+    def snapshot(self) -> "StatsDelta":
+        """Capture current totals; subtract later to get an interval."""
+        return StatsDelta(
+            messages=self.total_messages,
+            words=self.total_words,
+            comm_time=self.comm_time,
+            flops=self.total_flops,
+            n_records=len(self.comm_records),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.comm_records.clear()
+        self.flops_per_rank[:] = 0.0
+        self.storage_words_per_rank[:] = 0.0
+
+
+@dataclass(frozen=True)
+class StatsDelta:
+    """Totals captured by :meth:`MachineStats.snapshot`."""
+
+    messages: int
+    words: float
+    comm_time: float
+    flops: float
+    n_records: int
+
+    def since(self, stats: MachineStats) -> "StatsDelta":
+        """Totals accumulated in ``stats`` since this snapshot was taken."""
+        return StatsDelta(
+            messages=stats.total_messages - self.messages,
+            words=stats.total_words - self.words,
+            comm_time=stats.comm_time - self.comm_time,
+            flops=stats.total_flops - self.flops,
+            n_records=len(stats.comm_records) - self.n_records,
+        )

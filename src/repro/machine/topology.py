@@ -1,0 +1,213 @@
+"""Interconnection topologies for the simulated multicomputer.
+
+The paper derives collective costs on a hypercube ("on a hypercube
+architecture it is done in ``t_start_up * log N_P`` time"); we also provide
+ring, 2-D mesh and fully-connected networks so benchmarks can show how the
+claims generalise.  A topology knows its size, the hop distance between two
+ranks, each rank's neighbours and its diameter; the collective-algorithm
+module uses those to price communication.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List
+
+__all__ = [
+    "Topology",
+    "Hypercube",
+    "Ring",
+    "Mesh2D",
+    "Complete",
+    "make_topology",
+    "ceil_log2",
+]
+
+
+def ceil_log2(p: int) -> int:
+    """``ceil(log2(p))`` for ``p >= 1`` -- the number of tree stages."""
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    return max(1, math.ceil(math.log2(p))) if p > 1 else 0
+
+
+class Topology(ABC):
+    """Abstract interconnect: rank count plus a hop metric."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("topology size must be >= 1")
+        self._size = size
+
+    @property
+    def size(self) -> int:
+        """Number of processors in the network."""
+        return self._size
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of links on the route from ``src`` to ``dst`` (0 if equal)."""
+
+    @abstractmethod
+    def neighbors(self, rank: int) -> List[int]:
+        """Directly connected ranks."""
+
+    @property
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop distance between any two ranks."""
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._size:
+            raise ValueError(f"rank {rank} out of range for size {self._size}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(size={self._size})"
+
+
+class Hypercube(Topology):
+    """Binary hypercube; requires a power-of-two number of processors."""
+
+    def __init__(self, size: int):
+        super().__init__(size)
+        if size & (size - 1):
+            raise ValueError(f"hypercube size must be a power of two, got {size}")
+        self._dim = size.bit_length() - 1
+
+    @property
+    def dimension(self) -> int:
+        """Number of hypercube dimensions (``log2(size)``)."""
+        return self._dim
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_rank(src)
+        self._check_rank(dst)
+        return bin(src ^ dst).count("1")
+
+    def neighbors(self, rank: int) -> List[int]:
+        self._check_rank(rank)
+        return [rank ^ (1 << d) for d in range(self._dim)]
+
+    @property
+    def diameter(self) -> int:
+        return self._dim
+
+
+class Ring(Topology):
+    """Bidirectional ring."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_rank(src)
+        self._check_rank(dst)
+        d = abs(src - dst)
+        return min(d, self._size - d)
+
+    def neighbors(self, rank: int) -> List[int]:
+        self._check_rank(rank)
+        if self._size == 1:
+            return []
+        if self._size == 2:
+            return [1 - rank]
+        return [(rank - 1) % self._size, (rank + 1) % self._size]
+
+    @property
+    def diameter(self) -> int:
+        return self._size // 2
+
+
+class Mesh2D(Topology):
+    """2-D mesh (no wraparound) of ``rows x cols`` processors."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("mesh dimensions must be >= 1")
+        super().__init__(rows * cols)
+        self.rows = rows
+        self.cols = cols
+
+    def coords(self, rank: int):
+        """(row, col) coordinates of ``rank`` in row-major order."""
+        self._check_rank(rank)
+        return divmod(rank, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def neighbors(self, rank: int) -> List[int]:
+        r, c = self.coords(rank)
+        out = []
+        if r > 0:
+            out.append(rank - self.cols)
+        if r < self.rows - 1:
+            out.append(rank + self.cols)
+        if c > 0:
+            out.append(rank - 1)
+        if c < self.cols - 1:
+            out.append(rank + 1)
+        return out
+
+    @property
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Mesh2D({self.rows}x{self.cols})"
+
+
+class Complete(Topology):
+    """Fully connected network: every pair one hop apart."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check_rank(src)
+        self._check_rank(dst)
+        return 0 if src == dst else 1
+
+    def neighbors(self, rank: int) -> List[int]:
+        self._check_rank(rank)
+        return [r for r in range(self._size) if r != rank]
+
+    @property
+    def diameter(self) -> int:
+        return 0 if self._size == 1 else 1
+
+
+def make_topology(spec, size: int) -> Topology:
+    """Build a topology from a name or pass an instance through.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`Topology` instance (returned as-is, ``size`` must match) or
+        one of ``"hypercube"``, ``"ring"``, ``"mesh2d"``, ``"complete"``.
+    size:
+        Number of processors.
+
+    Notes
+    -----
+    ``"mesh2d"`` picks the most-square factorisation of ``size``.
+    """
+    if isinstance(spec, Topology):
+        if spec.size != size:
+            raise ValueError(
+                f"topology size {spec.size} does not match requested {size}"
+            )
+        return spec
+    name = str(spec).lower()
+    if name == "hypercube":
+        return Hypercube(size)
+    if name == "ring":
+        return Ring(size)
+    if name == "complete":
+        return Complete(size)
+    if name == "mesh2d":
+        rows = int(math.isqrt(size))
+        while size % rows:
+            rows -= 1
+        return Mesh2D(rows, size // rows)
+    raise ValueError(f"unknown topology {spec!r}")

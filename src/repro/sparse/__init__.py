@@ -1,0 +1,78 @@
+"""Sparse matrix storage schemes and generators (paper Section 3).
+
+Formats: :class:`COOMatrix`, :class:`CSRMatrix`, :class:`CSCMatrix`,
+:class:`DenseMatrix`, all sharing the :class:`SparseMatrix` interface.
+Generators cover every application family the paper's introduction cites;
+:func:`~repro.sparse.generators.figure1_matrix` is the worked Figure-1
+example.
+"""
+
+from .base import SparseMatrix
+from .convert import as_format, as_matrix, from_scipy, storage_words
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+from .generators import (
+    circuit_nodal,
+    convection_diffusion_1d,
+    nonsymmetric_diag_dominant,
+    figure1_matrix,
+    irregular_powerlaw,
+    matrix_with_eigenvalues,
+    nas_cg_style,
+    poisson1d,
+    poisson2d,
+    random_sparse_symmetric,
+    rhs_for_solution,
+    structural_truss,
+    tridiagonal,
+)
+from .mmio import read_matrix_market, write_matrix_market
+from .reorder import permute_symmetric, rcm_permutation, reorder_rcm
+from .properties import (
+    RowStats,
+    bandwidth,
+    is_diagonally_dominant,
+    is_positive_definite,
+    is_symmetric,
+    nnz_imbalance,
+    row_length_stats,
+)
+
+__all__ = [
+    "SparseMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "DenseMatrix",
+    "as_format",
+    "as_matrix",
+    "from_scipy",
+    "storage_words",
+    "figure1_matrix",
+    "tridiagonal",
+    "poisson1d",
+    "poisson2d",
+    "structural_truss",
+    "circuit_nodal",
+    "nas_cg_style",
+    "irregular_powerlaw",
+    "matrix_with_eigenvalues",
+    "convection_diffusion_1d",
+    "nonsymmetric_diag_dominant",
+    "random_sparse_symmetric",
+    "rhs_for_solution",
+    "rcm_permutation",
+    "permute_symmetric",
+    "reorder_rcm",
+    "read_matrix_market",
+    "write_matrix_market",
+    "is_symmetric",
+    "is_positive_definite",
+    "is_diagonally_dominant",
+    "bandwidth",
+    "RowStats",
+    "row_length_stats",
+    "nnz_imbalance",
+]

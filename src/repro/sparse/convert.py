@@ -1,0 +1,77 @@
+"""Format conversion helpers and scipy interop.
+
+Dense-vs-sparse storage choice is the starting point of the paper's Section
+3; these helpers let the solver layer and the tests move any matrix between
+all four schemes (COO, CSR, CSC, dense) and to/from ``scipy.sparse``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .base import SparseMatrix
+from .coo import COOMatrix
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dense import DenseMatrix
+
+__all__ = ["as_format", "from_scipy", "as_matrix", "storage_words"]
+
+_FORMATS = {
+    "coo": lambda m: m.to_coo(),
+    "csr": lambda m: m.to_csr(),
+    "csc": lambda m: m.to_csc(),
+    "dense": lambda m: m.to_dense(),
+}
+
+
+def as_format(matrix: SparseMatrix, fmt: str) -> SparseMatrix:
+    """Convert ``matrix`` to format ``fmt`` (``coo``/``csr``/``csc``/``dense``)."""
+    try:
+        return _FORMATS[fmt.lower()](matrix)
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of {sorted(_FORMATS)}"
+        ) from None
+
+
+def from_scipy(sp_matrix) -> CSRMatrix:
+    """Convert any ``scipy.sparse`` matrix to our CSR format."""
+    coo = sp_matrix.tocoo()
+    return COOMatrix(
+        coo.row.astype(np.int64),
+        coo.col.astype(np.int64),
+        coo.data.astype(np.float64),
+        shape=coo.shape,
+    ).to_csr()
+
+
+def as_matrix(obj: Union[SparseMatrix, np.ndarray]) -> SparseMatrix:
+    """Accept a matrix object, dense ndarray, or scipy matrix uniformly."""
+    if isinstance(obj, SparseMatrix):
+        return obj
+    if isinstance(obj, np.ndarray):
+        return DenseMatrix(obj)
+    if hasattr(obj, "tocoo"):  # scipy.sparse
+        return from_scipy(obj)
+    raise TypeError(f"cannot interpret {type(obj).__name__} as a matrix")
+
+
+def storage_words(matrix: SparseMatrix) -> float:
+    """Words of memory the storage scheme needs (Section 3's saving).
+
+    Dense: ``n*m`` value words.  CSR/CSC: ``nnz`` values + ``nnz`` indices +
+    ``n+1`` pointers.  COO: ``3 * nnz``.  Integer words are counted at full
+    word size, matching the paper's storage argument.
+    """
+    if isinstance(matrix, DenseMatrix):
+        return float(matrix.stored_elements)
+    if isinstance(matrix, CSRMatrix):
+        return float(2 * matrix.nnz + matrix.nrows + 1)
+    if isinstance(matrix, CSCMatrix):
+        return float(2 * matrix.nnz + matrix.ncols + 1)
+    if isinstance(matrix, COOMatrix):
+        return float(3 * matrix.nnz)
+    raise TypeError(f"unknown matrix type {type(matrix).__name__}")

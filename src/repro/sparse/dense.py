@@ -1,0 +1,75 @@
+"""Dense two-dimensional storage.
+
+Used when "the matrix is effectively dense" (the paper's computational
+electromagnetics example) and by the dense-partitioning Scenarios 1 and 2
+(Figures 3 and 4), where ``A`` is an ``n x n`` Fortran array distributed
+``(BLOCK, *)`` or ``(*, BLOCK)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+from .base import SparseMatrix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coo import COOMatrix
+
+__all__ = ["DenseMatrix"]
+
+
+class DenseMatrix(SparseMatrix):
+    """Thin wrapper giving a dense ndarray the common matrix interface."""
+
+    def __init__(self, array: np.ndarray):
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2:
+            raise ValueError("dense matrix must be 2-D")
+        self.array = array
+        self.shape: Tuple[int, int] = array.shape
+
+    @property
+    def nnz(self) -> int:
+        """Count of nonzero entries (a dense matrix stores all of them)."""
+        return int(np.count_nonzero(self.array))
+
+    @property
+    def stored_elements(self) -> int:
+        """All ``n * m`` stored elements, zeros included."""
+        return self.array.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_vector(x, self.ncols)
+        return self.array @ x
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_vector(x, self.nrows)
+        return self.array.T @ x
+
+    def diagonal(self) -> np.ndarray:
+        return np.diagonal(self.array).copy()
+
+    def to_coo(self) -> "COOMatrix":
+        from .coo import COOMatrix
+
+        return COOMatrix.from_dense(self.array)
+
+    def to_dense(self) -> "DenseMatrix":
+        return self
+
+    def transpose(self) -> "DenseMatrix":
+        return DenseMatrix(self.array.T.copy())
+
+    def row_block(self, lo: int, hi: int) -> np.ndarray:
+        """Rows ``lo:hi`` -- a rank's local block under (BLOCK, *)."""
+        return self.array[lo:hi, :]
+
+    def col_block(self, lo: int, hi: int) -> np.ndarray:
+        """Columns ``lo:hi`` -- a rank's local block under (*, BLOCK)."""
+        return self.array[:, lo:hi]

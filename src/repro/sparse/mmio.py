@@ -1,0 +1,92 @@
+"""Minimal MatrixMarket coordinate I/O.
+
+Supports the ``%%MatrixMarket matrix coordinate real general|symmetric``
+header, which is enough to persist every matrix this package generates and
+to exchange instances with external tools.  Written from the format
+specification; round-trip fidelity is covered by tests.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from .base import SparseMatrix
+from .coo import COOMatrix
+from .properties import is_symmetric
+
+__all__ = ["write_matrix_market", "read_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real {symmetry}\n"
+
+
+def write_matrix_market(
+    matrix: SparseMatrix, target: Union[str, Path, TextIO], force_general: bool = False
+) -> None:
+    """Write ``matrix`` in MatrixMarket coordinate format.
+
+    Symmetric matrices are stored as lower triangles with the ``symmetric``
+    qualifier unless ``force_general``.
+    """
+    coo = matrix.to_coo()
+    symmetric = not force_general and is_symmetric(matrix)
+    if symmetric:
+        keep = coo.rows >= coo.cols
+        rows, cols, data = coo.rows[keep], coo.cols[keep], coo.data[keep]
+    else:
+        rows, cols, data = coo.rows, coo.cols, coo.data
+
+    def _emit(fh: TextIO) -> None:
+        fh.write(_HEADER.format(symmetry="symmetric" if symmetric else "general"))
+        fh.write(f"{matrix.nrows} {matrix.ncols} {data.size}\n")
+        for i, j, v in zip(rows, cols, data):
+            fh.write(f"{i + 1} {j + 1} {float(v)!r}\n")
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as fh:
+            _emit(fh)
+    else:
+        _emit(target)
+
+
+def read_matrix_market(source: Union[str, Path, TextIO]) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a :class:`COOMatrix`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as fh:
+            return read_matrix_market(fh)
+    assert isinstance(source, (io.TextIOBase, io.StringIO)) or hasattr(source, "readline")
+    header = source.readline().strip().lower().split()
+    if (
+        len(header) < 5
+        or header[0] != "%%matrixmarket"
+        or header[1] != "matrix"
+        or header[2] != "coordinate"
+        or header[3] != "real"
+    ):
+        raise ValueError(f"unsupported MatrixMarket header: {' '.join(header)}")
+    symmetry = header[4]
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+    line = source.readline()
+    while line.startswith("%"):
+        line = source.readline()
+    nrows, ncols, nnz = (int(t) for t in line.split())
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    data = np.empty(nnz, dtype=np.float64)
+    for k in range(nnz):
+        parts = source.readline().split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed entry line {k + 1}: {parts}")
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        data[k] = float(parts[2])
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[: nnz][off]])
+        data = np.concatenate([data, data[off]])
+    return COOMatrix(rows, cols, data, shape=(nrows, ncols))

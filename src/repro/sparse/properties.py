@@ -1,0 +1,112 @@
+"""Structural and numerical property queries on matrices.
+
+These feed the distribution decisions the paper discusses: symmetry (the
+Figure-2 FORALL "works because A(i,j) = A(j,i) for the case of CG where A
+must be symmetric"), row-length statistics (uniform vs irregular sparse
+block distributions, Section 5.2), and positive-definiteness checks used by
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import SparseMatrix
+
+__all__ = [
+    "is_symmetric",
+    "is_positive_definite",
+    "is_diagonally_dominant",
+    "bandwidth",
+    "RowStats",
+    "row_length_stats",
+    "nnz_imbalance",
+]
+
+
+def is_symmetric(matrix: SparseMatrix, tol: float = 1e-12) -> bool:
+    """True when ``A == A.T`` entrywise within ``tol``."""
+    if matrix.nrows != matrix.ncols:
+        return False
+    coo = matrix.to_coo()
+    a = matrix.to_scipy()
+    return abs(a - a.T).max() <= tol if coo.nnz else True
+
+
+def is_positive_definite(matrix: SparseMatrix) -> bool:
+    """Cholesky-based SPD check (densifies; intended for test-size matrices)."""
+    if matrix.nrows != matrix.ncols:
+        return False
+    try:
+        np.linalg.cholesky(matrix.toarray())
+        return True
+    except np.linalg.LinAlgError:
+        return False
+
+
+def is_diagonally_dominant(matrix: SparseMatrix, strict: bool = False) -> bool:
+    """Row diagonal dominance: ``|a_ii| >= sum_{j!=i} |a_ij|`` for all i."""
+    coo = matrix.to_coo()
+    n = matrix.nrows
+    offsum = np.zeros(n)
+    diag = np.zeros(n)
+    mask = coo.rows == coo.cols
+    np.add.at(diag, coo.rows[mask], np.abs(coo.data[mask]))
+    np.add.at(offsum, coo.rows[~mask], np.abs(coo.data[~mask]))
+    if strict:
+        return bool((diag > offsum).all())
+    return bool((diag >= offsum - 1e-15).all())
+
+
+def bandwidth(matrix: SparseMatrix) -> int:
+    """Maximum ``|i - j|`` over stored entries (0 for diagonal/empty)."""
+    coo = matrix.to_coo()
+    if coo.nnz == 0:
+        return 0
+    return int(np.abs(coo.rows - coo.cols).max())
+
+
+@dataclass(frozen=True)
+class RowStats:
+    """Summary statistics of per-row nonzero counts."""
+
+    min: int
+    max: int
+    mean: float
+    std: float
+
+    @property
+    def skew_ratio(self) -> float:
+        """max/mean -- >1 signals the irregularity of Section 5.2.2."""
+        return self.max / self.mean if self.mean else 1.0
+
+
+def row_length_stats(matrix: SparseMatrix) -> RowStats:
+    """Per-row nonzero count statistics."""
+    lengths = np.diff(matrix.to_csr().indptr)
+    if lengths.size == 0:
+        return RowStats(0, 0, 0.0, 0.0)
+    return RowStats(
+        int(lengths.min()),
+        int(lengths.max()),
+        float(lengths.mean()),
+        float(lengths.std()),
+    )
+
+
+def nnz_imbalance(matrix: SparseMatrix, boundaries: np.ndarray) -> float:
+    """Max/mean nonzeros per partition for row partitions at ``boundaries``.
+
+    ``boundaries`` has ``P + 1`` entries; partition ``r`` owns rows
+    ``boundaries[r]:boundaries[r+1]``.  Returns 1.0 for perfect balance --
+    the quantity E11's load-balancing partitioner minimises.
+    """
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    csr = matrix.to_csr()
+    per_part = csr.indptr[boundaries[1:]] - csr.indptr[boundaries[:-1]]
+    mean = per_part.mean()
+    if mean == 0:
+        return 1.0
+    return float(per_part.max() / mean)

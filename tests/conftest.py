@@ -1,0 +1,97 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Machine
+from repro.sparse import (
+    circuit_nodal,
+    convection_diffusion_1d,
+    figure1_matrix,
+    irregular_powerlaw,
+    nas_cg_style,
+    poisson1d,
+    poisson2d,
+    structural_truss,
+)
+
+
+@pytest.fixture
+def machine4() -> Machine:
+    """A 4-processor hypercube with default costs."""
+    return Machine(nprocs=4, topology="hypercube")
+
+
+@pytest.fixture
+def machine8() -> Machine:
+    return Machine(nprocs=8, topology="hypercube")
+
+
+@pytest.fixture
+def machine1() -> Machine:
+    return Machine(nprocs=1, topology="hypercube")
+
+
+@pytest.fixture(params=[1, 2, 4, 8])
+def machine_pow2(request) -> Machine:
+    """Hypercube machines across power-of-two sizes."""
+    return Machine(nprocs=request.param, topology="hypercube")
+
+
+@pytest.fixture(params=["hypercube", "ring", "mesh2d", "complete"])
+def machine_topologies(request) -> Machine:
+    """A 4-processor machine on every topology."""
+    return Machine(nprocs=4, topology=request.param)
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure-1 6x6 example matrix (CSR)."""
+    return figure1_matrix()
+
+
+@pytest.fixture
+def spd_small():
+    """A small SPD system: 2-D Poisson on a 6x6 grid (n=36)."""
+    return poisson2d(6)
+
+
+@pytest.fixture
+def spd_medium():
+    """A medium SPD system: 2-D Poisson on a 10x8 grid (n=80)."""
+    return poisson2d(10, 8)
+
+
+@pytest.fixture
+def nonsym_small():
+    """A small nonsymmetric system for the BiCG family."""
+    return convection_diffusion_1d(40, peclet=0.4)
+
+
+@pytest.fixture
+def irregular_matrix():
+    """A skewed-row-length SPD matrix (Section 5.2.2's irregular case)."""
+    return irregular_powerlaw(96, seed=7)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+MATRIX_FAMILIES = {
+    "poisson1d": lambda: poisson1d(30),
+    "poisson2d": lambda: poisson2d(6, 5),
+    "truss": lambda: structural_truss(25, seed=3),
+    "circuit": lambda: circuit_nodal(30, seed=4),
+    "nas_cg": lambda: nas_cg_style(32, seed=5),
+    "powerlaw": lambda: irregular_powerlaw(40, seed=6),
+}
+
+
+@pytest.fixture(params=sorted(MATRIX_FAMILIES))
+def spd_family_matrix(request):
+    """One SPD matrix from each application family the paper cites."""
+    return MATRIX_FAMILIES[request.param]()

@@ -1,0 +1,75 @@
+"""Edge-case tests for alignment groups and the aligned() predicate."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    AlignmentError,
+    AlignmentGroup,
+    Block,
+    Cyclic,
+    DistributedArray,
+    IrregularBlock,
+    aligned,
+)
+from repro.machine import Machine
+
+
+class TestAlignmentGroupEdges:
+    def test_add_is_idempotent(self, machine4):
+        p = DistributedArray(machine4, 8, name="p")
+        q = DistributedArray(machine4, 8, name="q").align_with(p)
+        q.align_with(p)  # again
+        assert len(p.group) == 2
+
+    def test_names(self, machine4):
+        p = DistributedArray(machine4, 8, name="p")
+        DistributedArray(machine4, 8, name="q").align_with(p)
+        assert p.group.names() == ["p", "q"]
+
+    def test_contains(self, machine4):
+        p = DistributedArray(machine4, 8, name="p")
+        q = DistributedArray(machine4, 8, name="q").align_with(p)
+        other = DistributedArray(machine4, 8, name="o")
+        assert q in p.group
+        assert other not in p.group
+
+    def test_alignee_with_different_layout_is_moved(self, machine4, rng):
+        """Joining a group relays the newcomer onto the target's layout."""
+        values = rng.standard_normal(8)
+        p = DistributedArray(machine4, 8, Cyclic(8, 4), name="p")
+        q = DistributedArray.from_global(machine4, values, Block(8, 4), name="q")
+        q.align_with(p)
+        assert q.distribution.same_mapping(p.distribution)
+        assert np.allclose(q.to_global(), values)
+
+    def test_group_redistribute_uncharged_option(self, machine4):
+        p = DistributedArray(machine4, 8, name="p")
+        DistributedArray(machine4, 8, name="q").align_with(p)
+        before = machine4.stats.snapshot()
+        p.group.redistribute(Cyclic(8, 4), charge=False)
+        assert before.since(machine4.stats).words == 0
+
+    def test_new_aligned_helper(self, machine4):
+        p = DistributedArray(machine4, 8, Cyclic(8, 4), name="p")
+        w = p.new_aligned("w", fill=5.0)
+        assert w.distribution.same_mapping(p.distribution)
+        assert (w.to_global() == 5.0).all()
+        assert w in p.group
+
+
+class TestAlignedPredicateEdges:
+    def test_single_and_empty(self, machine4):
+        p = DistributedArray(machine4, 8)
+        assert aligned(p)
+        assert aligned()
+
+    def test_irregular_matching_block_counts_as_aligned(self, machine4):
+        p = DistributedArray(machine4, 8, Block(8, 4))
+        q = DistributedArray(machine4, 8, IrregularBlock([0, 2, 4, 6, 8]))
+        assert aligned(p, q)
+
+    def test_extent_mismatch_not_aligned(self, machine4):
+        assert not aligned(
+            DistributedArray(machine4, 8), DistributedArray(machine4, 9)
+        )

@@ -1,0 +1,171 @@
+"""Tests for the analytic cost model, load metrics and report tables."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    LoadReport,
+    Table,
+    csc_serial_time,
+    csr_storage_words,
+    dense_storage_words,
+    format_quantity,
+    inner_product_merge_time,
+    inner_product_time,
+    load_report,
+    parallel_efficiency,
+    private_merge_matvec_time,
+    private_storage_words,
+    rowwise_matvec_time,
+    saxpy_time,
+    scenario1_broadcast_time,
+    scenario2_comm_time,
+)
+from repro.machine import CostModel
+
+COST = CostModel(t_startup=1e-5, t_comm=1e-8, t_flop=1e-9)
+
+
+class TestPaperFormulas:
+    def test_saxpy_scales_inverse_p(self):
+        """O(n/N_P): doubling processors halves the SAXPY time."""
+        t4 = saxpy_time(1024, 4, COST)
+        t8 = saxpy_time(1024, 8, COST)
+        assert t4 / t8 == pytest.approx(2.0)
+
+    def test_saxpy_exact(self):
+        assert saxpy_time(1000, 4, COST) == pytest.approx(2 * 250 * COST.t_flop)
+
+    def test_inner_product_merge_is_ts_log_p(self):
+        assert inner_product_merge_time(8, COST) == pytest.approx(
+            COST.t_startup * 3
+        )
+        assert inner_product_merge_time(1, COST) == 0.0
+
+    def test_inner_product_total(self):
+        t = inner_product_time(1000, 4, COST)
+        assert t == pytest.approx(2 * 250 * COST.t_flop + COST.t_startup * 2)
+
+    def test_scenario1_formula_literal(self):
+        """t_startup*log(N_P) + t_comm*n/N_P, word for word."""
+        n, p = 4096, 16
+        expected = COST.t_startup * math.log2(p) + COST.t_comm * (n // p)
+        assert scenario1_broadcast_time(n, p, COST) == pytest.approx(expected)
+
+    def test_scenario2_equals_scenario1(self):
+        """The paper's equality claim between the two scenarios."""
+        for n, p in [(1000, 4), (5000, 8), (333, 2)]:
+            assert scenario2_comm_time(n, p, COST) == scenario1_broadcast_time(
+                n, p, COST
+            )
+
+    def test_single_processor_broadcast_free(self):
+        assert scenario1_broadcast_time(100, 1, COST) == 0.0
+
+    def test_private_storage_n_times_p(self):
+        assert private_storage_words(1000, 16) == 16000.0
+
+    def test_csc_serial_lower_bound(self):
+        assert csc_serial_time(500, COST) == pytest.approx(1000 * COST.t_flop)
+
+    def test_private_merge_beats_serial_for_parallel_work(self):
+        # enough nonzeros per row that the merge cost amortises
+        n, nnz, p = 4096, 409600, 16
+        assert private_merge_matvec_time(n, nnz, p, COST) < csc_serial_time(nnz, COST)
+
+    def test_private_merge_does_not_pay_off_for_tiny_work(self):
+        # the flip side the paper acknowledges: for sparse work the merge
+        # (O(n) words) can rival the saved compute
+        n, nnz, p = 4096, 8192, 16
+        assert private_merge_matvec_time(n, nnz, p, COST) > 0.5 * csc_serial_time(
+            nnz, COST
+        )
+
+    def test_rowwise_matvec_includes_broadcast(self):
+        t = rowwise_matvec_time(1000, 5000, 4, COST)
+        assert t > scenario1_broadcast_time(1000, 4, COST)
+
+    def test_storage_formulas(self):
+        assert dense_storage_words(100) == 10000.0
+        assert csr_storage_words(100, 500) == 2 * 500 + 101
+
+
+class TestLoadReport:
+    def test_balanced(self):
+        r = load_report([100, 100, 100, 100])
+        assert r.imbalance == pytest.approx(1.0)
+        assert r.cv == pytest.approx(0.0)
+        assert r.total == 400
+
+    def test_skewed(self):
+        r = load_report([400, 0, 0, 0])
+        assert r.imbalance == pytest.approx(4.0)
+        assert r.maximum == 400
+        assert r.minimum == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            load_report([])
+
+    def test_str_rendering(self):
+        assert "imbalance" in str(load_report([1, 2, 3]))
+
+
+class TestParallelEfficiency:
+    def test_ideal(self):
+        assert parallel_efficiency(8.0, 1.0, 8) == pytest.approx(1.0)
+
+    def test_half(self):
+        assert parallel_efficiency(8.0, 2.0, 8) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0.0, 4)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("saxpy", 1.5)
+        t.add_row("dot", 200000.0)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "saxpy" in text
+        assert "2e+05" in text or "2.000e+05" in text
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_extend(self):
+        t = Table(["a"])
+        t.extend([[1], [2], [3]])
+        assert len(t.rows) == 3
+
+    def test_empty_table_renders(self):
+        assert "a" in Table(["a"]).render()
+
+
+class TestFormatQuantity:
+    def test_strings_pass_through(self):
+        assert format_quantity("x") == "x"
+
+    def test_bools(self):
+        assert format_quantity(True) == "yes"
+        assert format_quantity(False) == "no"
+
+    def test_ints(self):
+        assert format_quantity(42) == "42"
+
+    def test_small_floats_scientific(self):
+        assert "e" in format_quantity(1.5e-7)
+
+    def test_zero(self):
+        assert format_quantity(0.0) == "0"
+
+    def test_nan(self):
+        assert format_quantity(float("nan")) == "nan"

@@ -1,0 +1,287 @@
+"""Unit tests for DistributedArray, alignment groups and redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    AlignmentError,
+    Block,
+    Cyclic,
+    DistributedArray,
+    DistributedDenseMatrix,
+    DistributionError,
+    IrregularBlock,
+    Replicated,
+    aligned,
+)
+from repro.machine import Machine
+
+
+class TestConstruction:
+    def test_default_block_distribution(self, machine4):
+        a = DistributedArray(machine4, 10)
+        assert isinstance(a.distribution, Block)
+        assert a.to_global().tolist() == [0.0] * 10
+
+    def test_fill_value(self, machine4):
+        a = DistributedArray(machine4, 6, fill=2.5)
+        assert (a.to_global() == 2.5).all()
+
+    def test_from_global_round_trip(self, machine4, rng):
+        values = rng.standard_normal(11)
+        for dist in (Block(11, 4), Cyclic(11, 4), IrregularBlock([0, 1, 5, 5, 11])):
+            a = DistributedArray.from_global(machine4, values, dist)
+            assert np.allclose(a.to_global(), values)
+
+    def test_replicated_round_trip(self, machine4, rng):
+        values = rng.standard_normal(7)
+        a = DistributedArray.from_global(machine4, values, Replicated(7, 4))
+        assert np.allclose(a.to_global(), values)
+        assert a.local(2).size == 7
+
+    def test_extent_mismatch_rejected(self, machine4):
+        with pytest.raises(DistributionError):
+            DistributedArray(machine4, 10, Block(11, 4))
+
+    def test_machine_mismatch_rejected(self, machine4):
+        with pytest.raises(DistributionError):
+            DistributedArray(machine4, 10, Block(10, 8))
+
+    def test_storage_charged_on_creation(self):
+        m = Machine(nprocs=4)
+        DistributedArray(m, 12)
+        assert m.stats.storage_words_per_rank.sum() == 12.0
+
+
+class TestElementwiseOps:
+    def test_axpy(self, machine4, rng):
+        xv, yv = rng.standard_normal(9), rng.standard_normal(9)
+        x = DistributedArray.from_global(machine4, xv)
+        y = DistributedArray.from_global(machine4, yv)
+        y.axpy(2.5, x)
+        assert np.allclose(y.to_global(), yv + 2.5 * xv)
+
+    def test_saypx(self, machine4, rng):
+        xv, yv = rng.standard_normal(9), rng.standard_normal(9)
+        x = DistributedArray.from_global(machine4, xv)
+        y = DistributedArray.from_global(machine4, yv)
+        y.saypx(0.5, x)  # y = 0.5*y + x
+        assert np.allclose(y.to_global(), 0.5 * yv + xv)
+
+    def test_scale_and_fill(self, machine4):
+        a = DistributedArray.from_global(machine4, np.arange(8.0))
+        a.scale(3.0)
+        assert np.allclose(a.to_global(), 3.0 * np.arange(8))
+        a.fill(1.0)
+        assert (a.to_global() == 1.0).all()
+
+    def test_operators_produce_new_arrays(self, machine4, rng):
+        xv, yv = rng.standard_normal(6), rng.standard_normal(6)
+        x = DistributedArray.from_global(machine4, xv)
+        y = DistributedArray.from_global(machine4, yv)
+        assert np.allclose((x + y).to_global(), xv + yv)
+        assert np.allclose((x - y).to_global(), xv - yv)
+        assert np.allclose((x * y).to_global(), xv * yv)
+        assert np.allclose((x / (y + 10.0)).to_global(), xv / (yv + 10.0))
+        assert np.allclose((2.0 * x).to_global(), 2 * xv)
+        assert np.allclose((-x).to_global(), -xv)
+        assert np.allclose(x.to_global(), xv)  # unchanged
+
+    def test_saxpy_charges_2_flops_per_element(self):
+        m = Machine(nprocs=4)
+        x = DistributedArray(m, 12)
+        y = DistributedArray(m, 12)
+        before = m.stats.total_flops
+        y.axpy(1.0, x)
+        assert m.stats.total_flops - before == 24.0
+
+    def test_saxpy_no_communication(self):
+        m = Machine(nprocs=4)
+        x, y = DistributedArray(m, 12), DistributedArray(m, 12)
+        y.axpy(1.0, x)
+        assert m.stats.total_messages == 0
+
+    def test_unaligned_operands_rejected(self, machine4):
+        x = DistributedArray(machine4, 10, Block(10, 4))
+        y = DistributedArray(machine4, 10, Cyclic(10, 4))
+        with pytest.raises(AlignmentError):
+            y.axpy(1.0, x)
+
+    def test_extent_mismatch_rejected(self, machine4):
+        x = DistributedArray(machine4, 10)
+        y = DistributedArray(machine4, 9)
+        with pytest.raises(AlignmentError):
+            y.axpy(1.0, x)
+
+    def test_replicated_operand_allowed(self, machine4, rng):
+        xv = rng.standard_normal(8)
+        x = DistributedArray.from_global(machine4, xv, Replicated(8, 4))
+        y = DistributedArray(machine4, 8)
+        y.axpy(1.0, x)
+        assert np.allclose(y.to_global(), xv)
+
+
+class TestReductions:
+    def test_dot_value(self, machine4, rng):
+        xv, yv = rng.standard_normal(10), rng.standard_normal(10)
+        x = DistributedArray.from_global(machine4, xv)
+        y = DistributedArray.from_global(machine4, yv)
+        assert x.dot(y) == pytest.approx(float(xv @ yv))
+
+    def test_dot_charges_one_allreduce(self):
+        m = Machine(nprocs=4)
+        x = DistributedArray.from_global(m, np.arange(8.0))
+        x.dot(x)
+        ops = m.stats.by_op()
+        assert ops["allreduce"]["count"] == 1
+
+    def test_norm2(self, machine4, rng):
+        xv = rng.standard_normal(10)
+        x = DistributedArray.from_global(machine4, xv)
+        assert x.norm2() == pytest.approx(float(np.linalg.norm(xv)))
+
+    def test_sum(self, machine4):
+        x = DistributedArray.from_global(machine4, np.arange(10.0))
+        assert x.sum() == pytest.approx(45.0)
+
+    def test_gather_to_all_charges_allgather(self):
+        m = Machine(nprocs=4)
+        x = DistributedArray.from_global(m, np.arange(12.0))
+        full = x.gather_to_all()
+        assert np.allclose(full, np.arange(12.0))
+        assert "allgather" in m.stats.by_op()
+
+    def test_replicated_gather_free(self):
+        m = Machine(nprocs=4)
+        x = DistributedArray.from_global(m, np.arange(5.0), Replicated(5, 4))
+        x.gather_to_all()
+        assert m.stats.total_messages == 0
+
+
+class TestAlignmentGroups:
+    def test_align_with_adopts_distribution(self, machine4):
+        p = DistributedArray(machine4, 10, Cyclic(10, 4), name="p")
+        q = DistributedArray(machine4, 10, name="q").align_with(p)
+        assert q.distribution.same_mapping(p.distribution)
+
+    def test_cascade_redistribution(self, machine4, rng):
+        """Figure-2 semantics: redistributing p moves q, r, x with it."""
+        pv = rng.standard_normal(12)
+        p = DistributedArray.from_global(machine4, pv, name="p")
+        q = DistributedArray(machine4, 12, name="q").align_with(p)
+        r = DistributedArray(machine4, 12, name="r").align_with(p)
+        x = DistributedArray(machine4, 12, name="x").align_with(p)
+        p.redistribute(Cyclic(12, 4))
+        for v in (p, q, r, x):
+            assert isinstance(v.distribution, Cyclic)
+        assert np.allclose(p.to_global(), pv)
+
+    def test_alignee_redistribution_also_cascades(self, machine4):
+        p = DistributedArray(machine4, 12, name="p")
+        q = DistributedArray(machine4, 12, name="q").align_with(p)
+        q.redistribute(Cyclic(12, 4))
+        assert isinstance(p.distribution, Cyclic)
+
+    def test_extent_mismatch_rejected(self, machine4):
+        p = DistributedArray(machine4, 10)
+        with pytest.raises(AlignmentError):
+            DistributedArray(machine4, 11).align_with(p)
+
+    def test_cannot_join_two_groups(self, machine4):
+        p1 = DistributedArray(machine4, 10, name="p1")
+        p2 = DistributedArray(machine4, 10, name="p2")
+        q = DistributedArray(machine4, 10, name="q").align_with(p1)
+        p2.align_with(p1)  # fine: same group
+        other = DistributedArray(machine4, 10, name="other")
+        other.align_with(other)  # self-group
+        with pytest.raises(AlignmentError):
+            other.align_with(p1)
+
+    def test_aligned_predicate(self, machine4):
+        p = DistributedArray(machine4, 10)
+        q = DistributedArray(machine4, 10)
+        c = DistributedArray(machine4, 10, Cyclic(10, 4))
+        rep = DistributedArray(machine4, 10, Replicated(10, 4))
+        assert aligned(p, q)
+        assert not aligned(p, c)
+        assert aligned(p, rep)
+        assert aligned(p)
+
+
+class TestRedistributionCharging:
+    def test_redistribution_moves_data_and_charges(self, rng):
+        m = Machine(nprocs=4)
+        values = rng.standard_normal(16)
+        a = DistributedArray.from_global(m, values)
+        before = m.stats.snapshot()
+        a.redistribute(Cyclic(16, 4))
+        delta = before.since(m.stats)
+        assert delta.words > 0
+        assert np.allclose(a.to_global(), values)
+
+    def test_noop_redistribution_free(self):
+        m = Machine(nprocs=4)
+        a = DistributedArray(m, 16)
+        before = m.stats.snapshot()
+        a.redistribute(Block(16, 4))
+        assert before.since(m.stats).words == 0
+
+    def test_uncharged_layout_change(self):
+        m = Machine(nprocs=4)
+        a = DistributedArray(m, 16)
+        before = m.stats.snapshot()
+        a.redistribute(Cyclic(16, 4), charge=False)
+        assert before.since(m.stats).words == 0
+
+    def test_to_replicated_is_allgather(self):
+        m = Machine(nprocs=4)
+        a = DistributedArray(m, 16)
+        a.redistribute(Replicated(16, 4))
+        assert "allgather" in m.stats.by_op()
+        assert a.local(3).size == 16
+
+
+class TestDistributedDenseMatrix:
+    def test_row_blocks(self, machine4, rng):
+        a = rng.standard_normal((8, 8))
+        m = DistributedDenseMatrix(machine4, a, axis=0)
+        assert np.allclose(m.local_block(1), a[2:4, :])
+        assert np.allclose(m.to_global(), a)
+
+    def test_col_blocks(self, machine4, rng):
+        a = rng.standard_normal((8, 8))
+        m = DistributedDenseMatrix(machine4, a, axis=1)
+        assert np.allclose(m.local_block(2), a[:, 4:6])
+
+    def test_invalid_axis(self, machine4):
+        with pytest.raises(ValueError):
+            DistributedDenseMatrix(machine4, np.zeros((4, 4)), axis=2)
+
+    def test_requires_2d(self, machine4):
+        with pytest.raises(ValueError):
+            DistributedDenseMatrix(machine4, np.zeros(4))
+
+    def test_replicated_rejected(self, machine4):
+        with pytest.raises(DistributionError):
+            DistributedDenseMatrix(
+                machine4, np.zeros((4, 4)), Replicated(4, 4), axis=0
+            )
+
+
+class TestDescriptor:
+    def test_descriptor_fields(self, machine4):
+        p = DistributedArray(machine4, 10, name="p")
+        q = DistributedArray(machine4, 10, name="q").align_with(p)
+        dad = q.descriptor(dynamic=True)
+        assert dad.extent == 10
+        assert dad.counts == (3, 3, 3, 1)
+        assert dad.dynamic
+        assert dad.align_target == "p"
+        assert dad.local_extent(0) == 3
+        assert dad.max_local_extent == 3
+        assert not dad.is_balanced  # 3 vs 1 differ by more than one
+        assert dad.imbalance() == pytest.approx(3 / 2.5)
+
+    def test_balanced_descriptor(self, machine4):
+        a = DistributedArray(machine4, 8)
+        assert a.descriptor().is_balanced

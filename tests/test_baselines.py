@@ -1,0 +1,95 @@
+"""Tests for the message-passing and direct-method baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import direct_solve, direct_vs_cg_flops, spmd_cg
+from repro.core import StoppingCriterion, cg_reference, hpf_cg, make_strategy
+from repro.machine import Machine
+from repro.sparse import poisson2d, rhs_for_solution
+
+CRIT = StoppingCriterion(rtol=1e-10)
+
+
+class TestSpmdCg:
+    @pytest.mark.parametrize("nprocs,topology", [(1, "hypercube"), (2, "hypercube"),
+                                                 (3, "ring"), (4, "hypercube"),
+                                                 (8, "hypercube")])
+    def test_solution_across_sizes(self, nprocs, topology, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        m = Machine(nprocs=nprocs, topology=topology)
+        res = spmd_cg(m, spd_small, b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+
+    def test_iterations_match_sequential(self, spd_small, rng):
+        b = rng.standard_normal(spd_small.nrows)
+        seq = cg_reference(spd_small, b, criterion=CRIT)
+        m = Machine(nprocs=4)
+        mp = spmd_cg(m, spd_small, b, criterion=CRIT)
+        assert abs(mp.iterations - seq.iterations) <= 1
+
+    def test_history_recorded(self, spd_small, rng):
+        b = rng.standard_normal(spd_small.nrows)
+        m = Machine(nprocs=4)
+        res = spmd_cg(m, spd_small, b, criterion=CRIT)
+        assert len(res.history.residual_norms) == res.iterations + 1
+
+    def test_nonzero_initial_guess(self, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        m = Machine(nprocs=4)
+        res = spmd_cg(m, spd_small, b, x0=xt.copy(), criterion=CRIT)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_comm_volume_comparable_to_hpf(self, spd_small, rng):
+        """The paper's claim: HPF can match message-passing efficiency.
+
+        Same algorithm, same layout -> communication volume within 2x.
+        """
+        b = rng.standard_normal(spd_small.nrows)
+        m_hpf = Machine(nprocs=4)
+        res_hpf = hpf_cg(
+            make_strategy("csr_forall_aligned", m_hpf, spd_small), b, criterion=CRIT
+        )
+        m_mp = Machine(nprocs=4)
+        res_mp = spmd_cg(m_mp, spd_small, b, criterion=CRIT)
+        ratio = res_hpf.comm["words"] / res_mp.comm["words"]
+        assert 0.5 < ratio < 2.0
+
+    def test_shape_validation(self, spd_small):
+        m = Machine(nprocs=2)
+        with pytest.raises(ValueError):
+            spmd_cg(m, spd_small, np.zeros(7))
+
+    def test_strategy_label(self, spd_small, rng):
+        m = Machine(nprocs=2)
+        res = spmd_cg(m, spd_small, rng.standard_normal(36), criterion=CRIT)
+        assert res.strategy == "spmd_message_passing"
+
+
+class TestDirectBaseline:
+    def test_direct_solve(self, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        res = direct_solve(spd_small, b)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-8)
+        assert res.extras["flops"] > 0
+        assert res.final_residual < 1e-8
+
+    def test_cg_wins_on_large_sparse(self, rng):
+        """The paper's preference: iterative beats direct for large sparse."""
+        A = poisson2d(12, 12)  # n=144, nnz ~ 5n
+        b = rng.standard_normal(144)
+        cmp = direct_vs_cg_flops(A, b, criterion=StoppingCriterion(rtol=1e-8))
+        assert cmp["cg_wins"]
+        assert cmp["ratio"] > 1.0
+
+    def test_comparison_fields(self, spd_small, rng):
+        cmp = direct_vs_cg_flops(spd_small, rng.standard_normal(36))
+        assert set(cmp) == {
+            "n", "nnz", "ge_flops", "cg_iterations", "cg_flops", "cg_wins", "ratio"
+        }

@@ -1,0 +1,105 @@
+"""Numerical invariants of the CG recurrence (Section 2 theory).
+
+Beyond "it converges": the defining structural properties of conjugate
+gradients, checked on the actual iterates --
+
+* residuals are mutually orthogonal,
+* search directions are A-conjugate,
+* the A-norm of the error decreases monotonically,
+* alpha and beta match their closed-form Rayleigh expressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StoppingCriterion
+from repro.sparse import poisson2d, random_sparse_symmetric, rhs_for_solution
+
+
+def _instrumented_cg(A, b, iterations):
+    """Run CG keeping every iterate (reference recurrence, no stopping)."""
+    n = A.nrows
+    x = np.zeros(n)
+    r = b.copy()
+    p = r.copy()
+    rho = float(r @ r)
+    xs, rs, ps = [x.copy()], [r.copy()], [p.copy()]
+    for _ in range(iterations):
+        q = A.matvec(p)
+        alpha = rho / float(p @ q)
+        x = x + alpha * p
+        r = r - alpha * q
+        rho0, rho = rho, float(r @ r)
+        beta = rho / rho0
+        p = r + beta * p
+        xs.append(x.copy())
+        rs.append(r.copy())
+        ps.append(p.copy())
+    return xs, rs, ps
+
+
+@pytest.fixture
+def system(rng):
+    A = poisson2d(6, 6)
+    xt = rng.standard_normal(36)
+    return A, xt, rhs_for_solution(A, xt)
+
+
+class TestCgInvariants:
+    def test_residual_orthogonality(self, system):
+        A, _, b = system
+        _, rs, _ = _instrumented_cg(A, b, 10)
+        for i in range(8):
+            for j in range(i + 1, 8):
+                cos = abs(rs[i] @ rs[j]) / (
+                    np.linalg.norm(rs[i]) * np.linalg.norm(rs[j])
+                )
+                assert cos < 1e-7, (i, j, cos)
+
+    def test_search_direction_a_conjugacy(self, system):
+        A, _, b = system
+        _, _, ps = _instrumented_cg(A, b, 10)
+        dense = A.toarray()
+        for i in range(8):
+            for j in range(i + 1, 8):
+                val = abs(ps[i] @ dense @ ps[j])
+                scale = np.sqrt((ps[i] @ dense @ ps[i]) * (ps[j] @ dense @ ps[j]))
+                assert val / scale < 1e-7, (i, j)
+
+    def test_a_norm_error_monotone_decrease(self, system):
+        A, xt, b = system
+        xs, _, _ = _instrumented_cg(A, b, 15)
+        dense = A.toarray()
+        errors = [float((x - xt) @ dense @ (x - xt)) for x in xs]
+        for e0, e1 in zip(errors[:-1], errors[1:]):
+            assert e1 <= e0 * (1 + 1e-12)
+
+    def test_residual_matches_definition(self, system):
+        """The recurrence's r_k equals b - A x_k throughout."""
+        A, _, b = system
+        xs, rs, _ = _instrumented_cg(A, b, 12)
+        for x, r in zip(xs, rs):
+            assert np.allclose(r, b - A.matvec(x), atol=1e-10)
+
+    def test_alpha_is_rayleigh_optimal_step(self, system):
+        """alpha_k minimises the A-norm error along p_k (line-search optimality)."""
+        A, xt, b = system
+        xs, rs, ps = _instrumented_cg(A, b, 6)
+        dense = A.toarray()
+        for k in range(5):
+            alpha = float(rs[k] @ rs[k]) / float(ps[k] @ dense @ ps[k])
+
+            def err(a):
+                e = xs[k] + a * ps[k] - xt
+                return float(e @ dense @ e)
+
+            assert err(alpha) <= err(alpha * 1.01) + 1e-12
+            assert err(alpha) <= err(alpha * 0.99) + 1e-12
+
+    def test_krylov_exactness_on_random_spd(self, rng):
+        """Full CG terminates (to round-off) within n iterations."""
+        A = random_sparse_symmetric(16, nnz_per_row=5, seed=3)
+        xt = rng.standard_normal(16)
+        b = rhs_for_solution(A, xt)
+        _, rs, _ = _instrumented_cg(A, b, 16)
+        assert np.linalg.norm(rs[-1]) < 1e-6 * np.linalg.norm(b)

@@ -1,0 +1,121 @@
+"""Tests for the 2-D checkerboard dense strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DenseCheckerboard,
+    RowBlockDense,
+    StoppingCriterion,
+    hpf_bicg,
+    hpf_cg,
+    make_strategy,
+)
+from repro.machine import Machine
+from repro.sparse import nonsymmetric_diag_dominant, poisson2d, rhs_for_solution
+
+CRIT = StoppingCriterion(rtol=1e-10)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("nprocs", [1, 4, 9, 16])
+    def test_forward_product(self, nprocs, spd_small, rng):
+        m = Machine(nprocs=nprocs, topology="complete")
+        strat = DenseCheckerboard(m, spd_small)
+        pv = rng.standard_normal(spd_small.nrows)
+        p, q = strat.make_vector("p", pv), strat.make_vector("q")
+        strat.apply(p, q)
+        assert np.allclose(q.to_global(), spd_small.matvec(pv))
+
+    def test_transpose_product(self, rng):
+        A = nonsymmetric_diag_dominant(50, seed=1)
+        m = Machine(nprocs=4)
+        strat = DenseCheckerboard(m, A)
+        xv = rng.standard_normal(50)
+        x, y = strat.make_vector("x", xv), strat.make_vector("y")
+        strat.apply_transpose(x, y)
+        assert np.allclose(y.to_global(), A.rmatvec(xv))
+
+    def test_cg_solve(self, spd_medium, rng):
+        xt = rng.standard_normal(spd_medium.nrows)
+        b = rhs_for_solution(spd_medium, xt)
+        m = Machine(nprocs=4)
+        res = hpf_cg(DenseCheckerboard(m, spd_medium), b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+
+    def test_bicg_solve(self, rng):
+        A = nonsymmetric_diag_dominant(36, seed=4)
+        xt = rng.standard_normal(36)
+        b = rhs_for_solution(A, xt)
+        m = Machine(nprocs=9, topology="ring")
+        res = hpf_bicg(DenseCheckerboard(m, A), b,
+                       criterion=StoppingCriterion(rtol=1e-10, maxiter=400))
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_registry(self, spd_small):
+        m = Machine(nprocs=4)
+        assert isinstance(
+            make_strategy("dense_checkerboard", m, spd_small), DenseCheckerboard
+        )
+
+
+class TestGridRequirements:
+    def test_non_square_rejected(self, spd_small):
+        with pytest.raises(ValueError):
+            DenseCheckerboard(Machine(nprocs=8), spd_small)
+
+    def test_uneven_n_still_works(self, rng):
+        A = nonsymmetric_diag_dominant(37, seed=5)  # 37 not divisible by 3
+        m = Machine(nprocs=9, topology="ring")
+        strat = DenseCheckerboard(m, A)
+        pv = rng.standard_normal(37)
+        p, q = strat.make_vector("p", pv), strat.make_vector("q")
+        strat.apply(p, q)
+        assert np.allclose(q.to_global(), A.matvec(pv))
+
+
+class TestCommunicationShape:
+    def test_less_total_traffic_than_stripes(self, rng):
+        """The [17] result: checkerboard beats 1-D stripes in volume."""
+        A = poisson2d(16, 16)
+        pv = rng.standard_normal(256)
+        m1 = Machine(nprocs=16)
+        s1 = RowBlockDense(m1, A)
+        s1.apply(s1.make_vector("p", pv), s1.make_vector("q"))
+        m2 = Machine(nprocs=16, topology="complete")
+        s2 = DenseCheckerboard(m2, A)
+        s2.apply(s2.make_vector("p", pv), s2.make_vector("q"))
+        assert m2.stats.total_words < m1.stats.total_words
+
+    def test_per_rank_words_scale_as_inverse_sqrt_p(self, spd_medium):
+        w4 = DenseCheckerboard(
+            Machine(nprocs=4), spd_medium
+        ).comm_words_received_per_rank()
+        w16 = DenseCheckerboard(
+            Machine(nprocs=16), spd_medium
+        ).comm_words_received_per_rank()
+        assert w16 == pytest.approx(w4 / 2, rel=0.1)  # q doubles -> halves
+
+    def test_grid_ops_recorded(self, spd_small, rng):
+        m = Machine(nprocs=4)
+        strat = DenseCheckerboard(m, spd_small)
+        strat.apply(strat.make_vector("p", rng.standard_normal(36)),
+                    strat.make_vector("q"))
+        ops = m.stats.by_op()
+        assert "grid_bcast" in ops
+        assert "grid_reduce" in ops
+
+    def test_single_rank_no_comm(self, spd_small, rng):
+        m = Machine(nprocs=1)
+        strat = DenseCheckerboard(m, spd_small)
+        strat.apply(strat.make_vector("p", rng.standard_normal(36)),
+                    strat.make_vector("q"))
+        assert m.stats.total_messages == 0
+
+    def test_storage_is_block_squared(self, spd_medium):
+        strat = DenseCheckerboard(Machine(nprocs=4), spd_medium)
+        n = spd_medium.nrows
+        expected = (-(-n // 2)) ** 2  # ceil(n/2)^2 for the top-left block
+        assert strat.storage_words_per_rank()[0] == expected

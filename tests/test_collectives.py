@@ -1,0 +1,145 @@
+"""Unit tests for closed-form collective costs."""
+
+import math
+
+import pytest
+
+from repro.machine import (
+    CostModel,
+    Complete,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    allgather_cost,
+    allreduce_cost,
+    alltoall_cost,
+    barrier_cost,
+    broadcast_cost,
+    gather_cost,
+    reduce_cost,
+    reduce_scatter_cost,
+    scatter_cost,
+)
+
+COST = CostModel(t_startup=1e-5, t_comm=1e-8, t_flop=1e-9)
+
+ALL_COLLECTIVES = [
+    lambda t: broadcast_cost(t, COST, 100),
+    lambda t: reduce_cost(t, COST, 100),
+    lambda t: allreduce_cost(t, COST, 100),
+    lambda t: allgather_cost(t, COST, 100),
+    lambda t: reduce_scatter_cost(t, COST, 100),
+    lambda t: gather_cost(t, COST, 100),
+    lambda t: scatter_cost(t, COST, 100),
+    lambda t: alltoall_cost(t, COST, 100),
+    lambda t: barrier_cost(t, COST),
+]
+
+
+class TestDegenerateSingleRank:
+    @pytest.mark.parametrize("fn", ALL_COLLECTIVES)
+    def test_single_rank_is_free(self, fn):
+        c = fn(Hypercube(1))
+        assert c.time == 0.0
+        assert c.messages == 0
+        assert c.words == 0.0
+
+
+class TestBroadcast:
+    def test_hypercube_latency_is_log_p(self):
+        c = broadcast_cost(Hypercube(8), COST, 0)
+        assert c.time == pytest.approx(3 * COST.t_startup)
+
+    def test_hypercube_message_count(self):
+        assert broadcast_cost(Hypercube(8), COST, 10).messages == 7
+
+    def test_ring_slower_than_hypercube(self):
+        h = broadcast_cost(Hypercube(16), COST, 100)
+        r = broadcast_cost(Ring(16), COST, 100)
+        assert r.time > h.time
+
+    def test_grows_with_message_size(self):
+        small = broadcast_cost(Hypercube(8), COST, 10)
+        big = broadcast_cost(Hypercube(8), COST, 1000)
+        assert big.time > small.time
+
+    def test_mesh_between_ring_and_hypercube(self):
+        h = broadcast_cost(Hypercube(16), COST, 100).time
+        m = broadcast_cost(Mesh2D(4, 4), COST, 100).time
+        r = broadcast_cost(Ring(16), COST, 100).time
+        assert h <= m <= r
+
+
+class TestAllreduce:
+    def test_hypercube_stages(self):
+        c = allreduce_cost(Hypercube(8), COST, 1)
+        expected = 3 * (COST.message_time(1) + COST.t_flop)
+        assert c.time == pytest.approx(expected)
+
+    def test_monotone_in_p(self):
+        times = [allreduce_cost(Hypercube(p), COST, 1).time for p in (2, 4, 8, 16)]
+        assert times == sorted(times)
+
+    def test_ring_uses_reduce_scatter_allgather(self):
+        c = allreduce_cost(Ring(4), COST, 8)
+        assert c.time > 0
+        assert c.messages == 2 * 4 * 3
+
+
+class TestAllgather:
+    def test_hypercube_formula(self):
+        # log P startups + (P-1) m t_comm
+        p, m = 8, 50
+        c = allgather_cost(Hypercube(p), COST, m)
+        assert c.time == pytest.approx(3 * COST.t_startup + (p - 1) * m * COST.t_comm)
+
+    def test_total_words_scale_with_p(self):
+        c4 = allgather_cost(Hypercube(4), COST, 10)
+        c8 = allgather_cost(Hypercube(8), COST, 10)
+        assert c8.words > c4.words
+
+    def test_ring_message_count(self):
+        assert allgather_cost(Ring(5), COST, 10).messages == 5 * 4
+
+
+class TestReduceScatter:
+    def test_words_move_once_per_nonresident_block(self):
+        p, n = 4, 100
+        c = reduce_scatter_cost(Hypercube(p), COST, n)
+        assert c.words == pytest.approx((p - 1) * n)
+
+    def test_time_includes_flops(self):
+        free_flops = CostModel(t_startup=0, t_comm=0, t_flop=1e-9)
+        c = reduce_scatter_cost(Hypercube(4), free_flops, 100)
+        assert c.time > 0
+
+
+class TestGatherScatterSymmetry:
+    def test_scatter_equals_gather(self):
+        g = gather_cost(Hypercube(8), COST, 25)
+        s = scatter_cost(Hypercube(8), COST, 25)
+        assert g == s
+
+    def test_gather_words(self):
+        c = gather_cost(Hypercube(8), COST, 25)
+        assert c.words == pytest.approx(7 * 25)
+
+
+class TestAlltoall:
+    def test_hypercube_pairwise_exchange(self):
+        c = alltoall_cost(Hypercube(8), COST, 10)
+        assert c.messages == 3 * 8
+
+    def test_generic_rounds(self):
+        c = alltoall_cost(Ring(5), COST, 10)
+        assert c.messages == 5 * 4
+
+
+class TestCollectiveCostAlgebra:
+    def test_addition(self):
+        a = broadcast_cost(Hypercube(4), COST, 10)
+        b = reduce_cost(Hypercube(4), COST, 10)
+        s = a + b
+        assert s.time == pytest.approx(a.time + b.time)
+        assert s.messages == a.messages + b.messages
+        assert s.words == pytest.approx(a.words + b.words)

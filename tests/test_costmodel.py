@@ -1,0 +1,87 @@
+"""Unit tests for the machine cost model."""
+
+import pytest
+
+from repro.machine import CostModel
+
+
+class TestCostModelConstruction:
+    def test_defaults_are_positive(self):
+        c = CostModel()
+        assert c.t_startup > 0
+        assert c.t_comm > 0
+        assert c.t_flop > 0
+        assert c.word_bytes == 8
+
+    def test_negative_startup_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(t_startup=-1.0)
+
+    def test_negative_comm_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(t_comm=-1e-9)
+
+    def test_negative_flop_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(t_flop=-1e-9)
+
+    def test_zero_word_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(word_bytes=0)
+
+    def test_frozen(self):
+        c = CostModel()
+        with pytest.raises(Exception):
+            c.t_startup = 1.0  # type: ignore[misc]
+
+
+class TestMessageTime:
+    def test_zero_words_costs_startup_only(self):
+        c = CostModel(t_startup=1e-5, t_comm=1e-8)
+        assert c.message_time(0) == pytest.approx(1e-5)
+
+    def test_linear_in_words(self):
+        c = CostModel(t_startup=0.0, t_comm=2e-9, t_hop=0.0)
+        assert c.message_time(1000) == pytest.approx(2e-6)
+
+    def test_hop_latency_added_per_extra_hop(self):
+        c = CostModel(t_startup=1e-6, t_comm=0.0, t_hop=5e-7)
+        assert c.message_time(1, hops=3) == pytest.approx(1e-6 + 2 * 5e-7)
+
+    def test_one_hop_has_no_hop_penalty(self):
+        c = CostModel(t_startup=1e-6, t_comm=0.0, t_hop=5e-7)
+        assert c.message_time(1, hops=1) == pytest.approx(1e-6)
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().message_time(-1)
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().message_time(1, hops=0)
+
+
+class TestComputeTime:
+    def test_proportional_to_flops(self):
+        c = CostModel(t_flop=2e-9)
+        assert c.compute_time(1e6) == pytest.approx(2e-3)
+
+    def test_zero_flops_is_free(self):
+        assert CostModel().compute_time(0) == 0.0
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().compute_time(-5)
+
+
+class TestWith:
+    def test_with_replaces_only_named_fields(self):
+        c = CostModel(t_startup=1e-5)
+        c2 = c.with_(t_comm=9e-9)
+        assert c2.t_comm == 9e-9
+        assert c2.t_startup == 1e-5
+        assert c2.t_flop == c.t_flop
+
+    def test_with_returns_new_instance(self):
+        c = CostModel()
+        assert c.with_(t_flop=1e-10) is not c

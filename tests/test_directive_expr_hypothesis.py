@@ -1,0 +1,99 @@
+"""Property tests for the directive-expression mini-language.
+
+Random expression trees are rendered to text, re-tokenised through the
+directive parser, and evaluated -- the result must equal direct AST
+evaluation, and evaluation must match Fortran integer-division semantics.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.hpf.directives import (
+    BinOp,
+    DirectiveSyntaxError,
+    Num,
+    Var,
+    parse_directive,
+)
+
+SLOW = settings(
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ENV = {"n": 100, "NP": 4, "nz": 500, "m": 7}
+
+
+@st.composite
+def expr_trees(draw, depth=0):
+    """Random arithmetic expression ASTs over ENV's variables."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Num(draw(st.integers(min_value=0, max_value=50)))
+        return Var(draw(st.sampled_from(sorted(ENV))))
+    op = draw(st.sampled_from(["+", "-", "*", "/"]))
+    left = draw(expr_trees(depth=depth + 1))
+    right = draw(expr_trees(depth=depth + 1))
+    return BinOp(op, left, right)
+
+
+def _safe_eval(expr):
+    """Evaluate, returning None when a division by zero occurs anywhere."""
+    try:
+        return expr.eval(ENV)
+    except DirectiveSyntaxError:
+        return None
+
+
+@given(expr_trees())
+@SLOW
+def test_render_parse_eval_round_trip(expr):
+    """str(expr) fed back through the parser evaluates identically."""
+    direct = _safe_eval(expr)
+    assume(direct is not None)
+    line = f"!HPF$ DISTRIBUTE x(BLOCK({expr}))"
+    reparsed = parse_directive(line).dist.block_size
+    assert reparsed.eval(ENV) == direct
+
+
+@given(expr_trees())
+@SLOW
+def test_fortran_division_truncates_toward_zero(expr):
+    """Check the truncation convention on every division in the tree."""
+    direct = _safe_eval(expr)
+    assume(direct is not None)
+
+    def python_eval(e):
+        if isinstance(e, Num):
+            return e.value
+        if isinstance(e, Var):
+            return ENV[e.name] if e.name in ENV else ENV[e.name.lower()]
+        a, b = python_eval(e.left), python_eval(e.right)
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            return a * b
+        # Fortran: truncate toward zero (not Python floor)
+        return int(a / b)
+
+    assert direct == python_eval(expr)
+
+
+@given(
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=-100, max_value=100),
+)
+@SLOW
+def test_division_matches_fortran_for_all_sign_combinations(a, b):
+    assume(b != 0)
+    expr = BinOp("/", Num(0), Num(1))  # placeholder shape
+    expr = BinOp("/", BinOp("-", Num(0), Num(-a)) if a >= 0 else Num(a), Num(b))
+    # build simply: (a) / (b) with a possibly negative via 0 - |a|
+    lhs = Num(a) if a >= 0 else BinOp("-", Num(0), Num(-a))
+    rhs = Num(b) if b >= 0 else BinOp("-", Num(0), Num(-b))
+    expr = BinOp("/", lhs, rhs)
+    assert expr.eval({}) == int(a / b)  # truncation toward zero

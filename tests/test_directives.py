@@ -1,0 +1,285 @@
+"""Unit tests for the !HPF$ / !EXT$ directive parser."""
+
+import pytest
+
+from repro.hpf.directives import (
+    AlignDirective,
+    BinOp,
+    DirectiveSyntaxError,
+    DistributeDirective,
+    IndependentDirective,
+    IndivisableDirective,
+    IterationDirective,
+    Num,
+    ProcessorsDirective,
+    RedistributeDirective,
+    SparseMatrixDirective,
+    TemplateDirective,
+    Var,
+    parse_directive,
+    parse_directives,
+    tokenize,
+)
+
+ENV = {"n": 100, "NP": 4, "nz": 500}
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert tokenize("p(BLOCK)") == ["p", "(", "BLOCK", ")"]
+
+    def test_double_colon_single_token(self):
+        assert tokenize(":: a, b") == ["::", "a", ",", "b"]
+
+    def test_expression_tokens(self):
+        assert tokenize("(n+NP-1)/NP") == ["(", "n", "+", "NP", "-", "1", ")", "/", "NP"]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            tokenize("p(BLOCK) @ q")
+
+
+class TestExpressions:
+    def test_fortran_integer_division(self):
+        d = parse_directive("!HPF$ DISTRIBUTE col(BLOCK((n+NP-1)/NP))")
+        assert d.dist.block_size.eval(ENV) == (100 + 4 - 1) // 4
+
+    def test_case_insensitive_parameters(self):
+        d = parse_directive("!HPF$ DISTRIBUTE row(CYCLIC((n+NP-1)/np))")
+        assert d.dist.block_size.eval(ENV) == 25
+
+    def test_precedence(self):
+        d = parse_directive("!HPF$ DISTRIBUTE x(BLOCK(1+2*3))")
+        assert d.dist.block_size.eval({}) == 7
+
+    def test_unknown_parameter(self):
+        d = parse_directive("!HPF$ DISTRIBUTE x(BLOCK(m))")
+        with pytest.raises(DirectiveSyntaxError):
+            d.dist.block_size.eval(ENV)
+
+    def test_division_by_zero(self):
+        d = parse_directive("!HPF$ DISTRIBUTE x(BLOCK(1/zero))")
+        with pytest.raises(DirectiveSyntaxError):
+            d.dist.block_size.eval({"zero": 0})
+
+
+class TestProcessorsTemplate:
+    def test_processors_with_double_colon(self):
+        d = parse_directive("!HPF$ PROCESSORS :: PROCS(NP)")
+        assert isinstance(d, ProcessorsDirective)
+        assert d.name == "PROCS"
+        assert d.shape[0].eval(ENV) == 4
+
+    def test_processors_without_double_colon(self):
+        d = parse_directive("!HPF$ PROCESSORS PROC(8)")
+        assert d.name == "PROC"
+        assert d.shape[0].eval({}) == 8
+
+    def test_processors_2d(self):
+        d = parse_directive("!HPF$ PROCESSORS GRID(2, 2)")
+        assert [e.eval({}) for e in d.shape] == [2, 2]
+
+    def test_template(self):
+        d = parse_directive("!HPF$ TEMPLATE T(n)")
+        assert isinstance(d, TemplateDirective)
+        assert d.extent.eval(ENV) == 100
+
+
+class TestAlign:
+    def test_list_form(self):
+        d = parse_directive("!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b")
+        assert isinstance(d, AlignDirective)
+        assert d.alignees == ["q", "r", "x", "b"]
+        assert d.target == "p"
+        assert d.source_dims == [":"]
+
+    def test_inline_form(self):
+        d = parse_directive("!HPF$ ALIGN a(:) WITH col(:)")
+        assert d.alignees == ["a"]
+        assert d.target == "col"
+
+    def test_2d_row_alignment(self):
+        d = parse_directive("!HPF$ ALIGN A(:, *) WITH p(:)")
+        assert d.source_dims == [":", "*"]
+
+    def test_2d_col_alignment(self):
+        d = parse_directive("!HPF$ ALIGN A(*, :) WITH p(:)")
+        assert d.source_dims == ["*", ":"]
+
+    def test_atom_alignment(self):
+        d = parse_directive("!HPF$ ALIGN row(ATOM:i) WITH col(i)")
+        assert d.source_dims == [("ATOM", "i")]
+        assert d.target_dims == ["i"]
+
+    def test_no_arrays_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ ALIGN (:) WITH p(:)")
+
+    def test_both_inline_and_list_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ ALIGN a(:) WITH p(:) :: q")
+
+
+class TestDistribute:
+    def test_plain_block(self):
+        d = parse_directive("!HPF$ DISTRIBUTE p(BLOCK)")
+        assert isinstance(d, DistributeDirective)
+        assert d.dist.kind == "BLOCK"
+        assert d.dist.block_size is None
+        assert not d.dynamic
+
+    def test_dollar_prefix_accepted(self):
+        d = parse_directive("$HPF$ DISTRIBUTE row(BLOCK( (n+NP-1)/NP ))")
+        assert d.array == "row"
+
+    def test_cyclic(self):
+        d = parse_directive("!HPF$ DISTRIBUTE x(CYCLIC)")
+        assert d.dist.kind == "CYCLIC"
+
+    def test_dynamic_prefix(self):
+        d = parse_directive("!HPF$ DYNAMIC, DISTRIBUTE row(BLOCK)")
+        assert d.dynamic
+
+    def test_dynamic_align(self):
+        d = parse_directive("!HPF$ DYNAMIC, ALIGN a(:) WITH col(:)")
+        assert isinstance(d, AlignDirective)
+        assert d.dynamic
+
+    def test_dynamic_requires_distribute_or_align(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ DYNAMIC, PROCESSORS P(4)")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ DISTRIBUTE p(DIAGONAL)")
+
+
+class TestRedistributeAndExtensions:
+    def test_redistribute_regular(self):
+        d = parse_directive("!HPF$ REDISTRIBUTE row(BLOCK)")
+        assert isinstance(d, RedistributeDirective)
+        assert d.dist.kind == "BLOCK"
+        assert not d.dist.atom
+
+    def test_redistribute_atom_block(self):
+        d = parse_directive("!EXT$ REDISTRIBUTE row(ATOM: BLOCK)")
+        assert d.dist.atom
+        assert d.dist.kind == "BLOCK"
+
+    def test_redistribute_atom_cyclic(self):
+        d = parse_directive("!EXT$ REDISTRIBUTE row(ATOM: CYCLIC)")
+        assert d.dist.atom
+        assert d.dist.kind == "CYCLIC"
+
+    def test_redistribute_using_partitioner(self):
+        d = parse_directive("!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1")
+        assert d.partitioner == "CG_BALANCED_PARTITIONER_1"
+        assert d.dist is None
+
+    def test_indivisable(self):
+        d = parse_directive("!EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)")
+        assert isinstance(d, IndivisableDirective)
+        assert d.array == "row"
+        assert d.atom_var == "i"
+        assert d.indirection == "col"
+        assert d.lo.eval({"i": 3}) == 3
+        assert d.hi.eval({"i": 3}) == 4
+
+    def test_sparse_matrix(self):
+        d = parse_directive("!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)")
+        assert isinstance(d, SparseMatrixDirective)
+        assert d.fmt == "CSR"
+        assert d.name == "smA"
+        assert d.arrays == ["row", "col", "a"]
+
+    def test_sparse_matrix_csc(self):
+        d = parse_directive("!HPF$ SPARSE_MATRIX (CSC) :: M(col, row, a)")
+        assert d.fmt == "CSC"
+
+    def test_sparse_matrix_wrong_arity(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col)")
+
+    def test_sparse_matrix_unknown_format(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ SPARSE_MATRIX (ELL) :: smA(a, b, c)")
+
+    def test_independent(self):
+        assert isinstance(parse_directive("!HPF$ INDEPENDENT"), IndependentDirective)
+
+
+class TestIteration:
+    def test_full_iteration_directive(self):
+        d = parse_directive(
+            "!EXT$ ITERATION j ON PROCESSOR(j/np), PRIVATE(q(n)) WITH MERGE(+), NEW(pj, k)"
+        )
+        assert isinstance(d, IterationDirective)
+        assert d.var == "j"
+        assert d.on_processor.eval({"j": 9, "np": 4}) == 2
+        assert d.privates[0][0] == "q"
+        assert d.privates[0][1].eval(ENV) == 100
+        assert d.merge_op == "+"
+        assert d.news == ["pj", "k"]
+
+    def test_discard_option(self):
+        d = parse_directive("!EXT$ ITERATION i ON PROCESSOR(i), PRIVATE(t(n)) WITH DISCARD")
+        assert d.discard
+        assert d.merge_op is None
+
+    def test_unknown_clause(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!EXT$ ITERATION i ON PROCESSOR(i), SHARED(x)")
+
+
+class TestContinuationsAndBlocks:
+    def test_paper_figure2_block_parses(self):
+        """The complete Figure-2 declaration block, verbatim."""
+        text = """
+REAL, dimension(1:nz) :: a
+INTEGER, dimension(1:nz) :: col
+INTEGER, dimension(1:n+1) :: row
+REAL, dimension(1:n) :: x, r, p, q
+!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ DISTRIBUTE row(CYCLIC((n+NP-1)/np))
+!HPF$ ALIGN a(:) WITH col(:)
+!HPF$ DISTRIBUTE col(BLOCK)
+"""
+        ds = parse_directives(text)
+        assert len(ds) == 6
+        assert isinstance(ds[0], ProcessorsDirective)
+
+    def test_continuation_lines(self):
+        text = (
+            "!EXT$ ITERATION j ON PROCESSOR(j/np), &\n"
+            "!EXT$ PRIVATE(q(n)) WITH MERGE(+), &\n"
+            "!EXT$ NEW(pj, k)\n"
+        )
+        ds = parse_directives(text)
+        assert len(ds) == 1
+        assert ds[0].news == ["pj", "k"]
+
+    def test_unterminated_continuation(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directives("!HPF$ DISTRIBUTE p(BLOCK) &\n")
+
+    def test_continuation_into_non_directive(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directives("!HPF$ ALIGN (:) WITH p(:) &\nq = 0.0\n")
+
+    def test_non_directive_lines_skipped(self):
+        ds = parse_directives("q = 0.0\nDO k=1,Niter\n!HPF$ INDEPENDENT\nEND DO\n")
+        assert len(ds) == 1
+
+    def test_missing_prefix_rejected_in_parse_directive(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("DISTRIBUTE p(BLOCK)")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ FROBNICATE p(BLOCK)")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(DirectiveSyntaxError):
+            parse_directive("!HPF$ DISTRIBUTE p(BLOCK) extra")

@@ -1,0 +1,224 @@
+"""Integration tests: distributed solvers x strategies x matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    JacobiPreconditioner,
+    NeumannPreconditioner,
+    SSORPreconditioner,
+    StoppingCriterion,
+    cg_reference,
+    hpf_bicg,
+    hpf_bicgstab,
+    hpf_cg,
+    hpf_cgs,
+    hpf_pcg,
+    make_strategy,
+)
+from repro.machine import Machine
+from repro.sparse import (
+    convection_diffusion_1d,
+    irregular_powerlaw,
+    poisson2d,
+    rhs_for_solution,
+)
+
+CRIT = StoppingCriterion(rtol=1e-10, maxiter=1000)
+
+STRATEGIES = [
+    "dense_rowblock",
+    "dense_colblock_2dtemp",
+    "csr_forall",
+    "csr_forall_aligned",
+    "csc_serial",
+    "csc_private",
+    "csc_private_balanced",
+]
+
+
+class TestHpfCgAcrossStrategies:
+    @pytest.mark.parametrize("name", STRATEGIES + ["dense_colblock_serial"])
+    def test_solution_matches_reference(self, name, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        m = Machine(nprocs=4)
+        res = hpf_cg(make_strategy(name, m, spd_small), b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+
+    @pytest.mark.parametrize("name", STRATEGIES)
+    def test_iteration_count_matches_sequential(self, name, spd_small, rng):
+        """Distributed execution must not change the numerics."""
+        b = rng.standard_normal(spd_small.nrows)
+        seq = cg_reference(spd_small, b, criterion=CRIT)
+        m = Machine(nprocs=4)
+        dist = hpf_cg(make_strategy(name, m, spd_small), b, criterion=CRIT)
+        assert abs(dist.iterations - seq.iterations) <= 1
+
+    def test_works_on_every_matrix_family(self, spd_family_matrix, rng):
+        xt = rng.standard_normal(spd_family_matrix.nrows)
+        b = rhs_for_solution(spd_family_matrix, xt)
+        m = Machine(nprocs=4)
+        res = hpf_cg(
+            make_strategy("csr_forall_aligned", m, spd_family_matrix), b, criterion=CRIT
+        )
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5 * max(1.0, np.abs(xt).max()))
+
+    def test_nonzero_initial_guess(self, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        m = Machine(nprocs=4)
+        res = hpf_cg(
+            make_strategy("csr_forall", m, spd_small), b, x0=xt.copy(), criterion=CRIT
+        )
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_result_metadata(self, spd_small, rng):
+        b = rng.standard_normal(spd_small.nrows)
+        m = Machine(nprocs=4)
+        res = hpf_cg(make_strategy("csr_forall", m, spd_small), b, criterion=CRIT)
+        assert res.solver == "cg"
+        assert res.strategy == "csr_forall"
+        assert res.machine_elapsed > 0
+        assert res.comm["messages"] > 0
+        assert res.extras["nprocs"] == 4
+        assert len(res.extras["flops_per_rank"]) == 4
+        assert res.history.iterations == res.iterations
+
+    def test_comm_tags_attribute_traffic(self, spd_small, rng):
+        b = rng.standard_normal(spd_small.nrows)
+        m = Machine(nprocs=4)
+        hpf_cg(make_strategy("csr_forall", m, spd_small), b, criterion=CRIT)
+        tags = m.stats.by_tag()
+        assert "matvec" in tags
+        assert "dot" in tags
+
+    def test_unconverged_flagged(self, spd_medium, rng):
+        b = rng.standard_normal(spd_medium.nrows)
+        m = Machine(nprocs=4)
+        res = hpf_cg(
+            make_strategy("csr_forall", m, spd_medium),
+            b,
+            criterion=StoppingCriterion(rtol=1e-14, maxiter=2),
+        )
+        assert not res.converged
+        assert res.iterations == 2
+
+
+class TestHpfPcg:
+    @pytest.mark.parametrize(
+        "precond_factory",
+        [JacobiPreconditioner, lambda A: SSORPreconditioner(A, 1.2),
+         lambda A: NeumannPreconditioner(A, 2)],
+        ids=["jacobi", "ssor", "neumann"],
+    )
+    def test_preconditioned_solution(self, precond_factory, spd_medium, rng):
+        xt = rng.standard_normal(spd_medium.nrows)
+        b = rhs_for_solution(spd_medium, xt)
+        m = Machine(nprocs=4)
+        res = hpf_pcg(
+            make_strategy("csr_forall_aligned", m, spd_medium),
+            b,
+            precond_factory(spd_medium),
+            criterion=CRIT,
+        )
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_ssor_charges_serial_time(self, spd_medium, rng):
+        """The parallelism trade-off: SSOR converges faster but serialises."""
+        b = rng.standard_normal(spd_medium.nrows)
+        m_j = Machine(nprocs=4)
+        res_j = hpf_pcg(
+            make_strategy("csr_forall_aligned", m_j, spd_medium),
+            b, JacobiPreconditioner(spd_medium), criterion=CRIT,
+        )
+        m_s = Machine(nprocs=4)
+        res_s = hpf_pcg(
+            make_strategy("csr_forall_aligned", m_s, spd_medium),
+            b, SSORPreconditioner(spd_medium), criterion=CRIT,
+        )
+        assert res_s.iterations < res_j.iterations
+        # per-iteration cost of SSOR is higher (serialised triangular solves)
+        per_iter_s = res_s.machine_elapsed / res_s.iterations
+        per_iter_j = res_j.machine_elapsed / res_j.iterations
+        assert per_iter_s > per_iter_j
+
+    def test_preconditioner_name_recorded(self, spd_small, rng):
+        b = rng.standard_normal(spd_small.nrows)
+        m = Machine(nprocs=4)
+        res = hpf_pcg(
+            make_strategy("csr_forall", m, spd_small),
+            b, JacobiPreconditioner(spd_small), criterion=CRIT,
+        )
+        assert res.extras["preconditioner"] == "jacobi"
+
+
+class TestNonsymmetricSolvers:
+    @pytest.fixture
+    def system(self, rng):
+        A = convection_diffusion_1d(48, peclet=0.4)
+        xt = rng.standard_normal(48)
+        return A, xt, rhs_for_solution(A, xt)
+
+    @pytest.mark.parametrize("solver", [hpf_bicg, hpf_cgs, hpf_bicgstab])
+    def test_solution(self, solver, system):
+        A, xt, b = system
+        m = Machine(nprocs=4)
+        res = solver(make_strategy("csr_forall_aligned", m, A), b, criterion=CRIT)
+        assert res.converged, solver.__name__
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_bicg_needs_transpose_comm(self, system):
+        """E13's mechanism: BiCG pays the wrong-way product's merge."""
+        A, _, b = system
+        m = Machine(nprocs=4)
+        hpf_bicg(make_strategy("csr_forall_aligned", m, A), b, criterion=CRIT)
+        assert "reduce_scatter" in m.stats.by_op()
+
+    def test_cgs_avoids_transpose(self, system):
+        A, _, b = system
+        m = Machine(nprocs=4)
+        hpf_cgs(make_strategy("csr_forall_aligned", m, A), b, criterion=CRIT)
+        # no transpose -> no private merge traffic in csr_forall_aligned
+        assert "reduce_scatter" not in m.stats.by_op()
+
+    def test_bicgstab_four_inner_products(self, system):
+        """Section 2.1: BiCGSTAB needs 4 inner products per iteration."""
+        A, _, b = system
+        m = Machine(nprocs=4)
+        res = hpf_bicgstab(make_strategy("csr_forall_aligned", m, A), b, criterion=CRIT)
+        dots = m.stats.by_tag()["dot"]["count"]
+        # >= 4 per iteration (plus setup norms)
+        assert dots >= 4 * res.iterations
+
+    @pytest.mark.parametrize("solver", [hpf_bicg, hpf_cgs, hpf_bicgstab])
+    def test_spd_system_also_solved(self, solver, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        m = Machine(nprocs=4)
+        res = solver(make_strategy("csr_forall_aligned", m, spd_small), b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+
+class TestLoadBalanceDiagnostics:
+    def test_balanced_strategy_lowers_matvec_imbalance(self, rng):
+        A = irregular_powerlaw(240, seed=11)
+        b = rng.standard_normal(240)
+        crit = StoppingCriterion(rtol=1e-8, maxiter=300)
+        m_uni = Machine(nprocs=8)
+        strat_uni = make_strategy("csc_private", m_uni, A)
+        res_uni = hpf_cg(strat_uni, b, criterion=crit)
+        m_bal = Machine(nprocs=8)
+        strat_bal = make_strategy("csc_private_balanced", m_bal, A)
+        res_bal = hpf_cg(strat_bal, b, criterion=crit)
+        # the mat-vec work (nonzeros per rank) is what the partitioner
+        # balances; vector work stays O(n/P) either way
+        uni_nnz = strat_uni.per_rank_nnz()
+        bal_nnz = strat_bal.per_rank_nnz()
+        assert bal_nnz.max() / bal_nnz.mean() <= uni_nnz.max() / uni_nnz.mean()
+        assert np.allclose(res_uni.x, res_bal.x, atol=1e-5)

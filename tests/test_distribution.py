@@ -1,0 +1,194 @@
+"""Unit tests for HPF distributions (BLOCK, CYCLIC, irregular, replicated)."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    Block,
+    BlockK,
+    Cyclic,
+    CyclicK,
+    DistributionError,
+    IrregularBlock,
+    Replicated,
+    block_boundaries,
+)
+
+ALL_DISTS = [
+    Block(10, 4),
+    BlockK(10, 4, 3),
+    BlockK(9, 4, 2, clamp=True),
+    Cyclic(10, 4),
+    CyclicK(10, 4, 2),
+    IrregularBlock([0, 2, 7, 7, 10]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: repr(d))
+class TestPartitionLaws:
+    """Every distribution partitions the index space: total, disjoint, owned."""
+
+    def test_local_indices_cover_all(self, dist):
+        cover = np.concatenate([dist.local_indices(r) for r in range(dist.nprocs)])
+        assert sorted(cover.tolist()) == list(range(dist.n))
+
+    def test_owner_consistency(self, dist):
+        for r in range(dist.nprocs):
+            li = dist.local_indices(r)
+            if li.size:
+                assert (dist.owners(li) == r).all()
+
+    def test_local_positions_are_dense(self, dist):
+        for r in range(dist.nprocs):
+            li = dist.local_indices(r)
+            assert np.array_equal(dist.global_to_local(li), np.arange(li.size))
+
+    def test_counts_sum_to_n(self, dist):
+        assert dist.counts().sum() == dist.n
+
+    def test_owner_scalar_matches_vector(self, dist):
+        idx = np.arange(dist.n)
+        owners = dist.owners(idx)
+        for i in (0, dist.n // 2, dist.n - 1):
+            assert dist.owner(i) == owners[i]
+
+    def test_index_bounds_checked(self, dist):
+        with pytest.raises(IndexError):
+            dist.owner(dist.n)
+
+    def test_rank_bounds_checked(self, dist):
+        with pytest.raises(DistributionError):
+            dist.local_indices(dist.nprocs)
+
+
+class TestBlock:
+    def test_default_block_size(self):
+        assert Block(10, 4).k == 3
+        assert Block(8, 4).k == 2
+
+    def test_block_boundaries_helper(self):
+        assert block_boundaries(10, 4).tolist() == [0, 3, 6, 9, 10]
+
+    def test_contiguous_ranges(self):
+        d = Block(10, 4)
+        assert d.local_range(0) == (0, 3)
+        assert d.local_range(3) == (9, 10)
+
+    def test_trailing_rank_may_be_empty(self):
+        d = Block(4, 8)
+        assert d.local_count(7) == 0
+
+    def test_explicit_k_must_cover(self):
+        with pytest.raises(DistributionError):
+            BlockK(10, 4, 2)  # 8 < 10
+
+    def test_invalid_k(self):
+        with pytest.raises(DistributionError):
+            BlockK(10, 4, 0)
+
+    def test_boundaries_method(self):
+        assert BlockK(10, 4, 3).boundaries().tolist() == [0, 3, 6, 9, 10]
+
+
+class TestClampedBlock:
+    """The paper's BLOCK((n+NP-1)/NP) on the n+1 pointer array."""
+
+    def test_overflow_goes_to_last_processor(self):
+        # n=8, P=4, k=2: pointer array has 9 elements; the 9th lands on rank 3
+        d = BlockK(9, 4, 2, clamp=True)
+        assert d.owner(8) == 3
+        assert d.local_range(3) == (6, 9)
+
+    def test_local_positions_on_last_rank(self):
+        d = BlockK(9, 4, 2, clamp=True)
+        assert d.global_to_local(np.array([6, 7, 8])).tolist() == [0, 1, 2]
+
+    def test_unclamped_rejects_undersized(self):
+        with pytest.raises(DistributionError):
+            BlockK(9, 4, 2, clamp=False)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        d = Cyclic(10, 4)
+        assert d.owners(np.arange(10)).tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_block_cyclic(self):
+        d = CyclicK(12, 3, 2)
+        assert d.owners(np.arange(12)).tolist() == [0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2]
+
+    def test_local_index_interleave(self):
+        d = CyclicK(12, 3, 2)
+        assert d.local_indices(0).tolist() == [0, 1, 6, 7]
+        assert d.global_to_local(np.array([6, 7])).tolist() == [2, 3]
+
+    def test_invalid_k(self):
+        with pytest.raises(DistributionError):
+            CyclicK(10, 2, 0)
+
+
+class TestReplicated:
+    def test_every_rank_holds_all(self):
+        d = Replicated(6, 3)
+        for r in range(3):
+            assert d.local_count(r) == 6
+
+    def test_no_unique_owner(self):
+        with pytest.raises(DistributionError):
+            Replicated(6, 3).owners(np.arange(6))
+
+    def test_flag(self):
+        assert Replicated(6, 3).is_replicated
+        assert not Block(6, 3).is_replicated
+
+
+class TestIrregularBlock:
+    def test_boundaries_respected(self):
+        d = IrregularBlock([0, 2, 7, 7, 10])
+        assert d.local_count(0) == 2
+        assert d.local_count(1) == 5
+        assert d.local_count(2) == 0
+        assert d.local_count(3) == 3
+
+    def test_owner_by_searchsorted(self):
+        d = IrregularBlock([0, 2, 7, 7, 10])
+        assert d.owners(np.array([0, 1, 2, 6, 7, 9])).tolist() == [0, 0, 1, 1, 3, 3]
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(DistributionError):
+            IrregularBlock([1, 5, 10])
+
+    def test_must_be_monotone(self):
+        with pytest.raises(DistributionError):
+            IrregularBlock([0, 5, 3, 10])
+
+    def test_nprocs_consistency(self):
+        with pytest.raises(DistributionError):
+            IrregularBlock([0, 5, 10], nprocs=4)
+
+    def test_equality_uses_boundaries(self):
+        a = IrregularBlock([0, 2, 7, 7, 10])
+        b = IrregularBlock([0, 2, 7, 7, 10])
+        c = IrregularBlock([0, 3, 7, 7, 10])
+        assert a == b
+        assert a != c
+
+    def test_state_is_small(self):
+        """Only N_P+1 cut points are stored (the paper's storage claim)."""
+        d = IrregularBlock([0, 250, 500, 750, 1000])
+        assert d.boundaries().size == 5
+
+
+class TestSameMapping:
+    def test_block_vs_blockk_equivalence(self):
+        assert Block(10, 4).same_mapping(BlockK(10, 4, 3))
+
+    def test_block_vs_cyclic_differ(self):
+        assert not Block(10, 4).same_mapping(Cyclic(10, 4))
+
+    def test_irregular_matching_block(self):
+        irr = IrregularBlock([0, 3, 6, 9, 10])
+        assert irr.same_mapping(Block(10, 4))
+
+    def test_extent_mismatch(self):
+        assert not Block(10, 4).same_mapping(Block(11, 4))

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_expected_example_set_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "cfd_pressure_poisson",
+        "structural_analysis",
+        "circuit_simulation",
+        "hpf_directives_tour",
+        "irregular_load_balancing",
+        "machine_trace_gantt",
+        "nonsymmetric_solvers",
+    } <= names

@@ -1,0 +1,315 @@
+"""Tests for the proposed HPF-2 extension mechanisms (paper Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    AtomCyclic,
+    CommunicationSchedule,
+    IndivisableSpec,
+    InspectorExecutor,
+    OnProcessor,
+    PrivateRegion,
+    atom_block,
+    atom_block_balanced,
+    atom_cyclic,
+    cg_balanced_partitioner_1,
+    edge_cut_partitioner,
+    imbalance,
+    assignment_imbalance,
+    lpt_partitioner,
+)
+from repro.hpf import Block, Cyclic, DistributedArray, DistributionError, MappingError
+from repro.machine import Machine
+from repro.sparse import figure1_matrix, irregular_powerlaw, poisson2d
+
+
+class TestPrivateRegion:
+    def test_local_copies_independent(self, machine4):
+        region = PrivateRegion(machine4, 6)
+        region.local(0)[2] += 5.0
+        region.local(1)[2] += 7.0
+        assert region.local(0)[2] == 5.0
+        assert region.local(1)[2] == 7.0
+
+    def test_merge_sums_copies(self, machine4):
+        region = PrivateRegion(machine4, 6)
+        for r in range(4):
+            region.local(r)[:] = r + 1.0
+        out = DistributedArray(machine4, 6)
+        region.merge_into(out)
+        assert np.allclose(out.to_global(), 10.0)
+
+    def test_merge_charges_reduce_scatter(self):
+        m = Machine(nprocs=4)
+        region = PrivateRegion(m, 8)
+        out = DistributedArray(m, 8)
+        region.merge_into(out)
+        assert "reduce_scatter" in m.stats.by_op()
+
+    def test_storage_cost_is_n_per_rank(self):
+        """The paper's worry: N_P temporary vectors each of length n."""
+        m = Machine(nprocs=4)
+        base = m.stats.storage_words_per_rank.copy()
+        region = PrivateRegion(m, 100)
+        assert np.allclose(m.stats.storage_words_per_rank - base, 100.0)
+        assert region.storage_words_total == 400.0
+
+    def test_double_merge_rejected(self, machine4):
+        region = PrivateRegion(machine4, 4)
+        out = DistributedArray(machine4, 4)
+        region.merge_into(out)
+        with pytest.raises(RuntimeError):
+            region.merge_into(out)
+
+    def test_discard_mode(self, machine4):
+        region = PrivateRegion(machine4, 4, merge=None)
+        out = DistributedArray(machine4, 4)
+        with pytest.raises(ValueError):
+            region.merge_into(out)
+        region.discard()
+
+    def test_context_manager_discards(self, machine4):
+        with PrivateRegion(machine4, 4) as region:
+            region.local(0)[0] = 1.0
+        with pytest.raises(RuntimeError):
+            region.local(0)
+
+    def test_extent_mismatch(self, machine4):
+        region = PrivateRegion(machine4, 4)
+        with pytest.raises(ValueError):
+            region.merge_into(DistributedArray(machine4, 5))
+
+    def test_unknown_merge_op(self, machine4):
+        with pytest.raises(ValueError):
+            PrivateRegion(machine4, 4, merge="*")
+
+    def test_csc_matvec_via_private_region(self, machine4):
+        """The Figure-5 pattern end to end."""
+        A = figure1_matrix().to_csc()
+        p = np.arange(1.0, 7.0)
+        mapping = OnProcessor.block(6, 4)
+        region = PrivateRegion(machine4, 6)
+        for rank, cols in enumerate(mapping.partition(np.arange(6))):
+            local = region.local(rank)
+            for j in cols:
+                rows, vals = A.col_slice(int(j))
+                local[rows] += vals * p[j]
+        q = DistributedArray(machine4, 6)
+        region.merge_into(q)
+        assert np.allclose(q.to_global(), A.matvec(p))
+
+
+class TestOnProcessor:
+    def test_block_mapping(self):
+        mp = OnProcessor.block(12, 4)
+        assert mp.map(np.arange(12)).tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+    def test_block_mapping_clamps_tail(self):
+        mp = OnProcessor.block(10, 4)  # chunk 3: iterations 9.. map to rank 3
+        assert mp.map(np.array([9])).tolist() == [3]
+
+    def test_cyclic_mapping(self):
+        mp = OnProcessor.cyclic(3)
+        assert mp.map(np.arange(6)).tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_from_boundaries(self):
+        mp = OnProcessor.from_boundaries(np.array([0, 2, 7, 7, 10]))
+        assert mp.map(np.array([0, 2, 6, 7, 9])).tolist() == [0, 1, 1, 3, 3]
+
+    def test_partition_preserves_order(self):
+        mp = OnProcessor.cyclic(2)
+        parts = mp.partition(np.arange(6))
+        assert parts[0].tolist() == [0, 2, 4]
+        assert parts[1].tolist() == [1, 3, 5]
+
+    def test_counts(self):
+        mp = OnProcessor.block(10, 4)
+        assert mp.counts(np.arange(10)).tolist() == [3, 3, 3, 1]
+
+    def test_out_of_range_mapping_rejected(self):
+        mp = OnProcessor(lambda i: i, 2)  # maps iteration 5 -> rank 5
+        with pytest.raises(MappingError):
+            mp.map(np.arange(6))
+
+    def test_scalar_callable_fallback(self):
+        # a non-vectorisable Python function still works
+        mp = OnProcessor(lambda i: int(i) % 3 if np.isscalar(i) or i.ndim == 0 else (_ for _ in ()).throw(TypeError), 3)
+        assert mp.map(np.arange(5)).tolist() == [0, 1, 2, 0, 1]
+
+
+class TestIndivisableSpec:
+    def test_atom_sizes_from_figure1(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        assert spec.natoms == 6
+        assert spec.atom_sizes().tolist() == [4, 4, 1, 2, 2, 2]
+        assert spec.nelements == 15
+
+    def test_atom_range_and_membership(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        assert spec.atom_range(1) == (4, 8)
+        assert spec.atom_of_element(np.array([0, 3, 4, 14])).tolist() == [0, 0, 1, 5]
+
+    def test_element_block_splits_atoms(self, fig1):
+        """HPF BLOCK cuts columns in half -- the Section 5.2.1 defect."""
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        split = spec.split_atoms_under(Block(15, 4))
+        assert split.size > 0
+
+    def test_cyclic_splits_nearly_everything(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        split = spec.split_atoms_under(Cyclic(15, 4))
+        assert split.size >= 4
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            IndivisableSpec([1, 3])  # must start at 0
+        with pytest.raises(DistributionError):
+            IndivisableSpec([0, 5, 3])  # must be monotone
+
+    def test_atom_of_element_bounds(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        with pytest.raises(IndexError):
+            spec.atom_of_element(np.array([15]))
+
+    def test_empty_atoms_allowed(self):
+        spec = IndivisableSpec([0, 3, 3, 5])
+        assert spec.atom_sizes().tolist() == [3, 0, 2]
+
+
+class TestAtomDistributions:
+    def test_atom_block_never_splits(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        for nprocs in (1, 2, 3, 4, 6):
+            dist, cuts = atom_block(spec, nprocs)
+            assert spec.split_atoms_under(dist).size == 0
+            assert cuts[-1] == spec.natoms
+
+    def test_atom_block_balanced_never_splits(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        dist, cuts = atom_block_balanced(spec, 4)
+        assert spec.split_atoms_under(dist).size == 0
+
+    def test_balanced_beats_uniform_on_skewed_atoms(self):
+        """Section 5.2.2: with skewed columns, balancing by nnz wins."""
+        A = irregular_powerlaw(200, seed=3).to_csc()
+        spec = IndivisableSpec(A.indptr)
+        weights = spec.atom_sizes().astype(float)
+        _, cuts_uniform = atom_block(spec, 8)
+        _, cuts_balanced = atom_block_balanced(spec, 8)
+        assert imbalance(weights, cuts_balanced) <= imbalance(weights, cuts_uniform)
+
+    def test_atom_cyclic_keeps_atoms_whole(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        dist = atom_cyclic(spec, 3)
+        assert isinstance(dist, AtomCyclic)
+        assert spec.split_atoms_under(dist).size == 0
+
+    def test_atom_cyclic_partition_laws(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        dist = atom_cyclic(spec, 3)
+        cover = np.concatenate([dist.local_indices(r) for r in range(3)])
+        assert sorted(cover.tolist()) == list(range(15))
+        for r in range(3):
+            li = dist.local_indices(r)
+            assert np.array_equal(dist.global_to_local(li), np.arange(li.size))
+
+    def test_weights_arity_checked(self, fig1):
+        spec = IndivisableSpec(fig1.to_csc().indptr)
+        with pytest.raises(DistributionError):
+            atom_block_balanced(spec, 4, weights=np.ones(3))
+
+
+class TestPartitioners:
+    def test_contiguous_optimality_on_uniform_weights(self):
+        cuts = cg_balanced_partitioner_1(np.ones(12), 4)
+        assert imbalance(np.ones(12), cuts) == pytest.approx(1.0)
+
+    def test_skewed_weights_balanced(self):
+        w = np.array([10, 1, 1, 1, 1, 10, 1, 1, 1, 1], dtype=float)
+        cuts = cg_balanced_partitioner_1(w, 2)
+        assert imbalance(w, cuts) <= 1.5
+
+    def test_single_processor(self):
+        cuts = cg_balanced_partitioner_1(np.arange(5.0), 1)
+        assert cuts.tolist() == [0, 5]
+
+    def test_more_parts_than_atoms(self):
+        cuts = cg_balanced_partitioner_1(np.ones(2), 5)
+        assert cuts[0] == 0 and cuts[-1] == 2
+        assert len(cuts) == 6
+
+    def test_zero_weights(self):
+        cuts = cg_balanced_partitioner_1(np.zeros(8), 4)
+        assert cuts[-1] == 8
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(DistributionError):
+            cg_balanced_partitioner_1(np.array([-1.0]), 2)
+
+    def test_lpt_at_least_as_balanced_as_contiguous(self):
+        rng = np.random.default_rng(4)
+        w = rng.zipf(1.8, size=60).astype(float)
+        cuts = cg_balanced_partitioner_1(w, 6)
+        assign = lpt_partitioner(w, 6)
+        assert assignment_imbalance(w, assign, 6) <= imbalance(w, cuts) + 1e-12
+
+    def test_lpt_assignment_covers_everything(self):
+        assign = lpt_partitioner(np.ones(10), 3)
+        assert assign.shape == (10,)
+        assert set(assign.tolist()) <= {0, 1, 2}
+
+    def test_edge_cut_partitioner_balances_vertices(self):
+        A = poisson2d(6, 6)
+        assign = edge_cut_partitioner(A, 4, seed=1)
+        counts = np.bincount(assign, minlength=4)
+        assert counts.max() - counts.min() <= 2
+
+    def test_edge_cut_requires_power_of_two(self):
+        with pytest.raises(DistributionError):
+            edge_cut_partitioner(poisson2d(4, 4), 3)
+
+
+class TestInspectorExecutor:
+    def test_schedule_matches_owner_computes(self, machine4, fig1):
+        csc = fig1.to_csc()
+        ie = InspectorExecutor(machine4)
+        sched = ie.build_schedule(csc.nnz, csc.indices, Block(6, 4))
+        owners = Block(6, 4).owners(csc.indices)
+        for r in range(4):
+            assert sched.partition[r].tolist() == np.nonzero(owners == r)[0].tolist()
+
+    def test_inspector_charges_time(self, fig1):
+        m = Machine(nprocs=4)
+        csc = fig1.to_csc()
+        sched = InspectorExecutor(m).build_schedule(csc.nnz, csc.indices, Block(6, 4))
+        assert sched.build_time > 0
+        assert m.elapsed() > 0
+
+    def test_on_processor_is_free_by_contrast(self, fig1):
+        """The extension's claim: compile-time mapping has no runtime cost."""
+        m = Machine(nprocs=4)
+        OnProcessor.block(15, 4).partition(np.arange(15))
+        assert m.elapsed() == 0.0
+
+    def test_schedule_reuse_is_free(self, machine4, fig1):
+        csc = fig1.to_csc()
+        sched = InspectorExecutor(machine4).build_schedule(
+            csc.nnz, csc.indices, Block(6, 4)
+        )
+        t = machine4.elapsed()
+        sched.reuse()
+        assert machine4.elapsed() == t
+        assert sched.reuses == 1
+
+    def test_arity_validation(self, machine4):
+        with pytest.raises(ValueError):
+            InspectorExecutor(machine4).build_schedule(5, np.zeros(3), Block(6, 4))
+
+    def test_single_rank_no_comm(self, machine1, fig1):
+        csc = fig1.to_csc()
+        sched = InspectorExecutor(machine1).build_schedule(
+            csc.nnz, csc.indices, Block(6, 1)
+        )
+        assert sched.moved_iterations == 0
+        assert sched.build_messages == 0

@@ -1,0 +1,138 @@
+"""Failure-injection tests: the system must fail loudly and precisely."""
+
+import numpy as np
+import pytest
+
+from repro.core import StoppingCriterion, cg_reference, hpf_cg, make_strategy
+from repro.hpf import (
+    AlignmentError,
+    Cyclic,
+    DirectiveSyntaxError,
+    DistributedArray,
+    HpfNamespace,
+)
+from repro.machine import DeadlockError, Machine, Recv, run_spmd
+from repro.sparse import COOMatrix, poisson2d, tridiagonal
+
+
+class TestNumericalEdgeCases:
+    def test_cg_on_singular_matrix_does_not_hang(self):
+        """A singular system: CG must stop (breakdown or cap), not loop."""
+        singular = COOMatrix(
+            [0, 0, 1, 1], [0, 1, 0, 1], [1.0, 1.0, 1.0, 1.0], shape=(2, 2)
+        )
+        res = cg_reference(
+            singular, np.array([1.0, 0.0]), criterion=StoppingCriterion(maxiter=50)
+        )
+        assert res.iterations <= 50
+
+    def test_cg_with_consistent_singular_system(self):
+        """Consistent singular systems converge to *a* solution."""
+        singular = COOMatrix(
+            [0, 0, 1, 1], [0, 1, 0, 1], [1.0, 1.0, 1.0, 1.0], shape=(2, 2)
+        )
+        b = np.array([2.0, 2.0])  # in the range of A
+        res = cg_reference(singular, b, criterion=StoppingCriterion(rtol=1e-10))
+        assert np.allclose(singular.matvec(res.x), b, atol=1e-8)
+
+    def test_indefinite_matrix_may_break_down_cleanly(self):
+        indefinite = COOMatrix([0, 1], [0, 1], [1.0, -1.0], shape=(2, 2))
+        res = cg_reference(
+            indefinite, np.array([1.0, 1.0]), criterion=StoppingCriterion(maxiter=10)
+        )
+        assert res.iterations <= 10  # returned, did not raise
+
+    def test_tiny_1x1_system(self):
+        A = tridiagonal(1, diag=4.0)
+        res = cg_reference(A, np.array([8.0]))
+        assert res.converged
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_distributed_1x1_system(self):
+        A = tridiagonal(1, diag=4.0)
+        m = Machine(nprocs=4)  # more processors than unknowns
+        res = hpf_cg(make_strategy("csr_forall", m, A), np.array([8.0]))
+        assert res.converged
+        assert res.x[0] == pytest.approx(2.0)
+
+    def test_more_processors_than_rows(self, rng):
+        A = poisson2d(2, 2)  # n=4
+        b = rng.standard_normal(4)
+        m = Machine(nprocs=8)
+        res = hpf_cg(make_strategy("csc_private", m, A), b,
+                     criterion=StoppingCriterion(rtol=1e-10))
+        assert res.converged
+        assert np.allclose(A.matvec(res.x), b, atol=1e-7)
+
+
+class TestMisuseDetection:
+    def test_unaligned_axpy_raises_alignment_error(self, machine4):
+        x = DistributedArray(machine4, 8)
+        y = DistributedArray(machine4, 8, Cyclic(8, 4))
+        with pytest.raises(AlignmentError):
+            x.axpy(1.0, y)
+
+    def test_cross_machine_operands_rejected(self):
+        m1, m2 = Machine(nprocs=4), Machine(nprocs=4)
+        x = DistributedArray(m1, 8)
+        y = DistributedArray(m2, 8)
+        with pytest.raises(AlignmentError):
+            x.axpy(1.0, y)
+
+    def test_directive_typo_pinpointed(self, machine4):
+        ns = HpfNamespace(machine4)
+        with pytest.raises(DirectiveSyntaxError) as err:
+            ns.apply("!HPF$ DISTRIBUT p(BLOCK)")
+        assert "DISTRIBUT" in str(err.value)
+
+    def test_wrong_rhs_length(self, machine4):
+        A = poisson2d(3, 3)
+        with pytest.raises(ValueError):
+            hpf_cg(make_strategy("csr_forall", machine4, A), np.zeros(5))
+
+
+class TestDeadlocks:
+    def test_cyclic_recv_chain_detected(self):
+        def prog(rank, size):
+            value = yield Recv(source=(rank + 1) % size)
+            return value
+
+        with pytest.raises(DeadlockError) as err:
+            run_spmd(Machine(nprocs=3, topology="ring"), prog)
+        assert "blocked" in str(err.value)
+
+    def test_partial_completion_then_deadlock(self):
+        def prog(rank, size):
+            if rank == 0:
+                return "done"
+            value = yield Recv(source=0)
+            return value
+
+        with pytest.raises(DeadlockError):
+            run_spmd(Machine(nprocs=2), prog)
+
+
+class TestExtremeCostModels:
+    def test_zero_communication_cost_machine(self, rng):
+        """A free network: solver still correct, comm time zero."""
+        from repro.machine import CostModel
+
+        m = Machine(nprocs=4, cost=CostModel(t_startup=0.0, t_comm=0.0))
+        A = poisson2d(4, 4)
+        b = rng.standard_normal(16)
+        res = hpf_cg(make_strategy("csr_forall_aligned", m, A), b,
+                     criterion=StoppingCriterion(rtol=1e-10))
+        assert res.converged
+        # only the reduction-combine flops remain inside collectives
+        assert res.comm["comm_time"] < 1e-5
+
+    def test_zero_flop_cost_machine(self, rng):
+        from repro.machine import CostModel
+
+        m = Machine(nprocs=4, cost=CostModel(t_flop=0.0))
+        A = poisson2d(4, 4)
+        b = rng.standard_normal(16)
+        res = hpf_cg(make_strategy("csr_forall_aligned", m, A), b,
+                     criterion=StoppingCriterion(rtol=1e-10))
+        assert res.converged
+        assert res.machine_elapsed == pytest.approx(res.comm["comm_time"], rel=0.3)

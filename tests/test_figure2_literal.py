@@ -1,0 +1,71 @@
+"""Tests for the literal Figure-2 interpreter vs the strategy path."""
+
+import numpy as np
+import pytest
+
+from repro.core import StoppingCriterion, figure2_cg, hpf_cg, make_strategy
+from repro.machine import Machine
+from repro.sparse import poisson2d, rhs_for_solution, structural_truss
+
+CRIT = StoppingCriterion(rtol=1e-10)
+
+
+class TestFigure2Literal:
+    def test_converges_to_manufactured_solution(self, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        m = Machine(nprocs=4)
+        res = figure2_cg(m, spd_small, b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+        assert res.strategy == "figure2_literal"
+
+    def test_identical_to_strategy_path(self, spd_small, rng):
+        """Interpreted Figure-2 == compiled strategy: same numerics AND
+        same communication bill."""
+        b = rng.standard_normal(spd_small.nrows)
+        m_lit = Machine(nprocs=4)
+        lit = figure2_cg(m_lit, spd_small, b, criterion=CRIT)
+        m_opt = Machine(nprocs=4)
+        opt = hpf_cg(
+            make_strategy("csr_forall_aligned", m_opt, spd_small), b, criterion=CRIT
+        )
+        assert lit.iterations == opt.iterations
+        assert np.allclose(lit.x, opt.x, atol=1e-12)
+        assert lit.comm["words"] == opt.comm["words"]
+        assert lit.comm["messages"] == opt.comm["messages"]
+
+    @pytest.mark.parametrize("nprocs,topology", [(1, "hypercube"), (3, "ring"),
+                                                 (8, "hypercube")])
+    def test_machine_sizes(self, nprocs, topology, rng):
+        A = structural_truss(30, seed=2)
+        xt = rng.standard_normal(30)
+        b = rhs_for_solution(A, xt)
+        m = Machine(nprocs=nprocs, topology=topology)
+        res = figure2_cg(m, A, b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+
+    def test_zero_rhs(self, spd_small):
+        m = Machine(nprocs=4)
+        res = figure2_cg(m, spd_small, np.zeros(spd_small.nrows))
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_shape_validation(self, spd_small):
+        with pytest.raises(ValueError):
+            figure2_cg(Machine(nprocs=2), spd_small, np.zeros(5))
+
+    def test_iteration_cap_respected(self, spd_medium, rng):
+        b = rng.standard_normal(spd_medium.nrows)
+        m = Machine(nprocs=4)
+        res = figure2_cg(
+            m, spd_medium, b, criterion=StoppingCriterion(rtol=1e-14, maxiter=3)
+        )
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_matvec_traffic_tagged(self, spd_small, rng):
+        m = Machine(nprocs=4)
+        figure2_cg(m, spd_small, rng.standard_normal(spd_small.nrows), criterion=CRIT)
+        assert "matvec" in m.stats.by_tag()

@@ -1,0 +1,187 @@
+"""Tests for FORALL semantics and INDEPENDENT/Bernstein checking (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    AccessLog,
+    BernsteinViolationError,
+    DistributedArray,
+    ManyToOneAssignmentError,
+    RecordingArray,
+    check_independent,
+    forall,
+    forall_indexed,
+    independent_do,
+)
+from repro.sparse import figure1_matrix
+
+
+class TestForall:
+    def test_simple_assignment(self, machine4):
+        out = DistributedArray(machine4, 8)
+        forall(out, lambda j: float(j * j))
+        assert np.allclose(out.to_global(), np.arange(8.0) ** 2)
+
+    def test_rhs_evaluated_before_assignment(self, machine4):
+        """FORALL(j) a(j) = a(n-1-j) must use the OLD values throughout."""
+        out = DistributedArray.from_global(machine4, np.arange(8.0))
+        forall(out, lambda j: float(out.to_global()[7 - j]))
+        # with RHS-first semantics this is a clean reversal, not a partial one
+        assert np.allclose(out.to_global(), np.arange(8.0)[::-1])
+
+    def test_figure2_sparse_matvec_as_forall(self, machine4):
+        """The paper's FORALL + inner DO sparse mat-vec is legal and correct."""
+        A = figure1_matrix()
+        p = np.arange(1.0, 7.0)
+        q = DistributedArray(machine4, 6)
+        indptr, indices, data = A.indptr, A.indices, A.data
+
+        def body(j):
+            acc = 0.0
+            for k in range(indptr[j], indptr[j + 1]):
+                acc += data[k] * p[indices[k]]
+            return acc
+
+        forall(q, body, flops_per_iteration=lambda j: 2.0 * (indptr[j + 1] - indptr[j]))
+        assert np.allclose(q.to_global(), A.matvec(p))
+
+    def test_owner_computes_charging(self, machine4):
+        out = DistributedArray(machine4, 8)
+        forall(out, lambda j: 1.0, flops_per_iteration=10.0)
+        assert machine4.stats.flops_per_rank.tolist() == [20.0, 20.0, 20.0, 20.0]
+
+
+class TestForallIndexed:
+    def test_distinct_targets_ok(self, machine4):
+        out = DistributedArray(machine4, 8)
+        forall_indexed(out, range(8), target=lambda k: 7 - k, value=lambda k: float(k))
+        assert np.allclose(out.to_global(), np.arange(8.0)[::-1])
+
+    def test_many_to_one_raises(self, machine4):
+        """The CSC scatter loop cannot be a FORALL (Section 5.1)."""
+        A = figure1_matrix().to_csc()
+        out = DistributedArray(machine4, 6)
+        with pytest.raises(ManyToOneAssignmentError):
+            forall_indexed(
+                out,
+                range(A.nnz),
+                target=lambda k: int(A.indices[k]),
+                value=lambda k: float(A.data[k]),
+            )
+
+    def test_combine_plus_simulates_extension(self, machine4):
+        """With the (illegal in HPF-1) combine option, the scatter works --
+        showing what the PRIVATE/MERGE extension buys."""
+        A = figure1_matrix().to_csc()
+        p = np.arange(1.0, 7.0)
+        out = DistributedArray(machine4, 6)
+        cols = A.expanded_cols()
+        forall_indexed(
+            out,
+            range(A.nnz),
+            target=lambda k: int(A.indices[k]),
+            value=lambda k: float(A.data[k] * p[cols[k]]),
+            combine="+",
+        )
+        assert np.allclose(out.to_global(), A.matvec(p))
+
+    def test_unknown_combine_rejected(self, machine4):
+        out = DistributedArray(machine4, 4)
+        with pytest.raises(ValueError):
+            forall_indexed(
+                out, range(4), target=lambda k: 0, value=lambda k: 1.0, combine="*"
+            )
+
+    def test_empty_iteration_space(self, machine4):
+        out = DistributedArray(machine4, 4, fill=3.0)
+        forall_indexed(out, [], target=lambda k: k, value=lambda k: 0.0)
+        assert (out.to_global() == 3.0).all()
+
+
+class TestRecordingArray:
+    def test_reads_and_writes_logged(self):
+        log = AccessLog()
+        arr = RecordingArray("a", np.arange(5.0), log)
+        _ = arr[2]
+        arr[3] = 9.0
+        assert log.reads == {"a": {2}}
+        assert log.writes == {"a": {3}}
+        assert arr.data[3] == 9.0
+        assert len(arr) == 5
+
+
+class TestBernstein:
+    def test_disjoint_iterations_pass(self):
+        logs = []
+        for i in range(4):
+            log = AccessLog()
+            log.record_read("a", i)
+            log.record_write("q", i)
+            logs.append(log)
+        check_independent(logs)  # no raise
+
+    def test_write_write_conflict(self):
+        l1, l2 = AccessLog(), AccessLog()
+        l1.record_write("q", 3)
+        l2.record_write("q", 3)
+        with pytest.raises(BernsteinViolationError, match="write-after-write"):
+            check_independent([l1, l2])
+
+    def test_read_write_conflict(self):
+        l1, l2 = AccessLog(), AccessLog()
+        l1.record_write("q", 3)
+        l2.record_read("q", 3)
+        with pytest.raises(BernsteinViolationError, match="read-write"):
+            check_independent([l1, l2])
+
+    def test_same_iteration_self_conflict_ok(self):
+        log = AccessLog()
+        log.record_read("q", 1)
+        log.record_write("q", 1)
+        check_independent([log])  # within one iteration is fine
+
+    def test_shared_read_only_ok(self):
+        logs = []
+        for i in range(3):
+            log = AccessLog()
+            log.record_read("p", 0)  # everyone reads p(0)
+            log.record_write("q", i)
+            logs.append(log)
+        check_independent(logs)
+
+
+class TestIndependentDo:
+    def test_csc_scatter_rejected(self):
+        """The paper's exact argument: write-after-write on q(row(k))."""
+        A = figure1_matrix().to_csc()
+        arrays = {
+            "q": np.zeros(6),
+            "a": A.data.astype(float),
+            "row": A.indices.astype(float),
+        }
+
+        def body(k, q, a, row):
+            q[int(row[k])] = q[int(row[k])] + a[k]
+
+        with pytest.raises(BernsteinViolationError):
+            independent_do(range(A.nnz), body, arrays)
+
+    def test_legal_loop_executes(self):
+        arrays = {"q": np.zeros(6), "a": np.arange(6.0)}
+
+        def body(j, q, a):
+            q[j] = 2.0 * a[j]
+
+        independent_do(range(6), body, arrays)
+        assert np.allclose(arrays["q"], 2.0 * np.arange(6))
+
+    def test_rejected_loop_leaves_data_untouched(self):
+        arrays = {"q": np.zeros(3)}
+
+        def body(j, q):
+            q[0] = q[0] + 1.0
+
+        with pytest.raises(BernsteinViolationError):
+            independent_do(range(3), body, arrays)
+        assert (arrays["q"] == 0.0).all()  # trace ran on scratch copies

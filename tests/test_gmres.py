@@ -1,0 +1,123 @@
+"""Tests for restarted GMRES (sequential and distributed)."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.core import StoppingCriterion, gmres_reference, hpf_cg, hpf_gmres, make_strategy
+from repro.machine import Machine
+from repro.sparse import (
+    convection_diffusion_1d,
+    nonsymmetric_diag_dominant,
+    poisson2d,
+    rhs_for_solution,
+)
+
+CRIT = StoppingCriterion(rtol=1e-10, maxiter=3000)
+
+
+class TestGmresReference:
+    def test_spd_system(self, spd_medium, rng):
+        xt = rng.standard_normal(spd_medium.nrows)
+        b = rhs_for_solution(spd_medium, xt)
+        res = gmres_reference(spd_medium, b, restart=25, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_nonsymmetric_system(self, rng):
+        A = nonsymmetric_diag_dominant(80, seed=3)
+        xt = rng.standard_normal(80)
+        b = rhs_for_solution(A, xt)
+        res = gmres_reference(A, b, restart=20, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_matches_scipy(self, rng):
+        A = convection_diffusion_1d(60, peclet=0.3)
+        b = rng.standard_normal(60)
+        ours = gmres_reference(A, b, restart=30, criterion=CRIT)
+        theirs, info = spla.gmres(A.to_scipy(), b, restart=30, rtol=1e-10, atol=0.0)
+        assert info == 0
+        assert ours.converged
+        assert np.allclose(ours.x, theirs, atol=1e-6)
+
+    def test_full_gmres_converges_within_n(self, rng):
+        """Unrestarted GMRES terminates in at most n iterations."""
+        A = nonsymmetric_diag_dominant(24, seed=5)
+        b = rng.standard_normal(24)
+        res = gmres_reference(A, b, restart=24, criterion=CRIT)
+        assert res.converged
+        assert res.iterations <= 24
+
+    def test_zero_rhs(self, spd_small):
+        res = gmres_reference(spd_small, np.zeros(spd_small.nrows))
+        assert res.converged and res.iterations == 0
+
+    def test_restart_smaller_than_n_still_converges(self, rng):
+        A = poisson2d(8, 8)
+        b = rng.standard_normal(64)
+        res = gmres_reference(A, b, restart=5, criterion=CRIT)
+        assert res.converged
+
+    def test_restart_metadata(self, spd_small, rng):
+        res = gmres_reference(spd_small, rng.standard_normal(36), restart=12,
+                              criterion=CRIT)
+        assert res.extras["restart"] == 12
+        assert res.extras["basis_vectors"] == 13
+
+    def test_nonzero_initial_guess(self, spd_small, rng):
+        xt = rng.standard_normal(36)
+        b = rhs_for_solution(spd_small, xt)
+        res = gmres_reference(spd_small, b, x0=xt.copy(), criterion=CRIT)
+        assert res.converged
+        assert res.iterations == 0
+
+
+class TestHpfGmres:
+    @pytest.mark.parametrize("nprocs,topology", [(1, "hypercube"), (3, "ring"),
+                                                 (4, "hypercube")])
+    def test_distributed_matches_sequential(self, nprocs, topology, rng):
+        A = nonsymmetric_diag_dominant(48, seed=9)
+        b = rng.standard_normal(48)
+        seq = gmres_reference(A, b, restart=15, criterion=CRIT)
+        m = Machine(nprocs=nprocs, topology=topology)
+        dist = hpf_gmres(make_strategy("csr_forall_aligned", m, A), b,
+                         restart=15, criterion=CRIT)
+        assert dist.converged == seq.converged
+        assert dist.iterations == seq.iterations
+        assert np.allclose(dist.x, seq.x, atol=1e-8)
+
+    def test_basis_storage_reported(self, rng):
+        """The paper's 'longer recurrences (which require greater storage)'."""
+        A = poisson2d(8, 8)
+        b = rng.standard_normal(64)
+        m = Machine(nprocs=4)
+        res = hpf_gmres(make_strategy("csr_forall_aligned", m, A), b,
+                        restart=20, criterion=CRIT)
+        assert res.converged
+        # 21 basis vectors x ceil(64/4) elements each
+        assert res.extras["basis_storage_words_per_rank"] == 21 * 16
+
+    def test_gmres_needs_more_memory_than_cg(self, rng):
+        """Storage contrast against CG's fixed four work vectors."""
+        A = poisson2d(8, 8)
+        b = rng.standard_normal(64)
+        m_cg = Machine(nprocs=4)
+        hpf_cg(make_strategy("csr_forall_aligned", m_cg, A), b, criterion=CRIT)
+        m_gm = Machine(nprocs=4)
+        hpf_gmres(make_strategy("csr_forall_aligned", m_gm, A), b,
+                  restart=30, criterion=CRIT)
+        assert (
+            m_gm.stats.storage_words_per_rank.max()
+            > m_cg.stats.storage_words_per_rank.max()
+        )
+
+    def test_more_dots_per_matvec_than_cg(self, rng):
+        """Arnoldi's k+1 orthogonalisation dots drive allreduce pressure."""
+        A = poisson2d(8, 8)
+        b = rng.standard_normal(64)
+        m = Machine(nprocs=4)
+        res = hpf_gmres(make_strategy("csr_forall_aligned", m, A), b,
+                        restart=20, criterion=CRIT)
+        dots = m.stats.by_tag()["dot"]["count"]
+        assert dots > 2 * res.iterations  # CG would pay exactly ~2 per iter

@@ -1,0 +1,108 @@
+"""Tests for the HPF-2 SHADOW halo-exchange strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import CsrHalo, StoppingCriterion, hpf_bicg, hpf_cg, make_strategy
+from repro.machine import Machine
+from repro.sparse import (
+    irregular_powerlaw,
+    nonsymmetric_diag_dominant,
+    poisson1d,
+    poisson2d,
+    rhs_for_solution,
+)
+
+CRIT = StoppingCriterion(rtol=1e-10)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("nprocs,topology", [(1, "hypercube"), (3, "ring"),
+                                                 (4, "hypercube"), (8, "hypercube")])
+    def test_forward_product(self, nprocs, topology, spd_small, rng):
+        m = Machine(nprocs=nprocs, topology=topology)
+        strat = CsrHalo(m, spd_small)
+        pv = rng.standard_normal(spd_small.nrows)
+        p, q = strat.make_vector("p", pv), strat.make_vector("q")
+        strat.apply(p, q)
+        assert np.allclose(q.to_global(), spd_small.matvec(pv))
+
+    def test_transpose_product(self, rng):
+        A = nonsymmetric_diag_dominant(40, seed=1)
+        m = Machine(nprocs=4)
+        strat = CsrHalo(m, A)
+        xv = rng.standard_normal(40)
+        x, y = strat.make_vector("x", xv), strat.make_vector("y")
+        strat.apply_transpose(x, y)
+        assert np.allclose(y.to_global(), A.rmatvec(xv))
+
+    def test_cg_solve(self, spd_medium, rng):
+        xt = rng.standard_normal(spd_medium.nrows)
+        b = rhs_for_solution(spd_medium, xt)
+        m = Machine(nprocs=8)
+        res = hpf_cg(CsrHalo(m, spd_medium), b, criterion=CRIT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+
+    def test_bicg_solve(self, rng):
+        A = nonsymmetric_diag_dominant(48, seed=2)
+        xt = rng.standard_normal(48)
+        b = rhs_for_solution(A, xt)
+        m = Machine(nprocs=4)
+        res = hpf_bicg(CsrHalo(m, A), b, criterion=StoppingCriterion(rtol=1e-10, maxiter=500))
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_registry_name(self, spd_small):
+        m = Machine(nprocs=4)
+        assert isinstance(make_strategy("csr_halo", m, spd_small), CsrHalo)
+
+
+class TestHaloStructure:
+    def test_single_rank_no_halo(self, spd_small):
+        strat = CsrHalo(Machine(nprocs=1), spd_small)
+        assert strat.halo_words_total() == 0.0
+        assert strat.halo_pairs() == 0
+
+    def test_tridiagonal_needs_one_element_per_neighbor(self):
+        A = poisson1d(32)
+        strat = CsrHalo(Machine(nprocs=4), A)
+        # interior ranks read exactly 1 element from each side
+        assert strat.halo_words_total() == 6.0  # 3 boundaries x 2 directions
+        assert strat.halo_pairs() == 6
+
+    def test_stencil_shadow_much_smaller_than_vector(self):
+        A = poisson2d(16, 16)
+        strat = CsrHalo(Machine(nprocs=8), A)
+        assert strat.shadow_fraction() < 0.2
+
+    def test_irregular_matrix_shadow_grows(self):
+        A = irregular_powerlaw(256, seed=3)
+        stencil = CsrHalo(Machine(nprocs=8), poisson2d(16, 16))
+        irregular = CsrHalo(Machine(nprocs=8), A)
+        assert irregular.shadow_fraction() > stencil.shadow_fraction()
+
+    def test_halo_comm_cheaper_than_broadcast_on_stencil(self, rng):
+        A = poisson2d(16, 16)
+        pv = rng.standard_normal(256)
+        m_halo = Machine(nprocs=8)
+        halo = CsrHalo(m_halo, A)
+        halo.apply(halo.make_vector("p", pv), halo.make_vector("q"))
+        m_bcast = Machine(nprocs=8)
+        bcast = make_strategy("csr_forall_aligned", m_bcast, A)
+        bcast.apply(bcast.make_vector("p", pv), bcast.make_vector("q"))
+        assert m_halo.stats.total_words < m_bcast.stats.total_words / 4
+        assert m_halo.elapsed() < m_bcast.elapsed()
+
+    def test_halo_recorded_as_own_op(self, spd_small, rng):
+        m = Machine(nprocs=4)
+        strat = CsrHalo(m, spd_small)
+        strat.apply(strat.make_vector("p", rng.standard_normal(36)),
+                    strat.make_vector("q"))
+        assert "halo" in m.stats.by_op()
+
+    def test_storage_includes_shadow_buffer(self, spd_small):
+        strat = CsrHalo(Machine(nprocs=4), spd_small)
+        base = make_strategy("csr_forall_aligned", Machine(nprocs=4), spd_small)
+        # halo storage = CSR arrays + pointer + shadow; always >= some words
+        assert (strat.storage_words_per_rank() > 0).all()

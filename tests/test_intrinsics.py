@@ -1,0 +1,80 @@
+"""Tests for the HPF intrinsic wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    DistributedArray,
+    dot_product,
+    maxval,
+    minval,
+    sum_,
+    sum_private_copies,
+)
+from repro.machine import Machine
+
+
+class TestDotProduct:
+    def test_value_and_comm(self, rng):
+        m = Machine(nprocs=4)
+        xv, yv = rng.standard_normal(10), rng.standard_normal(10)
+        x = DistributedArray.from_global(m, xv)
+        y = DistributedArray.from_global(m, yv)
+        assert dot_product(x, y) == pytest.approx(float(xv @ yv))
+        assert m.stats.by_op()["allreduce"]["count"] == 1
+
+    def test_tag_attribution(self, rng):
+        m = Machine(nprocs=4)
+        x = DistributedArray.from_global(m, rng.standard_normal(8))
+        dot_product(x, x, tag="sdot")
+        assert "sdot" in m.stats.by_tag()
+
+
+class TestScalarReductions:
+    def test_sum(self, machine4):
+        x = DistributedArray.from_global(machine4, np.arange(9.0))
+        assert sum_(x) == pytest.approx(36.0)
+
+    def test_maxval_minval(self, machine4, rng):
+        v = rng.standard_normal(13)
+        x = DistributedArray.from_global(machine4, v)
+        assert maxval(x) == pytest.approx(v.max())
+        assert minval(x) == pytest.approx(v.min())
+
+    def test_maxval_with_empty_rank(self, machine4):
+        # n=2 on 4 ranks: two ranks empty; reduction must still work
+        x = DistributedArray.from_global(machine4, np.array([3.0, -1.0]))
+        assert maxval(x) == 3.0
+        assert minval(x) == -1.0
+
+    def test_reduction_over_empty_array(self, machine4):
+        x = DistributedArray(machine4, 0)
+        with pytest.raises(ValueError):
+            maxval(x)
+
+
+class TestSumPrivateCopies:
+    def test_merge_correctness(self, rng):
+        m = Machine(nprocs=4)
+        copies = [rng.standard_normal(10) for _ in range(4)]
+        out = DistributedArray(m, 10)
+        sum_private_copies(copies, out)
+        assert np.allclose(out.to_global(), np.sum(copies, axis=0))
+
+    def test_merge_cost_recorded(self):
+        m = Machine(nprocs=4)
+        out = DistributedArray(m, 10)
+        sum_private_copies([np.ones(10)] * 4, out, tag="merge")
+        ops = m.stats.by_op()
+        assert "reduce_scatter" in ops
+        assert m.stats.by_tag()["merge"]["count"] == 1
+
+    def test_copy_count_checked(self, machine4):
+        out = DistributedArray(machine4, 4)
+        with pytest.raises(ValueError):
+            sum_private_copies([np.ones(4)] * 3, out)
+
+    def test_copy_shape_checked(self, machine4):
+        out = DistributedArray(machine4, 4)
+        with pytest.raises(ValueError):
+            sum_private_copies([np.ones(5)] * 4, out)

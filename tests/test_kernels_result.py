@@ -1,0 +1,109 @@
+"""Tests for the BLAS-1 kernel wrappers and the result/history types."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceHistory, SolveResult
+from repro.core.kernels import saxpy, saypx, scopy, sdot, sscal
+from repro.hpf import DistributedArray
+from repro.machine import Machine
+
+
+@pytest.fixture
+def vectors(machine4, rng):
+    xv, yv = rng.standard_normal(10), rng.standard_normal(10)
+    x = DistributedArray.from_global(machine4, xv, name="x")
+    y = DistributedArray.from_global(machine4, yv, name="y")
+    return xv, yv, x, y
+
+
+class TestKernels:
+    def test_saxpy(self, vectors):
+        xv, yv, x, y = vectors
+        saxpy(3.0, x, y)
+        assert np.allclose(y.to_global(), yv + 3.0 * xv)
+
+    def test_saypx(self, vectors):
+        xv, yv, x, y = vectors
+        saypx(0.25, y, x)  # y = 0.25*y + x, the paper's p = beta*p + r
+        assert np.allclose(y.to_global(), 0.25 * yv + xv)
+
+    def test_sdot(self, vectors):
+        xv, yv, x, y = vectors
+        assert sdot(x, y) == pytest.approx(float(xv @ yv))
+
+    def test_sdot_custom_tag(self, machine4, vectors):
+        _, _, x, y = vectors
+        sdot(x, y, tag="sdot_custom")
+        assert "sdot_custom" in machine4.stats.by_tag()
+
+    def test_scopy(self, vectors):
+        xv, _, x, y = vectors
+        scopy(x, y)
+        assert np.allclose(y.to_global(), xv)
+
+    def test_sscal(self, vectors):
+        xv, _, x, _ = vectors
+        sscal(-2.0, x)
+        assert np.allclose(x.to_global(), -2.0 * xv)
+
+    def test_saxpy_is_communication_free(self):
+        m = Machine(nprocs=4)
+        x = DistributedArray(m, 8, fill=1.0)
+        y = DistributedArray(m, 8, fill=1.0)
+        saxpy(1.0, x, y)
+        assert m.stats.total_messages == 0
+
+
+class TestConvergenceHistory:
+    def test_iterations_counts_after_initial(self):
+        h = ConvergenceHistory()
+        for v in (10.0, 5.0, 1.0):
+            h.append(v)
+        assert h.iterations == 2
+        assert h.initial == 10.0
+        assert h.final == 1.0
+
+    def test_reduction(self):
+        h = ConvergenceHistory()
+        h.append(100.0)
+        h.append(1.0)
+        assert h.reduction() == pytest.approx(0.01)
+
+    def test_convergence_rate_geometric_mean(self):
+        h = ConvergenceHistory()
+        for v in (16.0, 8.0, 4.0, 2.0):  # halves each iteration
+            h.append(v)
+        assert h.convergence_rate() == pytest.approx(0.5)
+
+    def test_empty_history(self):
+        h = ConvergenceHistory()
+        assert h.iterations == 0
+        assert np.isnan(h.final)
+        assert np.isnan(h.convergence_rate())
+
+    def test_single_entry_rate_nan(self):
+        h = ConvergenceHistory()
+        h.append(1.0)
+        assert np.isnan(h.convergence_rate())
+
+
+class TestSolveResult:
+    def test_final_residual_property(self):
+        h = ConvergenceHistory()
+        h.append(2.0)
+        h.append(0.5)
+        res = SolveResult(
+            x=np.zeros(3), converged=True, iterations=1, history=h, solver="cg"
+        )
+        assert res.final_residual == 0.5
+
+    def test_repr_mentions_solver(self):
+        h = ConvergenceHistory()
+        h.append(1.0)
+        res = SolveResult(
+            x=np.zeros(2), converged=False, iterations=7, history=h,
+            solver="bicg", strategy="csr_forall",
+        )
+        text = repr(res)
+        assert "bicg" in text and "csr_forall" in text and "7" in text

@@ -1,0 +1,134 @@
+"""Unit tests for the Machine clock/charging layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Machine
+
+
+class TestConstruction:
+    def test_defaults(self):
+        m = Machine(nprocs=4)
+        assert m.nprocs == 4
+        assert m.elapsed() == 0.0
+        assert m.topology.size == 4
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            Machine(nprocs=0)
+
+    def test_custom_cost(self):
+        c = CostModel(t_flop=5e-9)
+        assert Machine(nprocs=2, cost=c).cost.t_flop == 5e-9
+
+
+class TestComputeCharging:
+    def test_single_rank_clock_advances(self):
+        m = Machine(nprocs=4)
+        m.charge_compute(2, 1000)
+        assert m.clock[2] == pytest.approx(1000 * m.cost.t_flop)
+        assert m.clock[0] == 0.0
+        assert m.stats.flops_per_rank[2] == 1000
+
+    def test_charge_all_scalar(self):
+        m = Machine(nprocs=4)
+        m.charge_compute_all(500)
+        assert np.allclose(m.clock, 500 * m.cost.t_flop)
+
+    def test_charge_all_vector(self):
+        m = Machine(nprocs=3, topology="ring")
+        m.charge_compute_all([100, 200, 300])
+        assert m.clock[2] == pytest.approx(300 * m.cost.t_flop)
+        assert m.stats.total_flops == 600
+
+    def test_serialized_compute_sums_across_ranks(self):
+        m = Machine(nprocs=4)
+        m.charge_serialized_compute([100, 100, 100, 100])
+        # every rank waits for the full 400 flops
+        assert np.allclose(m.clock, 400 * m.cost.t_flop)
+
+    def test_serialized_requires_full_vector(self):
+        m = Machine(nprocs=4)
+        with pytest.raises(ValueError):
+            m.charge_serialized_compute([1, 2])
+
+    def test_negative_flops_rejected(self):
+        m = Machine(nprocs=2)
+        with pytest.raises(ValueError):
+            m.charge_compute(0, -1)
+
+    def test_invalid_rank(self):
+        m = Machine(nprocs=2)
+        with pytest.raises(ValueError):
+            m.charge_compute(5, 10)
+
+
+class TestPointToPoint:
+    def test_rendezvous_advances_both_clocks(self):
+        m = Machine(nprocs=4)
+        m.charge_compute(0, 1e6)  # sender is busy until t0
+        t0 = m.clock[0]
+        done = m.send_recv(0, 1, 100)
+        assert done == pytest.approx(t0 + m.cost.message_time(100))
+        assert m.clock[0] == m.clock[1] == done
+
+    def test_self_send_is_free(self):
+        m = Machine(nprocs=2)
+        m.send_recv(1, 1, 1000)
+        assert m.elapsed() == 0.0
+        assert m.stats.total_messages == 0
+
+    def test_message_recorded(self):
+        m = Machine(nprocs=4)
+        m.send_recv(0, 3, 10, tag="halo")
+        assert m.stats.total_messages == 1
+        assert m.stats.by_tag()["halo"]["words"] == 10
+
+
+class TestCollectiveCharging:
+    def test_collectives_synchronise_all_clocks(self):
+        m = Machine(nprocs=4)
+        m.charge_compute(1, 1e6)
+        m.allreduce(1)
+        assert np.allclose(m.clock, m.clock[0])
+        assert m.elapsed() > 1e6 * m.cost.t_flop
+
+    @pytest.mark.parametrize(
+        "op", ["broadcast", "reduce", "allreduce", "allgather", "reduce_scatter",
+               "gather", "scatter", "alltoall"]
+    )
+    def test_each_collective_records(self, op):
+        m = Machine(nprocs=4)
+        getattr(m, op)(16.0)
+        assert op in m.stats.by_op()
+
+    def test_barrier(self):
+        m = Machine(nprocs=4)
+        m.charge_compute(3, 1e6)
+        m.barrier()
+        assert np.allclose(m.clock, m.clock[0])
+
+    def test_invalid_root(self):
+        m = Machine(nprocs=2)
+        with pytest.raises(ValueError):
+            m.broadcast(10, root=7)
+
+
+class TestReset:
+    def test_reset_clears_clock_and_stats(self):
+        m = Machine(nprocs=4)
+        m.charge_compute_all(100)
+        m.allgather(10)
+        m.reset()
+        assert m.elapsed() == 0.0
+        assert m.stats.total_messages == 0
+        assert m.stats.total_flops == 0.0
+
+
+class TestStorageCharging:
+    def test_charge_storage(self):
+        m = Machine(nprocs=4)
+        m.charge_storage(1, 128.0)
+        m.charge_storage_all(10.0)
+        assert m.stats.storage_words_per_rank[1] == 138.0
+        assert m.stats.storage_words_per_rank[0] == 10.0

@@ -1,0 +1,90 @@
+"""Tests for charge_comm_interval and topology-priced halo exchanges."""
+
+import numpy as np
+import pytest
+
+from repro.core import CsrHalo
+from repro.machine import Machine, Tracer
+from repro.sparse import poisson1d
+
+
+class TestChargeCommInterval:
+    def test_advances_all_clocks(self):
+        m = Machine(nprocs=4)
+        m.charge_comm_interval("halo", 3, 30.0, 1e-4, "matvec")
+        assert np.allclose(m.clock, 1e-4)
+        rec = m.stats.comm_records[-1]
+        assert rec.op == "halo"
+        assert rec.messages == 3
+        assert rec.words == 30.0
+
+    def test_negative_quantities_rejected(self):
+        m = Machine(nprocs=2)
+        with pytest.raises(ValueError):
+            m.charge_comm_interval("x", -1, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            m.charge_comm_interval("x", 0, -1.0, 0.0)
+        with pytest.raises(ValueError):
+            m.charge_comm_interval("x", 0, 0.0, -1.0)
+
+    def test_participants_traced_only(self):
+        m = Machine(nprocs=4)
+        tr = Tracer.attach(m)
+        m.charge_comm_interval("halo", 2, 20.0, 1e-4, participants=[1, 3])
+        assert {e.rank for e in tr.events} == {1, 3}
+
+    def test_untraced_when_no_participants(self):
+        m = Machine(nprocs=4)
+        tr = Tracer.attach(m)
+        m.charge_comm_interval("p2p", 2, 20.0, 1e-4)
+        assert len(tr) == 0
+
+    def test_invalid_participant_rejected(self):
+        m = Machine(nprocs=2)
+        Tracer.attach(m)
+        with pytest.raises(ValueError):
+            m.charge_comm_interval("x", 1, 1.0, 1e-5, participants=[5])
+
+    def test_starts_at_machine_elapsed(self):
+        m = Machine(nprocs=4)
+        m.charge_compute(2, 1_000_000)
+        t0 = m.elapsed()
+        m.charge_comm_interval("halo", 1, 1.0, 1e-5)
+        assert np.allclose(m.clock, t0 + 1e-5)
+
+
+class TestHaloTopologyPricing:
+    def test_ring_halo_costs_more_than_complete(self):
+        """Multi-hop routes price per-hop latency when t_hop > 0."""
+        from repro.machine import CostModel
+
+        cost = CostModel(t_hop=1e-5)
+        A = poisson1d(64)
+        m_ring = Machine(nprocs=8, topology="ring", cost=cost)
+        halo_ring = CsrHalo(m_ring, A)
+        halo_ring.apply(
+            halo_ring.make_vector("p", np.ones(64)), halo_ring.make_vector("q")
+        )
+        m_full = Machine(nprocs=8, topology="complete", cost=cost)
+        halo_full = CsrHalo(m_full, A)
+        halo_full.apply(
+            halo_full.make_vector("p", np.ones(64)), halo_full.make_vector("q")
+        )
+        # the 1-D chain's halo partners are ring neighbours: equal cost; the
+        # point is that neither pays multi-hop penalties for this pattern
+        assert m_ring.elapsed() == pytest.approx(m_full.elapsed())
+
+    def test_scrambled_pattern_pays_hops_on_ring(self, rng):
+        from repro.machine import CostModel
+        from repro.sparse import permute_symmetric
+
+        cost = CostModel(t_hop=1e-5)
+        A = permute_symmetric(poisson1d(64), rng.permutation(64))
+        m_ring = Machine(nprocs=8, topology="ring", cost=cost)
+        h_ring = CsrHalo(m_ring, A)
+        h_ring.apply(h_ring.make_vector("p", np.ones(64)), h_ring.make_vector("q"))
+        m_full = Machine(nprocs=8, topology="complete", cost=cost)
+        h_full = CsrHalo(m_full, A)
+        h_full.apply(h_full.make_vector("p", np.ones(64)), h_full.make_vector("q"))
+        # scrambling creates distant partners: the ring pays hop latency
+        assert m_ring.elapsed() > m_full.elapsed()

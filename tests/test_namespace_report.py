@@ -1,0 +1,79 @@
+"""Tests for the HpfNamespace data-mapping report."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import HpfNamespace
+from repro.machine import Machine
+from repro.sparse import poisson2d
+
+
+@pytest.fixture
+def full_namespace(machine4):
+    A = poisson2d(4, 4).to_csr()
+    ns = HpfNamespace(machine4, env={"n": 16, "nz": A.nnz})
+    for v in ("p", "q", "r", "x", "b"):
+        ns.declare(v, 16)
+    ns.declare_sparse("smA", A)
+    ns.apply(
+        """
+        !HPF$ PROCESSORS :: PROCS(NP)
+        !HPF$ TEMPLATE T(n)
+        !HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+        !HPF$ DISTRIBUTE p(BLOCK)
+        !HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)
+        !EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1
+        !EXT$ ITERATION j ON PROCESSOR(j/4), PRIVATE(q(n)) WITH MERGE(+)
+        """
+    )
+    return ns
+
+
+class TestReport:
+    def test_lists_every_array(self, full_namespace):
+        report = full_namespace.report()
+        for name in ("p", "q", "r", "x", "b"):
+            assert f"\n    {name} " in report or f" {name} " in report
+
+    def test_alignment_targets_shown(self, full_namespace):
+        report = full_namespace.report()
+        # q/r/x/b all align with p
+        assert report.count("align=p") == 4
+
+    def test_processors_and_template(self, full_namespace):
+        report = full_namespace.report()
+        assert "PROCS(4)" in report
+        assert "TEMPLATE t(16)" in report
+
+    def test_sparse_binding_section(self, full_namespace):
+        report = full_namespace.report()
+        assert "smA: CSR n=16" in report
+        assert "non-local elements=0" in report  # after balanced partitioning
+
+    def test_iteration_section(self, full_namespace):
+        report = full_namespace.report()
+        assert "ON PROCESSOR" in report
+        assert "MERGE(+)" in report
+
+    def test_dynamic_flag_shown(self, machine4):
+        ns = HpfNamespace(machine4, env={"n": 8})
+        ns.declare("row", 8)
+        ns.apply("!HPF$ DYNAMIC, DISTRIBUTE row(BLOCK)")
+        assert "DYNAMIC" in ns.report()
+
+    def test_dense_matrix_shown(self, machine4, rng):
+        ns = HpfNamespace(machine4)
+        ns.declare("p", 8)
+        ns.declare_matrix("A", rng.standard_normal((8, 8)))
+        ns.apply("!HPF$ ALIGN A(:, *) WITH p(:)")
+        assert "(BLOCK, *)" in ns.report()
+
+    def test_imbalance_reported(self, machine4):
+        ns = HpfNamespace(machine4)
+        ns.declare("v", 5)  # 2+1+1+1 under BLOCK(2): imbalanced
+        report = ns.report()
+        assert "imbalance=" in report
+
+    def test_empty_namespace(self, machine4):
+        report = HpfNamespace(machine4).report()
+        assert "HPF data mapping report" in report

@@ -1,0 +1,129 @@
+"""Tests for the preconditioner family."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    NeumannPreconditioner,
+    SSORPreconditioner,
+    StoppingCriterion,
+    cg_reference,
+    pcg_reference,
+)
+from repro.sparse import COOMatrix, poisson2d, rhs_for_solution
+
+TIGHT = StoppingCriterion(rtol=1e-10, maxiter=2000)
+
+
+@pytest.fixture
+def ill_conditioned():
+    """A diagonally scaled Poisson system: Jacobi helps a lot here."""
+    A = poisson2d(8, 8).to_coo()
+    n = 64
+    scales = np.logspace(0, 3, n)
+    rows, cols, data = A.rows, A.cols, A.data
+    scaled = data * scales[rows] * scales[cols]
+    return COOMatrix(rows, cols, scaled, (n, n)).to_csr()
+
+
+class TestIdentity:
+    def test_identity_is_noop(self, rng):
+        p = IdentityPreconditioner(10)
+        r = rng.standard_normal(10)
+        assert np.allclose(p.solve(r), r)
+        assert p.flops_per_apply == 0.0
+        assert p.parallel
+
+    def test_pcg_with_identity_equals_cg(self, spd_medium, rng):
+        b = rng.standard_normal(spd_medium.nrows)
+        plain = cg_reference(spd_medium, b, criterion=TIGHT)
+        ident = pcg_reference(
+            spd_medium, b, IdentityPreconditioner(spd_medium.nrows), criterion=TIGHT
+        )
+        assert abs(plain.iterations - ident.iterations) <= 1
+
+
+class TestJacobi:
+    def test_solve_is_diagonal_scaling(self, spd_small, rng):
+        p = JacobiPreconditioner(spd_small)
+        r = rng.standard_normal(spd_small.nrows)
+        assert np.allclose(p.solve(r), r / spd_small.diagonal())
+
+    def test_reduces_iterations_on_ill_conditioned(self, ill_conditioned, rng):
+        xt = rng.standard_normal(64)
+        b = rhs_for_solution(ill_conditioned, xt)
+        plain = cg_reference(ill_conditioned, b, criterion=TIGHT)
+        jac = pcg_reference(
+            ill_conditioned, b, JacobiPreconditioner(ill_conditioned), criterion=TIGHT
+        )
+        assert jac.converged
+        assert jac.iterations < plain.iterations
+        assert np.allclose(jac.x, xt, atol=1e-5)
+
+    def test_zero_diagonal_rejected(self):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 1.0], shape=(2, 2))
+        with pytest.raises(ValueError):
+            JacobiPreconditioner(m)
+
+    def test_parallel_flag(self, spd_small):
+        assert JacobiPreconditioner(spd_small).parallel
+
+
+class TestSSOR:
+    def test_reduces_iterations_vs_jacobi(self, spd_medium, rng):
+        xt = rng.standard_normal(spd_medium.nrows)
+        b = rhs_for_solution(spd_medium, xt)
+        jac = pcg_reference(spd_medium, b, JacobiPreconditioner(spd_medium), criterion=TIGHT)
+        ssor = pcg_reference(spd_medium, b, SSORPreconditioner(spd_medium), criterion=TIGHT)
+        assert ssor.converged
+        assert ssor.iterations < jac.iterations
+        assert np.allclose(ssor.x, xt, atol=1e-5)
+
+    def test_omega_range_validated(self, spd_small):
+        with pytest.raises(ValueError):
+            SSORPreconditioner(spd_small, omega=0.0)
+        with pytest.raises(ValueError):
+            SSORPreconditioner(spd_small, omega=2.0)
+
+    def test_serial_flag(self, spd_small):
+        assert not SSORPreconditioner(spd_small).parallel
+
+    def test_apply_is_spd_operator(self, spd_small, rng):
+        """M^{-1} must be symmetric positive definite for PCG validity."""
+        p = SSORPreconditioner(spd_small, omega=1.3)
+        n = spd_small.nrows
+        M_inv = np.column_stack([p.solve(e) for e in np.eye(n)])
+        assert np.allclose(M_inv, M_inv.T, atol=1e-10)
+        assert (np.linalg.eigvalsh((M_inv + M_inv.T) / 2) > 0).all()
+
+
+class TestNeumann:
+    def test_order_zero_is_jacobi(self, spd_small, rng):
+        r = rng.standard_normal(spd_small.nrows)
+        nm = NeumannPreconditioner(spd_small, order=0)
+        jc = JacobiPreconditioner(spd_small)
+        assert np.allclose(nm.solve(r), jc.solve(r))
+
+    def test_higher_order_reduces_iterations(self, spd_medium, rng):
+        b = rng.standard_normal(spd_medium.nrows)
+        it0 = pcg_reference(
+            spd_medium, b, NeumannPreconditioner(spd_medium, 0), criterion=TIGHT
+        ).iterations
+        it2 = pcg_reference(
+            spd_medium, b, NeumannPreconditioner(spd_medium, 2), criterion=TIGHT
+        ).iterations
+        assert it2 < it0
+
+    def test_parallel_flag(self, spd_small):
+        assert NeumannPreconditioner(spd_small).parallel
+
+    def test_invalid_order(self, spd_small):
+        with pytest.raises(ValueError):
+            NeumannPreconditioner(spd_small, order=-1)
+
+    def test_flops_grow_with_order(self, spd_small):
+        f1 = NeumannPreconditioner(spd_small, 1).flops_per_apply
+        f3 = NeumannPreconditioner(spd_small, 3).flops_per_apply
+        assert f3 > f1

@@ -1,0 +1,96 @@
+"""Tests for processor arrangements and format-conversion helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hpf import MappingError, ProcessorArrangement
+from repro.sparse import (
+    CSRMatrix,
+    DenseMatrix,
+    as_format,
+    as_matrix,
+    figure1_matrix,
+    from_scipy,
+)
+
+
+class TestProcessorArrangement:
+    def test_1d(self):
+        p = ProcessorArrangement("PROCS", (8,))
+        assert p.size == 8
+        assert p.ndim == 1
+        assert p.rank_of(5) == 5
+        assert p.coords_of(5) == (5,)
+
+    def test_scalar_shape_promoted(self):
+        assert ProcessorArrangement("P", 4).shape == (4,)
+
+    def test_2d_row_major(self):
+        p = ProcessorArrangement("GRID", (2, 3))
+        assert p.size == 6
+        assert p.rank_of(1, 2) == 5
+        assert p.coords_of(4) == (1, 1)
+
+    def test_round_trip(self):
+        p = ProcessorArrangement("G", (3, 4))
+        for rank in range(12):
+            assert p.rank_of(*p.coords_of(rank)) == rank
+
+    def test_coordinate_validation(self):
+        p = ProcessorArrangement("G", (2, 2))
+        with pytest.raises(MappingError):
+            p.rank_of(2, 0)
+        with pytest.raises(MappingError):
+            p.rank_of(0)
+        with pytest.raises(MappingError):
+            p.coords_of(4)
+
+    def test_invalid_shape(self):
+        with pytest.raises(MappingError):
+            ProcessorArrangement("P", (0,))
+
+
+class TestAsMatrix:
+    def test_passthrough(self, fig1):
+        assert as_matrix(fig1) is fig1
+
+    def test_ndarray_wrapped_dense(self, rng):
+        a = rng.standard_normal((3, 3))
+        m = as_matrix(a)
+        assert isinstance(m, DenseMatrix)
+        assert np.allclose(m.toarray(), a)
+
+    def test_scipy_converted(self, fig1):
+        m = as_matrix(fig1.to_scipy())
+        assert isinstance(m, CSRMatrix)
+        assert np.allclose(m.toarray(), fig1.toarray())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_matrix("not a matrix")
+
+
+class TestFromScipy:
+    @pytest.mark.parametrize("converter", ["tocsr", "tocsc", "tocoo"])
+    def test_all_scipy_formats(self, fig1, converter):
+        sp_m = getattr(fig1.to_scipy(), converter)()
+        back = from_scipy(sp_m)
+        assert np.allclose(back.toarray(), fig1.toarray())
+
+    def test_empty_scipy(self):
+        back = from_scipy(sp.csr_matrix((3, 3)))
+        assert back.nnz == 0
+        assert back.shape == (3, 3)
+
+
+class TestAsFormat:
+    def test_unknown_format_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            as_format(fig1, "ellpack")
+
+    def test_case_insensitive(self, fig1):
+        assert as_format(fig1, "CSC").toarray().shape == (6, 6)
+
+    def test_idempotent(self, fig1):
+        assert as_format(fig1, "csr") is fig1

@@ -1,0 +1,211 @@
+"""Tests for HpfNamespace: applying the paper's directives to real arrays."""
+
+import numpy as np
+import pytest
+
+from repro.hpf import (
+    Block,
+    BlockK,
+    Cyclic,
+    CyclicK,
+    DirectiveSemanticError,
+    HpfNamespace,
+)
+from repro.machine import Machine
+from repro.sparse import figure1_matrix, poisson2d
+
+
+@pytest.fixture
+def ns(machine4):
+    return HpfNamespace(machine4, env={"n": 12, "nz": 40})
+
+
+class TestDeclarations:
+    def test_declare_and_lookup(self, ns):
+        ns.declare("p", 12)
+        assert ns.array("p").n == 12
+
+    def test_declare_with_values(self, ns, rng):
+        v = rng.standard_normal(12)
+        ns.declare("b", 12, values=v)
+        assert np.allclose(ns.array("b").to_global(), v)
+
+    def test_case_insensitive_lookup(self, ns):
+        ns.declare("Row", 13)
+        assert ns.array("row").n == 13
+
+    def test_double_declare_rejected(self, ns):
+        ns.declare("p", 12)
+        with pytest.raises(DirectiveSemanticError):
+            ns.declare("p", 12)
+
+    def test_unknown_array(self, ns):
+        with pytest.raises(DirectiveSemanticError):
+            ns.array("ghost")
+
+    def test_values_shape_checked(self, ns):
+        with pytest.raises(DirectiveSemanticError):
+            ns.declare("p", 12, values=np.zeros(5))
+
+
+class TestProcessorsDirective:
+    def test_matching_size(self, ns):
+        ns.apply("!HPF$ PROCESSORS :: PROCS(NP)")
+        assert ns.processors["procs"].size == 4
+
+    def test_wrong_size_rejected(self, ns):
+        with pytest.raises(DirectiveSemanticError):
+            ns.apply("!HPF$ PROCESSORS :: PROCS(3)")
+
+    def test_np_defaults_to_machine(self, machine8):
+        ns = HpfNamespace(machine8)
+        ns.apply("!HPF$ PROCESSORS P(NP)")
+        assert ns.processors["p"].size == 8
+
+
+class TestDistributeAlign:
+    def test_distribute_block(self, ns):
+        ns.declare("p", 12)
+        ns.apply("!HPF$ DISTRIBUTE p(BLOCK)")
+        assert isinstance(ns.array("p").distribution, Block)
+
+    def test_distribute_cyclic_with_size(self, ns):
+        ns.declare("row", 12)
+        ns.apply("!HPF$ DISTRIBUTE row(CYCLIC((n+NP-1)/np))")
+        d = ns.array("row").distribution
+        assert isinstance(d, CyclicK)
+        assert d.k == 3
+
+    def test_paper_pointer_block_clamps(self, machine4):
+        """BLOCK((n+NP-1)/NP) on the n+1 array puts the fence on the last rank."""
+        ns = HpfNamespace(machine4, env={"n": 12})
+        ns.declare("row", 13)
+        ns.apply("!HPF$ DISTRIBUTE row(BLOCK((n+NP-1)/NP))")
+        d = ns.array("row").distribution
+        assert isinstance(d, BlockK)
+        assert d.owner(12) == 3
+
+    def test_align_list(self, ns, rng):
+        ns.declare("p", 12, values=rng.standard_normal(12))
+        for name in ("q", "r", "x", "b"):
+            ns.declare(name, 12)
+        ns.apply("!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b")
+        ns.apply("!HPF$ DISTRIBUTE p(BLOCK)")
+        # redistribute through the directive layer cascades
+        ns.apply("!HPF$ REDISTRIBUTE p(CYCLIC)")
+        for name in ("q", "r", "x", "b"):
+            assert isinstance(ns.array(name).distribution, Cyclic)
+
+    def test_dynamic_marks_arrays(self, ns):
+        ns.declare("row", 12)
+        ns.apply("!HPF$ DYNAMIC, DISTRIBUTE row(BLOCK)")
+        assert "row" in ns.dynamic
+
+    def test_2d_align_row_block(self, machine4, rng):
+        ns = HpfNamespace(machine4, env={"n": 8})
+        a = rng.standard_normal((8, 8))
+        ns.declare("p", 8)
+        ns.declare_matrix("A", a)
+        ns.apply("!HPF$ ALIGN A(:, *) WITH p(:)")
+        m = ns.matrix("A")
+        assert m.axis == 0
+        assert np.allclose(m.to_global(), a)
+
+    def test_2d_align_col_block(self, machine4, rng):
+        ns = HpfNamespace(machine4, env={"n": 8})
+        ns.declare("p", 8)
+        ns.declare_matrix("A", rng.standard_normal((8, 8)))
+        ns.apply("!HPF$ ALIGN A(*, :) WITH p(:)")
+        assert ns.matrix("A").axis == 1
+
+    def test_2d_align_undeclared_matrix(self, ns):
+        ns.declare("p", 12)
+        with pytest.raises(DirectiveSemanticError):
+            ns.apply("!HPF$ ALIGN A(:, *) WITH p(:)")
+
+    def test_matrix_extent_mismatch(self, machine4):
+        ns = HpfNamespace(machine4)
+        ns.declare("p", 6)
+        ns.declare_matrix("A", np.zeros((8, 8)))
+        with pytest.raises(DirectiveSemanticError):
+            ns.apply("!HPF$ ALIGN A(:, *) WITH p(:)")
+
+
+class TestSparseTrioDirectives:
+    def test_sparse_matrix_binding_and_partitioner(self, machine4):
+        A = poisson2d(4, 4).to_csr()
+        ns = HpfNamespace(machine4, env={"n": 16, "nz": A.nnz})
+        ns.declare_sparse("smA", A)
+        ns.apply("!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)")
+        binding = ns.sparse("smA")
+        assert binding.ptr.name == "row"
+        assert binding.idx.name == "col"
+        ns.apply("!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1")
+        assert binding.atom_cuts is not None
+        assert binding.nonlocal_elements().sum() == 0
+
+    def test_sparse_matrix_requires_registration(self, ns):
+        with pytest.raises(DirectiveSemanticError):
+            ns.apply("!HPF$ SPARSE_MATRIX (CSR) :: ghost(row, col, a)")
+
+    def test_sparse_matrix_format_mismatch(self, machine4):
+        ns = HpfNamespace(machine4)
+        ns.declare_sparse("smA", poisson2d(4, 4).to_csr())
+        with pytest.raises(DirectiveSemanticError):
+            ns.apply("!HPF$ SPARSE_MATRIX (CSC) :: smA(col, row, a)")
+
+    def test_indivisable_on_bound_trio(self, machine4):
+        A = figure1_matrix()
+        ns = HpfNamespace(machine4, env={"n": 6, "nz": A.nnz})
+        ns.declare_sparse("smA", A)
+        ns.apply("!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)")
+        ns.apply("!EXT$ INDIVISABLE col(ATOM:i) :: row(i:i+1)")
+        assert "col" in ns.atom_specs
+        assert ns.atom_specs["col"].natoms == 6
+
+    def test_atom_redistribute_via_directive(self, machine4):
+        A = figure1_matrix()
+        ns = HpfNamespace(machine4, env={"n": 6, "nz": A.nnz})
+        ns.declare_sparse("smA", A)
+        ns.apply("!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)")
+        ns.apply("!EXT$ REDISTRIBUTE col(ATOM: BLOCK)")
+        assert ns.sparse("smA").nonlocal_elements().sum() == 0
+
+    def test_atom_redistribute_without_spec_rejected(self, ns):
+        ns.declare("data", 12)
+        with pytest.raises(DirectiveSemanticError):
+            ns.apply("!EXT$ REDISTRIBUTE data(ATOM: BLOCK)")
+
+    def test_indivisable_from_declared_pointer_array(self, machine4):
+        """INDIVISABLE against a plain declared (1-based) pointer array."""
+        ns = HpfNamespace(machine4, env={"n": 4})
+        ns.declare("data", 10)
+        # 1-based Fortran pointer: atoms of sizes 3, 2, 4, 1
+        ns.declare("ptr", 5, values=np.array([1.0, 4.0, 6.0, 10.0, 11.0]))
+        ns.apply("!EXT$ INDIVISABLE data(ATOM:i) :: ptr(i:i+1)")
+        spec = ns.atom_specs["data"]
+        assert spec.natoms == 4
+        assert spec.atom_sizes().tolist() == [3, 2, 4, 1]
+        ns.apply("!EXT$ REDISTRIBUTE data(ATOM: BLOCK)")
+        from repro.hpf import IrregularBlock
+
+        assert isinstance(ns.array("data").distribution, IrregularBlock)
+
+
+class TestIterationDirective:
+    def test_iteration_mapping(self, machine4):
+        ns = HpfNamespace(machine4, env={"n": 12, "np": 4})
+        ns.apply("!EXT$ ITERATION j ON PROCESSOR(j/3), PRIVATE(q(n)) WITH MERGE(+)")
+        mapping = ns.iteration_mapping("j")
+        parts = mapping.partition(np.arange(12))
+        assert [len(p) for p in parts] == [3, 3, 3, 3]
+
+    def test_unknown_iteration_var(self, ns):
+        with pytest.raises(DirectiveSemanticError):
+            ns.iteration_mapping("k")
+
+
+class TestTemplate:
+    def test_template_recorded(self, ns):
+        ns.apply("!HPF$ TEMPLATE T(n)")
+        assert ns.templates["t"] == 12

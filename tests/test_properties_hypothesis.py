@@ -1,0 +1,243 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import StoppingCriterion, cg_reference, hpf_cg, make_strategy
+from repro.extensions import (
+    IndivisableSpec,
+    atom_block,
+    atom_block_balanced,
+    cg_balanced_partitioner_1,
+    imbalance,
+    lpt_partitioner,
+)
+from repro.hpf import Block, BlockK, Cyclic, CyclicK, IrregularBlock
+from repro.machine import CostModel, Hypercube, Machine, allgather_cost, allreduce_cost
+from repro.sparse import COOMatrix, random_sparse_symmetric
+
+SLOW = settings(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------- #
+# distributions
+# ---------------------------------------------------------------------- #
+@st.composite
+def distributions(draw):
+    n = draw(st.integers(min_value=0, max_value=64))
+    p = draw(st.integers(min_value=1, max_value=8))
+    kind = draw(st.sampled_from(["block", "blockk", "cyclic", "cyclick", "irregular"]))
+    if kind == "block":
+        return Block(n, p)
+    if kind == "blockk":
+        k = draw(st.integers(min_value=max(1, -(-n // p)), max_value=max(1, n) + 3))
+        return BlockK(n, p, k)
+    if kind == "cyclic":
+        return Cyclic(n, p)
+    if kind == "cyclick":
+        return CyclicK(n, p, draw(st.integers(min_value=1, max_value=7)))
+    cuts = sorted(draw(st.lists(st.integers(0, n), min_size=p - 1, max_size=p - 1)))
+    return IrregularBlock(np.array([0] + cuts + [n]), p)
+
+
+@given(distributions())
+@SLOW
+def test_distribution_partitions_index_space(dist):
+    """Coverage + disjointness: every index owned exactly once."""
+    cover = np.concatenate(
+        [dist.local_indices(r) for r in range(dist.nprocs)]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    assert sorted(cover.tolist()) == list(range(dist.n))
+
+
+@given(distributions())
+@SLOW
+def test_distribution_owner_localindex_consistency(dist):
+    for r in range(dist.nprocs):
+        li = dist.local_indices(r)
+        if li.size:
+            assert (dist.owners(li) == r).all()
+            assert np.array_equal(dist.global_to_local(li), np.arange(li.size))
+
+
+# ---------------------------------------------------------------------- #
+# partitioners
+# ---------------------------------------------------------------------- #
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    st.integers(min_value=1, max_value=8),
+)
+@SLOW
+def test_contiguous_partitioner_valid_cuts(weights, nparts):
+    w = np.asarray(weights, dtype=float)
+    cuts = cg_balanced_partitioner_1(w, nparts)
+    assert cuts.shape == (nparts + 1,)
+    assert cuts[0] == 0 and cuts[-1] == w.size
+    assert (np.diff(cuts) >= 0).all()
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=50), min_size=4, max_size=60),
+    st.integers(min_value=2, max_value=6),
+)
+@SLOW
+def test_contiguous_partitioner_bottleneck_optimality(weights, nparts):
+    """The bottleneck is never worse than any even-count contiguous split."""
+    w = np.asarray(weights, dtype=float)
+    cuts = cg_balanced_partitioner_1(w, nparts)
+    prefix = np.concatenate([[0.0], np.cumsum(w)])
+    best = (prefix[cuts[1:]] - prefix[cuts[:-1]]).max()
+    k = -(-w.size // nparts)
+    even = np.minimum(np.arange(nparts + 1) * k, w.size)
+    even_bottleneck = (prefix[even[1:]] - prefix[even[:-1]]).max()
+    assert best <= even_bottleneck + 1e-9
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    st.integers(min_value=1, max_value=8),
+)
+@SLOW
+def test_lpt_covers_all_atoms(weights, nparts):
+    w = np.asarray(weights, dtype=float)
+    assign = lpt_partitioner(w, nparts)
+    assert assign.shape == w.shape
+    assert ((assign >= 0) & (assign < nparts)).all()
+
+
+# ---------------------------------------------------------------------- #
+# atoms
+# ---------------------------------------------------------------------- #
+@st.composite
+def atom_specs(draw):
+    sizes = draw(st.lists(st.integers(0, 9), min_size=1, max_size=30))
+    pointer = np.concatenate([[0], np.cumsum(sizes)])
+    return IndivisableSpec(pointer)
+
+
+@given(atom_specs(), st.integers(min_value=1, max_value=8))
+@SLOW
+def test_atom_block_never_splits_atoms(spec, nprocs):
+    dist, cuts = atom_block(spec, nprocs)
+    assert spec.split_atoms_under(dist).size == 0
+    assert cuts[-1] == spec.natoms
+
+
+@given(atom_specs(), st.integers(min_value=1, max_value=8))
+@SLOW
+def test_atom_block_balanced_never_splits_atoms(spec, nprocs):
+    dist, _ = atom_block_balanced(spec, nprocs)
+    assert spec.split_atoms_under(dist).size == 0
+
+
+@given(atom_specs())
+@SLOW
+def test_atom_membership_consistent(spec):
+    assume(spec.nelements > 0)
+    ks = np.arange(spec.nelements)
+    atoms = spec.atom_of_element(ks)
+    for k, a in zip(ks[:20], atoms[:20]):
+        lo, hi = spec.atom_range(int(a))
+        assert lo <= k < hi
+
+
+# ---------------------------------------------------------------------- #
+# sparse formats
+# ---------------------------------------------------------------------- #
+@st.composite
+def coo_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    m = draw(st.integers(min_value=1, max_value=12))
+    nnz = draw(st.integers(min_value=0, max_value=40))
+    rows = draw(
+        st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz)
+    )
+    data = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(rows, cols, data, shape=(n, m))
+
+
+@given(coo_matrices())
+@SLOW
+def test_format_round_trips_preserve_matrix(coo):
+    dense = coo.toarray()
+    assert np.allclose(coo.to_csr().toarray(), dense)
+    assert np.allclose(coo.to_csc().toarray(), dense)
+    assert np.allclose(coo.to_csr().to_csc().toarray(), dense)
+    assert np.allclose(coo.to_csc().to_coo().toarray(), dense)
+
+
+@given(coo_matrices(), st.integers(0, 2**31 - 1))
+@SLOW
+def test_matvec_equivalent_across_formats(coo, seed):
+    x = np.random.default_rng(seed).standard_normal(coo.ncols)
+    expected = coo.toarray() @ x
+    assert np.allclose(coo.to_csr().matvec(x), expected, atol=1e-9)
+    assert np.allclose(coo.to_csc().matvec(x), expected, atol=1e-9)
+    y = np.random.default_rng(seed + 1).standard_normal(coo.nrows)
+    expected_t = coo.toarray().T @ y
+    assert np.allclose(coo.to_csr().rmatvec(y), expected_t, atol=1e-9)
+    assert np.allclose(coo.to_csc().rmatvec(y), expected_t, atol=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# collectives: monotonicity in machine size and message size
+# ---------------------------------------------------------------------- #
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=1, max_value=10_000),
+)
+@SLOW
+def test_collective_costs_monotone(p_exp, nwords):
+    cost = CostModel()
+    p = 2**p_exp
+    small = allgather_cost(Hypercube(p), cost, nwords)
+    bigger_machine = allgather_cost(Hypercube(2 * p), cost, nwords)
+    assert bigger_machine.time >= small.time
+    bigger_message = allreduce_cost(Hypercube(max(p, 2)), cost, nwords + 100)
+    smaller_message = allreduce_cost(Hypercube(max(p, 2)), cost, nwords)
+    assert bigger_message.time >= smaller_message.time
+
+
+# ---------------------------------------------------------------------- #
+# CG invariants
+# ---------------------------------------------------------------------- #
+@given(st.integers(min_value=0, max_value=10_000), st.integers(3, 30))
+@SLOW
+def test_cg_solves_random_spd_system(seed, n):
+    A = random_sparse_symmetric(n, nnz_per_row=4, seed=seed % 1000)
+    rng = np.random.default_rng(seed)
+    xt = rng.standard_normal(n)
+    b = A.matvec(xt)
+    res = cg_reference(A, b, criterion=StoppingCriterion(rtol=1e-12, maxiter=50 * n))
+    assert res.converged
+    assert np.allclose(res.x, xt, atol=1e-5 * max(1.0, np.abs(xt).max()))
+
+
+@given(st.integers(min_value=0, max_value=1000))
+@settings(deadline=None, max_examples=10, suppress_health_check=[HealthCheck.too_slow])
+def test_distributed_cg_matches_sequential_numerics(seed):
+    n = 24
+    A = random_sparse_symmetric(n, nnz_per_row=4, seed=seed)
+    b = np.random.default_rng(seed).standard_normal(n)
+    crit = StoppingCriterion(rtol=1e-10, maxiter=500)
+    seq = cg_reference(A, b, criterion=crit)
+    m = Machine(nprocs=4)
+    dist = hpf_cg(make_strategy("csc_private", m, A), b, criterion=crit)
+    assert dist.converged == seq.converged
+    assert np.allclose(dist.x, seq.x, atol=1e-6)

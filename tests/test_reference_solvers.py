@@ -1,0 +1,183 @@
+"""Tests for the sequential reference solvers against scipy and known answers."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.core import (
+    JacobiPreconditioner,
+    StoppingCriterion,
+    bicg_reference,
+    bicgstab_reference,
+    cg_reference,
+    cgs_reference,
+    gaussian_elimination,
+    pcg_reference,
+)
+from repro.sparse import (
+    convection_diffusion_1d,
+    matrix_with_eigenvalues,
+    poisson2d,
+    rhs_for_solution,
+)
+
+TIGHT = StoppingCriterion(rtol=1e-12, maxiter=2000)
+
+
+class TestCgReference:
+    def test_matches_manufactured_solution(self, spd_family_matrix, rng):
+        A = spd_family_matrix
+        xt = rng.standard_normal(A.nrows)
+        b = rhs_for_solution(A, xt)
+        res = cg_reference(A, b, criterion=TIGHT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6 * max(1.0, np.abs(xt).max()))
+
+    def test_matches_scipy(self, spd_medium, rng):
+        b = rng.standard_normal(spd_medium.nrows)
+        ours = cg_reference(spd_medium, b, criterion=TIGHT)
+        theirs, info = spla.cg(spd_medium.to_scipy(), b, rtol=1e-12, atol=0.0)
+        assert info == 0
+        assert np.allclose(ours.x, theirs, atol=1e-6)
+
+    def test_zero_rhs_converges_immediately(self, spd_small):
+        res = cg_reference(spd_small, np.zeros(spd_small.nrows))
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_nonzero_initial_guess(self, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        res = cg_reference(spd_small, b, x0=xt.copy(), criterion=TIGHT)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_history_monotone_overall(self, spd_medium, rng):
+        b = rng.standard_normal(spd_medium.nrows)
+        res = cg_reference(spd_medium, b, criterion=TIGHT)
+        h = res.history.residual_norms
+        assert h[-1] < h[0] * 1e-10
+
+    def test_residual_consistent_with_x(self, spd_small, rng):
+        b = rng.standard_normal(spd_small.nrows)
+        res = cg_reference(spd_small, b, criterion=TIGHT)
+        true_res = np.linalg.norm(b - spd_small.matvec(res.x))
+        assert true_res == pytest.approx(res.final_residual, abs=1e-8)
+
+    def test_shape_validation(self, spd_small):
+        with pytest.raises(ValueError):
+            cg_reference(spd_small, np.zeros(5))
+
+    def test_distinct_eigenvalue_bound(self):
+        """Section 2.1: CG converges in at most n_e iterations."""
+        for k in (2, 3, 5):
+            eigs = np.repeat(np.arange(1.0, k + 1.0), 20 // k + 1)[:20]
+            A = matrix_with_eigenvalues(eigs, seed=k)
+            b = np.ones(20)
+            res = cg_reference(A, b, criterion=StoppingCriterion(rtol=1e-9))
+            assert res.converged
+            assert res.iterations <= k + 1  # + rounding slack
+
+
+class TestPcgReference:
+    def test_jacobi_matches_solution(self, spd_medium, rng):
+        xt = rng.standard_normal(spd_medium.nrows)
+        b = rhs_for_solution(spd_medium, xt)
+        res = pcg_reference(spd_medium, b, JacobiPreconditioner(spd_medium), criterion=TIGHT)
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-6)
+
+    def test_zero_rhs(self, spd_small):
+        res = pcg_reference(
+            spd_small, np.zeros(spd_small.nrows), JacobiPreconditioner(spd_small)
+        )
+        assert res.converged and res.iterations == 0
+
+
+class TestNonsymmetricFamily:
+    @pytest.mark.parametrize("solver", [bicg_reference, cgs_reference, bicgstab_reference])
+    def test_solves_convection_diffusion(self, solver, rng):
+        A = convection_diffusion_1d(50, peclet=0.4)
+        xt = rng.standard_normal(50)
+        b = rhs_for_solution(A, xt)
+        res = solver(A, b, criterion=StoppingCriterion(rtol=1e-11, maxiter=1000))
+        assert res.converged, solver.__name__
+        assert np.allclose(res.x, xt, atol=1e-5), solver.__name__
+
+    @pytest.mark.parametrize("solver", [bicg_reference, cgs_reference, bicgstab_reference])
+    def test_also_solves_spd(self, solver, spd_small, rng):
+        xt = rng.standard_normal(spd_small.nrows)
+        b = rhs_for_solution(spd_small, xt)
+        res = solver(spd_small, b, criterion=StoppingCriterion(rtol=1e-11, maxiter=1000))
+        assert res.converged
+        assert np.allclose(res.x, xt, atol=1e-5)
+
+    def test_bicg_equals_cg_on_spd(self, spd_small, rng):
+        """On SPD systems BiCG reduces to CG (same iterates)."""
+        b = rng.standard_normal(spd_small.nrows)
+        crit = StoppingCriterion(rtol=1e-10)
+        res_cg = cg_reference(spd_small, b, criterion=crit)
+        res_bicg = bicg_reference(spd_small, b, criterion=crit)
+        assert abs(res_cg.iterations - res_bicg.iterations) <= 1
+
+    def test_bicgstab_matches_scipy(self, rng):
+        A = convection_diffusion_1d(60, peclet=0.3)
+        b = rng.standard_normal(60)
+        ours = bicgstab_reference(A, b, criterion=StoppingCriterion(rtol=1e-12, maxiter=2000))
+        theirs, info = spla.bicgstab(A.to_scipy(), b, rtol=1e-12, atol=0.0)
+        assert info == 0
+        assert np.allclose(ours.x, theirs, atol=1e-6)
+
+
+class TestGaussianElimination:
+    def test_matches_numpy_solve(self, rng):
+        a = rng.standard_normal((12, 12)) + 12 * np.eye(12)
+        b = rng.standard_normal(12)
+        x, flops = gaussian_elimination(a, b)
+        assert np.allclose(x, np.linalg.solve(a, b))
+        assert flops > 0
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        x, _ = gaussian_elimination(a, np.array([2.0, 3.0]))
+        assert np.allclose(x, [3.0, 2.0])
+
+    def test_singular_detected(self):
+        a = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(np.linalg.LinAlgError):
+            gaussian_elimination(a, np.array([1.0, 1.0]))
+
+    def test_flop_count_cubic(self):
+        rng = np.random.default_rng(0)
+        flops = []
+        for n in (10, 20, 40):
+            a = rng.standard_normal((n, n)) + n * np.eye(n)
+            _, f = gaussian_elimination(a, np.ones(n))
+            flops.append(f)
+        assert flops[1] / flops[0] == pytest.approx(8.0, rel=0.35)
+        assert flops[2] / flops[1] == pytest.approx(8.0, rel=0.35)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_elimination(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestStoppingCriterion:
+    def test_threshold(self):
+        c = StoppingCriterion(rtol=1e-6, atol=1e-9)
+        assert c.threshold(100.0) == pytest.approx(1e-4 + 1e-9)
+
+    def test_satisfied(self):
+        c = StoppingCriterion(rtol=1e-6)
+        assert c.satisfied(1e-7, 1.0)
+        assert not c.satisfied(1e-5, 1.0)
+
+    def test_cap_default(self):
+        assert StoppingCriterion().cap(50) == 500
+        assert StoppingCriterion(maxiter=7).cap(50) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(rtol=-1.0)
+        with pytest.raises(ValueError):
+            StoppingCriterion(maxiter=0)

@@ -1,0 +1,89 @@
+"""Tests for RCM bandwidth reordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import CsrHalo, StoppingCriterion, cg_reference
+from repro.machine import Machine
+from repro.sparse import (
+    bandwidth,
+    irregular_powerlaw,
+    is_symmetric,
+    permute_symmetric,
+    poisson2d,
+    rcm_permutation,
+    reorder_rcm,
+)
+
+
+@pytest.fixture
+def scrambled_stencil(rng):
+    A = poisson2d(12, 12)
+    perm = rng.permutation(A.nrows)
+    return A, permute_symmetric(A, perm)
+
+
+class TestPermuteSymmetric:
+    def test_entry_mapping(self, rng):
+        A = poisson2d(5, 5)
+        perm = rng.permutation(25)
+        B = permute_symmetric(A, perm)
+        assert np.allclose(B.toarray(), A.toarray()[np.ix_(perm, perm)])
+
+    def test_identity_permutation(self, spd_small):
+        B = permute_symmetric(spd_small, np.arange(spd_small.nrows))
+        assert np.allclose(B.toarray(), spd_small.toarray())
+
+    def test_preserves_symmetry_and_nnz(self, scrambled_stencil):
+        A, S = scrambled_stencil
+        assert is_symmetric(S)
+        assert S.nnz == A.nnz
+
+    def test_invalid_permutation_rejected(self, spd_small):
+        with pytest.raises(ValueError):
+            permute_symmetric(spd_small, np.zeros(spd_small.nrows, dtype=int))
+
+    def test_rectangular_rejected(self):
+        from repro.sparse import COOMatrix
+
+        rect = COOMatrix([0], [1], [1.0], shape=(2, 3))
+        with pytest.raises(ValueError):
+            permute_symmetric(rect, np.array([0, 1]))
+
+
+class TestRcm:
+    def test_permutation_is_valid(self, spd_small):
+        perm = rcm_permutation(spd_small)
+        assert sorted(perm.tolist()) == list(range(spd_small.nrows))
+
+    def test_recovers_stencil_bandwidth(self, scrambled_stencil):
+        """Scrambling a 12x12 grid destroys locality; RCM restores it."""
+        A, S = scrambled_stencil
+        R, _ = reorder_rcm(S)
+        assert bandwidth(S) > 3 * bandwidth(A)
+        assert bandwidth(R) <= 2 * bandwidth(A)
+
+    def test_reduces_halo_volume_on_scrambled_stencil(self, scrambled_stencil):
+        _, S = scrambled_stencil
+        R, _ = reorder_rcm(S)
+        halo_scrambled = CsrHalo(Machine(nprocs=4), S)
+        halo_rcm = CsrHalo(Machine(nprocs=4), R)
+        assert halo_rcm.halo_words_total() < halo_scrambled.halo_words_total()
+
+    def test_solution_maps_back(self, rng):
+        A = irregular_powerlaw(80, seed=4)
+        xt = rng.standard_normal(80)
+        b = A.matvec(xt)
+        B, perm = reorder_rcm(A)
+        res = cg_reference(B, b[perm], criterion=StoppingCriterion(rtol=1e-12))
+        assert res.converged
+        x = np.empty(80)
+        x[perm] = res.x
+        assert np.allclose(x, xt, atol=1e-6)
+
+    def test_reordered_matrix_equivalent_operator(self, rng):
+        A = poisson2d(6, 6)
+        B, perm = reorder_rcm(A)
+        v = rng.standard_normal(36)
+        # B (P v) == P (A v) where (P v)[i] = v[perm[i]]
+        assert np.allclose(B.matvec(v[perm]), A.matvec(v)[perm])

@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event SPMD scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    ANY_SOURCE,
+    Barrier,
+    Compute,
+    DeadlockError,
+    Machine,
+    Recv,
+    Scheduler,
+    Send,
+    payload_words,
+    run_spmd,
+)
+
+
+class TestPayloadWords:
+    def test_none_is_zero(self):
+        assert payload_words(None) == 0.0
+
+    def test_scalar_is_one(self):
+        assert payload_words(3.14) == 1.0
+        assert payload_words(7) == 1.0
+
+    def test_array_counts_elements(self):
+        assert payload_words(np.zeros(50)) == 50.0
+
+    def test_containers_sum(self):
+        assert payload_words((np.zeros(10), 1.0)) == 11.0
+        assert payload_words({"a": np.zeros(4), "b": 2}) == 5.0
+
+
+class TestBasicExchange:
+    def test_two_rank_ping(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield Send(dest=1, payload=42)
+                reply = yield Recv(source=1)
+                return reply
+            value = yield Recv(source=0)
+            yield Send(dest=0, payload=value + 1)
+            return value
+
+        m = Machine(nprocs=2)
+        results = run_spmd(m, prog)
+        assert results == [43, 42]
+        assert m.stats.total_messages == 2
+
+    def test_any_source(self):
+        def prog(rank, size):
+            if rank == 0:
+                got = []
+                for _ in range(size - 1):
+                    got.append((yield Recv(source=ANY_SOURCE)))
+                return sorted(got)
+            yield Send(dest=0, payload=rank)
+            return None
+
+        m = Machine(nprocs=4)
+        results = run_spmd(m, prog)
+        assert results[0] == [1, 2, 3]
+
+    def test_compute_advances_clock(self):
+        def prog(rank, size):
+            yield Compute(1000)
+            return None
+
+        m = Machine(nprocs=2)
+        run_spmd(m, prog)
+        assert m.elapsed() == pytest.approx(1000 * m.cost.t_flop)
+        assert m.stats.total_flops == 2000
+
+    def test_tag_matching(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield Send(dest=1, payload="a", tag=5)
+                yield Send(dest=1, payload="b", tag=9)
+                return None
+            second = yield Recv(source=0, tag=9)
+            first = yield Recv(source=0, tag=5)
+            return (first, second)
+
+        m = Machine(nprocs=2)
+        results = run_spmd(m, prog)
+        assert results[1] == ("a", "b")
+
+    def test_message_order_preserved_per_tag(self):
+        def prog(rank, size):
+            if rank == 0:
+                for i in range(5):
+                    yield Send(dest=1, payload=i)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield Recv(source=0)))
+            return got
+
+        m = Machine(nprocs=2)
+        assert run_spmd(m, prog)[1] == [0, 1, 2, 3, 4]
+
+
+class TestBarrier:
+    def test_barrier_synchronises(self):
+        def prog(rank, size):
+            yield Compute(rank * 1000)
+            yield Barrier()
+            return None
+
+        m = Machine(nprocs=4)
+        run_spmd(m, prog)
+        assert np.allclose(m.clock, m.clock[0])
+
+    def test_barrier_after_rank_done_raises(self):
+        def prog(rank, size):
+            if rank == 0:
+                return None  # finishes immediately, never reaches barrier
+            yield Barrier()
+            return None
+
+        m = Machine(nprocs=2)
+        with pytest.raises(DeadlockError):
+            run_spmd(m, prog)
+
+
+class TestDeadlockDetection:
+    def test_mutual_recv_deadlocks(self):
+        def prog(rank, size):
+            other = 1 - rank
+            value = yield Recv(source=other)
+            return value
+
+        with pytest.raises(DeadlockError):
+            run_spmd(Machine(nprocs=2), prog)
+
+    def test_recv_from_silent_rank_deadlocks(self):
+        def prog(rank, size):
+            if rank == 0:
+                value = yield Recv(source=1)
+                return value
+            return None
+
+        with pytest.raises(DeadlockError):
+            run_spmd(Machine(nprocs=2), prog)
+
+    def test_send_to_invalid_rank(self):
+        def prog(rank, size):
+            yield Send(dest=99, payload=1)
+
+        with pytest.raises(ValueError):
+            run_spmd(Machine(nprocs=2), prog)
+
+    def test_non_op_yield_rejected(self):
+        def prog(rank, size):
+            yield "not an op"
+
+        with pytest.raises(TypeError):
+            run_spmd(Machine(nprocs=1), prog)
+
+
+class TestTimingSemantics:
+    def test_receiver_waits_for_late_sender(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield Compute(1_000_000)  # slow sender
+                yield Send(dest=1, payload=np.zeros(10))
+                return None
+            data = yield Recv(source=0)
+            return data.size
+
+        m = Machine(nprocs=2)
+        results = run_spmd(m, prog)
+        assert results[1] == 10
+        expected = 1_000_000 * m.cost.t_flop + m.cost.message_time(10)
+        assert m.clock[1] == pytest.approx(expected)
+
+    def test_explicit_nwords_overrides_payload(self):
+        def prog(rank, size):
+            if rank == 0:
+                yield Send(dest=1, payload=1, nwords=5000)
+            else:
+                yield Recv(source=0)
+            return None
+
+        m = Machine(nprocs=2)
+        run_spmd(m, prog)
+        assert m.stats.total_words == 5000

@@ -1,0 +1,142 @@
+"""Property-based fuzzing of the SPMD scheduler.
+
+Random permutation routings, random message bursts and random collective
+compositions must always deliver every payload exactly once, terminate,
+and produce identical results on repeated runs (determinism).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Barrier, Compute, Machine, Recv, Send, run_spmd, spmd
+
+SLOW = settings(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def permutations(draw):
+    size = draw(st.integers(min_value=2, max_value=8))
+    perm = draw(st.permutations(list(range(size))))
+    return size, list(perm)
+
+
+@given(permutations())
+@SLOW
+def test_permutation_routing_delivers_exactly_once(case):
+    """Every rank sends to perm[rank] and receives from its inverse."""
+    size, perm = case
+    inverse = [0] * size
+    for src, dst in enumerate(perm):
+        inverse[dst] = src
+
+    def prog(rank, nprocs):
+        yield Send(dest=perm[rank], payload=("from", rank))
+        got = yield Recv(source=inverse[rank])
+        return got
+
+    results = run_spmd(Machine(size, "complete"), prog)
+    for rank, got in enumerate(results):
+        assert got == ("from", inverse[rank])
+
+
+@given(permutations())
+@SLOW
+def test_permutation_routing_is_deterministic(case):
+    size, perm = case
+
+    def run_once():
+        def prog(rank, nprocs):
+            yield Compute(rank * 13.0)
+            yield Send(dest=perm[rank], payload=rank)
+            got = yield Recv()
+            yield Barrier()
+            return got
+
+        machine = Machine(size, "complete")
+        results = run_spmd(machine, prog)
+        return results, machine.elapsed(), machine.stats.total_words
+
+    first = run_once()
+    second = run_once()
+    assert first[0] == second[0]
+    assert first[1] == second[1]
+    assert first[2] == second[2]
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=8),
+)
+@SLOW
+def test_bursts_preserve_fifo_order(size, burst_sizes):
+    """Multiple bursts from rank 0 to rank 1 arrive in send order."""
+
+    def prog(rank, nprocs):
+        if rank == 0:
+            seq = 0
+            for burst in burst_sizes:
+                for _ in range(burst):
+                    yield Send(dest=1, payload=seq)
+                    seq += 1
+            return seq
+        if rank == 1:
+            total = sum(burst_sizes)
+            got = []
+            for _ in range(total):
+                got.append((yield Recv(source=0)))
+            return got
+        return None
+
+    results = run_spmd(Machine(size, "complete"), prog)
+    total = sum(burst_sizes)
+    assert results[1] == list(range(total))
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(
+        st.sampled_from(["allreduce", "bcast", "gather", "allgather", "barrier"]),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@SLOW
+def test_random_collective_compositions(size, ops):
+    """Arbitrary sequences of SPMD collectives terminate and agree."""
+
+    def prog(rank, nprocs):
+        value = float(rank + 1)
+        outcome = []
+        for op in ops:
+            if op == "allreduce":
+                value = yield from spmd.allreduce_sum(rank, nprocs, value)
+                outcome.append(value)
+            elif op == "bcast":
+                root_val = value if rank == 0 else None
+                value = yield from spmd.bcast(rank, nprocs, root_val)
+                outcome.append(value)
+            elif op == "gather":
+                gathered = yield from spmd.gather_to_root(rank, nprocs, value)
+                if rank == 0:
+                    value = float(np.sum(gathered))
+                value = yield from spmd.bcast(
+                    rank, nprocs, value if rank == 0 else None
+                )
+                outcome.append(value)
+            elif op == "allgather":
+                everyone = yield from spmd.allgather(rank, nprocs, value)
+                value = float(np.max(everyone))
+                outcome.append(value)
+            else:
+                yield Barrier()
+        return tuple(outcome)
+
+    results = run_spmd(Machine(size, "complete"), prog)
+    # every collective leaves all ranks agreeing on the value trail
+    assert all(r == results[0] for r in results)

@@ -1,0 +1,125 @@
+"""Tests for the SPARSE_MATRIX trio binding (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import SparseMatrixBinding
+from repro.hpf import Block, Cyclic
+from repro.hpf.errors import DirectiveSemanticError, DistributionError
+from repro.machine import Machine
+from repro.sparse import figure1_matrix, irregular_powerlaw, poisson2d
+
+
+@pytest.fixture
+def binding(machine4):
+    return SparseMatrixBinding(machine4, figure1_matrix(), name="smA")
+
+
+class TestConstruction:
+    def test_csr_format_detected(self, binding):
+        assert binding.fmt == "CSR"
+        assert binding.n == 6
+        assert binding.nnz == 15
+
+    def test_csc_format_detected(self, machine4):
+        b = SparseMatrixBinding(machine4, figure1_matrix().to_csc())
+        assert b.fmt == "CSC"
+
+    def test_other_formats_rejected(self, machine4):
+        with pytest.raises(DirectiveSemanticError):
+            SparseMatrixBinding(machine4, figure1_matrix().to_coo())
+
+    def test_pointer_fence_on_last_rank(self, binding):
+        """The (n+1)-th element of row is placed in the last processor."""
+        assert binding.ptr.distribution.owner(6) == 3
+
+    def test_val_aligned_with_idx(self, binding):
+        assert binding.val.distribution.same_mapping(binding.idx.distribution)
+        assert binding.val.group is binding.idx.group
+
+
+class TestTightBinding:
+    def test_element_redistribution_moves_both(self, binding):
+        binding.redistribute_elements(Cyclic(15, 4))
+        assert isinstance(binding.idx.distribution, Cyclic)
+        assert isinstance(binding.val.distribution, Cyclic)
+        # data is intact
+        assert np.allclose(
+            binding.val.to_global(), figure1_matrix().data.astype(float)
+        )
+
+    def test_extent_checked(self, binding):
+        with pytest.raises(DistributionError):
+            binding.redistribute_elements(Cyclic(10, 4))
+
+
+class TestNonlocalElements:
+    def test_default_block_layout_has_nonlocal_elements(self, binding):
+        """Figure 2's layout: col/a BLOCK over nz does not match row owners."""
+        assert binding.nonlocal_elements().sum() > 0
+
+    def test_atom_redistribution_eliminates_them(self, binding):
+        binding.redistribute_atoms_uniform()
+        assert binding.nonlocal_elements().sum() == 0
+
+    def test_balanced_redistribution_eliminates_them(self, binding):
+        binding.redistribute_atoms_balanced()
+        assert binding.nonlocal_elements().sum() == 0
+
+    def test_prefetch_charges_when_nonlocal(self, machine4):
+        b = SparseMatrixBinding(machine4, figure1_matrix())
+        t = b.charge_prefetch()
+        assert t > 0
+        assert "prefetch" in machine4.stats.by_op()
+
+    def test_prefetch_free_when_aligned(self, machine4):
+        b = SparseMatrixBinding(machine4, figure1_matrix())
+        b.redistribute_atoms_uniform(charge=False)
+        assert b.charge_prefetch() == 0.0
+
+
+class TestBalancedPartitioning:
+    def test_balanced_cuts_reduce_nnz_imbalance(self):
+        m = Machine(nprocs=8)
+        A = irregular_powerlaw(300, seed=5).to_csr()
+        b = SparseMatrixBinding(m, A)
+        from repro.extensions import imbalance
+
+        weights = np.diff(A.indptr).astype(float)
+        uniform_cuts = b.redistribute_atoms_uniform(charge=False)
+        uni = imbalance(weights, uniform_cuts)
+        balanced_cuts = b.redistribute_atoms_balanced(charge=False)
+        bal = imbalance(weights, balanced_cuts)
+        assert bal <= uni
+
+    def test_apply_partitioner_by_name(self, binding):
+        cuts = binding.apply_partitioner("CG_BALANCED_PARTITIONER_1")
+        assert cuts[-1] == 6
+
+    def test_apply_partitioner_uniform_alias(self, binding):
+        cuts = binding.apply_partitioner("ATOM_BLOCK")
+        assert cuts[-1] == 6
+
+    def test_unknown_partitioner(self, binding):
+        with pytest.raises(DirectiveSemanticError):
+            binding.apply_partitioner("MAGIC")
+
+    def test_redistribution_charged_by_default(self):
+        m = Machine(nprocs=4)
+        b = SparseMatrixBinding(m, poisson2d(5, 5).to_csr())
+        before = m.stats.snapshot()
+        b.redistribute_atoms_balanced()
+        assert before.since(m.stats).words > 0
+
+
+class TestPointerConsistencyAfterAtoms:
+    def test_each_rank_can_walk_its_rows_locally(self, binding):
+        cuts = binding.redistribute_atoms_uniform()
+        # rank r owns pointer entries for its atom range
+        for r in range(4):
+            lo, hi = int(cuts[r]), int(cuts[r + 1])
+            local_ptr = binding.ptr.local(r)
+            expected = figure1_matrix().indptr[lo:hi].astype(float)
+            if r == 3:
+                expected = figure1_matrix().indptr[lo:].astype(float)
+            assert np.allclose(local_ptr, expected)

@@ -1,0 +1,230 @@
+"""Unit tests for the COO/CSR/CSC/dense storage schemes (paper Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    DenseMatrix,
+    as_format,
+    figure1_matrix,
+    storage_words,
+)
+
+
+@pytest.fixture
+def dense_example():
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((7, 5))
+    a[rng.random((7, 5)) < 0.5] = 0.0
+    return a
+
+
+class TestFigure1Fidelity:
+    """E1's core check: the CSC arrays match the paper's Figure 1 exactly."""
+
+    def test_csc_value_array_in_column_order(self, dense_example):
+        a, row, col = figure1_matrix().to_csc().fortran_arrays()
+        assert a.tolist() == [
+            11.0, 21.0, 31.0, 51.0,  # column 1
+            12.0, 22.0, 42.0, 62.0,  # column 2
+            33.0,                    # column 3
+            24.0, 44.0,              # column 4
+            15.0, 55.0,              # column 5
+            26.0, 66.0,              # column 6
+        ]
+
+    def test_csc_row_array(self):
+        _, row, _ = figure1_matrix().to_csc().fortran_arrays()
+        assert row.tolist() == [1, 2, 3, 5, 1, 2, 4, 6, 3, 2, 4, 1, 5, 2, 6]
+
+    def test_csc_col_pointer(self):
+        _, _, col = figure1_matrix().to_csc().fortran_arrays()
+        assert col.tolist() == [1, 5, 9, 10, 12, 14, 16]
+
+    def test_nnz_is_15(self):
+        assert figure1_matrix().nnz == 15
+
+    def test_round_trip_from_fortran_arrays(self):
+        csc = figure1_matrix().to_csc()
+        a, row, col = csc.fortran_arrays()
+        back = CSCMatrix.from_fortran_arrays(a, row, col, shape=(6, 6))
+        assert np.allclose(back.toarray(), csc.toarray())
+
+    def test_csr_fortran_round_trip(self):
+        csr = figure1_matrix()
+        row, col, a = csr.fortran_arrays()
+        back = CSRMatrix.from_fortran_arrays(row, col, a, shape=(6, 6))
+        assert np.allclose(back.toarray(), csr.toarray())
+
+
+class TestCOO:
+    def test_duplicate_summation(self):
+        m = COOMatrix([0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0], shape=(2, 2))
+        assert m.nnz == 2
+        assert m.toarray()[0, 0] == 3.0
+
+    def test_shape_inference(self):
+        m = COOMatrix([0, 4], [1, 2], [1.0, 1.0])
+        assert m.shape == (5, 3)
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0], [5], [1.0], shape=(2, 2))
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix([0, 1], [0], [1.0, 2.0])
+
+    def test_transpose(self):
+        m = COOMatrix([0, 1], [2, 0], [3.0, 4.0], shape=(2, 3))
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert np.allclose(t.toarray(), m.toarray().T)
+
+    def test_from_dense_and_back(self, dense_example):
+        m = COOMatrix.from_dense(dense_example)
+        assert np.allclose(m.toarray(), dense_example)
+        assert m.nnz == np.count_nonzero(dense_example)
+
+    def test_diagonal(self):
+        m = COOMatrix([0, 1, 1], [0, 1, 0], [2.0, 3.0, 9.0], shape=(2, 2))
+        assert m.diagonal().tolist() == [2.0, 3.0]
+
+    def test_empty_matrix(self):
+        m = COOMatrix([], [], [], shape=(3, 3))
+        assert m.nnz == 0
+        assert np.allclose(m.matvec(np.ones(3)), 0.0)
+
+
+class TestCSR:
+    def test_validation_indptr_start(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([1, 2], [0], [1.0], shape=(1, 1))
+
+    def test_validation_indptr_monotone(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 2, 1], [0, 0], [1.0, 1.0], shape=(2, 1))
+
+    def test_validation_column_bounds(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [9], [1.0], shape=(1, 2))
+
+    def test_validation_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            CSRMatrix([0, 1], [0], [1.0], shape=(5, 1))
+
+    def test_row_lengths(self, fig1):
+        assert fig1.row_lengths().tolist() == [3, 4, 2, 2, 2, 2]
+
+    def test_row_slice(self, fig1):
+        cols, vals = fig1.row_slice(1)
+        assert cols.tolist() == [0, 1, 3, 5]
+        assert vals.tolist() == [21.0, 22.0, 24.0, 26.0]
+
+    def test_row_slice_bounds(self, fig1):
+        with pytest.raises(IndexError):
+            fig1.row_slice(6)
+
+    def test_transpose_is_csc_view(self, fig1):
+        t = fig1.transpose()
+        assert isinstance(t, CSCMatrix)
+        assert np.allclose(t.toarray(), fig1.toarray().T)
+
+    def test_diagonal(self, fig1):
+        assert fig1.diagonal().tolist() == [11.0, 22.0, 33.0, 44.0, 55.0, 66.0]
+
+
+class TestCSC:
+    def test_col_lengths(self, fig1):
+        assert fig1.to_csc().col_lengths().tolist() == [4, 4, 1, 2, 2, 2]
+
+    def test_col_slice(self, fig1):
+        rows, vals = fig1.to_csc().col_slice(0)
+        assert rows.tolist() == [0, 1, 2, 4]
+        assert vals.tolist() == [11.0, 21.0, 31.0, 51.0]
+
+    def test_transpose_is_csr_view(self, fig1):
+        csc = fig1.to_csc()
+        t = csc.transpose()
+        assert isinstance(t, CSRMatrix)
+        assert np.allclose(t.toarray(), csc.toarray().T)
+
+    def test_validation_row_bounds(self):
+        with pytest.raises(ValueError):
+            CSCMatrix([0, 1], [9], [1.0], shape=(2, 1))
+
+
+class TestDense:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            DenseMatrix(np.zeros(5))
+
+    def test_nnz_counts_nonzeros(self, dense_example):
+        assert DenseMatrix(dense_example).nnz == np.count_nonzero(dense_example)
+
+    def test_stored_elements(self, dense_example):
+        assert DenseMatrix(dense_example).stored_elements == dense_example.size
+
+    def test_blocks(self, dense_example):
+        d = DenseMatrix(dense_example)
+        assert np.allclose(d.row_block(1, 3), dense_example[1:3, :])
+        assert np.allclose(d.col_block(0, 2), dense_example[:, 0:2])
+
+
+class TestMatvecAgreement:
+    """All formats produce identical products (against scipy as oracle)."""
+
+    @pytest.mark.parametrize("fmt", ["coo", "csr", "csc", "dense"])
+    def test_matvec(self, fig1, fmt, rng):
+        x = rng.standard_normal(6)
+        m = as_format(fig1, fmt)
+        assert np.allclose(m.matvec(x), fig1.to_scipy() @ x)
+
+    @pytest.mark.parametrize("fmt", ["coo", "csr", "csc", "dense"])
+    def test_rmatvec(self, fig1, fmt, rng):
+        x = rng.standard_normal(6)
+        m = as_format(fig1, fmt)
+        assert np.allclose(m.rmatvec(x), fig1.to_scipy().T @ x)
+
+    def test_matmul_operator(self, fig1, rng):
+        x = rng.standard_normal(6)
+        assert np.allclose(fig1 @ x, fig1.matvec(x))
+
+    def test_wrong_length_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            fig1.matvec(np.ones(7))
+
+    def test_rectangular_matvec(self, rng):
+        a = rng.standard_normal((4, 6))
+        m = COOMatrix.from_dense(a)
+        x = rng.standard_normal(6)
+        assert np.allclose(m.matvec(x), a @ x)
+        y = rng.standard_normal(4)
+        assert np.allclose(m.rmatvec(y), a.T @ y)
+
+
+class TestStorageWords:
+    """Section 3's storage-saving argument, quantified."""
+
+    def test_sparse_beats_dense_for_large_sparse(self):
+        """Section 3's saving appears once the matrix is big and sparse.
+
+        (For the tiny Figure-1 example the CSR trio costs 37 words versus
+        36 dense -- the scheme pays off at scale, as the paper argues.)
+        """
+        from repro.sparse import poisson2d
+
+        m = poisson2d(10, 10)
+        assert storage_words(m) < storage_words(m.to_dense()) / 4
+
+    def test_csr_formula(self, fig1):
+        assert storage_words(fig1) == 2 * 15 + 6 + 1
+
+    def test_coo_formula(self, fig1):
+        assert storage_words(fig1.to_coo()) == 3 * 15
+
+    def test_dense_formula(self, fig1):
+        assert storage_words(fig1.to_dense()) == 36

@@ -1,0 +1,164 @@
+"""Unit tests for the matrix generators (application families of the intro)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    bandwidth,
+    circuit_nodal,
+    convection_diffusion_1d,
+    irregular_powerlaw,
+    is_diagonally_dominant,
+    is_positive_definite,
+    is_symmetric,
+    matrix_with_eigenvalues,
+    nas_cg_style,
+    poisson1d,
+    poisson2d,
+    random_sparse_symmetric,
+    rhs_for_solution,
+    row_length_stats,
+    structural_truss,
+    tridiagonal,
+)
+
+
+class TestPoisson:
+    def test_poisson1d_entries(self):
+        a = poisson1d(4).toarray()
+        expected = np.array(
+            [[2, -1, 0, 0], [-1, 2, -1, 0], [0, -1, 2, -1], [0, 0, -1, 2]],
+            dtype=float,
+        )
+        assert np.allclose(a, expected)
+
+    def test_poisson1d_spd(self):
+        assert is_positive_definite(poisson1d(20))
+
+    def test_poisson2d_size_and_symmetry(self):
+        m = poisson2d(5, 7)
+        assert m.shape == (35, 35)
+        assert is_symmetric(m)
+
+    def test_poisson2d_spd(self):
+        assert is_positive_definite(poisson2d(6, 6))
+
+    def test_poisson2d_interior_row_has_five_entries(self):
+        m = poisson2d(5, 5).to_csr()
+        # grid point (2,2) -> index 12: 4 neighbours + diagonal
+        assert m.row_lengths()[12] == 5
+
+    def test_poisson2d_bandwidth(self):
+        assert bandwidth(poisson2d(4, 6)) == 6
+
+    def test_poisson2d_default_square(self):
+        assert poisson2d(4).shape == (16, 16)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            poisson2d(0)
+        with pytest.raises(ValueError):
+            poisson1d(0)
+
+
+class TestTridiagonal:
+    def test_nonsymmetric_coefficients(self):
+        a = tridiagonal(3, lower=-2.0, diag=5.0, upper=1.0).toarray()
+        assert np.allclose(a, [[5, 1, 0], [-2, 5, 1], [0, -2, 5]])
+
+    def test_single_element(self):
+        assert tridiagonal(1).toarray().tolist() == [[2.0]]
+
+
+class TestApplicationFamilies:
+    def test_truss_spd(self):
+        m = structural_truss(30, seed=1)
+        assert is_symmetric(m)
+        assert is_positive_definite(m)
+
+    def test_truss_deterministic(self):
+        a = structural_truss(20, seed=9).toarray()
+        b = structural_truss(20, seed=9).toarray()
+        assert np.allclose(a, b)
+
+    def test_truss_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            structural_truss(1)
+
+    def test_circuit_spd(self):
+        m = circuit_nodal(40, seed=2)
+        assert is_symmetric(m)
+        assert is_positive_definite(m)
+
+    def test_circuit_diagonally_dominant(self):
+        assert is_diagonally_dominant(circuit_nodal(40, seed=2))
+
+    def test_circuit_deterministic(self):
+        assert np.allclose(
+            circuit_nodal(25, seed=5).toarray(), circuit_nodal(25, seed=5).toarray()
+        )
+
+    def test_nas_cg_spd(self):
+        m = nas_cg_style(48, seed=3)
+        assert is_symmetric(m)
+        assert is_positive_definite(m)
+
+    def test_random_sparse_symmetric_spd_shift(self):
+        m = random_sparse_symmetric(40, nnz_per_row=6, seed=4)
+        assert is_symmetric(m)
+        assert is_diagonally_dominant(m)
+
+    def test_random_sparse_no_shift_symmetric_only(self):
+        m = random_sparse_symmetric(30, seed=4, spd_shift=False)
+        assert is_symmetric(m)
+
+
+class TestIrregularPowerlaw:
+    def test_spd_and_symmetric(self):
+        m = irregular_powerlaw(60, seed=1)
+        assert is_symmetric(m)
+        assert is_positive_definite(m)
+
+    def test_row_lengths_are_skewed(self):
+        """The Section-5.2.2 premise: some rows far heavier than average."""
+        stats = row_length_stats(irregular_powerlaw(300, seed=2))
+        assert stats.skew_ratio > 2.0
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            irregular_powerlaw(1)
+
+
+class TestMatrixWithEigenvalues:
+    def test_spectrum_exact(self):
+        eigs = [1.0, 2.0, 2.0, 5.0, 5.0, 5.0]
+        m = matrix_with_eigenvalues(eigs, seed=0)
+        assert np.allclose(sorted(np.linalg.eigvalsh(m.array)), sorted(eigs))
+
+    def test_symmetric(self):
+        m = matrix_with_eigenvalues([1.0, 3.0, 7.0], seed=1)
+        assert np.allclose(m.array, m.array.T)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_with_eigenvalues([])
+
+
+class TestConvectionDiffusion:
+    def test_nonsymmetric_when_peclet_nonzero(self):
+        assert not is_symmetric(convection_diffusion_1d(10, peclet=0.3))
+
+    def test_symmetric_when_peclet_zero(self):
+        assert is_symmetric(convection_diffusion_1d(10, peclet=0.0))
+
+    def test_coefficients(self):
+        a = convection_diffusion_1d(3, peclet=0.5).toarray()
+        assert np.allclose(a, [[2, -0.5, 0], [-1.5, 2, -0.5], [0, -1.5, 2]])
+
+
+class TestRhsForSolution:
+    def test_manufactured_solution(self, rng):
+        m = poisson2d(5, 5)
+        xt = rng.standard_normal(25)
+        b = rhs_for_solution(m, xt)
+        assert np.allclose(b, m.to_scipy() @ xt)

@@ -1,0 +1,148 @@
+"""Unit tests for matrix property queries and MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    bandwidth,
+    convection_diffusion_1d,
+    figure1_matrix,
+    is_diagonally_dominant,
+    is_positive_definite,
+    is_symmetric,
+    nnz_imbalance,
+    poisson2d,
+    read_matrix_market,
+    row_length_stats,
+    write_matrix_market,
+)
+
+
+class TestSymmetry:
+    def test_poisson_symmetric(self):
+        assert is_symmetric(poisson2d(4, 4))
+
+    def test_figure1_not_symmetric(self):
+        assert not is_symmetric(figure1_matrix())
+
+    def test_rectangular_never_symmetric(self):
+        m = COOMatrix([0], [1], [1.0], shape=(2, 3))
+        assert not is_symmetric(m)
+
+    def test_tolerance(self):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 1.0 + 1e-14], shape=(2, 2))
+        assert is_symmetric(m, tol=1e-12)
+        assert not is_symmetric(m, tol=1e-16)
+
+
+class TestDefiniteness:
+    def test_poisson_positive_definite(self):
+        assert is_positive_definite(poisson2d(4, 4))
+
+    def test_indefinite_detected(self):
+        m = COOMatrix([0, 1], [0, 1], [1.0, -1.0], shape=(2, 2))
+        assert not is_positive_definite(m)
+
+    def test_diag_dominance_strict(self):
+        m = COOMatrix([0, 0, 1], [0, 1, 1], [3.0, -1.0, 2.0], shape=(2, 2))
+        assert is_diagonally_dominant(m, strict=True)
+
+    def test_diag_dominance_violated(self):
+        m = COOMatrix([0, 0, 1], [0, 1, 1], [0.5, -1.0, 2.0], shape=(2, 2))
+        assert not is_diagonally_dominant(m)
+
+
+class TestBandwidthAndRowStats:
+    def test_diagonal_bandwidth_zero(self):
+        m = COOMatrix([0, 1], [0, 1], [1.0, 1.0], shape=(2, 2))
+        assert bandwidth(m) == 0
+
+    def test_empty_bandwidth_zero(self):
+        assert bandwidth(COOMatrix([], [], [], shape=(3, 3))) == 0
+
+    def test_figure1_bandwidth(self):
+        assert bandwidth(figure1_matrix()) == 4  # a51 / a15
+
+    def test_row_stats(self):
+        stats = row_length_stats(figure1_matrix())
+        assert stats.min == 2
+        assert stats.max == 4
+        assert stats.mean == pytest.approx(15 / 6)
+
+    def test_empty_row_stats(self):
+        stats = row_length_stats(COOMatrix([], [], [], shape=(0, 0)))
+        assert stats.max == 0
+
+
+class TestNnzImbalance:
+    def test_even_partition_of_uniform_matrix(self):
+        m = poisson2d(4, 4)  # 16 rows
+        cuts = np.array([0, 4, 8, 12, 16])
+        assert nnz_imbalance(m, cuts) == pytest.approx(1.0, rel=0.2)
+
+    def test_skewed_partition(self):
+        m = poisson2d(4, 4)
+        cuts = np.array([0, 14, 15, 16, 16])
+        assert nnz_imbalance(m, cuts) > 2.0
+
+
+class TestMatrixMarket:
+    def test_general_round_trip(self):
+        m = figure1_matrix()
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert np.allclose(back.toarray(), m.toarray())
+
+    def test_symmetric_round_trip_stores_lower_triangle(self):
+        m = poisson2d(3, 3)
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        text = buf.getvalue()
+        assert "symmetric" in text.splitlines()[0]
+        # stored entries: diagonal + one triangle
+        stored = int(text.splitlines()[1].split()[2])
+        assert stored < m.nnz
+        buf.seek(0)
+        assert np.allclose(read_matrix_market(buf).toarray(), m.toarray())
+
+    def test_force_general(self):
+        m = poisson2d(3, 3)
+        buf = io.StringIO()
+        write_matrix_market(m, buf, force_general=True)
+        assert "general" in buf.getvalue().splitlines()[0]
+
+    def test_nonsymmetric_written_general(self):
+        m = convection_diffusion_1d(5, 0.3)
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        assert "general" in buf.getvalue().splitlines()[0]
+
+    def test_file_round_trip(self, tmp_path):
+        m = poisson2d(3, 4)
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(m, path)
+        assert np.allclose(read_matrix_market(path).toarray(), m.toarray())
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO("%%MatrixMarket matrix array real\n1 1\n"))
+
+    def test_unsupported_symmetry_rejected(self):
+        bad = "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(bad))
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment line\n"
+            "2 2 1\n"
+            "1 2 3.5\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.toarray()[0, 1] == 3.5

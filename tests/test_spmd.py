@@ -1,0 +1,176 @@
+"""Unit tests for SPMD collectives built from point-to-point messages."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CostModel,
+    Machine,
+    allgather_cost,
+    allreduce_cost,
+    run_spmd,
+    spmd,
+)
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 16]
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestBcast:
+    def test_value_reaches_everyone(self, size):
+        def prog(rank, nprocs):
+            value = {"data": 99} if rank == 0 else None
+            out = yield from spmd.bcast(rank, nprocs, value)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert all(r == {"data": 99} for r in results)
+
+    def test_nonzero_root(self, size):
+        root = size - 1
+
+        def prog(rank, nprocs):
+            value = rank if rank == root else None
+            out = yield from spmd.bcast(rank, nprocs, value, root=root)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert all(r == root for r in results)
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestReduceAllreduce:
+    def test_reduce_to_root(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.reduce_to_root(rank, nprocs, rank + 1)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert results[0] == size * (size + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_allreduce_sum(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_sum(rank, nprocs, float(rank))
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert all(r == sum(range(size)) for r in results)
+
+    def test_allreduce_arrays(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_sum(rank, nprocs, np.full(3, rank + 1.0))
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        expected = np.full(3, size * (size + 1) / 2)
+        for r in results:
+            assert np.allclose(r, expected)
+
+    def test_custom_op(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.reduce_to_root(rank, nprocs, rank, op=max)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert results[0] == size - 1
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestGatherAllgatherScatter:
+    def test_gather_to_root(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.gather_to_root(rank, nprocs, rank * 2)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert results[0] == [2 * r for r in range(size)]
+
+    def test_allgather(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.allgather(rank, nprocs, chr(ord("a") + rank))
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        expected = [chr(ord("a") + r) for r in range(size)]
+        assert all(r == expected for r in results)
+
+    def test_scatter(self, size):
+        def prog(rank, nprocs):
+            values = [10 * r for r in range(nprocs)] if rank == 0 else None
+            out = yield from spmd.scatter_from_root(rank, nprocs, values)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert results == [10 * r for r in range(size)]
+
+    def test_scatter_nonzero_root(self, size):
+        root = size // 2
+
+        def prog(rank, nprocs):
+            values = list(range(nprocs)) if rank == root else None
+            out = yield from spmd.scatter_from_root(rank, nprocs, values, root=root)
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        assert results == list(range(size))
+
+    def test_scatter_requires_values_on_root(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.scatter_from_root(rank, nprocs, None)
+            return out
+
+        with pytest.raises(ValueError):
+            run_spmd(Machine(size, "complete"), prog)
+
+
+class TestEmergentCostMatchesClosedForm:
+    """Cross-validation: event-simulated collectives vs the cost formulas.
+
+    The emergent time of a reduce+bcast allreduce should be within a small
+    factor of the closed-form recursive-doubling model (same asymptotics:
+    O(log P) startups), and the allgather word volume should match.
+    """
+
+    def test_allreduce_latency_scales_like_log_p(self):
+        times = []
+        for p in (2, 4, 8, 16):
+            m = Machine(p, "hypercube")
+
+            def prog(rank, nprocs):
+                out = yield from spmd.allreduce_sum(rank, nprocs, 1.0)
+                return out
+
+            run_spmd(m, prog)
+            times.append(m.elapsed())
+        # reduce+bcast is 2 log P stages; ratios between successive P should
+        # follow (log 2P)/(log P), far below linear scaling
+        assert times[-1] / times[0] < 16 / 2  # sublinear in P
+        assert times[-1] / times[0] == pytest.approx(4.0, rel=0.35)
+
+    def test_allreduce_emergent_vs_model_same_order(self):
+        p = 8
+        m = Machine(p, "hypercube")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_sum(rank, nprocs, 1.0)
+            return out
+
+        run_spmd(m, prog)
+        model = allreduce_cost(m.topology, m.cost, 1.0).time
+        # reduce+bcast pays ~2x recursive doubling's latency
+        assert m.elapsed() == pytest.approx(2 * model, rel=0.5)
+
+    def test_allgather_words_match_model(self):
+        p, nwords = 8, 10.0
+        m = Machine(p, "hypercube")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allgather(rank, nprocs, np.zeros(int(nwords)))
+            return out
+
+        run_spmd(m, prog)
+        model = allgather_cost(m.topology, m.cost, nwords)
+        # gather+bcast moves each block up and back down the tree: within 3x
+        # of the recursive-doubling volume, same O(P * m) order
+        assert m.stats.total_words == pytest.approx(model.words, rel=2.0)

@@ -1,0 +1,92 @@
+"""Unit tests for machine statistics accounting."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineStats
+
+
+@pytest.fixture
+def stats():
+    return MachineStats(nprocs=4)
+
+
+class TestCommRecording:
+    def test_totals(self, stats):
+        stats.record_comm("broadcast", 3, 300.0, 1e-4)
+        stats.record_comm("allreduce", 8, 8.0, 2e-4, tag="dot")
+        assert stats.total_messages == 11
+        assert stats.total_words == 308.0
+        assert stats.comm_time == pytest.approx(3e-4)
+
+    def test_by_op_groups(self, stats):
+        stats.record_comm("p2p", 1, 10.0, 1e-5)
+        stats.record_comm("p2p", 1, 20.0, 1e-5)
+        stats.record_comm("broadcast", 3, 5.0, 2e-5)
+        agg = stats.by_op()
+        assert agg["p2p"]["messages"] == 2
+        assert agg["p2p"]["words"] == 30.0
+        assert agg["p2p"]["count"] == 2
+        assert agg["broadcast"]["messages"] == 3
+
+    def test_by_tag_groups(self, stats):
+        stats.record_comm("allreduce", 2, 2.0, 1e-5, tag="dot")
+        stats.record_comm("allgather", 4, 40.0, 1e-5, tag="matvec")
+        stats.record_comm("allreduce", 2, 2.0, 1e-5, tag="dot")
+        agg = stats.by_tag()
+        assert agg["dot"]["count"] == 2
+        assert agg["matvec"]["words"] == 40.0
+
+    def test_untagged_grouping(self, stats):
+        stats.record_comm("p2p", 1, 1.0, 1e-6)
+        assert "(untagged)" in stats.by_tag()
+
+
+class TestFlops:
+    def test_per_rank_accumulation(self, stats):
+        stats.record_flops(0, 100.0)
+        stats.record_flops(0, 50.0)
+        stats.record_flops(3, 30.0)
+        assert stats.flops_per_rank[0] == 150.0
+        assert stats.total_flops == 180.0
+        assert stats.max_rank_flops == 150.0
+
+    def test_load_imbalance(self, stats):
+        stats.flops_per_rank[:] = [100, 100, 100, 100]
+        assert stats.load_imbalance() == pytest.approx(1.0)
+        stats.flops_per_rank[:] = [400, 0, 0, 0]
+        assert stats.load_imbalance() == pytest.approx(4.0)
+
+    def test_load_imbalance_zero_work(self, stats):
+        assert stats.load_imbalance() == 1.0
+
+
+class TestStorage:
+    def test_storage_tracking(self, stats):
+        stats.record_storage(1, 64.0)
+        stats.record_storage(1, 64.0)
+        assert stats.storage_words_per_rank[1] == 128.0
+
+
+class TestSnapshotDelta:
+    def test_delta_captures_interval(self, stats):
+        stats.record_comm("p2p", 1, 10.0, 1e-5)
+        stats.record_flops(0, 5.0)
+        snap = stats.snapshot()
+        stats.record_comm("p2p", 2, 30.0, 2e-5)
+        stats.record_flops(1, 7.0)
+        delta = snap.since(stats)
+        assert delta.messages == 2
+        assert delta.words == 30.0
+        assert delta.flops == 7.0
+        assert delta.n_records == 1
+
+    def test_reset(self, stats):
+        stats.record_comm("p2p", 1, 10.0, 1e-5)
+        stats.record_flops(2, 9.0)
+        stats.record_storage(0, 8.0)
+        stats.reset()
+        assert stats.total_messages == 0
+        assert stats.total_flops == 0.0
+        assert stats.storage_words_per_rank.sum() == 0.0
+        assert len(stats.comm_records) == 0

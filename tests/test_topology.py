@@ -1,0 +1,143 @@
+"""Unit tests for interconnect topologies."""
+
+import pytest
+
+from repro.machine import Complete, Hypercube, Mesh2D, Ring, ceil_log2, make_topology
+
+
+class TestCeilLog2:
+    @pytest.mark.parametrize(
+        "p,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4)]
+    )
+    def test_values(self, p, expected):
+        assert ceil_log2(p) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+
+class TestHypercube:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            Hypercube(6)
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8, 16])
+    def test_dimension(self, size):
+        assert Hypercube(size).dimension == size.bit_length() - 1
+
+    def test_hops_is_hamming_distance(self):
+        h = Hypercube(8)
+        assert h.hops(0b000, 0b111) == 3
+        assert h.hops(0b101, 0b100) == 1
+        assert h.hops(3, 3) == 0
+
+    def test_neighbors_differ_in_one_bit(self):
+        h = Hypercube(8)
+        for nb in h.neighbors(5):
+            assert h.hops(5, nb) == 1
+        assert len(h.neighbors(5)) == 3
+
+    def test_diameter(self):
+        assert Hypercube(16).diameter == 4
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            Hypercube(4).hops(0, 4)
+
+
+class TestRing:
+    def test_hops_wraps_around(self):
+        r = Ring(10)
+        assert r.hops(0, 9) == 1
+        assert r.hops(0, 5) == 5
+        assert r.hops(2, 7) == 5
+
+    def test_neighbors(self):
+        r = Ring(5)
+        assert sorted(r.neighbors(0)) == [1, 4]
+
+    def test_two_node_ring_single_neighbor(self):
+        assert Ring(2).neighbors(0) == [1]
+
+    def test_single_node(self):
+        assert Ring(1).neighbors(0) == []
+        assert Ring(1).diameter == 0
+
+    def test_diameter(self):
+        assert Ring(10).diameter == 5
+        assert Ring(7).diameter == 3
+
+
+class TestMesh2D:
+    def test_coords_row_major(self):
+        m = Mesh2D(3, 4)
+        assert m.coords(0) == (0, 0)
+        assert m.coords(5) == (1, 1)
+        assert m.coords(11) == (2, 3)
+
+    def test_hops_manhattan(self):
+        m = Mesh2D(3, 4)
+        assert m.hops(0, 11) == 2 + 3
+
+    def test_corner_has_two_neighbors(self):
+        m = Mesh2D(3, 3)
+        assert len(m.neighbors(0)) == 2
+
+    def test_center_has_four_neighbors(self):
+        m = Mesh2D(3, 3)
+        assert len(m.neighbors(4)) == 4
+
+    def test_diameter(self):
+        assert Mesh2D(3, 4).diameter == 5
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+
+
+class TestComplete:
+    def test_all_pairs_one_hop(self):
+        c = Complete(5)
+        assert c.hops(0, 4) == 1
+        assert c.hops(2, 2) == 0
+
+    def test_neighbors_everyone_else(self):
+        assert sorted(Complete(4).neighbors(1)) == [0, 2, 3]
+
+    def test_diameter(self):
+        assert Complete(6).diameter == 1
+        assert Complete(1).diameter == 0
+
+
+class TestMakeTopology:
+    def test_by_name(self):
+        assert isinstance(make_topology("hypercube", 8), Hypercube)
+        assert isinstance(make_topology("ring", 5), Ring)
+        assert isinstance(make_topology("complete", 3), Complete)
+
+    def test_mesh_factorisation_square(self):
+        m = make_topology("mesh2d", 12)
+        assert isinstance(m, Mesh2D)
+        assert m.rows * m.cols == 12
+        assert m.rows == 3  # most-square factorisation
+
+    def test_mesh_prime_degrades_to_1xn(self):
+        m = make_topology("mesh2d", 7)
+        assert (m.rows, m.cols) == (1, 7)
+
+    def test_instance_passthrough(self):
+        r = Ring(4)
+        assert make_topology(r, 4) is r
+
+    def test_instance_size_mismatch(self):
+        with pytest.raises(ValueError):
+            make_topology(Ring(4), 5)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_topology("torus", 4)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_topology("ring", 0)

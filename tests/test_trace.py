@@ -1,0 +1,129 @@
+"""Tests for the execution tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core import StoppingCriterion, hpf_cg, make_strategy
+from repro.core.matvec import CscSerial
+from repro.machine import Machine, Tracer
+from repro.sparse import poisson2d
+
+
+@pytest.fixture
+def traced_machine():
+    m = Machine(nprocs=4)
+    tracer = Tracer.attach(m)
+    return m, tracer
+
+
+class TestEventRecording:
+    def test_compute_event(self, traced_machine):
+        m, tr = traced_machine
+        m.charge_compute(2, 1000)
+        assert len(tr) == 1
+        ev = tr.events[0]
+        assert ev.rank == 2
+        assert ev.is_compute
+        assert ev.duration == pytest.approx(1000 * m.cost.t_flop)
+
+    def test_zero_duration_not_recorded(self, traced_machine):
+        m, tr = traced_machine
+        m.charge_compute(0, 0)
+        assert len(tr) == 0
+
+    def test_collective_records_every_rank(self, traced_machine):
+        m, tr = traced_machine
+        m.allreduce(1.0, tag="dot")
+        assert len(tr) == 4
+        assert {e.rank for e in tr.events} == {0, 1, 2, 3}
+        assert all(e.kind == "allreduce" for e in tr.events)
+        assert all(not e.is_compute for e in tr.events)
+
+    def test_p2p_records_both_ends(self, traced_machine):
+        m, tr = traced_machine
+        m.send_recv(0, 3, 100)
+        kinds = [(e.rank, e.detail) for e in tr.events]
+        assert (0, "-> 3") in kinds
+        assert (3, "<- 0") in kinds
+
+    def test_serialized_compute_staggers_ranks(self, traced_machine):
+        m, tr = traced_machine
+        m.charge_serialized_compute([100, 100, 100, 100])
+        starts = sorted(e.start for e in tr.events)
+        assert starts == sorted(set(starts))  # strictly staggered
+
+    def test_detach(self, traced_machine):
+        m, tr = traced_machine
+        tr.detach()
+        m.charge_compute(0, 100)
+        assert len(tr) == 0
+
+
+class TestSummaries:
+    def test_busy_time_by_kind(self, traced_machine):
+        m, tr = traced_machine
+        m.charge_compute(1, 2000)
+        m.allreduce(1.0)
+        assert tr.busy_time(1, "compute") == pytest.approx(2000 * m.cost.t_flop)
+        assert tr.busy_time(1, "allreduce") > 0
+        assert tr.busy_time(1) == pytest.approx(
+            tr.busy_time(1, "compute") + tr.busy_time(1, "allreduce")
+        )
+
+    def test_utilization_bounds(self):
+        m = Machine(nprocs=4)
+        tr = Tracer.attach(m)
+        A = poisson2d(6, 6)
+        hpf_cg(make_strategy("csr_forall_aligned", m, A), np.ones(36),
+               criterion=StoppingCriterion(rtol=1e-8))
+        util = tr.utilization()
+        assert util.shape == (4,)
+        assert ((util >= 0) & (util <= 1)).all()
+        assert util.max() > 0.5
+
+    def test_compute_fraction_empty(self, traced_machine):
+        _, tr = traced_machine
+        assert tr.compute_fraction() == 0.0
+
+    def test_serial_strategy_shows_low_utilization(self):
+        """The Scenario-2 serial loop leaves most ranks idle most of the time."""
+        m = Machine(nprocs=4)
+        tr = Tracer.attach(m)
+        A = poisson2d(8, 8)
+        strat = CscSerial(m, A)
+        strat.apply(strat.make_vector("p", np.ones(64)), strat.make_vector("q"))
+        util = tr.utilization()
+        # serialisation: each rank busy only its own slice of the compute
+        assert util.min() < 0.5
+
+    def test_clear(self, traced_machine):
+        m, tr = traced_machine
+        m.charge_compute(0, 100)
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.span() == 0.0
+
+
+class TestGantt:
+    def test_gantt_dimensions(self, traced_machine):
+        m, tr = traced_machine
+        m.charge_compute_all(10000)
+        m.allreduce(64.0)
+        text = tr.ascii_gantt(width=40)
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 ranks
+        for line in lines[1:]:
+            assert line.count("|") == 2
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+            assert set(bar) <= {"#", "~", "."}
+
+    def test_gantt_empty_trace(self, traced_machine):
+        _, tr = traced_machine
+        assert "trace span" in tr.ascii_gantt()
+
+    def test_gantt_shows_comm_dominance(self, traced_machine):
+        m, tr = traced_machine
+        m.allgather(10000.0)
+        bar = tr.ascii_gantt(width=20).splitlines()[1]
+        assert "~" in bar
