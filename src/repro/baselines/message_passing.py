@@ -14,6 +14,16 @@ and the matching vector blocks, exchanges data only through explicit
 charges its local flops.  Benchmark E15 compares the resulting
 communication volume and simulated time against the HPF runtime's CG --
 the paper's portability-vs-control trade-off, quantified.
+
+When a :class:`~repro.machine.faults.FaultPlan` (or a
+:class:`~repro.core.resilience.ResilienceConfig`) is supplied, the solver
+switches to a fault-tolerant execution mode: collectives run over the
+stop-and-wait ARQ transport of :mod:`repro.machine.reliable`, every rank
+writes a coordinated checkpoint of ``(x, r, p, rho)`` every few
+iterations, a periodic sanity audit recomputes ``||b - A x||`` to catch
+silent state corruption, and a rank crash triggers a rollback-restart of
+the whole program from the latest complete checkpoint.  Benchmark E19
+measures what that protection costs.
 """
 
 from __future__ import annotations
@@ -23,11 +33,19 @@ from typing import Optional
 import numpy as np
 
 from ..hpf.distribution import Block
+from ..machine import reliable as rel
 from ..machine import spmd
 from ..machine.events import Compute
+from ..machine.faults import FaultPlan, RankFailedError
 from ..machine.machine import Machine
+from ..machine.reliable import ReliableConfig, ReliableEndpoint
 from ..machine.scheduler import Scheduler
 from ..sparse.convert import as_matrix
+from ..core.resilience import (
+    RecoveryExhaustedError,
+    ResilienceConfig,
+    latest_complete_checkpoint,
+)
 from ..core.result import ConvergenceHistory, SolveResult
 from ..core.stopping import StoppingCriterion
 
@@ -40,6 +58,8 @@ def spmd_cg(
     b: np.ndarray,
     x0: Optional[np.ndarray] = None,
     criterion: Optional[StoppingCriterion] = None,
+    faults: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SolveResult:
     """Row-block SPMD CG with hand-written message passing.
 
@@ -48,6 +68,11 @@ def spmd_cg(
     Scenario-1 broadcast), one local sparse mat-vec, two allreduce inner
     products and three local SAXPY-type updates -- the same pattern as the
     HPF ``csr_forall_aligned`` strategy, but built from explicit messages.
+
+    ``faults`` injects message faults, crashes and state corruption;
+    ``resilience`` tunes the recovery layer.  Either being set enables
+    fault-tolerant execution; both ``None`` (the default) runs the
+    original unprotected program.
     """
     A = as_matrix(matrix).to_csr()
     n = A.nrows
@@ -64,71 +89,81 @@ def spmd_cg(
     clock_before = machine.elapsed()
     stats_before = machine.stats.snapshot()
 
-    def program(rank: int, size: int):
-        lo, hi = dist.local_range(rank)
-        local_rows = slice(lo, hi)
-        seg = slice(int(indptr[lo]), int(indptr[hi]))
-        local_nnz = int(indptr[hi] - indptr[lo])
-        row_ids = (
-            np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(indptr[lo : hi + 1]))
-            - lo
+    fault_mode = (faults is not None and faults.enabled) or resilience is not None
+    if fault_mode:
+        results, extras = _run_resilient(
+            machine, dist, indptr, indices, data, b, x_start, crit, maxiter,
+            faults, resilience or ResilienceConfig(),
         )
-        x = x_start[local_rows].copy()
-        bb = b[local_rows].copy()
+    else:
+        extras = None
 
-        # r = b - A x0 (one mat-vec only if x0 != 0)
-        if np.any(x_start):
-            x_full = yield from spmd.allgather(rank, size, x)
-            x_full = np.concatenate(x_full)
-            ax = np.zeros(hi - lo)
-            np.add.at(ax, row_ids, data[seg] * x_full[indices[seg]])
-            yield Compute(2.0 * local_nnz)
-            r = bb - ax
-        else:
-            r = bb.copy()
-        p = r.copy()
+        def program(rank: int, size: int):
+            lo, hi = dist.local_range(rank)
+            local_rows = slice(lo, hi)
+            seg = slice(int(indptr[lo]), int(indptr[hi]))
+            local_nnz = int(indptr[hi] - indptr[lo])
+            row_ids = (
+                np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(indptr[lo : hi + 1]))
+                - lo
+            )
+            x = x_start[local_rows].copy()
+            bb = b[local_rows].copy()
 
-        bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
-        yield Compute(2.0 * bb.size)
-        bnorm = np.sqrt(bnorm2)
-        rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
-        yield Compute(2.0 * r.size)
-        residuals = [float(np.sqrt(max(0.0, rho)))]
-        if crit.satisfied(residuals[-1], bnorm):
-            return x, residuals, True, 0
+            # r = b - A x0 (one mat-vec only if x0 != 0)
+            if np.any(x_start):
+                x_full = yield from spmd.allgather(rank, size, x)
+                x_full = np.concatenate(x_full)
+                ax = np.zeros(hi - lo)
+                np.add.at(ax, row_ids, data[seg] * x_full[indices[seg]])
+                yield Compute(2.0 * local_nnz)
+                r = bb - ax
+            else:
+                r = bb.copy()
+            p = r.copy()
 
-        converged = False
-        iterations = 0
-        for k in range(1, maxiter + 1):
-            if k > 1:
-                beta = rho / rho0
-                p = beta * p + r  # saypx
-                yield Compute(2.0 * p.size)
-            # all-to-all broadcast of p (the Scenario-1 communication)
-            blocks = yield from spmd.allgather(rank, size, p)
-            p_full = np.concatenate(blocks)
-            q = np.zeros(hi - lo)
-            np.add.at(q, row_ids, data[seg] * p_full[indices[seg]])
-            yield Compute(2.0 * local_nnz)
-            pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
-            yield Compute(2.0 * p.size)
-            if pq == 0.0:
-                break
-            alpha = rho / pq
-            x += alpha * p
-            r -= alpha * q
-            yield Compute(4.0 * p.size)
-            rho0 = rho
+            bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
+            yield Compute(2.0 * bb.size)
+            bnorm = np.sqrt(bnorm2)
             rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
             yield Compute(2.0 * r.size)
-            residuals.append(float(np.sqrt(max(0.0, rho))))
-            iterations = k
+            residuals = [float(np.sqrt(max(0.0, rho)))]
             if crit.satisfied(residuals[-1], bnorm):
-                converged = True
-                break
-        return x, residuals, converged, iterations
+                return x, residuals, True, 0
 
-    results = Scheduler(machine, tag="spmd_cg").run(program)
+            converged = False
+            iterations = 0
+            for k in range(1, maxiter + 1):
+                if k > 1:
+                    beta = rho / rho0
+                    p = beta * p + r  # saypx
+                    yield Compute(2.0 * p.size)
+                # all-to-all broadcast of p (the Scenario-1 communication)
+                blocks = yield from spmd.allgather(rank, size, p)
+                p_full = np.concatenate(blocks)
+                q = np.zeros(hi - lo)
+                np.add.at(q, row_ids, data[seg] * p_full[indices[seg]])
+                yield Compute(2.0 * local_nnz)
+                pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
+                yield Compute(2.0 * p.size)
+                if pq == 0.0:
+                    break
+                alpha = rho / pq
+                x += alpha * p
+                r -= alpha * q
+                yield Compute(4.0 * p.size)
+                rho0 = rho
+                rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+                yield Compute(2.0 * r.size)
+                residuals.append(float(np.sqrt(max(0.0, rho))))
+                iterations = k
+                if crit.satisfied(residuals[-1], bnorm):
+                    converged = True
+                    break
+            return x, residuals, converged, iterations
+
+        results = Scheduler(machine, tag="spmd_cg").run(program)
+
     x = np.concatenate([res[0] for res in results])[:n]
     residuals, converged, iterations = results[0][1], results[0][2], results[0][3]
     for rn in residuals:
@@ -148,4 +183,219 @@ def spmd_cg(
             "comm_time": delta.comm_time,
             "flops": delta.flops,
         },
+        extras=extras or {},
     )
+
+
+def _copy_snapshot(snap):
+    x, r, p, rho, rho0 = snap
+    return x.copy(), r.copy(), p.copy(), rho, rho0
+
+
+def _run_resilient(
+    machine, dist, indptr, indices, data, b, x_start, crit, maxiter,
+    faults, cfg,
+):
+    """Fault-tolerant SPMD CG: reliable transport + checkpoint recovery.
+
+    The checkpoint ``store`` is shared across attempts (in a real system:
+    neighbour memory or stable storage) and keyed ``iteration -> {rank:
+    snapshot}``; only checkpoints every rank finished writing are restore
+    candidates, so a crash mid-checkpoint cannot mix iterations.
+    """
+    plan = faults if (faults is not None and faults.enabled) else None
+    rcfg = cfg.reliable
+    if rcfg is None:
+        # first ack wait: generous multiple of one message round-trip
+        rcfg = ReliableConfig(
+            base_timeout=20.0 * machine.cost.t_startup
+            + 8.0 * dist.n * machine.cost.t_comm
+        )
+    store = {}
+    telemetry = {}
+    counters = {
+        "rollbacks": 0,
+        "crash_restarts": 0,
+        "checkpoints": 0,
+        "audits": 0,
+        "refreshes": 0,
+        "steps": 0,
+    }
+
+    def program(rank: int, size: int):
+        ep = ReliableEndpoint(rank, rcfg, telemetry=telemetry)
+        lo, hi = dist.local_range(rank)
+        seg = slice(int(indptr[lo]), int(indptr[hi]))
+        local_nnz = int(indptr[hi] - indptr[lo])
+        row_ids = (
+            np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(indptr[lo : hi + 1]))
+            - lo
+        )
+        bb = b[lo:hi].copy()
+
+        def matvec(v_full):
+            out = np.zeros(hi - lo)
+            np.add.at(out, row_ids, data[seg] * v_full[indices[seg]])
+            return out
+
+        def fresh_state():
+            x = x_start[lo:hi].copy()
+            if np.any(x_start):
+                blocks = yield from rel.allgather(ep, rank, size, x)
+                ax = matvec(np.concatenate(blocks))
+                yield Compute(2.0 * local_nnz)
+                r = bb - ax
+            else:
+                r = bb.copy()
+            p = r.copy()
+            rho = yield from rel.allreduce_sum(ep, rank, size, float(r @ r))
+            yield Compute(2.0 * r.size)
+            return 0, x, r, p, rho, rho
+
+        bnorm2 = yield from rel.allreduce_sum(ep, rank, size, float(bb @ bb))
+        yield Compute(2.0 * bb.size)
+        bnorm = float(np.sqrt(bnorm2))
+
+        ck = latest_complete_checkpoint(store, size)
+        if ck is None:
+            k, x, r, p, rho, rho0 = yield from fresh_state()
+        else:
+            k, snap = ck
+            x, r, p, rho, rho0 = _copy_snapshot(snap[rank])
+            yield Compute(3.0 * x.size)  # checkpoint read-back
+        residuals = [float(np.sqrt(max(0.0, rho)))]
+        if k == 0 and crit.satisfied(residuals[-1], bnorm):
+            return x, residuals, True, 0
+
+        converged = False
+        iterations = k
+        my_rollbacks = 0
+        last_true = None
+        stagnant_audits = 0
+        refreshed = False
+        while k < maxiter:
+            k += 1
+            if rank == 0:
+                counters["steps"] += 1
+            if k > 1 and not refreshed:
+                beta = rho / rho0
+                p = beta * p + r  # saypx
+                yield Compute(2.0 * p.size)
+            refreshed = False
+            blocks = yield from rel.allgather(ep, rank, size, p)
+            q = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            pq = yield from rel.allreduce_sum(ep, rank, size, float(p @ q))
+            yield Compute(2.0 * p.size)
+            if pq == 0.0:
+                break
+            alpha = rho / pq
+            x += alpha * p
+            r -= alpha * q
+            yield Compute(4.0 * p.size)
+            if plan is not None:
+                corr = plan.take_state_corruption(k, rank)
+                if corr is not None:
+                    vec = {"x": x, "r": r, "p": p}[corr.target]
+                    if vec.size:
+                        i = plan.draw_index(vec.size)
+                        vec[i] += (1.0 + abs(vec[i])) * corr.scale
+            rho0 = rho
+            rho = yield from rel.allreduce_sum(ep, rank, size, float(r @ r))
+            yield Compute(2.0 * r.size)
+            residuals.append(float(np.sqrt(max(0.0, rho))))
+            iterations = k
+            stopping = crit.satisfied(residuals[-1], bnorm)
+            need_ckpt = k % cfg.checkpoint_interval == 0
+            if stopping or need_ckpt or k % cfg.sanity_interval == 0:
+                if rank == 0:
+                    counters["audits"] += 1
+                blocks = yield from rel.allgather(ep, rank, size, x)
+                ax = matvec(np.concatenate(blocks))
+                yield Compute(2.0 * local_nnz)
+                part = float(((bb - ax) ** 2).sum())
+                yield Compute(3.0 * bb.size)
+                true2 = yield from rel.allreduce_sum(ep, rank, size, part)
+                true_norm = float(np.sqrt(max(0.0, true2)))
+                if abs(true_norm - residuals[-1]) > cfg.sanity_rtol * max(
+                    bnorm, 1.0e-300
+                ):
+                    # every rank compares the same allreduced values, so the
+                    # rollback decision is coordinated without extra messages
+                    if my_rollbacks >= cfg.max_restarts:
+                        raise RecoveryExhaustedError(
+                            f"rank {rank}: sanity audit failed at iteration "
+                            f"{k} (recurrence {residuals[-1]:.3e} vs true "
+                            f"{true_norm:.3e}) after {my_rollbacks} rollbacks"
+                        )
+                    my_rollbacks += 1
+                    if rank == 0:
+                        counters["rollbacks"] += 1
+                    ck = latest_complete_checkpoint(store, size)
+                    if ck is None:
+                        k, x, r, p, rho, rho0 = yield from fresh_state()
+                    else:
+                        k, snap = ck
+                        x, r, p, rho, rho0 = _copy_snapshot(snap[rank])
+                        yield Compute(3.0 * x.size)
+                    iterations = k
+                    last_true = None
+                    stagnant_audits = 0
+                    continue
+                if (
+                    not stopping
+                    and last_true is not None
+                    and true_norm > cfg.stagnation_factor * last_true
+                ):
+                    stagnant_audits += 1
+                else:
+                    stagnant_audits = 0
+                last_true = true_norm
+                if stagnant_audits >= cfg.stagnation_patience:
+                    # invariant holds but no progress for several audits:
+                    # a corrupted search direction is invisible to the
+                    # audit -- flush it (plain CG restart)
+                    stagnant_audits = 0
+                    p = r.copy()
+                    refreshed = True
+                    if rank == 0:
+                        counters["refreshes"] += 1
+                if need_ckpt:
+                    store.setdefault(k, {})[rank] = (
+                        x.copy(), r.copy(), p.copy(), rho, rho0,
+                    )
+                    yield Compute(3.0 * x.size)  # checkpoint write
+                    if len(store[k]) == size:
+                        counters["checkpoints"] += 1
+                        for old in [kk for kk in store if kk < k]:
+                            del store[old]
+            if stopping:
+                converged = True
+                break
+        return x, residuals, converged, iterations
+
+    attempts = 0
+    while True:
+        try:
+            results = Scheduler(machine, tag="spmd_cg", faults=plan).run(program)
+            break
+        except RankFailedError:
+            attempts += 1
+            if attempts > cfg.max_restarts:
+                raise
+            counters["crash_restarts"] += 1
+            # failover downtime: detect, reassign the rank, reload checkpoints
+            machine.charge_comm_interval(
+                "restart", 0, 0.0, cfg.restart_time, tag="resilience"
+            )
+
+    extras = {
+        "resilience": dict(
+            counters,
+            extra_iterations=counters["steps"] - results[0][3],
+        ),
+        "reliable": dict(telemetry),
+    }
+    if plan is not None:
+        extras["fault_stats"] = plan.stats.as_dict()
+    return results, extras

@@ -33,6 +33,11 @@ from .preconditioners import (
     Preconditioner,
     SSORPreconditioner,
 )
+from .resilience import (
+    RecoveryExhaustedError,
+    ResilienceConfig,
+    ResilienceGuard,
+)
 from .reference import (
     bicg_reference,
     bicgstab_reference,
@@ -77,6 +82,9 @@ __all__ = [
     "SolveResult",
     "ConvergenceHistory",
     "StoppingCriterion",
+    "ResilienceConfig",
+    "ResilienceGuard",
+    "RecoveryExhaustedError",
     "saxpy",
     "saypx",
     "sdot",

@@ -8,6 +8,9 @@ Preconditioner application is charged according to its parallel structure:
   serialised work plus a gather/scatter of the residual, exposing the
   classic trade-off: fewer iterations, but a sequential bottleneck each
   iteration.
+
+``faults``/``resilience`` enable the checkpoint / sanity-audit / rollback
+machinery of :mod:`repro.core.resilience`, as in :func:`~repro.core.cg.hpf_cg`.
 """
 
 from __future__ import annotations
@@ -17,9 +20,11 @@ from typing import Optional
 import numpy as np
 
 from ..hpf.array import DistributedArray
+from ..machine.faults import FaultPlan
 from .driver import finish_solve, start_solve
 from .matvec import MatvecStrategy
 from .preconditioners import Preconditioner
+from .resilience import ResilienceConfig, ResilienceGuard
 from .result import SolveResult
 from .stopping import StoppingCriterion
 
@@ -58,6 +63,8 @@ def hpf_pcg(
     preconditioner: Preconditioner,
     x0: Optional[np.ndarray] = None,
     criterion: Optional[StoppingCriterion] = None,
+    faults: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with distributed preconditioned CG."""
     ctx = start_solve(strategy, b, x0, criterion)
@@ -75,9 +82,16 @@ def hpf_pcg(
     p.assign(z)
     rho = ctx.r.dot(z)
 
+    guard = None
+    if resilience is not None or (faults is not None and faults.enabled):
+        guard = ResilienceGuard(ctx, resilience, faults, tracked={"p": p, "z": z})
+        guard.save_initial({"rho": rho})
+
     converged = False
     iterations = 0
-    for k in range(1, ctx.maxiter + 1):
+    k = 0
+    while k < ctx.maxiter:
+        k += 1
         strategy.apply(p, q)
         pq = p.dot(q)
         if pq == 0.0:
@@ -85,18 +99,38 @@ def hpf_pcg(
         alpha = rho / pq
         ctx.x.axpy(alpha, p)
         ctx.r.axpy(-alpha, q)
+        if guard is not None:
+            guard.inject(k)
         rnorm = ctx.r.norm2()
         ctx.history.append(rnorm)
         iterations = k
-        if ctx.stop(rnorm):
+        stopping = ctx.stop(rnorm)
+        if guard is None and stopping:
             converged = True
             break
-        _apply_preconditioner(preconditioner, ctx.r, z)
-        rho0 = rho
-        rho = ctx.r.dot(z)
-        beta = rho / rho0
-        p.saypx(beta, z)  # p = beta*p + z
-    return finish_solve(
-        ctx, "pcg", converged, iterations,
-        extras={"preconditioner": preconditioner.name},
-    )
+        if not stopping:
+            _apply_preconditioner(preconditioner, ctx.r, z)
+            rho0 = rho
+            rho = ctx.r.dot(z)
+            beta = rho / rho0
+            p.saypx(beta, z)  # p = beta*p + z
+        if guard is not None:
+            # checkpoint after the end-of-body update so a rollback resumes
+            # with a consistent (p, z, rho) triple
+            k, scalars, action = guard.after_iteration(
+                k, rnorm, stopping, {"rho": rho}
+            )
+            if action == "rollback":
+                rho = scalars["rho"]
+                iterations = k
+                continue
+            if action == "refresh":
+                # flush a possibly-corrupted search direction: restart on z
+                p.assign(z)
+            if stopping:
+                converged = True
+                break
+    extras = {"preconditioner": preconditioner.name}
+    if guard is not None:
+        extras["resilience"] = guard.overhead()
+    return finish_solve(ctx, "pcg", converged, iterations, extras=extras)

@@ -30,7 +30,17 @@ from .collectives import (
 )
 from .costmodel import CostModel
 from .events import ANY_SOURCE, Barrier, Compute, Op, Recv, Send, payload_words
+from .faults import (
+    FaultPlan,
+    FaultRule,
+    FaultStats,
+    RankCrash,
+    RankFailedError,
+    RecvTimeoutError,
+    StateCorruption,
+)
 from .machine import Machine
+from .reliable import ReliableConfig, ReliableEndpoint
 from .scheduler import DeadlockError, Scheduler, run_spmd
 from .stats import CommRecord, MachineStats, StatsDelta
 from .trace import TraceEvent, Tracer
@@ -69,6 +79,15 @@ __all__ = [
     "Scheduler",
     "DeadlockError",
     "run_spmd",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "RankCrash",
+    "RankFailedError",
+    "RecvTimeoutError",
+    "StateCorruption",
+    "ReliableConfig",
+    "ReliableEndpoint",
     "Tracer",
     "TraceEvent",
 ]

@@ -3,8 +3,12 @@ r"""Communication operations for SPMD rank programs.
 An SPMD program is a Python generator (one instance per rank) that ``yield``\ s
 these operations to the :class:`~repro.machine.scheduler.Scheduler`:
 
-* ``payload = yield Recv(source)`` -- blocking receive,
-* ``yield Send(dest, payload)`` -- blocking (rendezvous) send,
+* ``payload = yield Recv(source)`` -- blocking receive (optionally with a
+  ``timeout`` after which the scheduler raises
+  :class:`~repro.machine.faults.RecvTimeoutError` inside the program),
+* ``yield Send(dest, payload)`` -- eager buffered send (the sender posts
+  the message and continues; the transfer is priced when the matching
+  receive completes),
 * ``yield Compute(flops)`` -- advance the local clock,
 * ``yield Barrier()`` -- global synchronisation.
 
@@ -15,7 +19,7 @@ in this style and executed deterministically by the scheduler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
@@ -50,16 +54,27 @@ class Op:
 
 @dataclass
 class Send(Op):
-    """Blocking (rendezvous) send of ``payload`` to rank ``dest``.
+    """Eager (buffered) send of ``payload`` to rank ``dest``.
 
-    ``nwords`` overrides the automatic payload size estimate when the Python
-    object does not reflect the modelled wire size.
+    The sender never blocks: the scheduler buffers the message and the
+    transfer is priced when the matching receive is posted, as MPI
+    implementations do for small messages.  ``nwords`` overrides the
+    automatic payload size estimate when the Python object does not reflect
+    the modelled wire size.
+
+    ``control`` marks protocol control traffic (acknowledgements of the
+    reliable-messaging layer): it is priced like any other message but is
+    exempt from fault injection, modelling the hardware-flow-controlled
+    control channel of the simulated network.  Without this exemption a
+    lost ack whose receiver has already moved on would strand the sender
+    in a retry loop no progress engine exists to break.
     """
 
     dest: int
     payload: Any = None
     tag: int = 0
     nwords: Optional[float] = None
+    control: bool = False
 
     def words(self) -> float:
         return self.nwords if self.nwords is not None else payload_words(self.payload)
@@ -67,10 +82,23 @@ class Send(Op):
 
 @dataclass
 class Recv(Op):
-    """Blocking receive from rank ``source`` (``ANY_SOURCE`` matches any)."""
+    """Blocking receive from rank ``source`` (``ANY_SOURCE`` matches any).
+
+    ``timeout`` (simulated seconds) bounds the wait: if no matching send
+    can arrive, the scheduler advances this rank's clock to the deadline
+    and raises :class:`~repro.machine.faults.RecvTimeoutError` inside the
+    program instead of diagnosing a deadlock.  Timeouts are conservative:
+    a receive only expires once the scheduler has no other way to make
+    progress, so a fault-free program never times out spuriously.
+    """
 
     source: int = ANY_SOURCE
     tag: int = 0
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
 
 
 @dataclass
@@ -89,13 +117,3 @@ class Barrier(Op):
     """Global barrier across all ranks."""
 
     label: str = ""
-
-
-@dataclass
-class _PendingSend:
-    """Internal scheduler bookkeeping for a posted send."""
-
-    src: int
-    op: Send
-    post_time: float
-    seq: int = field(default=0)

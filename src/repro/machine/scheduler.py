@@ -17,15 +17,35 @@ shows that collective times *emerging* from point-to-point messages agree
 with the closed-form formulas the paper uses, and the message-passing CG
 baseline (E15) is an honest re-creation of the "explicit message-passing
 program" of the paper's Section 5.1.
+
+Fault injection
+---------------
+An optional :class:`~repro.machine.faults.FaultPlan` makes the simulated
+network and processors unreliable: posted sends can be dropped, duplicated,
+corrupted or delayed, and ranks can suffer scheduled fail-stop crashes
+(their generator is closed, messages to them are lost, and the run raises
+:class:`~repro.machine.faults.RankFailedError` once the survivors cannot
+proceed).  ``Recv(timeout=...)`` lets programs bound their wait: when the
+scheduler would otherwise stall, the earliest-deadline blocked receive has
+its rank's clock advanced to the deadline and
+:class:`~repro.machine.faults.RecvTimeoutError` raised inside its program.
+Timeouts are *conservative* -- they fire only when no other progress is
+possible -- so fault-free programs never expire spuriously, yet a lost
+message (whose absence stalls the whole machine) is detected at exactly
+the receiver's virtual deadline.  With ``faults=None`` (the default) every
+code path below behaves exactly as the fault-free scheduler always has.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from .events import ANY_SOURCE, Barrier, Compute, Op, Recv, Send
+from .faults import DELAY, DELIVER, DROP, DUPLICATE, CORRUPT, FaultPlan
+from .faults import RankFailedError, RecvTimeoutError
 from .machine import Machine
 
 __all__ = ["Scheduler", "DeadlockError", "run_spmd"]
@@ -43,18 +63,31 @@ class _State(enum.Enum):
     BLOCKED_RECV = "blocked_recv"
     AT_BARRIER = "at_barrier"
     DONE = "done"
+    CRASHED = "crashed"
+
+
+_FINISHED = (_State.DONE, _State.CRASHED)
 
 
 class Scheduler:
     """Runs one SPMD program instance per machine rank to completion."""
 
-    def __init__(self, machine: Machine, tag: Optional[str] = None):
+    def __init__(
+        self,
+        machine: Machine,
+        tag: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
+    ):
         self.machine = machine
         self.tag = tag
+        # an inert plan is equivalent to no plan; normalising here keeps the
+        # fault checks off the hot path for every fault-free run
+        self.faults = faults if (faults is not None and faults.enabled) else None
         self._gens: List[Optional[RankProgram]] = []
         self._state: List[_State] = []
         self._resume_value: List[Any] = []
         self._blocked_op: List[Optional[Op]] = []
+        self._recv_deadline: List[Optional[float]] = []
         self._results: List[Any] = []
         # pending sends keyed by (dest, tag) -> deque of (src, post_time, Send)
         self._pending: Dict[Tuple[int, int], Deque[Tuple[int, float, Send]]] = {}
@@ -63,17 +96,20 @@ class Scheduler:
     def run(self, program: ProgramFactory) -> List[Any]:
         """Instantiate ``program(rank, nprocs)`` per rank and run to completion.
 
-        Returns the per-rank generator return values.
+        Returns the per-rank generator return values.  Raises
+        :class:`~repro.machine.faults.RankFailedError` if any rank crashed,
+        since the run's results are then incomplete.
         """
         n = self.machine.nprocs
         self._gens = [program(rank, n) for rank in range(n)]
         self._state = [_State.READY] * n
         self._resume_value = [None] * n
         self._blocked_op = [None] * n
+        self._recv_deadline = [None] * n
         self._results = [None] * n
         self._pending.clear()
 
-        while not all(s is _State.DONE for s in self._state):
+        while not all(s in _FINISHED for s in self._state):
             progressed = False
             for rank in range(n):
                 if self._state[rank] is _State.READY:
@@ -81,22 +117,37 @@ class Scheduler:
                     progressed = True
             progressed |= self._release_barrier()
             if not progressed:
-                blocked = {
-                    r: (self._state[r].value, self._blocked_op[r])
-                    for r in range(n)
-                    if self._state[r] is not _State.DONE
-                }
-                raise DeadlockError(f"SPMD deadlock; blocked ranks: {blocked}")
+                progressed = self._fire_fault_event()
+            if not progressed:
+                self._raise_stalled()
+        crashed = [r for r in range(n) if self._state[r] is _State.CRASHED]
+        if crashed:
+            raise RankFailedError(
+                f"rank(s) {crashed} failed during the run; results incomplete"
+            )
         return list(self._results)
 
     # ------------------------------------------------------------------ #
-    def _advance(self, rank: int) -> None:
-        """Resume one rank's generator until it blocks or finishes."""
+    def _advance(self, rank: int, throw: Optional[BaseException] = None) -> None:
+        """Resume one rank's generator until it blocks or finishes.
+
+        ``throw`` raises an exception (a receive timeout) inside the
+        generator instead of sending a resume value.
+        """
         gen = self._gens[rank]
         assert gen is not None
         while True:
+            if self.faults is not None and self.faults.crash_due(
+                rank, float(self.machine.clock[rank])
+            ):
+                self._crash(rank)
+                return
             try:
-                op = gen.send(self._resume_value[rank])
+                if throw is not None:
+                    exc, throw = throw, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(self._resume_value[rank])
             except StopIteration as stop:
                 self._state[rank] = _State.DONE
                 self._results[rank] = stop.value
@@ -110,10 +161,19 @@ class Scheduler:
                 self._post_send(rank, op)
                 continue  # eager: sender never blocks
             if isinstance(op, Recv):
+                if op.source != ANY_SOURCE and not 0 <= op.source < self.machine.nprocs:
+                    raise ValueError(
+                        f"rank {rank} posted a receive from invalid rank "
+                        f"{op.source} (nprocs={self.machine.nprocs})"
+                    )
                 if self._try_match_recv(rank, op):
                     continue  # resume_value already holds the payload
                 self._state[rank] = _State.BLOCKED_RECV
                 self._blocked_op[rank] = op
+                if op.timeout is not None:
+                    self._recv_deadline[rank] = (
+                        float(self.machine.clock[rank]) + op.timeout
+                    )
                 return
             if isinstance(op, Barrier):
                 self._state[rank] = _State.AT_BARRIER
@@ -122,15 +182,148 @@ class Scheduler:
             raise TypeError(f"rank {rank} yielded a non-Op value: {op!r}")
 
     # ------------------------------------------------------------------ #
+    # fault machinery
+    # ------------------------------------------------------------------ #
+    def _crash(self, rank: int) -> None:
+        """Fail-stop ``rank``: close its program and void traffic to it."""
+        assert self.faults is not None
+        t = self.faults.fire_crash(rank)
+        self.machine.clock[rank] = max(float(self.machine.clock[rank]), t)
+        gen = self._gens[rank]
+        if gen is not None:
+            gen.close()
+        self._gens[rank] = None
+        self._state[rank] = _State.CRASHED
+        self._blocked_op[rank] = None
+        self._recv_deadline[rank] = None
+        self._results[rank] = None
+        # undelivered messages to the dead rank are lost with it; messages it
+        # already posted stay in flight (they left its network interface)
+        for key in [k for k in self._pending if k[0] == rank]:
+            self.faults.stats.lost_to_dead_rank += len(self._pending[key])
+            del self._pending[key]
+        if self.machine.tracer is not None:
+            now = float(self.machine.clock[rank])
+            self.machine.tracer.record(rank, "crash", now, now, "fail-stop")
+
+    def _fire_fault_event(self) -> bool:
+        """On a global stall, fire the earliest pending timeout or crash.
+
+        Ranks blocked in a receive or barrier stop advancing their own
+        clocks, so receive deadlines and scheduled crashes on them can only
+        take effect once the machine has no other way to make progress.
+        The earliest virtual event (deadline for timeouts; the later of the
+        rank's clock and the scheduled time for crashes) fires first, which
+        keeps cause and effect ordered -- a retransmission timeout due
+        before a crash resolves the stall without killing the rank early.
+        """
+        # (event_time, kind_priority, rank, is_crash); timeouts win ties so a
+        # retry gets its chance before a simultaneous failure
+        events: List[Tuple[float, int, int, bool]] = []
+        for r in range(self.machine.nprocs):
+            if self._state[r] is _State.BLOCKED_RECV and (
+                self._recv_deadline[r] is not None
+            ):
+                events.append((self._recv_deadline[r], 0, r, False))
+            if (
+                self.faults is not None
+                and self._state[r] not in _FINISHED
+                and self.faults.has_scheduled_crash(r)
+            ):
+                due = max(
+                    float(self.machine.clock[r]),
+                    self.faults.scheduled_crash_time(r),
+                )
+                events.append((due, 1, r, True))
+        if not events:
+            return False
+        when, _, rank, is_crash = min(events)
+        if is_crash:
+            self._crash(rank)
+            return True
+        self.machine.clock[rank] = max(float(self.machine.clock[rank]), when)
+        op = self._blocked_op[rank]
+        self._state[rank] = _State.READY
+        self._blocked_op[rank] = None
+        self._recv_deadline[rank] = None
+        self._advance(
+            rank,
+            throw=RecvTimeoutError(
+                f"rank {rank}: receive (source={getattr(op, 'source', '?')}, "
+                f"tag={getattr(op, 'tag', '?')}) timed out at t={when:.6e}"
+            ),
+        )
+        return True
+
+    def _raise_stalled(self) -> None:
+        """No rank can progress: diagnose a crash-induced failure or deadlock."""
+        n = self.machine.nprocs
+        crashed = [r for r in range(n) if self._state[r] is _State.CRASHED]
+        blocked = {
+            r: (self._state[r].value, self._blocked_op[r])
+            for r in range(n)
+            if self._state[r] not in _FINISHED
+        }
+        pending = self._pending_summary()
+        if crashed:
+            raise RankFailedError(
+                f"rank(s) {crashed} failed and the survivors cannot proceed; "
+                f"blocked ranks: {blocked}; pending unmatched sends: {pending}"
+            )
+        raise DeadlockError(
+            f"SPMD deadlock; blocked ranks: {blocked}; "
+            f"pending unmatched sends: {pending}"
+        )
+
+    def _pending_summary(self) -> str:
+        """Human-readable list of buffered sends no receive has matched."""
+        items = [
+            f"{src} -> {dst} (tag={tag}, words={send.words():g})"
+            for (dst, tag), queue in sorted(self._pending.items())
+            for (src, _, send) in queue
+        ]
+        return "[" + ", ".join(items) + "]" if items else "none"
+
+    # ------------------------------------------------------------------ #
     def _post_send(self, src: int, op: Send) -> None:
-        """Buffer an eager send; deliver at once to a waiting receiver."""
+        """Buffer an eager send; deliver at once to a waiting receiver.
+
+        With fault injection active, the message may instead be dropped,
+        duplicated, corrupted or delayed here -- the moment it enters the
+        simulated network.
+        """
         dst = op.dest
         if not 0 <= dst < self.machine.nprocs:
             raise ValueError(f"rank {src} sent to invalid rank {dst}")
         post_time = float(self.machine.clock[src])
-        self._pending.setdefault((dst, op.tag), deque()).append(
-            (src, post_time, op)
-        )
+        if self.faults is not None and src != dst:
+            if self._state[dst] is _State.CRASHED:
+                # the wire carried the message; nobody is there to take it
+                self.faults.stats.lost_to_dead_rank += 1
+                self._record_lost(src, dst, op)
+                return
+            # control traffic (acks) rides the flow-controlled channel and
+            # is exempt from injected faults; see events.Send.control
+            action = DELIVER if op.control else self.faults.next_action(
+                src, dst, op.tag
+            )
+            if action == DROP:
+                self._record_lost(src, dst, op)
+                return
+            if action == CORRUPT:
+                op = dataclasses.replace(
+                    op, payload=self.faults.corrupt_payload(op.payload)
+                )
+            elif action == DELAY:
+                post_time += self.faults.delay_for()
+            queue = self._pending.setdefault((dst, op.tag), deque())
+            queue.append((src, post_time, op))
+            if action == DUPLICATE:
+                queue.append((src, post_time, op))
+        else:
+            self._pending.setdefault((dst, op.tag), deque()).append(
+                (src, post_time, op)
+            )
         # a receiver already blocked on this message completes immediately
         if self._state[dst] is _State.BLOCKED_RECV:
             recv = self._blocked_op[dst]
@@ -138,6 +331,14 @@ class Scheduler:
             if self._try_match_recv(dst, recv):
                 self._state[dst] = _State.READY
                 self._blocked_op[dst] = None
+                self._recv_deadline[dst] = None
+
+    def _record_lost(self, src: int, dst: int, op: Send) -> None:
+        """Charge a lost message's wire traffic without advancing clocks."""
+        nwords = op.words()
+        hops = max(1, self.machine.topology.hops(src, dst))
+        t = self.machine.cost.message_time(nwords, hops)
+        self.machine.stats.record_comm("p2p-dropped", 1, nwords, t, self.tag)
 
     def _complete_transfer(
         self, src: int, post_time: float, dst: int, send: Send
@@ -179,12 +380,22 @@ class Scheduler:
     def _release_barrier(self) -> bool:
         """Release the barrier when every live rank has reached it."""
         live = [
-            r for r in range(self.machine.nprocs) if self._state[r] is not _State.DONE
+            r
+            for r in range(self.machine.nprocs)
+            if self._state[r] not in _FINISHED
         ]
         if not live:
             return False
         if not all(self._state[r] is _State.AT_BARRIER for r in live):
             return False
+        crashed = [
+            r for r in range(self.machine.nprocs) if self._state[r] is _State.CRASHED
+        ]
+        if crashed:
+            raise RankFailedError(
+                f"barrier cannot complete: rank(s) {crashed} failed; "
+                f"waiting ranks: {live}"
+            )
         if len(live) != self.machine.nprocs:
             raise DeadlockError(
                 "barrier reached while some ranks already terminated: "
@@ -198,7 +409,10 @@ class Scheduler:
 
 
 def run_spmd(
-    machine: Machine, program: ProgramFactory, tag: Optional[str] = None
+    machine: Machine,
+    program: ProgramFactory,
+    tag: Optional[str] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> List[Any]:
     """Convenience wrapper: run ``program`` on ``machine`` and return results."""
-    return Scheduler(machine, tag=tag).run(program)
+    return Scheduler(machine, tag=tag, faults=faults).run(program)

@@ -1,0 +1,168 @@
+"""Tests for the stop-and-wait reliable messaging layer."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    Compute,
+    FaultPlan,
+    FaultRule,
+    Machine,
+    RankCrash,
+    RankFailedError,
+    ReliableConfig,
+    ReliableEndpoint,
+    Scheduler,
+)
+from repro.machine import reliable as rel
+from repro.machine.reliable import checksum
+
+
+class TestChecksum:
+    def test_detects_single_entry_perturbation(self):
+        a = np.arange(32.0)
+        b = a.copy()
+        b[17] += 1e-6
+        assert checksum(a) != checksum(b)
+
+    def test_order_sensitive(self):
+        assert checksum(np.array([1.0, 2.0])) != checksum(np.array([2.0, 1.0]))
+        assert checksum((1.0, 2.0)) != checksum((2.0, 1.0))
+
+    def test_handles_scalars_and_containers(self):
+        for payload in (None, 3, 2.5, (1, np.ones(2)), {"a": 1.0}, np.empty(0)):
+            checksum(payload)  # must not raise
+        assert checksum(5) != checksum(6)
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ReliableConfig(base_timeout=0.0)
+        with pytest.raises(ValueError):
+            ReliableConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ReliableConfig(max_retries=-1)
+
+
+def _p2p_program(telemetry, cfg):
+    def prog(rank, size):
+        ep = ReliableEndpoint(rank, cfg, telemetry=telemetry)
+        if rank == 0:
+            yield from ep.send(1, np.arange(16.0), tag=4)
+            yield from ep.send(1, np.arange(4.0) + 100.0, tag=4)
+            return None
+        a = yield from ep.recv(0, tag=4)
+        b = yield from ep.recv(0, tag=4)
+        return float(a.sum()), float(b.sum())
+
+    return prog
+
+
+class TestPointToPoint:
+    def test_retransmits_through_a_dropped_message(self):
+        telemetry = {}
+        cfg = ReliableConfig(base_timeout=1e-3)
+        # drop the first data transmission on tag 4
+        plan = FaultPlan(rules=[FaultRule(kind="drop", src=0, dst=1, tag=4, nth=1)])
+        m = Machine(nprocs=2)
+        results = Scheduler(m, faults=plan).run(_p2p_program(telemetry, cfg))
+        assert results[1] == (sum(range(16)), 100 + 101 + 102 + 103)
+        assert telemetry["retransmissions"] == 1
+        assert telemetry["retransmitted_words"] > 0
+        dropped = [r for r in m.stats.comm_records if r.op == "p2p-dropped"]
+        assert len(dropped) == 1
+
+    def test_duplicate_discarded_not_redelivered(self):
+        telemetry = {}
+        plan = FaultPlan(rules=[FaultRule(kind="duplicate", src=0, dst=1, tag=4)])
+        m = Machine(nprocs=2)
+        results = Scheduler(m, faults=plan).run(
+            _p2p_program(telemetry, ReliableConfig(base_timeout=1e-3))
+        )
+        assert results[1] == (sum(range(16)), 100 + 101 + 102 + 103)
+
+    def test_corrupted_packet_discarded_and_resent(self):
+        telemetry = {}
+        plan = FaultPlan(
+            seed=5, rules=[FaultRule(kind="corrupt", src=0, dst=1, tag=4, nth=1)]
+        )
+        m = Machine(nprocs=2)
+        results = Scheduler(m, faults=plan).run(
+            _p2p_program(telemetry, ReliableConfig(base_timeout=1e-3))
+        )
+        assert results[1] == (sum(range(16)), 100 + 101 + 102 + 103)
+        assert telemetry["corrupt_discarded"] >= 1
+        assert telemetry["retransmissions"] >= 1
+
+    def test_sender_gives_up_on_dead_peer(self):
+        def prog(rank, size):
+            ep = ReliableEndpoint(rank, ReliableConfig(base_timeout=1e-4, max_retries=2))
+            if rank == 0:
+                yield from ep.send(1, 42, tag=1)
+                return None
+            yield Compute(1e12)  # never receives
+            return None
+
+        plan = FaultPlan(drop_prob=1.0)
+        with pytest.raises(RankFailedError, match="no ack"):
+            Scheduler(Machine(nprocs=2), faults=plan).run(prog)
+
+
+def _collective_program(telemetry):
+    def prog(rank, size):
+        ep = ReliableEndpoint(
+            rank, ReliableConfig(base_timeout=1e-3), telemetry=telemetry
+        )
+        total = yield from rel.allreduce_sum(ep, rank, size, float(rank + 1))
+        blocks = yield from rel.allgather(ep, rank, size, np.full(3, float(rank)))
+        root_sum = yield from rel.reduce_to_root(ep, rank, size, float(rank))
+        top = yield from rel.bcast(ep, rank, size, rank * 11, root=2)
+        return total, float(np.concatenate(blocks).sum()), root_sum, top
+
+    return prog
+
+
+class TestReliableCollectives:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_collectives_survive_mixed_faults(self, seed):
+        telemetry = {}
+        plan = FaultPlan(
+            seed=seed, drop_prob=0.15, duplicate_prob=0.1,
+            corrupt_prob=0.1, delay_prob=0.05,
+        )
+        m = Machine(nprocs=4)
+        results = Scheduler(m, faults=plan).run(_collective_program(telemetry))
+        for rank, (total, gathered, root_sum, top) in enumerate(results):
+            assert total == 10.0
+            assert gathered == 18.0
+            assert root_sum == (6.0 if rank == 0 else None)
+            assert top == 22
+        assert plan.stats.dropped > 0  # the run was actually exercised
+
+    def test_fault_free_collectives_have_no_retransmissions(self):
+        telemetry = {}
+        m = Machine(nprocs=4)
+        results = Scheduler(m).run(_collective_program(telemetry))
+        assert all(r[0] == 10.0 for r in results)
+        assert telemetry["retransmissions"] == 0
+
+    def test_crash_in_collective_raises_rank_failed(self):
+        def prog(rank, size):
+            ep = ReliableEndpoint(rank, ReliableConfig(base_timeout=1e-4, max_retries=3))
+            yield Compute(1e6 * rank)
+            return (yield from rel.allreduce_sum(ep, rank, size, 1.0))
+
+        plan = FaultPlan(crashes=[RankCrash(rank=0, at_time=1e-5)])
+        with pytest.raises(RankFailedError):
+            Scheduler(Machine(nprocs=4), faults=plan).run(prog)
+
+    def test_bit_identical_repeats(self):
+        def run():
+            telemetry = {}
+            plan = FaultPlan(seed=5, drop_prob=0.2, duplicate_prob=0.1)
+            m = Machine(nprocs=4)
+            res = Scheduler(m, faults=plan).run(_collective_program(telemetry))
+            return res, m.elapsed(), m.stats.total_words, dict(telemetry)
+
+        assert run() == run()

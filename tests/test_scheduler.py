@@ -63,6 +63,25 @@ class TestBasicExchange:
         results = run_spmd(m, prog)
         assert results[0] == [1, 2, 3]
 
+    def test_any_source_order_is_deterministic(self):
+        """ANY_SOURCE drains pending sends in enqueue order (the scheduler
+        advances ranks in rank order each round), independent of the
+        senders' virtual-time costs -- and the order repeats across runs."""
+
+        def prog(rank, size):
+            if rank == 0:
+                got = []
+                for _ in range(size - 1):
+                    got.append((yield Recv(source=ANY_SOURCE)))
+                return got
+            yield Compute(1000 * (size - rank))  # virtual time must not matter
+            yield Send(dest=0, payload=rank)
+            return None
+
+        runs = [run_spmd(Machine(nprocs=4), prog)[0] for _ in range(3)]
+        assert runs[0] == [1, 2, 3]
+        assert runs[0] == runs[1] == runs[2]
+
     def test_compute_advances_clock(self):
         def prog(rank, size):
             yield Compute(1000)
