@@ -24,11 +24,21 @@ Subpackages
 ``repro.extensions``  the paper's proposed HPF-2 extensions
 ``repro.sparse``      CSR/CSC/COO/dense formats and matrix generators
 ``repro.core``        CG / PCG / BiCG / CGS / BiCGSTAB, sequential + distributed
+``repro.backend``     execution backends: simulated machine vs real OS processes
 ``repro.baselines``   message-passing CG and dense Gaussian elimination
 ``repro.analysis``    the paper's cost formulas, load metrics, report tables
 """
 
 from .analysis import Table, load_report
+from .backend import (
+    Comm,
+    ProcessBackend,
+    SimulatedBackend,
+    backend_solve,
+    calibrate_host,
+    cross_validate,
+    process_backend_support,
+)
 from .baselines import direct_solve, direct_vs_cg_flops, spmd_cg
 from .core import (
     ConvergenceHistory,
@@ -94,6 +104,13 @@ __version__ = "1.0.0"
 __all__ = [
     "Machine",
     "CostModel",
+    "Comm",
+    "SimulatedBackend",
+    "ProcessBackend",
+    "backend_solve",
+    "cross_validate",
+    "calibrate_host",
+    "process_backend_support",
     "DistributedArray",
     "HpfNamespace",
     "Block",

@@ -1,0 +1,66 @@
+"""Execution backends: the same SPMD programs, simulated or real.
+
+The paper's claims live on a modelled multicomputer; this package makes
+them testable against wall-clock reality.  One
+:class:`~repro.backend.base.Comm`/GenOp protocol, two substrates:
+
+* :class:`SimulatedBackend` -- the deterministic discrete-event scheduler
+  with the ``t_startup + m·t_comm`` cost model (the paper's machine);
+* :class:`ProcessBackend` -- one OS process per rank, real queues, real
+  ``perf_counter`` timing, hard timeouts, per-rank stats mirrored into
+  the simulator's :class:`~repro.machine.stats.MachineStats` shape.
+
+On top: :func:`cross_validate` proves both produce bitwise-identical
+solver output and reports modelled-vs-measured time (benchmark E20), and
+:func:`calibrate_host` fits the cost model's three constants to the host
+so the simulator predicts this machine instead of a 1996 one.
+"""
+
+from .base import (
+    BackendError,
+    BackendRun,
+    BackendTimeoutError,
+    Comm,
+    ExecutionBackend,
+    WorkerFailedError,
+)
+from .calibrate import (
+    Calibration,
+    calibrate_host,
+    fit_message_model,
+    measure_message_costs,
+    measure_t_flop,
+)
+from .process import ProcessBackend, default_start_method, process_backend_support
+from .programs import CGRankProgram, PCGRankProgram, PingPongProgram
+from .simulated import SimulatedBackend
+from .solve import BACKENDS, backend_solve, make_backend, make_solver_program
+from .validate import BackendMismatchError, CrossValidation, cross_validate
+
+__all__ = [
+    "BACKENDS",
+    "BackendError",
+    "BackendMismatchError",
+    "BackendRun",
+    "BackendTimeoutError",
+    "CGRankProgram",
+    "Calibration",
+    "Comm",
+    "CrossValidation",
+    "ExecutionBackend",
+    "PCGRankProgram",
+    "PingPongProgram",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "WorkerFailedError",
+    "backend_solve",
+    "calibrate_host",
+    "cross_validate",
+    "default_start_method",
+    "fit_message_model",
+    "make_backend",
+    "make_solver_program",
+    "measure_message_costs",
+    "measure_t_flop",
+    "process_backend_support",
+]

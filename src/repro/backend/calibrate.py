@@ -1,0 +1,127 @@
+"""Fit the simulator's cost model to the host machine.
+
+The paper's formulas price everything with three constants:
+``t_startup`` (per-message latency), ``t_comm`` (per-word transfer time)
+and ``t_flop`` (per floating-point operation).  The defaults model a
+mid-1990s multicomputer; this module *measures* the three on the machine
+you are sitting at, so that simulated times become predictions of real
+process-backend times rather than just relative rankings.
+
+* ``t_flop`` -- time a large DAXPY in-process and divide by its 2n flops
+  (NumPy-achievable flop rate, which is what the rank programs run).
+* ``t_startup``/``t_comm`` -- run the two-rank
+  :class:`~repro.backend.programs.PingPongProgram` on the process
+  backend, take the best-of-``repeats`` round trip per message size, and
+  least-squares fit ``rt/2 = t_startup + m · t_comm``.  Best-of filters
+  scheduler noise, the regression separates the fixed from the per-word
+  cost exactly as the paper defines them.
+
+The fitted :class:`~repro.machine.costmodel.CostModel` plugs straight
+into a :class:`~repro.backend.simulated.SimulatedBackend`, which is how
+benchmark E20 produces modelled-vs-measured tables in host units.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.costmodel import CostModel
+from .process import ProcessBackend
+from .programs import PingPongProgram
+
+__all__ = ["Calibration", "measure_t_flop", "measure_message_costs",
+           "calibrate_host", "fit_message_model"]
+
+
+@dataclass
+class Calibration:
+    """Host-fitted cost parameters plus the raw samples behind them."""
+
+    t_startup: float
+    t_comm: float
+    t_flop: float
+    #: (words, best one-way seconds) ping-pong samples
+    message_samples: List[Tuple[int, float]] = field(default_factory=list)
+    #: measured DAXPY flop rate (flop/s), informational
+    flop_rate: float = 0.0
+
+    def as_cost_model(self) -> CostModel:
+        return CostModel(
+            t_startup=self.t_startup, t_comm=self.t_comm, t_flop=self.t_flop
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "t_startup": self.t_startup,
+            "t_comm": self.t_comm,
+            "t_flop": self.t_flop,
+            "flop_rate": self.flop_rate,
+        }
+
+
+def measure_t_flop(n: int = 1_000_000, repeats: int = 5) -> float:
+    """Seconds per flop of an in-process DAXPY (best of ``repeats``)."""
+    if n < 1 or repeats < 1:
+        raise ValueError("n and repeats must be positive")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    y = rng.standard_normal(n)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        y = y + 1.000000001 * x  # 2n flops, fresh output defeats caching tricks
+        best = min(best, time.perf_counter() - t0)
+    return best / (2.0 * n)
+
+
+def fit_message_model(
+    samples: Sequence[Tuple[int, float]]
+) -> Tuple[float, float]:
+    """Least-squares ``(t_startup, t_comm)`` from (words, one-way seconds).
+
+    Clamps both to a tiny positive floor: on a fast host the intercept of
+    a noisy fit can dip below zero, and the cost model rejects negative
+    constants.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two (words, time) samples to fit")
+    m = np.array([s[0] for s in samples], dtype=float)
+    t = np.array([s[1] for s in samples], dtype=float)
+    slope, intercept = np.polyfit(m, t, 1)
+    floor = 1.0e-12
+    return max(float(intercept), floor), max(float(slope), floor)
+
+
+def measure_message_costs(
+    sizes: Sequence[int] = (1, 64, 256, 1024, 4096, 16384),
+    repeats: int = 7,
+    backend: Optional[ProcessBackend] = None,
+) -> List[Tuple[int, float]]:
+    """Ping-pong the process backend; returns (words, one-way seconds) samples."""
+    be = backend if backend is not None else ProcessBackend(timeout=60.0)
+    run = be.run(PingPongProgram(sizes=sizes, repeats=repeats), nprocs=2)
+    round_trips = run.results[0]
+    return [(m, rt / 2.0) for m, rt in round_trips]
+
+
+def calibrate_host(
+    sizes: Sequence[int] = (1, 64, 256, 1024, 4096, 16384),
+    repeats: int = 7,
+    flop_n: int = 1_000_000,
+    backend: Optional[ProcessBackend] = None,
+) -> Calibration:
+    """Measure ``t_startup``/``t_comm``/``t_flop`` on this host."""
+    samples = measure_message_costs(sizes=sizes, repeats=repeats, backend=backend)
+    t_startup, t_comm = fit_message_model(samples)
+    t_flop = measure_t_flop(n=flop_n)
+    return Calibration(
+        t_startup=t_startup,
+        t_comm=t_comm,
+        t_flop=t_flop,
+        message_samples=samples,
+        flop_rate=1.0 / t_flop if t_flop > 0 else 0.0,
+    )

@@ -1,0 +1,275 @@
+"""Backend-portable SPMD rank programs (picklable factories).
+
+A program factory is called as ``factory(rank, size)`` and returns the
+rank's generator.  Everything here is a module-level class holding plain
+NumPy arrays, so factories survive pickling -- the requirement for the
+process backend's ``spawn`` start method, where workers receive their
+program by pickle instead of inheriting memory from a fork.
+
+:class:`CGRankProgram` is the row-block message-passing CG of the paper's
+Section 5.1 -- the *same* program :func:`repro.baselines.message_passing.spmd_cg`
+runs on the simulator (that function instantiates this class), which is
+what makes the simulated-vs-real cross-validation of
+:mod:`repro.backend.validate` an apples-to-apples comparison.
+:class:`PCGRankProgram` adds Jacobi preconditioning with the update
+ordering of :func:`repro.core.pcg.hpf_pcg`.  :class:`PingPongProgram` is
+the two-rank latency/bandwidth microbenchmark behind
+:func:`repro.backend.calibrate.calibrate_host`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..hpf.distribution import Block
+from ..machine import spmd
+from ..machine.events import Compute, Recv, Send
+from ..core.stopping import StoppingCriterion
+from ..sparse.convert import as_matrix
+
+__all__ = ["CGRankProgram", "PCGRankProgram", "PingPongProgram", "csr_arrays"]
+
+
+def csr_arrays(matrix):
+    """Normalise any accepted matrix into CSR ``(n, indptr, indices, data)``."""
+    A = as_matrix(matrix).to_csr()
+    return A.nrows, A.indptr, A.indices, A.data
+
+
+class _RowBlockProgram:
+    """Shared state for row-block solvers: CSR slices + vector blocks."""
+
+    def __init__(
+        self,
+        matrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        criterion: Optional[StoppingCriterion] = None,
+        maxiter: Optional[int] = None,
+    ):
+        n, indptr, indices, data = csr_arrays(matrix)
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (n,):
+            raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.b = b
+        self.x_start = (
+            np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64)
+        )
+        self.crit = criterion or StoppingCriterion()
+        self.maxiter = maxiter if maxiter is not None else self.crit.cap(n)
+
+    def _local(self, rank: int, size: int):
+        """This rank's row range, CSR segment and local row ids."""
+        dist = Block(self.n, size)
+        lo, hi = dist.local_range(rank)
+        seg = slice(int(self.indptr[lo]), int(self.indptr[hi]))
+        local_nnz = int(self.indptr[hi] - self.indptr[lo])
+        row_ids = (
+            np.repeat(
+                np.arange(lo, hi, dtype=np.int64),
+                np.diff(self.indptr[lo : hi + 1]),
+            )
+            - lo
+        )
+        return lo, hi, seg, local_nnz, row_ids
+
+
+class CGRankProgram(_RowBlockProgram):
+    """Row-block SPMD CG rank program (paper §5.1, fault-free path).
+
+    Per iteration: one allgather of ``p`` (the Scenario-1 broadcast), one
+    local CSR mat-vec, two allreduce inner products and three local
+    SAXPY-type updates.  Each rank returns
+    ``(x_block, residuals, converged, iterations)``; the residual history
+    and flags are identical on every rank.
+    """
+
+    def __call__(self, rank: int, size: int):
+        indices, data = self.indices, self.data
+        crit, maxiter = self.crit, self.maxiter
+        lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
+        local_rows = slice(lo, hi)
+        x = self.x_start[local_rows].copy()
+        bb = self.b[local_rows].copy()
+
+        # r = b - A x0 (one mat-vec only if x0 != 0)
+        if np.any(self.x_start):
+            x_full = yield from spmd.allgather(rank, size, x)
+            x_full = np.concatenate(x_full)
+            ax = np.zeros(hi - lo)
+            np.add.at(ax, row_ids, data[seg] * x_full[indices[seg]])
+            yield Compute(2.0 * local_nnz)
+            r = bb - ax
+        else:
+            r = bb.copy()
+        p = r.copy()
+
+        bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
+        yield Compute(2.0 * bb.size)
+        bnorm = np.sqrt(bnorm2)
+        rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+        yield Compute(2.0 * r.size)
+        residuals = [float(np.sqrt(max(0.0, rho)))]
+        if crit.satisfied(residuals[-1], bnorm):
+            return x, residuals, True, 0
+
+        converged = False
+        iterations = 0
+        for k in range(1, maxiter + 1):
+            if k > 1:
+                beta = rho / rho0
+                p = beta * p + r  # saypx
+                yield Compute(2.0 * p.size)
+            # all-to-all broadcast of p (the Scenario-1 communication)
+            blocks = yield from spmd.allgather(rank, size, p)
+            p_full = np.concatenate(blocks)
+            q = np.zeros(hi - lo)
+            np.add.at(q, row_ids, data[seg] * p_full[indices[seg]])
+            yield Compute(2.0 * local_nnz)
+            pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
+            yield Compute(2.0 * p.size)
+            if pq == 0.0:
+                break
+            alpha = rho / pq
+            x += alpha * p
+            r -= alpha * q
+            yield Compute(4.0 * p.size)
+            rho0 = rho
+            rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+            yield Compute(2.0 * r.size)
+            residuals.append(float(np.sqrt(max(0.0, rho))))
+            iterations = k
+            if crit.satisfied(residuals[-1], bnorm):
+                converged = True
+                break
+        return x, residuals, converged, iterations
+
+
+class PCGRankProgram(_RowBlockProgram):
+    """Jacobi-preconditioned row-block SPMD CG rank program.
+
+    Update ordering mirrors :func:`repro.core.pcg.hpf_pcg` (rho = r·z,
+    ``p = beta p + z`` at the *end* of the body), with the diagonal
+    preconditioner applied locally -- Jacobi needs no communication, the
+    paper's "fully parallel, one divide each" case.
+    """
+
+    def __init__(self, matrix, b, x0=None, criterion=None, maxiter=None):
+        super().__init__(matrix, b, x0, criterion, maxiter)
+        A = as_matrix(matrix)
+        d = A.diagonal()
+        if (d == 0).any():
+            raise ValueError("Jacobi preconditioner needs a zero-free diagonal")
+        self.inv_diag = 1.0 / d
+
+    def __call__(self, rank: int, size: int):
+        indices, data = self.indices, self.data
+        crit, maxiter = self.crit, self.maxiter
+        lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
+        x = self.x_start[lo:hi].copy()
+        bb = self.b[lo:hi].copy()
+        inv_d = self.inv_diag[lo:hi]
+
+        def matvec(v_full):
+            out = np.zeros(hi - lo)
+            np.add.at(out, row_ids, data[seg] * v_full[indices[seg]])
+            return out
+
+        if np.any(self.x_start):
+            blocks = yield from spmd.allgather(rank, size, x)
+            ax = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            r = bb - ax
+        else:
+            r = bb.copy()
+
+        bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
+        yield Compute(2.0 * bb.size)
+        bnorm = np.sqrt(bnorm2)
+        rnorm2 = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+        yield Compute(2.0 * r.size)
+        residuals = [float(np.sqrt(max(0.0, rnorm2)))]
+        if crit.satisfied(residuals[-1], bnorm):
+            return x, residuals, True, 0
+
+        z = inv_d * r  # Jacobi apply: local, one divide each
+        yield Compute(float(hi - lo))
+        p = z.copy()
+        rho = yield from spmd.allreduce_sum(rank, size, float(r @ z))
+        yield Compute(2.0 * r.size)
+
+        converged = False
+        iterations = 0
+        for k in range(1, maxiter + 1):
+            blocks = yield from spmd.allgather(rank, size, p)
+            q = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
+            yield Compute(2.0 * p.size)
+            if pq == 0.0:
+                break
+            alpha = rho / pq
+            x += alpha * p
+            r -= alpha * q
+            yield Compute(4.0 * p.size)
+            rnorm2 = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+            yield Compute(2.0 * r.size)
+            residuals.append(float(np.sqrt(max(0.0, rnorm2))))
+            iterations = k
+            if crit.satisfied(residuals[-1], bnorm):
+                converged = True
+                break
+            z = inv_d * r
+            yield Compute(float(hi - lo))
+            rho0 = rho
+            rho = yield from spmd.allreduce_sum(rank, size, float(r @ z))
+            yield Compute(2.0 * r.size)
+            beta = rho / rho0
+            p = beta * p + z  # saypx
+            yield Compute(2.0 * p.size)
+        return x, residuals, converged, iterations
+
+
+class PingPongProgram:
+    """Two-rank ping-pong microbenchmark for host calibration.
+
+    Rank 0 sends an ``m``-word array to rank 1, which echoes it back;
+    rank 0 times the round trip with ``perf_counter``.  Returns, on rank
+    0, a list of ``(m_words, best_round_trip_seconds)`` samples; the
+    calibration fit halves them and regresses against
+    ``t_startup + m · t_comm``.  Only meaningful on the process backend
+    (on the simulator the measured times are just interpreter overhead).
+    """
+
+    def __init__(self, sizes=(1, 64, 256, 1024, 4096, 16384), repeats: int = 7):
+        self.sizes = tuple(int(s) for s in sizes)
+        self.repeats = int(repeats)
+        if min(self.sizes) < 1 or self.repeats < 1:
+            raise ValueError("sizes and repeats must be positive")
+
+    def __call__(self, rank: int, size: int):
+        if size != 2:
+            raise ValueError("PingPongProgram needs exactly 2 ranks")
+        samples = []
+        for m in self.sizes:
+            payload = np.zeros(m, dtype=np.float64)
+            best = float("inf")
+            for _ in range(self.repeats):
+                if rank == 0:
+                    t0 = time.perf_counter()
+                    yield Send(dest=1, payload=payload, tag=11)
+                    payload = yield Recv(source=1, tag=12)
+                    best = min(best, time.perf_counter() - t0)
+                else:
+                    payload = yield Recv(source=0, tag=11)
+                    yield Send(dest=0, payload=payload, tag=12)
+            if rank == 0:
+                samples.append((m, best))
+        return samples if rank == 0 else None

@@ -1,0 +1,78 @@
+"""Run the distributed solvers on a chosen execution backend.
+
+``backend_solve("cg", A, b, backend=ProcessBackend(), nprocs=4)`` builds
+the row-block SPMD rank program for the solver, runs it on the backend,
+and assembles the standard :class:`~repro.core.result.SolveResult` via
+:func:`repro.core.driver.assemble_backend_result` -- so downstream
+reporting treats a real-process solve exactly like a simulated one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.driver import assemble_backend_result
+from ..core.result import SolveResult
+from ..core.stopping import StoppingCriterion
+from .base import ExecutionBackend, ProgramFactory
+from .process import ProcessBackend
+from .programs import CGRankProgram, PCGRankProgram
+from .simulated import SimulatedBackend
+
+__all__ = ["BACKENDS", "SOLVER_PROGRAMS", "make_backend", "make_solver_program",
+           "backend_solve"]
+
+BACKENDS = ("simulated", "process")
+
+SOLVER_PROGRAMS = {
+    "cg": CGRankProgram,
+    "spmd_cg": CGRankProgram,  # alias: the baseline runs this same program
+    "pcg": PCGRankProgram,
+}
+
+
+def make_backend(name: Union[str, ExecutionBackend], **kwargs) -> ExecutionBackend:
+    """Resolve a backend name (``"simulated"``/``"process"``) to an instance."""
+    if isinstance(name, ExecutionBackend):
+        return name
+    if name == "simulated":
+        return SimulatedBackend(**kwargs)
+    if name == "process":
+        return ProcessBackend(**kwargs)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+
+
+def make_solver_program(
+    solver: str,
+    matrix,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> ProgramFactory:
+    """Build the backend-portable rank program for ``solver``."""
+    try:
+        cls = SOLVER_PROGRAMS[solver]
+    except KeyError:
+        raise ValueError(
+            f"solver {solver!r} has no backend-portable SPMD program; "
+            f"available: {sorted(SOLVER_PROGRAMS)}"
+        ) from None
+    return cls(matrix, b, x0=x0, criterion=criterion)
+
+
+def backend_solve(
+    solver: str,
+    matrix,
+    b: np.ndarray,
+    backend: Union[str, ExecutionBackend] = "simulated",
+    nprocs: int = 4,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with ``solver`` on the chosen execution backend."""
+    program = make_solver_program(solver, matrix, b, x0=x0, criterion=criterion)
+    be = make_backend(backend)
+    run = be.run(program, nprocs)
+    return assemble_backend_result(run, solver=solver, n=program.n)

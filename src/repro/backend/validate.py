@@ -1,0 +1,137 @@
+"""Cross-validate the simulated cost model against real-process execution.
+
+The point of the backend abstraction: the *same* rank program runs on the
+discrete-event simulator (modelled ``t_startup + m·t_comm`` time) and on
+real OS processes (measured ``perf_counter`` time).  Because both drive
+identical NumPy arithmetic through identical binomial-tree collectives,
+the numerical outputs must be **bitwise identical** -- any divergence is a
+backend bug, not rounding.  :func:`cross_validate` runs a solve on both,
+checks that, and packages the modelled-vs-measured time decomposition
+that benchmark E20 tabulates.
+
+Terminology: *modelled* quantities come from the simulator's cost model,
+*measured* ones from the process backend's wall clock.  Their ratio only
+becomes meaningful after :mod:`repro.backend.calibrate` fits the cost
+model's ``t_startup``/``t_comm``/``t_flop`` to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..core.result import SolveResult
+from ..core.stopping import StoppingCriterion
+from .base import ExecutionBackend
+from .process import ProcessBackend
+from .simulated import SimulatedBackend
+from .solve import backend_solve
+
+__all__ = ["BackendMismatchError", "CrossValidation", "cross_validate"]
+
+
+class BackendMismatchError(AssertionError):
+    """The two backends produced numerically different solver output."""
+
+
+@dataclass
+class CrossValidation:
+    """Parity verdict + modelled-vs-measured timing for one solve."""
+
+    solver: str
+    n: int
+    nprocs: int
+    simulated: SolveResult
+    process: SolveResult
+    #: solver outputs agree bit for bit (x, residual history, iterations)
+    bitwise_equal: bool
+    iterations_equal: bool
+    residuals_equal: bool
+    max_abs_diff: float
+    #: modelled (simulated) seconds: total / compute / comm
+    modelled: Dict[str, float] = field(default_factory=dict)
+    #: measured (process) seconds: total / compute / comm
+    measured: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_ratio(self) -> float:
+        """measured / modelled total time (1.0 = perfectly calibrated model)."""
+        if self.modelled.get("total", 0.0) <= 0:
+            return float("nan")
+        return self.measured.get("total", float("nan")) / self.modelled["total"]
+
+    def check(self) -> "CrossValidation":
+        """Raise :class:`BackendMismatchError` unless outputs are bitwise equal."""
+        if not self.bitwise_equal:
+            raise BackendMismatchError(
+                f"{self.solver} (n={self.n}, P={self.nprocs}): simulated and "
+                f"process backends disagree -- max |Δx| = {self.max_abs_diff:.3e}, "
+                f"iterations {self.simulated.iterations} vs "
+                f"{self.process.iterations}, residual histories "
+                f"{'equal' if self.residuals_equal else 'DIFFER'}"
+            )
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.solver} n={self.n} P={self.nprocs}: "
+            f"bitwise={'yes' if self.bitwise_equal else 'NO'} "
+            f"iters={self.process.iterations} "
+            f"modelled={self.modelled.get('total', float('nan')):.3e}s "
+            f"measured={self.measured.get('total', float('nan')):.3e}s "
+            f"ratio={self.time_ratio:.2f}"
+        )
+
+
+def cross_validate(
+    solver: str,
+    matrix,
+    b: np.ndarray,
+    nprocs: int = 2,
+    x0: Optional[np.ndarray] = None,
+    criterion: Optional[StoppingCriterion] = None,
+    simulated: Optional[Union[SimulatedBackend, ExecutionBackend]] = None,
+    process: Optional[Union[ProcessBackend, ExecutionBackend]] = None,
+    strict: bool = True,
+) -> CrossValidation:
+    """Run one solve on both backends and compare.
+
+    ``strict=True`` (default) raises :class:`BackendMismatchError` on any
+    numerical divergence; ``strict=False`` returns the report and lets
+    the caller decide.  ``simulated``/``process`` accept pre-configured
+    backends (e.g. a custom calibrated cost model, a shorter timeout).
+    """
+    sim_backend = simulated if simulated is not None else SimulatedBackend()
+    proc_backend = process if process is not None else ProcessBackend()
+
+    sim = backend_solve(solver, matrix, b, backend=sim_backend, nprocs=nprocs,
+                        x0=x0, criterion=criterion)
+    proc = backend_solve(solver, matrix, b, backend=proc_backend, nprocs=nprocs,
+                         x0=x0, criterion=criterion)
+
+    x_equal = sim.x.shape == proc.x.shape and bool(np.all(sim.x == proc.x))
+    max_abs_diff = (
+        float(np.max(np.abs(sim.x - proc.x))) if sim.x.shape == proc.x.shape
+        else float("inf")
+    )
+    iters_equal = sim.iterations == proc.iterations
+    res_equal = (
+        sim.history.residual_norms == proc.history.residual_norms
+    )
+    report = CrossValidation(
+        solver=solver,
+        n=int(sim.x.size),
+        nprocs=nprocs,
+        simulated=sim,
+        process=proc,
+        bitwise_equal=x_equal and iters_equal and res_equal
+        and sim.converged == proc.converged,
+        iterations_equal=iters_equal,
+        residuals_equal=res_equal,
+        max_abs_diff=max_abs_diff,
+        modelled=dict(sim.extras["timings"]),
+        measured=dict(proc.extras["timings"]),
+    )
+    return report.check() if strict else report

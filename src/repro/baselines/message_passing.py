@@ -32,9 +32,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..backend.programs import CGRankProgram
 from ..hpf.distribution import Block
 from ..machine import reliable as rel
-from ..machine import spmd
 from ..machine.events import Compute
 from ..machine.faults import FaultPlan, RankFailedError
 from ..machine.machine import Machine
@@ -97,71 +97,10 @@ def spmd_cg(
         )
     else:
         extras = None
-
-        def program(rank: int, size: int):
-            lo, hi = dist.local_range(rank)
-            local_rows = slice(lo, hi)
-            seg = slice(int(indptr[lo]), int(indptr[hi]))
-            local_nnz = int(indptr[hi] - indptr[lo])
-            row_ids = (
-                np.repeat(np.arange(lo, hi, dtype=np.int64), np.diff(indptr[lo : hi + 1]))
-                - lo
-            )
-            x = x_start[local_rows].copy()
-            bb = b[local_rows].copy()
-
-            # r = b - A x0 (one mat-vec only if x0 != 0)
-            if np.any(x_start):
-                x_full = yield from spmd.allgather(rank, size, x)
-                x_full = np.concatenate(x_full)
-                ax = np.zeros(hi - lo)
-                np.add.at(ax, row_ids, data[seg] * x_full[indices[seg]])
-                yield Compute(2.0 * local_nnz)
-                r = bb - ax
-            else:
-                r = bb.copy()
-            p = r.copy()
-
-            bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
-            yield Compute(2.0 * bb.size)
-            bnorm = np.sqrt(bnorm2)
-            rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
-            yield Compute(2.0 * r.size)
-            residuals = [float(np.sqrt(max(0.0, rho)))]
-            if crit.satisfied(residuals[-1], bnorm):
-                return x, residuals, True, 0
-
-            converged = False
-            iterations = 0
-            for k in range(1, maxiter + 1):
-                if k > 1:
-                    beta = rho / rho0
-                    p = beta * p + r  # saypx
-                    yield Compute(2.0 * p.size)
-                # all-to-all broadcast of p (the Scenario-1 communication)
-                blocks = yield from spmd.allgather(rank, size, p)
-                p_full = np.concatenate(blocks)
-                q = np.zeros(hi - lo)
-                np.add.at(q, row_ids, data[seg] * p_full[indices[seg]])
-                yield Compute(2.0 * local_nnz)
-                pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
-                yield Compute(2.0 * p.size)
-                if pq == 0.0:
-                    break
-                alpha = rho / pq
-                x += alpha * p
-                r -= alpha * q
-                yield Compute(4.0 * p.size)
-                rho0 = rho
-                rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
-                yield Compute(2.0 * r.size)
-                residuals.append(float(np.sqrt(max(0.0, rho))))
-                iterations = k
-                if crit.satisfied(residuals[-1], bnorm):
-                    converged = True
-                    break
-            return x, residuals, converged, iterations
-
+        # the same picklable rank program the execution backends run, so
+        # the simulated baseline and a real-process run are the identical
+        # program text (see repro.backend.validate)
+        program = CGRankProgram(A, b, x0=x0, criterion=crit, maxiter=maxiter)
         results = Scheduler(machine, tag="spmd_cg").run(program)
 
     x = np.concatenate([res[0] for res in results])[:n]

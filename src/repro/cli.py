@@ -7,12 +7,19 @@ Commands
 ``solve``
     Run one distributed CG solve and print the result plus the
     communication bill (options: matrix family, size, processors,
-    topology, strategy, solver).
+    topology, strategy, solver).  ``--backend process`` runs the SPMD
+    rank program on real OS processes with measured wall-clock time
+    instead of the simulated cost model.
 ``strategies``
     List the available mat-vec strategies with their paper references.
 ``gantt``
     Trace one mat-vec under a chosen strategy and print the ASCII Gantt
-    chart.
+    chart (``--json PATH`` additionally writes a Chrome trace-event file
+    for chrome://tracing / Perfetto).
+``calibrate``
+    Measure this host's ``t_startup``/``t_comm``/``t_flop`` with a
+    process-backend ping-pong and a timed DAXPY, and print the fitted
+    cost model.
 """
 
 from __future__ import annotations
@@ -91,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", help="run one distributed solve")
     solve.add_argument("--matrix", choices=sorted(MATRICES), default="poisson2d")
     solve.add_argument("--n", type=int, default=256, help="problem size")
-    solve.add_argument("--nprocs", type=int, default=8)
+    solve.add_argument("-p", "--nprocs", type=int, default=8)
     solve.add_argument(
         "--topology", choices=("hypercube", "ring", "mesh2d", "complete"),
         default="hypercube",
@@ -101,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--solver", choices=SOLVERS, default="cg")
     solve.add_argument("--rtol", type=float, default=1e-8)
     solve.add_argument("--maxiter", type=int, default=None)
+    solve.add_argument(
+        "--backend", choices=("simulated", "process"), default="simulated",
+        help="simulated = event simulator with the paper's cost model "
+             "(default); process = real OS processes, measured wall time "
+             "(cg/pcg only)",
+    )
+    solve.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="hard wall-clock bound for --backend process (seconds)",
+    )
 
     gantt = sub.add_parser("gantt", help="ASCII Gantt of one mat-vec")
     gantt.add_argument("--matrix", choices=sorted(MATRICES), default="poisson2d")
@@ -109,6 +126,23 @@ def build_parser() -> argparse.ArgumentParser:
     gantt.add_argument("--strategy", choices=sorted(STRATEGIES),
                        default="csc_private")
     gantt.add_argument("--width", type=int, default=72)
+    gantt.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the trace as Chrome trace-event JSON to PATH",
+    )
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit t_startup/t_comm/t_flop to this host (process backend)",
+    )
+    cal.add_argument("--repeats", type=int, default=7,
+                     help="ping-pong repetitions per message size")
+    cal.add_argument("--max-words", type=int, default=16384,
+                     help="largest ping-pong message (8-byte words)")
+    cal.add_argument("--flop-n", type=int, default=1_000_000,
+                     help="DAXPY length for the t_flop measurement")
+    cal.add_argument("--json", metavar="PATH", default=None,
+                     help="write the fitted constants as JSON to PATH")
     return parser
 
 
@@ -135,7 +169,49 @@ def _cmd_strategies() -> int:
     return 0
 
 
+def _cmd_solve_process(args: argparse.Namespace) -> int:
+    from . import StoppingCriterion, backend_solve, process_backend_support
+    from .backend import ProcessBackend, default_start_method
+    from .backend.solve import SOLVER_PROGRAMS
+
+    if args.solver not in SOLVER_PROGRAMS:
+        print(f"error: --backend process supports solvers "
+              f"{sorted(set(SOLVER_PROGRAMS))}, not {args.solver!r}",
+              file=sys.stderr)
+        return 2
+    ok, detail = process_backend_support()
+    if not ok:
+        print(f"error: process backend unavailable on this platform: {detail}",
+              file=sys.stderr)
+        return 2
+
+    A = _make_matrix(args.matrix, args.n)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.nrows)
+    crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
+    backend = ProcessBackend(timeout=args.timeout)
+    result = backend_solve(args.solver, A, b, backend=backend,
+                           nprocs=args.nprocs, criterion=crit)
+
+    timings = result.extras["timings"]
+    print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
+    print(f"machine   : {args.nprocs} OS processes "
+          f"({backend.start_method or default_start_method()} start)")
+    print(f"solver    : {result.solver} / {result.strategy}")
+    print(f"converged : {result.converged} in {result.iterations} iterations")
+    print(f"residual  : {result.final_residual:.3e}")
+    print(f"wall time : {result.machine_elapsed * 1e3:.3f} ms (measured)")
+    print(f"  compute : {timings['compute'] * 1e3:.3f} ms")
+    print(f"  comm    : {timings['comm'] * 1e3:.3f} ms")
+    print(f"comm      : {result.comm['messages']} messages, "
+          f"{result.comm['words']:.0f} words")
+    return 0 if result.converged else 1
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.backend == "process":
+        return _cmd_solve_process(args)
+
     from . import (
         JacobiPreconditioner,
         Machine,
@@ -197,6 +273,42 @@ def _cmd_gantt(args: argparse.Namespace) -> int:
     print(tracer.ascii_gantt(width=args.width))
     util = tracer.utilization()
     print(f"utilization: {np.round(util, 2).tolist()}")
+    if args.json:
+        path = tracer.write_chrome_trace(args.json, process_name=args.strategy)
+        print(f"chrome trace: {path} (load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .backend import calibrate_host, process_backend_support
+    from .machine import CostModel
+
+    ok, detail = process_backend_support()
+    if not ok:
+        print(f"error: process backend unavailable on this platform: {detail}",
+              file=sys.stderr)
+        return 2
+
+    sizes = tuple(m for m in (1, 64, 256, 1024, 4096, 16384)
+                  if m <= args.max_words)
+    cal = calibrate_host(sizes=sizes, repeats=args.repeats, flop_n=args.flop_n)
+    default = CostModel()
+    print("ping-pong samples (best of "
+          f"{args.repeats}, one-way):")
+    for words, sec in cal.message_samples:
+        print(f"  {words:>7d} words  {sec * 1e6:10.2f} us")
+    print("fitted host constants vs simulator defaults:")
+    print(f"  t_startup : {cal.t_startup:.3e} s   (default {default.t_startup:.3e})")
+    print(f"  t_comm    : {cal.t_comm:.3e} s/word (default {default.t_comm:.3e})")
+    print(f"  t_flop    : {cal.t_flop:.3e} s      (default {default.t_flop:.3e})")
+    print(f"  flop rate : {cal.flop_rate / 1e9:.2f} Gflop/s")
+    if args.json:
+        import json
+        from pathlib import Path
+
+        path = Path(args.json)
+        path.write_text(json.dumps(cal.as_dict(), indent=2) + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -214,6 +326,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_solve(args)
     if args.command == "gantt":
         return _cmd_gantt(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     parser.error(f"unknown command {args.command}")
     return 2
 

@@ -19,7 +19,12 @@ from .matvec import MatvecStrategy
 from .result import ConvergenceHistory, SolveResult
 from .stopping import StoppingCriterion
 
-__all__ = ["SolveContext", "start_solve", "finish_solve"]
+__all__ = [
+    "SolveContext",
+    "start_solve",
+    "finish_solve",
+    "assemble_backend_result",
+]
 
 
 @dataclass
@@ -136,4 +141,49 @@ def finish_solve(
         machine_elapsed=machine.elapsed() - ctx._clock_before,
         comm=comm,
         extras=all_extras,
+    )
+
+
+def assemble_backend_result(run, solver: str, n: int) -> SolveResult:
+    """Build a :class:`SolveResult` from an execution-backend run.
+
+    ``run`` is a :class:`~repro.backend.base.BackendRun` whose per-rank
+    results follow the row-block solver convention
+    ``(x_block, residuals, converged, iterations)``.  ``machine_elapsed``
+    is simulated time for the simulated backend and measured wall-clock
+    time for the process backend; ``extras["backend"]`` says which.
+    """
+    x = np.concatenate([res[0] for res in run.results])[:n]
+    residuals, converged, iterations = (
+        run.results[0][1],
+        run.results[0][2],
+        run.results[0][3],
+    )
+    history = ConvergenceHistory()
+    for rnorm in residuals:
+        history.append(rnorm)
+    flops = run.stats.flops_per_rank
+    mean_flops = flops.mean() if flops.size else 0.0
+    return SolveResult(
+        x=x,
+        converged=converged,
+        iterations=iterations,
+        history=history,
+        solver=solver,
+        strategy="spmd_message_passing",
+        machine_elapsed=run.elapsed,
+        comm={
+            "messages": run.stats.total_messages,
+            "words": run.stats.total_words,
+            "comm_time": run.stats.comm_time,
+            "flops": run.stats.total_flops,
+        },
+        extras={
+            "backend": run.backend,
+            "nprocs": run.nprocs,
+            "timings": dict(run.timings),
+            "per_rank": [dict(p) for p in run.per_rank],
+            "flops_per_rank": flops,
+            "load_imbalance": float(flops.max() / mean_flops) if mean_flops else 1.0,
+        },
     )

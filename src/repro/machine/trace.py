@@ -12,12 +12,21 @@ Scenario-2 loop and the privatised CSC loop visible at a glance::
     print(tracer.ascii_gantt(width=72))
 
 Legend: ``#`` compute, ``~`` communication, ``.`` idle.
+
+A tracer can also serve as a free-standing timeline container (pass
+``nprocs`` instead of a machine): the real-process execution backend
+(:mod:`repro.backend.process`) fills one with *measured* wall-clock
+intervals, so the same reporting -- utilisation, ASCII Gantt, and the
+Chrome ``chrome://tracing`` / Perfetto JSON export of
+:meth:`Tracer.to_chrome_trace` -- works for simulated and real runs alike.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -46,8 +55,11 @@ class TraceEvent:
 class Tracer:
     """Collects :class:`TraceEvent` records from an attached machine."""
 
-    def __init__(self, machine):
+    def __init__(self, machine=None, nprocs: Optional[int] = None):
+        if machine is None and nprocs is None:
+            raise ValueError("Tracer needs a machine or an explicit nprocs")
         self.machine = machine
+        self.nprocs = int(machine.nprocs if machine is not None else nprocs)
         self.events: List[TraceEvent] = []
 
     @classmethod
@@ -89,10 +101,10 @@ class Tracer:
     def utilization(self) -> np.ndarray:
         """Fraction of the trace span each rank spent busy."""
         span = self.span()
-        out = np.zeros(self.machine.nprocs)
+        out = np.zeros(self.nprocs)
         if span <= 0:
             return out
-        for r in range(self.machine.nprocs):
+        for r in range(self.nprocs):
             out[r] = min(1.0, self.busy_time(r) / span)
         return out
 
@@ -112,7 +124,7 @@ class Tracer:
         if span <= 0 or width < 1:
             return header
         rows = [header]
-        for r in range(self.machine.nprocs):
+        for r in range(self.nprocs):
             cells = [0.0] * width  # compute weight
             comm = [0.0] * width  # comm weight
             for e in self.events:
@@ -139,6 +151,60 @@ class Tracer:
             )
             rows.append(f"rank {r:>3} |{line}|")
         return "\n".join(rows)
+
+    # ------------------------------------------------------------------ #
+    def to_chrome_trace(self, process_name: str = "repro") -> dict:
+        """Export the timeline in Chrome trace-event JSON format.
+
+        The result loads directly into ``chrome://tracing`` or Perfetto:
+        one thread per rank, one complete ("X") event per
+        :class:`TraceEvent`, timestamps converted from seconds to the
+        format's microseconds.  Works for simulated clocks and for the
+        measured wall-clock timelines of the process backend alike.
+        """
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for r in range(self.nprocs):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": r,
+                    "args": {"name": f"rank {r}"},
+                }
+            )
+        for e in self.events:
+            events.append(
+                {
+                    "name": e.kind if not e.detail else f"{e.kind} {e.detail}",
+                    "cat": "compute" if e.is_compute else "comm",
+                    "ph": "X",
+                    "ts": e.start * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": 0,
+                    "tid": e.rank,
+                    "args": {"detail": e.detail} if e.detail else {},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(
+        self, path: Union[str, Path], process_name: str = "repro"
+    ) -> Path:
+        """Write :meth:`to_chrome_trace` JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_chrome_trace(process_name)), encoding="utf-8"
+        )
+        return path
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,136 @@
+"""Unit tests for the backend-neutral ``Comm`` adapter.
+
+``Comm`` wraps the raw GenOp events and the binomial-tree collectives of
+``repro.machine.spmd`` behind one ``(rank, size)``-bound object.  These
+tests drive it on the simulated backend and check (a) the semantics of
+every method and (b) that the collectives reduce in exactly the same
+order as calling ``spmd.*`` directly -- the property the cross-backend
+bitwise parity rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import Comm, SimulatedBackend
+from repro.machine import spmd
+
+
+def _run(program, nprocs):
+    # "complete" accepts any rank count (hypercube wants powers of two)
+    return SimulatedBackend(topology="complete").run(program, nprocs)
+
+
+def test_comm_validates_rank_and_size():
+    with pytest.raises(ValueError):
+        Comm(0, 0)
+    with pytest.raises(ValueError):
+        Comm(4, 4)
+    with pytest.raises(ValueError):
+        Comm(-1, 2)
+    c = Comm(1, 4)
+    assert (c.rank, c.size) == (1, 4)
+
+
+def test_send_recv_roundtrip():
+    def program(rank, size):
+        comm = Comm(rank, size)
+        if rank == 0:
+            yield from comm.send(1, {"x": 42}, tag=4)
+            reply = yield from comm.recv(source=1, tag=5)
+            return reply
+        payload = yield from comm.recv(source=0, tag=4)
+        yield from comm.send(0, payload["x"] + 1, tag=5)
+        return payload
+
+    run = _run(program, 2)
+    assert run.results[0] == 43
+    assert run.results[1] == {"x": 42}
+    assert run.stats.total_messages == 2
+
+
+def test_compute_charges_declared_flops():
+    def program(rank, size):
+        comm = Comm(rank, size)
+        yield from comm.compute(100.0 * (rank + 1))
+        return rank
+
+    run = _run(program, 3)
+    assert run.stats.flops_per_rank.tolist() == [100.0, 200.0, 300.0]
+    assert run.per_rank[2]["flops"] == 300.0
+
+
+def test_barrier_aligns_clocks():
+    def program(rank, size):
+        comm = Comm(rank, size)
+        yield from comm.compute(1000.0 * rank)  # deliberately unbalanced
+        yield from comm.barrier("sync")
+        return rank
+
+    run = _run(program, 4)
+    assert run.results == [0, 1, 2, 3]
+    # after the barrier every rank has waited up to the slowest one
+    assert run.elapsed >= 3000.0 * 1e-9  # 3000 flops at default t_flop
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 5])
+def test_collectives_semantics(nprocs):
+    root = min(1, nprocs - 1)
+
+    def program(rank, size):
+        comm = Comm(rank, size)
+        rooted = yield from comm.bcast(10 if rank == root else None, root=root)
+        total = yield from comm.allreduce_sum(float(rank + 1))
+        red = yield from comm.reduce(float(rank + 1), root=0)
+        gat = yield from comm.gather(rank, root=0)
+        allg = yield from comm.allgather(rank * 2)
+        scat = yield from comm.scatter(
+            [f"item{i}" for i in range(size)] if rank == 0 else None, root=0
+        )
+        return rooted, total, red, gat, allg, scat
+
+    run = _run(program, nprocs)
+    expected_sum = float(nprocs * (nprocs + 1) / 2)
+    for rank, (rooted, total, red, gat, allg, scat) in enumerate(run.results):
+        assert rooted == 10
+        assert total == expected_sum
+        assert allg == [r * 2 for r in range(nprocs)]
+        assert scat == f"item{rank}"
+        if rank == 0:
+            assert red == expected_sum
+            assert gat == list(range(nprocs))
+        else:
+            assert gat is None
+
+
+def test_comm_collectives_match_raw_spmd_bitwise():
+    """Same reduction order => bitwise-identical float results."""
+    rng = np.random.default_rng(7)
+    values = [float(v) for v in rng.standard_normal(4)]
+
+    def via_comm(rank, size):
+        comm = Comm(rank, size)
+        result = yield from comm.allreduce_sum(values[rank])
+        return result
+
+    def via_spmd(rank, size):
+        result = yield from spmd.allreduce_sum(rank, size, values[rank], tag=3)
+        return result
+
+    a = _run(via_comm, 4).results
+    b = _run(via_spmd, 4).results
+    assert a == b  # exact equality, not allclose
+    # and the tree order differs from naive left-to-right summation
+    assert a[0] == pytest.approx(sum(values))
+
+
+def test_comm_send_nwords_override():
+    def program(rank, size):
+        comm = Comm(rank, size)
+        if rank == 0:
+            yield from comm.send(1, None, tag=1, nwords=512)
+        else:
+            yield from comm.recv(source=0, tag=1)
+        return rank
+
+    run = _run(program, 2)
+    assert run.stats.total_words == 512

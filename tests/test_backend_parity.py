@@ -1,0 +1,119 @@
+"""Cross-backend parity: simulated vs real-process execution.
+
+The central claim of the backend subsystem is that the *same* rank
+program yields **bitwise-identical** solver output on the discrete-event
+simulator and on real OS processes -- same binomial-tree reduction order,
+same NumPy arithmetic, so not even the last ulp may differ.  These tests
+prove it for the CG and Jacobi-PCG programs at P in {1, 2, 4}, tie the
+result back to the ``spmd_cg`` baseline and (loosely) to the HPF-runtime
+solvers, whose different reduction order only allows ``allclose``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ProcessBackend,
+    SimulatedBackend,
+    backend_solve,
+    cross_validate,
+    process_backend_support,
+)
+from repro.baselines import spmd_cg
+from repro.core import JacobiPreconditioner, StoppingCriterion, hpf_cg, hpf_pcg, make_strategy
+from repro.machine import Machine
+from repro.sparse import poisson2d
+
+_OK, _DETAIL = process_backend_support()
+needs_process = pytest.mark.skipif(
+    not _OK, reason=f"process backend unavailable: {_DETAIL}"
+)
+
+CRIT = StoppingCriterion(rtol=1e-8, maxiter=300)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    A = poisson2d(6, 6)
+    b = np.random.default_rng(3).standard_normal(A.nrows)
+    return A, b
+
+
+@pytest.fixture(scope="module")
+def process_backend():
+    return ProcessBackend(timeout=60.0)
+
+
+@needs_process
+@pytest.mark.parametrize("solver", ["cg", "pcg"])
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_bitwise_parity(problem, process_backend, solver, nprocs):
+    A, b = problem
+    cv = cross_validate(solver, A, b, nprocs=nprocs, criterion=CRIT,
+                        process=process_backend, strict=False)
+    assert cv.bitwise_equal, cv.summary()
+    assert cv.iterations_equal and cv.residuals_equal
+    assert cv.max_abs_diff == 0.0
+    assert cv.simulated.converged and cv.process.converged
+    # the report carries a usable timing decomposition for both sides
+    assert cv.modelled["total"] >= 0.0 and cv.measured["total"] > 0.0
+
+
+@needs_process
+def test_process_matches_spmd_cg_baseline(problem, process_backend):
+    """The baseline's Scheduler run and the process run share one program."""
+    A, b = problem
+    machine = Machine(nprocs=4)
+    baseline = spmd_cg(machine, A, b, criterion=CRIT)
+    proc = backend_solve("cg", A, b, backend=process_backend, nprocs=4,
+                         criterion=CRIT)
+    assert proc.x.tobytes() == baseline.x.tobytes()
+    assert proc.iterations == baseline.iterations
+    assert proc.history.residual_norms == baseline.history.residual_norms
+
+
+@needs_process
+def test_process_close_to_hpf_solvers(problem, process_backend):
+    """HPF-runtime solvers reduce in a different order: allclose, not bitwise."""
+    A, b = problem
+    machine = Machine(nprocs=4)
+    hpf_res = hpf_cg(make_strategy("csr_forall_aligned", machine, A), b,
+                     criterion=CRIT)
+    proc = backend_solve("cg", A, b, backend=process_backend, nprocs=4,
+                         criterion=CRIT)
+    np.testing.assert_allclose(proc.x, hpf_res.x, rtol=1e-6, atol=1e-9)
+
+    machine2 = Machine(nprocs=4)
+    hpf_p = hpf_pcg(make_strategy("csr_forall_aligned", machine2, A), b,
+                    JacobiPreconditioner(A), criterion=CRIT)
+    procp = backend_solve("pcg", A, b, backend=process_backend, nprocs=4,
+                          criterion=CRIT)
+    np.testing.assert_allclose(procp.x, hpf_p.x, rtol=1e-6, atol=1e-9)
+
+
+def test_simulated_backend_solve_matches_spmd_cg(problem):
+    """Pure-simulator check (runs even where the process backend can't)."""
+    A, b = problem
+    machine = Machine(nprocs=2)
+    baseline = spmd_cg(machine, A, b, criterion=CRIT)
+    sim = backend_solve("cg", A, b, backend=SimulatedBackend(), nprocs=2,
+                        criterion=CRIT)
+    assert sim.x.tobytes() == baseline.x.tobytes()
+    assert sim.iterations == baseline.iterations
+
+
+@needs_process
+def test_cross_validate_strict_raises_on_mismatch(problem, process_backend):
+    """strict=True turns any divergence into BackendMismatchError."""
+    from repro.backend import cross_validate as cv_fn
+    from repro.backend.validate import BackendMismatchError
+
+    A, b = problem
+    report = cv_fn("cg", A, b, nprocs=2, criterion=CRIT,
+                   process=process_backend, strict=False)
+    # sanity: a genuinely equal report passes check()
+    assert report.check() is report
+    report.bitwise_equal = False
+    report.max_abs_diff = 1.0
+    with pytest.raises(BackendMismatchError):
+        report.check()
