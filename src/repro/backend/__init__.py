@@ -14,14 +14,33 @@ On top: :func:`cross_validate` proves both produce bitwise-identical
 solver output and reports modelled-vs-measured time (benchmark E20), and
 :func:`calibrate_host` fits the cost model's three constants to the host
 so the simulator predicts this machine instead of a 1996 one.
+
+The fault-tolerance layer (DESIGN.md §8) is backend-agnostic: one seeded
+:class:`~repro.machine.faults.FaultPlan` drives Comm-level message faults
+(:mod:`~repro.backend.faulty`), in-program state corruption and substrate
+crash injection identically on both backends;
+:class:`ResilientCGProgram` + :func:`run_with_recovery` survive them via
+ABFT checksums (:mod:`~repro.backend.abft`), sanity audits/rollbacks and
+respawn-from-checkpoint restarts; :mod:`~repro.backend.chaos` sweeps
+seeded randomized schedules to enforce the converge-or-classified-error
+contract.
 """
 
+from .abft import (
+    AbftChecksumError,
+    check_matvec,
+    column_checksums,
+    decode_dot,
+    encode_dot,
+)
 from .base import (
     BackendError,
     BackendRun,
     BackendTimeoutError,
     Comm,
     ExecutionBackend,
+    RecvTimeoutError,
+    WorkerCrashedError,
     WorkerFailedError,
 )
 from .calibrate import (
@@ -31,36 +50,88 @@ from .calibrate import (
     measure_message_costs,
     measure_t_flop,
 )
-from .process import ProcessBackend, default_start_method, process_backend_support
-from .programs import CGRankProgram, PCGRankProgram, PingPongProgram
+from .chaos import (
+    ChaosOutcome,
+    chaos_plan,
+    chaos_run,
+    chaos_sweep,
+    classify_failure,
+    format_report,
+)
+from .faulty import FaultInjectingProgram, FaultInjector, FaultyComm
+from .process import (
+    ProcessBackend,
+    crash_injection_support,
+    default_start_method,
+    process_backend_support,
+)
+from .programs import (
+    CGRankProgram,
+    PCGRankProgram,
+    PingPongProgram,
+    ResilientCGProgram,
+)
 from .simulated import SimulatedBackend
-from .solve import BACKENDS, backend_solve, make_backend, make_solver_program
-from .validate import BackendMismatchError, CrossValidation, cross_validate
+from .solve import (
+    BACKENDS,
+    backend_solve,
+    make_backend,
+    make_solver_program,
+    run_with_recovery,
+)
+from .validate import (
+    BackendMismatchError,
+    CrossValidation,
+    FaultSequenceParity,
+    cross_validate,
+    fault_sequence_parity,
+)
 
 __all__ = [
     "BACKENDS",
+    "AbftChecksumError",
     "BackendError",
     "BackendMismatchError",
     "BackendRun",
     "BackendTimeoutError",
     "CGRankProgram",
     "Calibration",
+    "ChaosOutcome",
     "Comm",
     "CrossValidation",
     "ExecutionBackend",
+    "FaultInjectingProgram",
+    "FaultInjector",
+    "FaultSequenceParity",
+    "FaultyComm",
     "PCGRankProgram",
     "PingPongProgram",
     "ProcessBackend",
+    "RecvTimeoutError",
+    "ResilientCGProgram",
     "SimulatedBackend",
+    "WorkerCrashedError",
     "WorkerFailedError",
     "backend_solve",
     "calibrate_host",
+    "chaos_plan",
+    "chaos_run",
+    "chaos_sweep",
+    "check_matvec",
+    "classify_failure",
+    "column_checksums",
+    "crash_injection_support",
     "cross_validate",
+    "decode_dot",
     "default_start_method",
+    "encode_dot",
+    "fault_sequence_parity",
     "fit_message_model",
+    "format_report",
     "make_backend",
     "make_solver_program",
     "measure_message_costs",
     "measure_t_flop",
     "process_backend_support",
+    "run_with_recovery",
 ]

@@ -1,0 +1,110 @@
+"""Algorithm-based fault tolerance (ABFT) checks for distributed CG.
+
+Huang–Abraham-style checksums adapted to the two communication patterns of
+the row-block CG iteration, to *detect* silent in-flight corruption rather
+than discover it iterations later as a residual blow-up:
+
+* **dot-product reductions** carry every partial sum twice
+  (:func:`encode_dot` packs ``[s, s]``).  Both slots undergo the *same*
+  elementwise additions, in the same binomial-tree order, on every backend
+  -- so after the reduction they are bitwise equal unless a message was
+  corrupted in flight.  :func:`decode_dot` therefore checks **exact**
+  equality: no tolerance, no false positives, and a single perturbed
+  word anywhere in the tree is caught on every rank.
+
+* **the distributed mat-vec** is guarded by the classic column-checksum
+  identity ``sum_i (A p)_i == (1^T A) p``.  Each rank knows the full
+  column-sum vector (precomputed once from the CSR arrays with
+  :func:`column_checksums`) and the full ``p`` it just allgathered, so the
+  check costs one extra scalar per rank per iteration plus its reduction.
+  Unlike the dot-product check this one needs a tolerance: the left side
+  is accumulated in reduction-tree order, the right in BLAS order, so they
+  differ by rounding.  The bound scales with ``|1^T| |A| |p|``
+  (:func:`check_matvec`), the standard backward-error yardstick.
+
+A failed check raises :class:`AbftChecksumError` inside the rank program;
+the chaos harness (:mod:`repro.backend.chaos`) classifies it as a detected
+silent-corruption failure, distinct from crashes and timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "AbftChecksumError",
+    "encode_dot",
+    "decode_dot",
+    "column_checksums",
+    "check_matvec",
+]
+
+
+class AbftChecksumError(RuntimeError):
+    """An ABFT checksum mismatch: a reduction or mat-vec was corrupted."""
+
+
+def encode_dot(value: float) -> np.ndarray:
+    """Pack a partial dot-product as a duplicate-sum pair ``[s, s]``."""
+    v = float(value)
+    return np.array([v, v], dtype=np.float64)
+
+
+def decode_dot(pair: np.ndarray, what: str = "dot") -> float:
+    """Unpack a reduced duplicate-sum pair, checking exact slot equality.
+
+    Exactness is sound because both slots experienced the identical
+    floating-point operation sequence; see the module docstring.
+    """
+    pair = np.asarray(pair, dtype=np.float64)
+    if pair.shape != (2,):
+        raise AbftChecksumError(
+            f"ABFT {what} reduction has shape {pair.shape}, expected (2,): "
+            "payload structure corrupted in flight"
+        )
+    a, b = float(pair[0]), float(pair[1])
+    if a != b and not (np.isnan(a) and np.isnan(b)):
+        raise AbftChecksumError(
+            f"ABFT {what} reduction checksum mismatch: "
+            f"{a!r} != {b!r} (silent corruption in flight)"
+        )
+    return a
+
+
+def column_checksums(
+    n: int, indices: np.ndarray, data: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(1^T A, 1^T |A|)`` over the full matrix, from its CSR arrays.
+
+    The signed sums verify the identity, the absolute sums scale the
+    rounding tolerance of :func:`check_matvec`.
+    """
+    colsum = np.bincount(indices, weights=data, minlength=n)
+    abs_colsum = np.bincount(indices, weights=np.abs(data), minlength=n)
+    return colsum.astype(np.float64), abs_colsum.astype(np.float64)
+
+
+def check_matvec(
+    q_sum: float,
+    colsum: np.ndarray,
+    abs_colsum: np.ndarray,
+    p_full: np.ndarray,
+    rtol: float = 1.0e-8,
+) -> None:
+    """Verify ``sum(A p) == colsum @ p`` to within accumulated rounding.
+
+    ``q_sum`` is the globally reduced ``sum_i (A p)_i``.  The tolerance is
+    ``rtol * (|colsum| @ |p| + 1)``: proportional to the magnitude actually
+    summed, never zero, and loose enough that reduction-order differences
+    can never trip it while a fault-plan corruption (which perturbs an
+    entry by orders of magnitude) always does.
+    """
+    expected = float(colsum @ p_full)
+    scale = float(abs_colsum @ np.abs(p_full)) + 1.0
+    if not np.isfinite(q_sum) or abs(q_sum - expected) > rtol * scale:
+        raise AbftChecksumError(
+            f"ABFT mat-vec column-checksum mismatch: sum(A p) = {q_sum!r} "
+            f"vs 1^T A p = {expected!r} (tolerance {rtol * scale:.3e})"
+        )

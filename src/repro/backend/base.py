@@ -38,8 +38,11 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional
 
-from ..machine.events import ANY_SOURCE, Barrier, Compute, Op, Recv, Send
+from ..machine.events import (
+    ANY_SOURCE, Barrier, Checkpoint, Compute, Op, Recv, Send,
+)
 from ..machine import spmd
+from ..machine.faults import RecvTimeoutError
 from ..machine.stats import MachineStats
 
 __all__ = [
@@ -49,6 +52,8 @@ __all__ = [
     "BackendError",
     "BackendTimeoutError",
     "WorkerFailedError",
+    "WorkerCrashedError",
+    "RecvTimeoutError",
 ]
 
 RankProgram = Generator[Op, Any, Any]
@@ -59,12 +64,33 @@ class BackendError(RuntimeError):
     """Base class for execution-backend failures."""
 
 
-class BackendTimeoutError(BackendError):
-    """The hard wall-clock timeout expired before every rank finished."""
+class BackendTimeoutError(BackendError, TimeoutError):
+    """The hard wall-clock timeout expired before every rank finished.
+
+    Distinct from :class:`~repro.machine.faults.RecvTimeoutError`, which is
+    the *per-receive* timeout raised inside a rank program (the canonical
+    timeout type on both substrates -- re-exported here so backend code
+    never needs a bare ``queue.Empty`` or a second timeout class); this one
+    is the run-level deadline the caller set on the whole solve.
+    """
 
 
 class WorkerFailedError(BackendError):
     """A worker process died or raised; the run's results are incomplete."""
+
+
+class WorkerCrashedError(WorkerFailedError):
+    """A worker process vanished fail-stop (killed or segfaulted).
+
+    Carries the ``rank`` that died so a recovery driver can respawn it and
+    restart from the newest complete checkpoint instead of aborting.
+    """
+
+    def __init__(self, rank: int, message: Optional[str] = None):
+        super().__init__(
+            message or f"worker rank {rank} crashed (fail-stop)"
+        )
+        self.rank = rank
 
 
 class Comm:
@@ -113,6 +139,15 @@ class Comm:
     def barrier(self, label: str = "") -> RankProgram:
         """Global synchronisation across all ranks."""
         yield Barrier(label)
+
+    def checkpoint(self, iteration: int, payload: Any) -> RankProgram:
+        """Publish this rank's recovery snapshot for ``iteration``.
+
+        The substrate stores it (scheduler checkpoint store / parent
+        process); publishing is free here -- charge the copy cost with an
+        adjacent :meth:`compute` so both substrates price it identically.
+        """
+        yield Checkpoint(iteration=iteration, payload=payload)
 
     # -------------------------------------------------------------- #
     # collectives (binomial trees from repro.machine.spmd)
@@ -171,6 +206,11 @@ class BackendRun:
     ``per_rank`` holds one dict per rank with the raw counters
     (``wall``, ``compute_time``, ``comm_time``, ``messages``, ``words``,
     ``flops``).
+
+    ``recovery`` is filled by the fault-tolerant driver
+    (:func:`repro.backend.solve.run_with_recovery`): counters such as
+    ``attempts``, ``crashes_recovered``, ``restart_iterations`` and the
+    recovery wall-clock.  Empty for plain runs.
     """
 
     backend: str
@@ -181,6 +221,7 @@ class BackendRun:
     timings: Dict[str, float] = field(default_factory=dict)
     per_rank: List[Dict[str, float]] = field(default_factory=list)
     trace: Optional[object] = None  # a repro.machine.trace.Tracer, if enabled
+    recovery: Dict[str, Any] = field(default_factory=dict)
 
 
 class ExecutionBackend(abc.ABC):
@@ -190,8 +231,20 @@ class ExecutionBackend(abc.ABC):
     name: str = "backend"
 
     @abc.abstractmethod
-    def run(self, program: ProgramFactory, nprocs: int) -> BackendRun:
-        """Instantiate ``program(rank, nprocs)`` per rank, run all to completion."""
+    def run(
+        self,
+        program: ProgramFactory,
+        nprocs: int,
+        *,
+        checkpoints: Optional[Dict[int, Dict[int, Any]]] = None,
+    ) -> BackendRun:
+        """Instantiate ``program(rank, nprocs)`` per rank, run all to completion.
+
+        ``checkpoints`` is an optional caller-owned store that
+        :class:`~repro.machine.events.Checkpoint` ops write into
+        (``{iteration: {rank: payload}}``); it survives a failed run so the
+        recovery driver can restart from the newest complete entry.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

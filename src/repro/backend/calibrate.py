@@ -83,15 +83,50 @@ def fit_message_model(
 ) -> Tuple[float, float]:
     """Least-squares ``(t_startup, t_comm)`` from (words, one-way seconds).
 
-    Clamps both to a tiny positive floor: on a fast host the intercept of
-    a noisy fit can dip below zero, and the cost model rejects negative
-    constants.
+    Robust to the noise a loaded host injects into ping-pong timing:
+
+    * samples with non-finite, zero or negative times are discarded
+      outright (a clock can step backwards under NTP adjustment);
+    * a Theil-Sen baseline (median of pairwise slopes, median intercept)
+      -- which a single wild sample cannot drag, unlike least squares --
+      flags samples whose measured time exceeds 10x its prediction as
+      scheduler hiccups, and the final least-squares fit runs on the
+      survivors (never discarding below two samples).
+
+    Clamps both constants to a tiny positive floor: on a fast host the
+    intercept of a noisy fit can dip below zero, and the cost model
+    rejects negative constants.
     """
-    if len(samples) < 2:
-        raise ValueError("need at least two (words, time) samples to fit")
-    m = np.array([s[0] for s in samples], dtype=float)
-    t = np.array([s[1] for s in samples], dtype=float)
-    slope, intercept = np.polyfit(m, t, 1)
+    clean = [
+        (int(m), float(t))
+        for m, t in samples
+        if np.isfinite(t) and t > 0.0 and m >= 0
+    ]
+    if len(clean) < 2:
+        raise ValueError(
+            "need at least two usable (words, time) samples to fit; got "
+            f"{len(clean)} after discarding non-finite/non-positive times "
+            f"from {len(list(samples))}"
+        )
+
+    m = np.array([p[0] for p in clean], dtype=float)
+    t = np.array([p[1] for p in clean], dtype=float)
+    pair_slopes = [
+        (t[j] - t[i]) / (m[j] - m[i])
+        for i in range(len(clean))
+        for j in range(i + 1, len(clean))
+        if m[j] != m[i]
+    ]
+    if pair_slopes:
+        ts_slope = float(np.median(pair_slopes))
+        ts_intercept = float(np.median(t - ts_slope * m))
+        predicted = np.maximum(ts_intercept + ts_slope * m, 1.0e-12)
+        keep = t <= 10.0 * predicted
+    else:  # all sizes identical: no slope information to gate on
+        keep = np.ones(len(clean), dtype=bool)
+    if keep.sum() < 2:
+        keep[:] = True
+    slope, intercept = np.polyfit(m[keep], t[keep], 1)
     floor = 1.0e-12
     return max(float(intercept), floor), max(float(slope), floor)
 

@@ -1,0 +1,346 @@
+"""Chaos harness: seeded randomized fault schedules on both backends.
+
+The contract this harness enforces is the robustness north-star in one
+sentence: **under any seeded fault schedule, a fault-tolerant solve either
+converges to the reference solution or fails with a classified, typed
+error** -- never a hang, never a silently wrong answer, never an anonymous
+stack trace.
+
+Per seed, :func:`chaos_plan` draws a fault mix from one NumPy generator:
+message-fault probabilities (drop / duplicate / corrupt / delay), possibly
+a silent state corruption of ``x`` or ``r`` (the targets the sanity audit
+can detect), and possibly a mid-solve fail-stop crash.  The same seed
+produces the same mix on both backends; only the crash *trigger* is
+substrate-native -- a simulated-time :class:`~repro.machine.faults.RankCrash`
+on the simulated machine, a checkpoint-triggered SIGKILL
+(``crash_on_checkpoint``) on the process backend, where virtual time does
+not exist.
+
+Each run goes through :func:`repro.backend.solve.backend_solve` with
+resilience on, i.e. the full stack under test: Comm-level injection,
+reliable ARQ transport, in-program audits/rollbacks, substrate crash
+injection and the respawn-from-checkpoint recovery driver.  The outcome is
+compared against a fault-free reference solve and classified by
+:func:`classify_failure`; an *unclassified* exception propagates and fails
+the harness, because an unknown failure mode is exactly what chaos testing
+exists to surface.
+
+``repro chaos`` (the CLI) and benchmark E21 are thin wrappers over
+:func:`chaos_sweep` / :func:`format_report`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.resilience import RecoveryExhaustedError, ResilienceConfig
+from ..core.stopping import StoppingCriterion
+from ..machine.faults import FaultPlan, RankCrash, StateCorruption
+from ..machine.reliable import ReliableConfig
+from ..machine.scheduler import DeadlockError
+from ..sparse.generators import poisson1d, rhs_for_solution
+from .abft import AbftChecksumError
+from .base import (
+    BackendTimeoutError,
+    WorkerCrashedError,
+    WorkerFailedError,
+)
+from .process import ProcessBackend
+from .simulated import SimulatedBackend
+from .solve import backend_solve
+
+__all__ = [
+    "ChaosOutcome",
+    "chaos_plan",
+    "chaos_run",
+    "chaos_sweep",
+    "classify_failure",
+    "format_report",
+    "CHAOS_BACKENDS",
+]
+
+CHAOS_BACKENDS = ("simulated", "process")
+
+#: outcome labels every chaos run must land on
+CONVERGED = "converged"
+_FAILURE_LABELS = {
+    "RecoveryExhaustedError": "recovery_exhausted",
+    "AbftChecksumError": "abft_detected",
+    "RankFailedError": "rank_failed",
+    "WorkerCrashedError": "worker_crashed",
+    "BackendTimeoutError": "timeout",
+    "RecvTimeoutError": "timeout",
+    "DeadlockError": "deadlock",
+}
+
+
+def _chaos_problem(n: int):
+    """The fixed chaos test problem: 1-D Poisson with a known solution."""
+    A = poisson1d(n)
+    x_true = np.linspace(1.0, 2.0, n)
+    return A, rhs_for_solution(A, x_true)
+
+
+def classify_failure(exc: BaseException) -> Optional[str]:
+    """Map an exception to its chaos outcome label, or ``None`` if unknown.
+
+    Process-backend workers report errors as a
+    :class:`~repro.backend.base.WorkerFailedError` whose message embeds the
+    worker-side exception name, so classification falls back to scanning
+    the message for the known types before giving up.
+    """
+    for cls_name, label in _FAILURE_LABELS.items():
+        if type(exc).__name__ == cls_name:
+            return label
+    for base in type(exc).__mro__:
+        if base.__name__ in _FAILURE_LABELS:
+            return _FAILURE_LABELS[base.__name__]
+    if isinstance(exc, WorkerFailedError):
+        text = str(exc)
+        for cls_name, label in _FAILURE_LABELS.items():
+            if cls_name in text:
+                return label
+        return "worker_failed"
+    return None
+
+
+@dataclass
+class ChaosOutcome:
+    """One seeded chaos run's verdict and accounting."""
+
+    seed: int
+    backend: str
+    nprocs: int
+    n: int
+    outcome: str  #: ``"converged"`` or a label from :func:`classify_failure`
+    converged_to_reference: bool
+    max_abs_err: float
+    iterations: int
+    elapsed: float  #: harness wall-clock for the whole run, seconds
+    planned: Dict[str, Any] = field(default_factory=dict)
+    injected: Dict[str, Any] = field(default_factory=dict)
+    retransmissions: float = 0.0
+    rollbacks: int = 0
+    attempts: int = 1
+    crashes_recovered: List[int] = field(default_factory=list)
+    restart_iterations: List[int] = field(default_factory=list)
+    recovery_wall: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """The chaos contract held for this run."""
+        if self.outcome == CONVERGED:
+            return self.converged_to_reference
+        return True  # a classified failure is a contract-respecting outcome
+
+
+def chaos_plan(
+    seed: int, nprocs: int, allow_crash: bool = True
+) -> Dict[str, Any]:
+    """Draw one seeded fault mix, expressed for both substrates.
+
+    Returns ``{"plan": FaultPlan, "crash_on_checkpoint": {rank: iter},
+    "planned": {...}}``.  ``plan`` carries the message faults, the state
+    corruption, and (for the simulated backend) the ``RankCrash``;
+    ``crash_on_checkpoint`` is the process backend's native expression of
+    the same crash -- SIGKILL the victim when it publishes the chosen
+    checkpoint.  Rank 0's blocks are never the corruption victim's
+    exclusive... any rank can be hit; the draw is uniform.
+    """
+    rng = np.random.default_rng(seed)
+    drop = float(rng.uniform(0.0, 0.04))
+    duplicate = float(rng.uniform(0.0, 0.04))
+    corrupt = float(rng.uniform(0.0, 0.04))
+    delay = float(rng.uniform(0.0, 0.04))
+
+    corruptions = []
+    if rng.random() < 0.5:
+        corruptions.append(
+            StateCorruption(
+                iteration=int(rng.integers(2, 9)),
+                target="x" if rng.random() < 0.5 else "r",
+                rank=int(rng.integers(nprocs)),
+                scale=float(10.0 ** rng.integers(2, 5)),
+            )
+        )
+
+    crashes = []
+    crash_on_checkpoint: Dict[int, int] = {}
+    crash_planned = allow_crash and rng.random() < 0.5
+    if crash_planned:
+        victim = int(rng.integers(nprocs))
+        ckpt = int(rng.integers(1, 4))  # after the 1st..3rd checkpoint
+        # simulated trigger: a virtual time early enough to land mid-solve
+        crashes.append(RankCrash(victim, float(rng.uniform(1e-4, 5e-3))))
+        crash_on_checkpoint[victim] = ckpt
+
+    plan = FaultPlan(
+        seed=seed,
+        drop_prob=drop,
+        duplicate_prob=duplicate,
+        corrupt_prob=corrupt,
+        delay_prob=delay,
+        crashes=crashes,
+        state_corruptions=corruptions,
+    )
+    planned = {
+        "drop_prob": round(drop, 4),
+        "duplicate_prob": round(duplicate, 4),
+        "corrupt_prob": round(corrupt, 4),
+        "delay_prob": round(delay, 4),
+        "state_corruptions": len(corruptions),
+        "crash": crash_planned,
+    }
+    return {
+        "plan": plan,
+        "crash_on_checkpoint": crash_on_checkpoint,
+        "planned": planned,
+    }
+
+
+def chaos_run(
+    seed: int,
+    backend: str = "simulated",
+    nprocs: int = 4,
+    n: int = 48,
+    timeout: float = 60.0,
+    allow_crash: bool = True,
+    reference_x: Optional[np.ndarray] = None,
+    rtol: float = 1.0e-8,
+) -> ChaosOutcome:
+    """Run one seeded chaos schedule and return its classified outcome.
+
+    Any exception *not* classified by :func:`classify_failure` propagates:
+    an unknown failure mode is a harness failure, not an outcome.
+    """
+    if backend not in CHAOS_BACKENDS:
+        raise ValueError(f"backend must be one of {CHAOS_BACKENDS}")
+    A, b = _chaos_problem(n)
+    criterion = StoppingCriterion(rtol=1e-10, atol=0.0)
+    if reference_x is None:
+        reference_x = backend_solve(
+            "cg", A, b, backend="simulated", nprocs=nprocs,
+            criterion=criterion,
+        ).x
+
+    drawn = chaos_plan(seed, nprocs, allow_crash=allow_crash)
+    plan: FaultPlan = drawn["plan"]
+    cfg = ResilienceConfig(
+        checkpoint_interval=5,
+        sanity_interval=5,
+        max_restarts=8,
+        # real-seconds ack timeouts for the process backend; on the
+        # simulator the conservative stall-driven expiry makes the same
+        # values safe (a fault-free receive never expires spuriously)
+        reliable=ReliableConfig(base_timeout=0.05, max_retries=8),
+    )
+    if backend == "simulated":
+        be = SimulatedBackend(faults=plan.crashes_only())
+    else:
+        be = ProcessBackend(
+            timeout=timeout,
+            crash_on_checkpoint=dict(drawn["crash_on_checkpoint"]),
+        )
+
+    out = ChaosOutcome(
+        seed=seed, backend=backend, nprocs=nprocs, n=n,
+        outcome=CONVERGED, converged_to_reference=False,
+        max_abs_err=float("nan"), iterations=0, elapsed=0.0,
+        planned=drawn["planned"],
+    )
+    t0 = time.perf_counter()
+    try:
+        result = backend_solve(
+            "cg", A, b, backend=be, nprocs=nprocs, criterion=criterion,
+            faults=plan, resilience=cfg,
+        )
+    except Exception as exc:  # noqa: BLE001 - classified or re-raised
+        label = classify_failure(exc)
+        if label is None:
+            raise  # unclassified: the chaos contract itself is broken
+        out.outcome = label
+        out.error = f"{type(exc).__name__}: {exc}"
+        out.elapsed = time.perf_counter() - t0
+        return out
+    out.elapsed = time.perf_counter() - t0
+    err = float(np.max(np.abs(result.x - reference_x)))
+    out.max_abs_err = err
+    scale = float(np.max(np.abs(reference_x))) or 1.0
+    out.converged_to_reference = bool(result.converged) and err <= rtol * scale
+    out.outcome = CONVERGED
+    out.iterations = int(result.iterations)
+    resil = result.extras.get("resilience", {}) or {}
+    recov = result.extras.get("recovery", {}) or {}
+    out.rollbacks = int(resil.get("rollbacks", 0))
+    out.retransmissions = float(
+        (resil.get("telemetry") or {}).get("retransmissions", 0)
+    )
+    out.injected = dict(result.extras.get("injected_faults") or {})
+    out.attempts = int(recov.get("attempts", 1))
+    out.crashes_recovered = list(recov.get("crashes_recovered", []))
+    out.restart_iterations = list(recov.get("restart_iterations", []))
+    out.recovery_wall = float(recov.get("recovery_wall", 0.0))
+    return out
+
+
+def chaos_sweep(
+    seeds: Sequence[int],
+    backends: Sequence[str] = CHAOS_BACKENDS,
+    nprocs: int = 4,
+    n: int = 48,
+    timeout: float = 60.0,
+    allow_crash: bool = True,
+) -> List[ChaosOutcome]:
+    """Run every seed on every backend; reference computed once per sweep."""
+    A, b = _chaos_problem(n)
+    criterion = StoppingCriterion(rtol=1e-10, atol=0.0)
+    reference = backend_solve(
+        "cg", A, b, backend="simulated", nprocs=nprocs, criterion=criterion
+    ).x
+    outcomes = []
+    for backend in backends:
+        for seed in seeds:
+            outcomes.append(
+                chaos_run(
+                    seed, backend=backend, nprocs=nprocs, n=n,
+                    timeout=timeout, allow_crash=allow_crash,
+                    reference_x=reference,
+                )
+            )
+    return outcomes
+
+
+def format_report(outcomes: Sequence[ChaosOutcome]) -> str:
+    """Fixed-width per-seed report table (the CI artifact / bench output)."""
+    header = (
+        f"{'seed':>5} {'backend':<9} {'outcome':<18} {'ref':<5} "
+        f"{'max|err|':>10} {'iters':>5} {'att':>3} {'rb':>3} {'rtx':>5} "
+        f"{'crash':>5} {'rec_wall':>9} {'faults (drop/dup/corr/delay)':<28}"
+    )
+    lines = [header, "-" * len(header)]
+    for o in outcomes:
+        inj = o.injected or {}
+        faults = (
+            f"{inj.get('dropped', 0)}/{inj.get('duplicated', 0)}"
+            f"/{inj.get('corrupted', 0)}/{inj.get('delayed', 0)}"
+        )
+        lines.append(
+            f"{o.seed:>5} {o.backend:<9} {o.outcome:<18} "
+            f"{'yes' if o.converged_to_reference else 'no':<5} "
+            f"{o.max_abs_err:>10.2e} {o.iterations:>5} {o.attempts:>3} "
+            f"{o.rollbacks:>3} {o.retransmissions:>5.0f} "
+            f"{len(o.crashes_recovered):>5} {o.recovery_wall:>9.3f} "
+            f"{faults:<28}"
+        )
+    ok = sum(1 for o in outcomes if o.ok)
+    lines.append("-" * len(header))
+    lines.append(
+        f"contract held on {ok}/{len(outcomes)} runs "
+        f"(converged-to-reference or classified failure)"
+    )
+    return "\n".join(lines)

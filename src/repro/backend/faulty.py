@@ -1,0 +1,266 @@
+"""Comm-level fault injection: one seeded plan, identical on both backends.
+
+PR 1 injected message faults inside the simulated scheduler, which the
+process backend can never reach.  This module moves the injection point up
+to the boundary every backend shares -- the operation stream a rank
+program yields -- so drop, duplicate, corrupt and delay behave *and
+sequence* identically whether the ops are interpreted by the
+discrete-event scheduler or by real OS processes.
+
+Determinism across substrates comes from two choices:
+
+* each rank draws its decisions from its **own** generator, derived from
+  the user's plan by :meth:`~repro.machine.faults.FaultPlan.for_rank`, so
+  no global RNG ordering between ranks is needed;
+* decisions are consulted in the **sending rank's program order** -- the
+  order of ``Send`` ops in the program text -- which is the same on every
+  substrate by construction.
+
+Given the same user plan, the injected-fault sequence per rank is
+therefore identical on the simulated and the process backend (asserted by
+:func:`repro.backend.validate.fault_sequence_parity`).
+
+Injection semantics at this layer (NIC-level, before the wire):
+
+* **drop** -- the ``Send`` is swallowed; the message never enters the
+  network and nothing is charged (the simulated scheduler's in-network
+  drop charged wire time; a NIC-level drop does not);
+* **corrupt** -- the payload is perturbed by the plan's seeded
+  :meth:`~repro.machine.faults.FaultPlan.corrupt_payload`;
+* **duplicate** -- the ``Send`` is yielded twice back-to-back;
+* **delay** -- the ``Send`` is deferred and flushed immediately before the
+  rank's next blocking operation (``Recv``/``Barrier``) or at program
+  end.  That reorders it behind later sends -- observably perturbing
+  delivery order -- while guaranteeing it is on the wire before the
+  sender can possibly block on the reply, so request/response protocols
+  cannot deadlock on the injection itself.
+
+Control traffic (``Send(control=True)``, the reliable layer's acks) is
+exempt, mirroring the scheduler's modelling of a flow-controlled control
+channel.  Self-sends are exempt (they never touch the network).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Tuple
+
+from ..machine.events import Barrier, Recv, Send
+from ..machine.faults import (
+    CORRUPT,
+    DELAY,
+    DELIVER,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+)
+from .base import Comm, ProgramFactory, RankProgram
+
+__all__ = ["FaultInjector", "FaultyComm", "FaultInjectingProgram"]
+
+#: one fault-log entry: (message ordinal on this rank, action, dest, tag)
+LogEntry = Tuple[int, str, int, int]
+
+
+class FaultInjector:
+    """Applies one rank-local fault plan to a stream of yielded ops.
+
+    ``plan`` must already be rank-local (built with ``plan.for_rank(rank)``)
+    so its RNG stream is consulted only by this rank's sends.  ``log``
+    records every non-deliver decision in program order -- the artifact the
+    cross-backend parity check compares.
+    """
+
+    def __init__(self, plan: FaultPlan, rank: int):
+        self.plan = plan
+        self.rank = rank
+        self.log: List[LogEntry] = []
+        self._deferred: List[Send] = []
+
+    # ------------------------------------------------------------------ #
+    def wrap(self, gen: RankProgram, augment_result: bool = False) -> RankProgram:
+        """Drive ``gen``, injecting faults into its outbound sends.
+
+        Forwards resume values and thrown exceptions (receive timeouts)
+        transparently, so the wrapped generator is a drop-in replacement.
+        With ``augment_result`` the program's return value becomes
+        ``{"result": ..., "fault_log": [...], "fault_stats": {...}}``.
+        """
+        plan, rank = self.plan, self.rank
+        value: Any = None
+        throw: Optional[BaseException] = None
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(value)
+            except StopIteration as stop:
+                for d in self._deferred:  # nothing may be silently lost
+                    yield d
+                self._deferred.clear()
+                if augment_result:
+                    return {
+                        "result": stop.value,
+                        "fault_log": list(self.log),
+                        "fault_stats": plan.stats.as_dict(),
+                    }
+                return stop.value
+            value = None
+            if isinstance(op, Send) and not op.control and op.dest != rank:
+                action = plan.next_action(rank, op.dest, op.tag)
+                ordinal = plan.stats.messages_seen
+                if action == DROP:
+                    self.log.append((ordinal, DROP, op.dest, op.tag))
+                    continue
+                if action == CORRUPT:
+                    self.log.append((ordinal, CORRUPT, op.dest, op.tag))
+                    op = dataclasses.replace(
+                        op, payload=plan.corrupt_payload(op.payload)
+                    )
+                elif action == DELAY:
+                    self.log.append((ordinal, DELAY, op.dest, op.tag))
+                    plan.delay_for()  # keep the RNG stream substrate-aligned
+                    self._deferred.append(op)
+                    continue
+                elif action == DUPLICATE:
+                    self.log.append((ordinal, DUPLICATE, op.dest, op.tag))
+                    try:
+                        yield op
+                    except Exception as exc:  # pragma: no cover - drivers
+                        throw = exc          # never throw at a Send
+                        continue
+                assert action in (DELIVER, CORRUPT, DUPLICATE)
+                try:
+                    yield op
+                except Exception as exc:  # pragma: no cover - see above
+                    throw = exc
+                continue
+            if isinstance(op, (Recv, Barrier)):
+                # flush delayed sends before blocking: they must be on the
+                # wire before any reply we are about to wait for
+                for d in self._deferred:
+                    try:
+                        yield d
+                    except Exception as exc:  # pragma: no cover
+                        throw = exc
+                self._deferred.clear()
+                if throw is not None:
+                    continue
+                try:
+                    value = yield op
+                except Exception as exc:  # receive timeout: forward inward
+                    throw = exc
+                continue
+            try:
+                yield op  # Compute / Checkpoint / control or self Send
+            except Exception as exc:  # pragma: no cover - drivers
+                throw = exc
+
+
+def _merge_injector_stats(gen: RankProgram, injector: FaultInjector):
+    """Fold the injector's fault counters into a solver result's extras.
+
+    Solver programs return ``(..., extras_dict)`` tuples; the counters of
+    faults actually injected live in the wrapper, which would otherwise
+    die with the worker process.  Results of any other shape pass through
+    untouched.
+    """
+    result = yield from gen
+    if (
+        isinstance(result, tuple)
+        and result
+        and isinstance(result[-1], dict)
+    ):
+        extras = dict(result[-1])
+        extras["injected_faults"] = injector.plan.stats.as_dict()
+        result = result[:-1] + (extras,)
+    return result
+
+
+class FaultyComm(Comm):
+    """A :class:`~repro.backend.base.Comm` whose traffic is fault-injected.
+
+    Drop-in replacement for programs written against the ``Comm`` API:
+    every primitive and collective routes its op stream through one shared
+    :class:`FaultInjector`, so the injector's RNG is consulted in plain
+    program order across all of them.  ``plan`` is the *user-level* plan;
+    the rank-local derivation happens here.
+    """
+
+    def __init__(self, rank: int, size: int, plan: FaultPlan):
+        super().__init__(rank, size)
+        self.injector = FaultInjector(plan.for_rank(rank), rank)
+
+    def _w(self, gen: RankProgram) -> RankProgram:
+        return self.injector.wrap(gen)
+
+    def send(self, *args, **kwargs):
+        return self._w(super().send(*args, **kwargs))
+
+    def recv(self, *args, **kwargs):
+        return self._w(super().recv(*args, **kwargs))
+
+    def bcast(self, *args, **kwargs):
+        return self._w(super().bcast(*args, **kwargs))
+
+    def reduce(self, *args, **kwargs):
+        return self._w(super().reduce(*args, **kwargs))
+
+    def allreduce_sum(self, *args, **kwargs):
+        return self._w(super().allreduce_sum(*args, **kwargs))
+
+    def gather(self, *args, **kwargs):
+        return self._w(super().gather(*args, **kwargs))
+
+    def allgather(self, *args, **kwargs):
+        return self._w(super().allgather(*args, **kwargs))
+
+    def scatter(self, *args, **kwargs):
+        return self._w(super().scatter(*args, **kwargs))
+
+
+class FaultInjectingProgram:
+    """Picklable factory wrapping a whole rank program in fault injection.
+
+    ``FaultInjectingProgram(inner, plan)(rank, size)`` builds the inner
+    rank generator and streams it through a :class:`FaultInjector` seeded
+    with ``plan.for_rank(rank)``.  Module-level and holding only picklable
+    state, so it survives the process backend's ``spawn`` start method
+    like every factory in :mod:`repro.backend.programs`.
+
+    With ``return_log=True`` each rank's result is replaced by
+    ``{"result", "fault_log", "fault_stats"}`` -- how the fault sequence
+    escapes a worker *process*, where an in-memory log would die with the
+    child.
+    """
+
+    def __init__(
+        self,
+        inner: ProgramFactory,
+        plan: FaultPlan,
+        return_log: bool = False,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.return_log = bool(return_log)
+
+    def __call__(self, rank: int, size: int) -> RankProgram:
+        injector = FaultInjector(self.plan.for_rank(rank), rank)
+        wrapped = injector.wrap(
+            self.inner(rank, size), augment_result=self.return_log
+        )
+        if self.return_log:
+            return wrapped
+        return _merge_injector_stats(wrapped, injector)
+
+    # the recovery driver sets ``restart`` on whatever factory it runs;
+    # forward it to the wrapped program, which is what honours it
+    @property
+    def restart(self):
+        return getattr(self.inner, "restart", None)
+
+    @restart.setter
+    def restart(self, value):
+        self.inner.restart = value

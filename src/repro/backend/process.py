@@ -35,7 +35,9 @@ seconds here, simulated seconds there.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import signal
 import time
 import traceback
 from collections import deque
@@ -44,12 +46,13 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from ..machine.events import (
     ANY_SOURCE,
     Barrier,
+    Checkpoint,
     Compute,
     Recv,
     Send,
     payload_words,
 )
-from ..machine.faults import RecvTimeoutError
+from ..machine.faults import FaultPlan, RecvTimeoutError
 from ..machine.stats import MachineStats
 from ..machine.trace import Tracer
 from .base import (
@@ -58,12 +61,14 @@ from .base import (
     BackendTimeoutError,
     ExecutionBackend,
     ProgramFactory,
+    WorkerCrashedError,
     WorkerFailedError,
 )
 
 __all__ = [
     "ProcessBackend",
     "process_backend_support",
+    "crash_injection_support",
     "default_start_method",
 ]
 
@@ -104,6 +109,26 @@ def process_backend_support(
     return True, method
 
 
+def crash_injection_support(
+    start_method: Optional[str] = None,
+) -> Tuple[bool, str]:
+    """Probe whether fail-stop crash injection (SIGKILL of children) works.
+
+    Everything :func:`process_backend_support` needs, plus ``os.kill`` and
+    ``SIGKILL`` -- sandboxes that forbid signalling children (or Windows,
+    which has no SIGKILL) make the recovery tests skip cleanly rather than
+    hang or error mid-run.
+    """
+    ok, detail = process_backend_support(start_method)
+    if not ok:
+        return False, detail
+    if not hasattr(os, "kill"):
+        return False, "os.kill unavailable on this platform"
+    if not hasattr(signal, "SIGKILL"):
+        return False, "signal.SIGKILL unavailable (non-POSIX platform)"
+    return True, detail
+
+
 # ---------------------------------------------------------------------- #
 # worker side
 # ---------------------------------------------------------------------- #
@@ -135,7 +160,7 @@ def _match_store(
     return (src, payload)
 
 
-def _drive(rank, size, program, inboxes, barrier, timeout, trace):
+def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
     """Run one rank's generator to completion; returns (result, report)."""
     gen = program(rank, size)
     inbox = inboxes[rank]
@@ -151,6 +176,7 @@ def _drive(rank, size, program, inboxes, barrier, timeout, trace):
     words_recv = 0.0
 
     barrier.wait(timeout)  # align the measured start across ranks
+    result_q.put(("hb", rank, time.monotonic()))  # liveness: run entered
     start = time.perf_counter()
     hard_deadline = None if timeout is None else start + timeout
 
@@ -231,6 +257,10 @@ def _drive(rank, size, program, inboxes, barrier, timeout, trace):
                 words_recv += payload_words(payload)
                 if trace:
                     segments.append(("p2p", t_wait, t_done, f"<- {src}"))
+        elif isinstance(op, Checkpoint):
+            # ship the snapshot to the supervising parent (stable storage);
+            # the put doubles as a heartbeat for crash diagnostics
+            result_q.put(("ckpt", rank, (op.iteration, op.payload)))
         elif isinstance(op, Barrier):
             t_wait = time.perf_counter()
             remaining = _remaining(None)
@@ -270,8 +300,8 @@ def _drive(rank, size, program, inboxes, barrier, timeout, trace):
 def _worker_main(rank, size, program, inboxes, result_q, barrier, timeout, trace):
     """Process entry point: run the rank, ship (result, report) or the error."""
     try:
-        outcome = ("ok", rank, _drive(rank, size, program, inboxes, barrier,
-                                      timeout, trace))
+        outcome = ("ok", rank, _drive(rank, size, program, inboxes, result_q,
+                                      barrier, timeout, trace))
         # Drain barrier: a finished rank may still have sends sitting in its
         # queues' feeder-thread buffers, and the cancel_join_thread() below
         # would discard them on exit.  Nobody leaves until every rank has
@@ -321,6 +351,20 @@ class ProcessBackend(ExecutionBackend):
         a :class:`~repro.machine.trace.Tracer` on the run.
     tag:
         Stats tag attached to the mirrored communication records.
+    faults:
+        Optional :class:`~repro.machine.faults.FaultPlan` whose *crash
+        schedule* this backend executes for real: the parent SIGKILLs the
+        scheduled rank once the run's wall clock passes ``at_time`` (real
+        seconds here, simulated seconds on the simulator -- DESIGN.md §8).
+        Message faults in the plan are ignored at this layer; inject them
+        at the Comm boundary with :mod:`repro.backend.faulty`.  Crashes are
+        consumed-once, so a recovery driver re-running on the same backend
+        does not kill the respawned rank again.
+    crash_on_checkpoint:
+        ``{rank: iteration}`` -- SIGKILL ``rank`` as soon as the parent
+        receives its checkpoint for ``iteration`` (or later).  A
+        deterministic mid-solve trigger for tests and benches, immune to
+        wall-clock jitter.  Consumed-once, like the fault-plan crashes.
     """
 
     name = "process"
@@ -331,19 +375,66 @@ class ProcessBackend(ExecutionBackend):
         timeout: Optional[float] = 120.0,
         trace: bool = False,
         tag: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
+        crash_on_checkpoint: Optional[Dict[int, int]] = None,
     ):
         self.start_method = start_method
         self.timeout = timeout
         self.trace = trace
         self.tag = tag
+        self.faults = faults
+        self.crash_on_checkpoint = dict(crash_on_checkpoint or {})
 
     # -------------------------------------------------------------- #
-    def run(self, program: ProgramFactory, nprocs: int) -> BackendRun:
+    def _wants_kills(self) -> bool:
+        return bool(self.crash_on_checkpoint) or (
+            self.faults is not None and bool(self.faults.crash_schedule())
+        )
+
+    @staticmethod
+    def _kill_rank(workers, rank: int) -> bool:
+        """SIGKILL one worker (fail-stop injection); False if already gone."""
+        w = workers[rank]
+        if w.exitcode is not None or w.pid is None:
+            return False  # finished (or never started): crash missed its window
+        os.kill(w.pid, signal.SIGKILL)
+        return True
+
+    def _fire_due_time_kills(self, workers, reports, run_start: float) -> None:
+        """Execute fault-plan crashes whose real-seconds deadline passed."""
+        if self.faults is None:
+            return
+        elapsed = time.monotonic() - run_start
+        for crash in self.faults.crash_schedule():
+            if crash.at_time <= elapsed and crash.rank not in reports:
+                self.faults.fire_crash(crash.rank)  # consumed-once
+                self._kill_rank(workers, crash.rank)
+
+    @staticmethod
+    def _crashed_rank(workers, reports) -> Optional[int]:
+        """The lowest unreported rank that vanished fail-stop (signal death)."""
+        for r, w in enumerate(workers):
+            if r not in reports and w.exitcode is not None and w.exitcode < 0:
+                return r
+        return None
+
+    # -------------------------------------------------------------- #
+    def run(
+        self,
+        program: ProgramFactory,
+        nprocs: int,
+        *,
+        checkpoints: Optional[Dict[int, Dict[int, Any]]] = None,
+    ) -> BackendRun:
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         ok, detail = process_backend_support(self.start_method)
         if not ok:
             raise BackendError(f"process backend unavailable: {detail}")
+        if self._wants_kills():
+            ok_kill, why = crash_injection_support(self.start_method)
+            if not ok_kill:
+                raise BackendError(f"crash injection unavailable: {why}")
         ctx = mp.get_context(detail)
 
         inboxes = [ctx.Queue() for _ in range(nprocs)]
@@ -360,23 +451,32 @@ class ProcessBackend(ExecutionBackend):
             for rank in range(nprocs)
         ]
         reports: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        last_heartbeat: Dict[int, float] = {}
         try:
             for w in workers:
                 w.start()
+            run_start = time.monotonic()
             deadline = (
                 None
                 if self.timeout is None
-                else time.monotonic() + self.timeout + _PARENT_GRACE
+                else run_start + self.timeout + _PARENT_GRACE
             )
             while len(reports) < nprocs:
+                self._fire_due_time_kills(workers, reports, run_start)
                 try:
                     kind, rank, payload = result_q.get(timeout=0.1)
                 except queue_mod.Empty:
-                    if deadline is not None and time.monotonic() > deadline:
-                        raise BackendTimeoutError(
-                            f"process backend timed out after {self.timeout:g}s; "
-                            f"ranks missing: "
-                            f"{sorted(set(range(nprocs)) - set(reports))}"
+                    # classify a fail-stop loss before anything else: a rank
+                    # that died by signal must surface as a crash, not as the
+                    # timeout/abort its stalled peers would otherwise cause
+                    crashed = self._crashed_rank(workers, reports)
+                    if crashed is not None:
+                        raise WorkerCrashedError(
+                            crashed,
+                            f"worker rank {crashed} vanished fail-stop "
+                            f"(exitcode {workers[crashed].exitcode}; last "
+                            f"heartbeat "
+                            f"{self._hb_age(last_heartbeat, crashed):.2f}s ago)",
                         )
                     dead = [
                         w.name
@@ -389,8 +489,37 @@ class ProcessBackend(ExecutionBackend):
                         raise WorkerFailedError(
                             f"worker process(es) died without reporting: {dead}"
                         )
+                    if deadline is not None and time.monotonic() > deadline:
+                        raise BackendTimeoutError(
+                            f"process backend timed out after {self.timeout:g}s; "
+                            f"ranks missing: "
+                            f"{sorted(set(range(nprocs)) - set(reports))}"
+                        )
+                    continue
+                if kind == "hb":
+                    last_heartbeat[rank] = time.monotonic()
+                    continue
+                if kind == "ckpt":
+                    last_heartbeat[rank] = time.monotonic()
+                    iteration, snapshot = payload
+                    if checkpoints is not None:
+                        checkpoints.setdefault(iteration, {})[rank] = snapshot
+                    due = self.crash_on_checkpoint.get(rank)
+                    if due is not None and iteration >= due:
+                        del self.crash_on_checkpoint[rank]  # consumed-once
+                        self._kill_rank(workers, rank)
                     continue
                 if kind == "err":
+                    # a peer's error may be collateral damage of an injected
+                    # crash (broken barrier, receive timeout); report the
+                    # root cause when one exists
+                    crashed = self._crashed_rank(workers, reports)
+                    if crashed is not None:
+                        raise WorkerCrashedError(
+                            crashed,
+                            f"worker rank {crashed} vanished fail-stop; "
+                            f"rank {rank} failed in the aftermath:\n{payload}",
+                        )
                     raise WorkerFailedError(
                         f"rank {rank} failed on the process backend:\n{payload}"
                     )
@@ -401,6 +530,11 @@ class ProcessBackend(ExecutionBackend):
             self._reap(workers)
 
         return self._assemble(nprocs, reports)
+
+    @staticmethod
+    def _hb_age(last_heartbeat: Dict[int, float], rank: int) -> float:
+        t = last_heartbeat.get(rank)
+        return float("inf") if t is None else time.monotonic() - t
 
     @staticmethod
     def _reap(workers) -> None:

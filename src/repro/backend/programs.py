@@ -20,17 +20,28 @@ the two-rank latency/bandwidth microbenchmark behind
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..hpf.distribution import Block
+from ..machine import reliable as rel
 from ..machine import spmd
-from ..machine.events import Compute, Recv, Send
+from ..machine.events import Checkpoint, Compute, Recv, Send
+from ..machine.faults import FaultPlan
+from ..machine.reliable import ReliableConfig, ReliableEndpoint
+from ..core.resilience import RecoveryExhaustedError
 from ..core.stopping import StoppingCriterion
 from ..sparse.convert import as_matrix
+from .abft import check_matvec, column_checksums, decode_dot, encode_dot
 
-__all__ = ["CGRankProgram", "PCGRankProgram", "PingPongProgram", "csr_arrays"]
+__all__ = [
+    "CGRankProgram",
+    "PCGRankProgram",
+    "ResilientCGProgram",
+    "PingPongProgram",
+    "csr_arrays",
+]
 
 
 def csr_arrays(matrix):
@@ -235,6 +246,297 @@ class PCGRankProgram(_RowBlockProgram):
             p = beta * p + z  # saypx
             yield Compute(2.0 * p.size)
         return x, residuals, converged, iterations
+
+
+class ResilientCGProgram(_RowBlockProgram):
+    """Fault-tolerant row-block SPMD CG: runs unchanged on both backends.
+
+    The numerics are exactly :class:`CGRankProgram`'s -- same update order,
+    same binomial-tree collectives -- so a fault-free run returns a
+    bitwise-identical solution.  On top of that it layers, all optional and
+    all backend-portable:
+
+    * **coordinated checkpoints** every ``checkpoint_interval`` iterations
+      (plus iteration 0): each rank keeps a local snapshot for in-program
+      rollback *and* publishes it with a
+      :class:`~repro.machine.events.Checkpoint` op, so the substrate's
+      stable store always holds a restart point for fail-stop recovery
+      (:func:`repro.backend.solve.run_with_recovery`);
+    * **sanity audits** every ``sanity_interval`` iterations and before
+      declaring convergence: the true residual ``||b - A x||`` is
+      recomputed (one extra allgather + mat-vec + allreduce) and compared
+      with the recurrence residual.  All ranks see identical reduced
+      values, so they reach the rollback decision simultaneously without
+      extra coordination.  More than ``max_restarts`` rollbacks raises
+      :class:`~repro.core.resilience.RecoveryExhaustedError`;
+    * **reliable transport** (``reliable=True``): collectives run over the
+      stop-and-wait ARQ of :mod:`repro.machine.reliable`, masking dropped,
+      duplicated and corrupted messages at a measurable retransmission
+      cost;
+    * **ABFT checks** (``abft=True``): dot-product reductions carry
+      duplicate sums and the mat-vec is column-checksum verified
+      (:mod:`repro.backend.abft`), raising
+      :class:`~repro.backend.abft.AbftChecksumError` on silent in-flight
+      corruption the instant it happens;
+    * **state-corruption injection**: a ``faults`` plan's scheduled
+      :class:`~repro.machine.faults.StateCorruption` entries are applied
+      to this rank's local block (consumed-once, so a rollback's replay is
+      clean) -- the adversary the audits exist to catch.
+
+    A recovery driver restarts a crashed run by setting ``restart`` to the
+    ``(iteration, {rank: snapshot})`` pair of the newest complete
+    checkpoint; every rank then resumes from that coordinated state.  Each
+    rank returns ``(x_block, residuals, converged, iterations, extras)``
+    with recovery telemetry in ``extras``.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        criterion: Optional[StoppingCriterion] = None,
+        maxiter: Optional[int] = None,
+        checkpoint_interval: int = 10,
+        sanity_interval: int = 5,
+        sanity_rtol: float = 1.0e-6,
+        max_restarts: int = 4,
+        faults: Optional[FaultPlan] = None,
+        reliable: bool = False,
+        reliable_config: Optional[ReliableConfig] = None,
+        abft: bool = False,
+        abft_rtol: float = 1.0e-8,
+    ):
+        super().__init__(matrix, b, x0, criterion, maxiter)
+        if checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if sanity_interval < 1:
+            raise ValueError("sanity_interval must be >= 1")
+        self.checkpoint_interval = int(checkpoint_interval)
+        self.sanity_interval = int(sanity_interval)
+        self.sanity_rtol = float(sanity_rtol)
+        self.max_restarts = int(max_restarts)
+        self.faults = faults
+        self.reliable = bool(reliable)
+        self.reliable_config = reliable_config
+        self.abft = bool(abft)
+        self.abft_rtol = float(abft_rtol)
+        self.colsum, self.abs_colsum = (
+            column_checksums(self.n, self.indices, self.data)
+            if self.abft
+            else (None, None)
+        )
+        #: set by the recovery driver: (iteration, {rank: snapshot})
+        self.restart: Optional[Tuple[int, Dict[int, Dict[str, Any]]]] = None
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, rank: int, size: int):
+        indices, data = self.indices, self.data
+        crit, maxiter = self.crit, self.maxiter
+        lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
+        bb = self.b[lo:hi].copy()
+        plan = self.faults.for_rank(rank) if self.faults is not None else None
+        ep = (
+            ReliableEndpoint(rank, self.reliable_config)
+            if self.reliable
+            else None
+        )
+
+        def allreduce(value, tag=3):
+            if ep is not None:
+                out = yield from rel.allreduce_sum(ep, rank, size, value, tag=tag)
+            else:
+                out = yield from spmd.allreduce_sum(rank, size, value, tag=tag)
+            return out
+
+        def allgather(value, tag=7):
+            if ep is not None:
+                out = yield from rel.allgather(ep, rank, size, value, tag=tag)
+            else:
+                out = yield from spmd.allgather(rank, size, value, tag=tag)
+            return out
+
+        def dot(value, tag, what):
+            # duplicate-sum ABFT: both slots see the identical addition
+            # sequence, so exact slot equality is the corruption detector
+            if self.abft:
+                pair = yield from allreduce(encode_dot(value), tag=tag)
+                return decode_dot(pair, what)
+            out = yield from allreduce(float(value), tag=tag)
+            return out
+
+        def matvec(v_full):
+            out = np.zeros(hi - lo)
+            np.add.at(out, row_ids, data[seg] * v_full[indices[seg]])
+            return out
+
+        rollbacks = 0
+        audits = 0
+        checkpoints_published = 0
+        last_snap: Optional[Dict[str, Any]] = None
+
+        def snapshot(k, x, r, p, rho, rho0, residuals, iterations, bnorm):
+            return {
+                "k": k,
+                "x": x.copy(),
+                "r": r.copy(),
+                "p": p.copy(),
+                "rho": rho,
+                "rho0": rho0,
+                "residuals": list(residuals),
+                "iterations": iterations,
+                "bnorm": bnorm,
+            }
+
+        # ---------------- initial state (fresh or restarted) ----------- #
+        if self.restart is not None:
+            k0, snaps = self.restart
+            snap = snaps[rank]
+            if snap["k"] != k0:  # pragma: no cover - driver invariant
+                raise ValueError("restart snapshot iteration mismatch")
+            x = snap["x"].copy()
+            r = snap["r"].copy()
+            p = snap["p"].copy()
+            rho, rho0 = snap["rho"], snap["rho0"]
+            residuals = list(snap["residuals"])
+            iterations = snap["iterations"]
+            bnorm = snap["bnorm"]
+            k = k0
+            last_snap = snapshot(k, x, r, p, rho, rho0, residuals,
+                                 iterations, bnorm)
+            restarted_from: Optional[int] = k0
+        else:
+            x = self.x_start[lo:hi].copy()
+            if np.any(self.x_start):
+                blocks = yield from allgather(x)
+                ax = matvec(np.concatenate(blocks))
+                yield Compute(2.0 * local_nnz)
+                r = bb - ax
+            else:
+                r = bb.copy()
+            p = r.copy()
+            bnorm2 = yield from dot(float(bb @ bb), 3, "b·b")
+            yield Compute(2.0 * bb.size)
+            bnorm = float(np.sqrt(bnorm2))
+            rho = yield from dot(float(r @ r), 3, "r·r")
+            yield Compute(2.0 * r.size)
+            rho0 = rho
+            residuals = [float(np.sqrt(max(0.0, rho)))]
+            iterations = 0
+            k = 0
+            restarted_from = None
+            last_snap = snapshot(0, x, r, p, rho, rho0, residuals,
+                                 iterations, bnorm)
+            yield Compute(3.0 * x.size)  # checkpoint copy cost (x, r, p)
+            yield Checkpoint(iteration=0, payload=last_snap)
+            checkpoints_published += 1
+            if crit.satisfied(residuals[-1], bnorm):
+                return x, residuals, True, 0, self._extras(
+                    rollbacks, audits, checkpoints_published, restarted_from,
+                    ep, plan,
+                )
+
+        # ---------------- main loop ------------------------------------ #
+        converged = False
+        while k < maxiter:
+            k += 1
+            if plan is not None:
+                corr = plan.take_state_corruption(k, rank)
+                if corr is not None:
+                    target = {"x": x, "r": r, "p": p}[corr.target]
+                    if target.size:
+                        i = plan.draw_index(target.size)
+                        target[i] += (1.0 + abs(target[i])) * corr.scale
+            if k > 1:
+                beta = rho / rho0
+                p = beta * p + r  # saypx
+                yield Compute(2.0 * p.size)
+            blocks = yield from allgather(p)
+            p_full = np.concatenate(blocks)
+            q = matvec(p_full)
+            yield Compute(2.0 * local_nnz)
+            if self.abft:
+                # one fused reduction: duplicate-sum p·q plus the mat-vec
+                # column checksum, 4 words instead of 1
+                vec = np.array([float(p @ q)] * 2 + [float(q.sum())] * 2)
+                red = yield from allreduce(vec, tag=3)
+                pq = decode_dot(red[:2], "p·q")
+                q_total = decode_dot(red[2:], "sum(A p)")
+                check_matvec(q_total, self.colsum, self.abs_colsum, p_full,
+                             self.abft_rtol)
+            else:
+                pq = yield from allreduce(float(p @ q), tag=3)
+            yield Compute(2.0 * p.size)
+            if pq == 0.0:
+                break
+            alpha = rho / pq
+            x += alpha * p
+            r -= alpha * q
+            yield Compute(4.0 * p.size)
+            rho0 = rho
+            rho = yield from dot(float(r @ r), 3, "r·r")
+            yield Compute(2.0 * r.size)
+            residuals.append(float(np.sqrt(max(0.0, rho))))
+            iterations = k
+            stopping = crit.satisfied(residuals[-1], bnorm)
+            need_ckpt = k % self.checkpoint_interval == 0
+            if stopping or need_ckpt or k % self.sanity_interval == 0:
+                # sanity audit: recompute ||b - A x|| from scratch; every
+                # rank sees the same reduced values, so all roll back (or
+                # none do) without further coordination
+                audits += 1
+                x_blocks = yield from allgather(x, tag=21)
+                ax = matvec(np.concatenate(x_blocks))
+                yield Compute(2.0 * local_nnz)
+                d = bb - ax
+                true2 = yield from dot(float(d @ d), 23, "audit")
+                yield Compute(2.0 * d.size)
+                true_norm = float(np.sqrt(max(0.0, true2)))
+                if abs(true_norm - residuals[-1]) > self.sanity_rtol * max(
+                    bnorm, 1.0e-300
+                ):
+                    rollbacks += 1
+                    if rollbacks > self.max_restarts:
+                        raise RecoveryExhaustedError(
+                            f"rank {rank}: sanity audit failed at iteration "
+                            f"{k} (recurrence {residuals[-1]:.3e} vs true "
+                            f"{true_norm:.3e}) after "
+                            f"{rollbacks - 1} rollbacks"
+                        )
+                    snap = last_snap
+                    x = snap["x"].copy()
+                    r = snap["r"].copy()
+                    p = snap["p"].copy()
+                    rho, rho0 = snap["rho"], snap["rho0"]
+                    residuals = list(snap["residuals"])
+                    iterations = snap["iterations"]
+                    k = snap["k"]
+                    yield Compute(3.0 * x.size)  # restore copy cost
+                    continue
+            if need_ckpt:
+                last_snap = snapshot(k, x, r, p, rho, rho0, residuals,
+                                     iterations, bnorm)
+                yield Compute(3.0 * x.size)  # checkpoint copy cost
+                yield Checkpoint(iteration=k, payload=last_snap)
+                checkpoints_published += 1
+            if stopping:
+                converged = True
+                break
+        return x, residuals, converged, iterations, self._extras(
+            rollbacks, audits, checkpoints_published, restarted_from, ep, plan,
+        )
+
+    @staticmethod
+    def _extras(rollbacks, audits, checkpoints_published, restarted_from,
+                ep, plan) -> Dict[str, Any]:
+        return {
+            "rollbacks": rollbacks,
+            "audits": audits,
+            "checkpoints_published": checkpoints_published,
+            "restarted_from": restarted_from,
+            "telemetry": dict(ep.telemetry) if ep is not None else {},
+            "fault_stats": plan.stats.as_dict() if plan is not None else {},
+        }
 
 
 class PingPongProgram:

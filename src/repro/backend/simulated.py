@@ -10,9 +10,10 @@ the backend API.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from ..machine.costmodel import CostModel
+from ..machine.faults import FaultPlan
 from ..machine.machine import Machine
 from ..machine.scheduler import Scheduler
 from ..machine.topology import Topology
@@ -38,6 +39,12 @@ class SimulatedBackend(ExecutionBackend):
         on the :class:`BackendRun` (timeline in simulated seconds).
     tag:
         Stats tag forwarded to the scheduler's point-to-point records.
+    faults:
+        An optional :class:`~repro.machine.faults.FaultPlan` handed to the
+        scheduler.  The fault-tolerant driver passes only the plan's
+        ``crashes_only()`` share here -- message faults are injected at the
+        Comm boundary (:mod:`repro.backend.faulty`) so they behave
+        identically on the process backend.
     """
 
     name = "simulated"
@@ -49,14 +56,22 @@ class SimulatedBackend(ExecutionBackend):
         cost: Optional[CostModel] = None,
         trace: bool = False,
         tag: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.machine = machine
         self.topology = topology
         self.cost = cost
         self.trace = trace
         self.tag = tag
+        self.faults = faults
 
-    def run(self, program: ProgramFactory, nprocs: int) -> BackendRun:
+    def run(
+        self,
+        program: ProgramFactory,
+        nprocs: int,
+        *,
+        checkpoints: Optional[Dict[int, Dict[int, Any]]] = None,
+    ) -> BackendRun:
         if self.machine is not None:
             if self.machine.nprocs != nprocs:
                 raise ValueError(
@@ -77,7 +92,12 @@ class SimulatedBackend(ExecutionBackend):
         if self.trace:
             tracer = Tracer.attach(machine)
         try:
-            results = Scheduler(machine, tag=self.tag).run(program)
+            results = Scheduler(
+                machine,
+                tag=self.tag,
+                faults=self.faults,
+                checkpoint_store=checkpoints,
+            ).run(program)
         finally:
             if tracer is not None:
                 machine.tracer = prior_tracer

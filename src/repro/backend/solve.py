@@ -5,24 +5,41 @@ the row-block SPMD rank program for the solver, runs it on the backend,
 and assembles the standard :class:`~repro.core.result.SolveResult` via
 :func:`repro.core.driver.assemble_backend_result` -- so downstream
 reporting treats a real-process solve exactly like a simulated one.
+
+:func:`run_with_recovery` is the backend-agnostic fail-stop recovery
+driver: it runs a checkpointing program, and when the substrate reports a
+crashed rank -- :class:`~repro.machine.faults.RankFailedError` from the
+simulated scheduler, :class:`~repro.backend.base.WorkerCrashedError` from
+the process backend's supervisor -- it respawns *all* ranks and restarts
+the solve from the newest checkpoint every rank completed, exactly the
+coordinated rollback-restart protocol DESIGN.md §6 specifies for the
+simulated machine, now executed for real.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import time
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
 
 from ..core.driver import assemble_backend_result
+from ..core.resilience import (
+    RecoveryExhaustedError,
+    ResilienceConfig,
+    latest_complete_checkpoint,
+)
 from ..core.result import SolveResult
 from ..core.stopping import StoppingCriterion
-from .base import ExecutionBackend, ProgramFactory
+from ..machine.faults import FaultPlan, RankFailedError
+from .base import BackendRun, ExecutionBackend, ProgramFactory, WorkerCrashedError
+from .faulty import FaultInjectingProgram
 from .process import ProcessBackend
-from .programs import CGRankProgram, PCGRankProgram
+from .programs import CGRankProgram, PCGRankProgram, ResilientCGProgram
 from .simulated import SimulatedBackend
 
 __all__ = ["BACKENDS", "SOLVER_PROGRAMS", "make_backend", "make_solver_program",
-           "backend_solve"]
+           "backend_solve", "run_with_recovery"]
 
 BACKENDS = ("simulated", "process")
 
@@ -62,6 +79,65 @@ def make_solver_program(
     return cls(matrix, b, x0=x0, criterion=criterion)
 
 
+def run_with_recovery(
+    backend: ExecutionBackend,
+    program,
+    nprocs: int,
+    max_restarts: int = 4,
+    store: Optional[Dict[int, Dict[int, Any]]] = None,
+) -> BackendRun:
+    """Run a checkpointing program, surviving fail-stop rank crashes.
+
+    ``program`` must publish :class:`~repro.machine.events.Checkpoint` ops
+    and honour a ``restart`` attribute (``ResilientCGProgram`` does both).
+    On a crash the driver locates the newest checkpoint *every* rank
+    completed in ``store`` (partial snapshots are never restored --
+    :func:`~repro.core.resilience.latest_complete_checkpoint`), points the
+    program at it, and re-runs all ranks.  Crashes in the substrate's
+    fault plan are consumed-once, so the respawned ranks do not die again
+    on the same schedule.  After ``max_restarts`` failed attempts the
+    driver raises :class:`~repro.core.resilience.RecoveryExhaustedError`.
+
+    The returned run's ``recovery`` dict reports ``attempts``,
+    ``crashes_recovered`` (ranks, in order), ``restart_iterations`` (the
+    checkpoint each restart resumed from) and ``recovery_wall`` -- the
+    wall-clock seconds consumed before the successful attempt began.
+    """
+    store = {} if store is None else store
+    recovery: Dict[str, Any] = {
+        "attempts": 0,
+        "crashes_recovered": [],
+        "restart_iterations": [],
+        "recovery_wall": 0.0,
+    }
+    loop_start = time.perf_counter()
+    while True:
+        recovery["attempts"] += 1
+        attempt_start = time.perf_counter()
+        try:
+            run = backend.run(program, nprocs, checkpoints=store)
+        except (WorkerCrashedError, RankFailedError) as exc:
+            if recovery["attempts"] > max_restarts:
+                raise RecoveryExhaustedError(
+                    f"run still failing after {max_restarts} "
+                    f"recovery attempts: {exc}"
+                ) from exc
+            rank = getattr(exc, "rank", -1)
+            recovery["crashes_recovered"].append(rank)
+            latest = latest_complete_checkpoint(store, nprocs)
+            if latest is None:
+                # crash before the iteration-0 checkpoint: cold restart
+                program.restart = None
+                recovery["restart_iterations"].append(-1)
+            else:
+                program.restart = latest
+                recovery["restart_iterations"].append(latest[0])
+            continue
+        recovery["recovery_wall"] = attempt_start - loop_start
+        run.recovery.update(recovery)
+        return run
+
+
 def backend_solve(
     solver: str,
     matrix,
@@ -70,9 +146,70 @@ def backend_solve(
     nprocs: int = 4,
     x0: Optional[np.ndarray] = None,
     criterion: Optional[StoppingCriterion] = None,
+    faults: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> SolveResult:
-    """Solve ``A x = b`` with ``solver`` on the chosen execution backend."""
-    program = make_solver_program(solver, matrix, b, x0=x0, criterion=criterion)
-    be = make_backend(backend)
-    run = be.run(program, nprocs)
-    return assemble_backend_result(run, solver=solver, n=program.n)
+    """Solve ``A x = b`` with ``solver`` on the chosen execution backend.
+
+    With ``faults`` and/or ``resilience`` the solve runs the fault-tolerant
+    :class:`~repro.backend.programs.ResilientCGProgram` (``"cg"`` family
+    only) under :func:`run_with_recovery`.  The plan is split by layer:
+    message faults are injected at the Comm boundary
+    (:class:`~repro.backend.faulty.FaultInjectingProgram`), state
+    corruptions inside the program, and fail-stop crashes by the substrate
+    itself -- which is what makes the same plan meaningful on both
+    backends.  ``resilience`` also switches the transport: with message
+    faults present the collectives run over the reliable ARQ layer.
+    """
+    if faults is None and resilience is None:
+        program = make_solver_program(solver, matrix, b, x0=x0,
+                                      criterion=criterion)
+        be = make_backend(backend)
+        run = be.run(program, nprocs)
+        return assemble_backend_result(run, solver=solver, n=program.n)
+
+    if SOLVER_PROGRAMS.get(solver) is not CGRankProgram:
+        raise ValueError(
+            f"fault-tolerant backend solves support the 'cg' family only, "
+            f"not {solver!r}"
+        )
+    cfg = resilience or ResilienceConfig()
+    plan = faults.clone() if faults is not None else None
+    message_faults = plan is not None and plan.message_faults_enabled
+    program = ResilientCGProgram(
+        matrix, b, x0=x0, criterion=criterion,
+        checkpoint_interval=cfg.checkpoint_interval,
+        sanity_interval=cfg.sanity_interval,
+        sanity_rtol=cfg.sanity_rtol,
+        max_restarts=cfg.max_restarts,
+        faults=plan,  # state corruptions; rank-local derivation inside
+        reliable=message_faults,
+        reliable_config=cfg.reliable,
+    )
+    runnable = (
+        FaultInjectingProgram(program, plan) if message_faults else program
+    )
+    # the substrate executes only the crash share of the plan; passing the
+    # full plan would double-inject the message faults
+    crash_share = plan.crashes_only() if plan is not None else None
+    if isinstance(backend, str):
+        be = make_backend(backend, faults=crash_share)
+    else:
+        be = backend
+    run = run_with_recovery(be, runnable, nprocs,
+                            max_restarts=cfg.max_restarts)
+    result = assemble_backend_result(run, solver=solver, n=program.n)
+    result.extras["recovery"] = dict(run.recovery)
+    result.extras["resilience"] = run.results[0][4] if run.results else {}
+    # injected-fault counters are per-rank (each rank's injector sees only
+    # its own sends); sum them so reports show whole-run totals
+    injected: Dict[str, Any] = {}
+    for res in run.results:
+        per_rank = (res[4] or {}).get("injected_faults") or {}
+        for key, value in per_rank.items():
+            if isinstance(value, (int, float)):
+                injected[key] = injected.get(key, 0) + value
+            else:
+                injected.setdefault(key, []).extend(value)
+    result.extras["injected_faults"] = injected
+    return result

@@ -24,12 +24,20 @@ import numpy as np
 
 from ..core.result import SolveResult
 from ..core.stopping import StoppingCriterion
-from .base import ExecutionBackend
+from ..machine.faults import FaultPlan
+from .base import ExecutionBackend, ProgramFactory
+from .faulty import FaultInjectingProgram
 from .process import ProcessBackend
 from .simulated import SimulatedBackend
 from .solve import backend_solve
 
-__all__ = ["BackendMismatchError", "CrossValidation", "cross_validate"]
+__all__ = [
+    "BackendMismatchError",
+    "CrossValidation",
+    "cross_validate",
+    "FaultSequenceParity",
+    "fault_sequence_parity",
+]
 
 
 class BackendMismatchError(AssertionError):
@@ -135,3 +143,98 @@ def cross_validate(
         measured=dict(proc.extras["timings"]),
     )
     return report.check() if strict else report
+
+
+@dataclass
+class FaultSequenceParity:
+    """Cross-backend comparison of the injected-fault sequence.
+
+    ``logs_*`` hold, per rank, the ``(ordinal, action, dest, tag)``
+    entries the injector recorded in program order.  With the same user
+    plan, determinism of the Comm-level injector demands
+    ``sequences_equal``; when the wrapped program's sends are themselves
+    deterministic (no retransmitting transport, whose send *count* depends
+    on real timing), the injected faults land on identical messages and
+    the numerical results must match bitwise too.
+    """
+
+    nprocs: int
+    logs_simulated: list
+    logs_process: list
+    stats_simulated: list
+    stats_process: list
+    sequences_equal: bool
+    results_equal: bool
+
+    def check(self) -> "FaultSequenceParity":
+        if not self.sequences_equal:
+            raise BackendMismatchError(
+                "identical FaultPlan seeds produced different injected-fault "
+                f"sequences across backends:\nsimulated: {self.logs_simulated}"
+                f"\nprocess:   {self.logs_process}"
+            )
+        return self
+
+
+def fault_sequence_parity(
+    program: ProgramFactory,
+    plan: FaultPlan,
+    nprocs: int = 2,
+    simulated: Optional[ExecutionBackend] = None,
+    process: Optional[ExecutionBackend] = None,
+    strict: bool = True,
+) -> FaultSequenceParity:
+    """Assert both backends inject the *same* fault sequence from one seed.
+
+    Wraps ``program`` in :class:`FaultInjectingProgram` (fresh plan clone
+    per backend, so RNG streams restart) with per-rank fault logging, runs
+    it on both substrates, and compares the logs rank by rank.  Use a
+    non-retransmitting program with a drop-free plan (corrupt / duplicate
+    / delay) so every rank's send sequence -- and hence its decision
+    sequence -- is independent of wall-clock timing.
+    """
+    sim_backend = simulated if simulated is not None else SimulatedBackend()
+    proc_backend = process if process is not None else ProcessBackend()
+
+    run_sim = sim_backend.run(
+        FaultInjectingProgram(program, plan.clone(), return_log=True), nprocs
+    )
+    run_proc = proc_backend.run(
+        FaultInjectingProgram(program, plan.clone(), return_log=True), nprocs
+    )
+    logs_sim = [r["fault_log"] for r in run_sim.results]
+    logs_proc = [r["fault_log"] for r in run_proc.results]
+    results_equal = _payloads_equal(
+        [r["result"] for r in run_sim.results],
+        [r["result"] for r in run_proc.results],
+    )
+    report = FaultSequenceParity(
+        nprocs=nprocs,
+        logs_simulated=logs_sim,
+        logs_process=logs_proc,
+        stats_simulated=[r["fault_stats"] for r in run_sim.results],
+        stats_process=[r["fault_stats"] for r in run_proc.results],
+        sequences_equal=logs_sim == logs_proc,
+        results_equal=results_equal,
+    )
+    return report.check() if strict else report
+
+
+def _payloads_equal(a, b) -> bool:
+    """Structural bitwise equality over nested tuples/lists/arrays/scalars."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and bool(np.all(a == b))
+        )
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return len(a) == len(b) and all(
+            _payloads_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(
+            _payloads_equal(a[k], b[k]) for k in a
+        )
+    return bool(a == b)

@@ -20,6 +20,11 @@ Commands
     Measure this host's ``t_startup``/``t_comm``/``t_flop`` with a
     process-backend ping-pong and a timed DAXPY, and print the fitted
     cost model.
+``chaos``
+    Run seeded randomized fault schedules through the fault-tolerant
+    distributed CG on one or both backends and print the per-seed
+    report; exits non-zero if any run breaks the chaos contract
+    (converge to reference, or fail with a classified typed error).
 """
 
 from __future__ import annotations
@@ -143,6 +148,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="DAXPY length for the t_flop measurement")
     cal.add_argument("--json", metavar="PATH", default=None,
                      help="write the fitted constants as JSON to PATH")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded randomized fault schedules through fault-tolerant CG",
+    )
+    chaos.add_argument(
+        "--seeds", default="0:8", metavar="SPEC",
+        help="comma list and/or start:stop ranges, e.g. '0:8' or '1,5,9'",
+    )
+    chaos.add_argument(
+        "--backends", default="simulated,process",
+        help="comma list drawn from {simulated, process}",
+    )
+    chaos.add_argument("-p", "--nprocs", type=int, default=4)
+    chaos.add_argument("--n", type=int, default=48, help="problem size")
+    chaos.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-run wall-clock bound for the process backend (seconds)",
+    )
+    chaos.add_argument(
+        "--no-crash", action="store_true",
+        help="disable fail-stop crash injection (message/state faults only)",
+    )
+    chaos.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the per-seed report table to PATH",
+    )
     return parser
 
 
@@ -312,6 +344,60 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seed_spec(spec: str) -> List[int]:
+    seeds: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            lo, hi = part.split(":", 1)
+            seeds.extend(range(int(lo), int(hi)))
+        else:
+            seeds.append(int(part))
+    return seeds
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .backend import process_backend_support
+    from .backend.chaos import CHAOS_BACKENDS, chaos_sweep, format_report
+    from .backend.process import crash_injection_support
+
+    seeds = _parse_seed_spec(args.seeds)
+    if not seeds:
+        print("error: --seeds selected no seeds", file=sys.stderr)
+        return 2
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    for b in backends:
+        if b not in CHAOS_BACKENDS:
+            print(f"error: unknown backend {b!r}; choose from "
+                  f"{CHAOS_BACKENDS}", file=sys.stderr)
+            return 2
+    if "process" in backends:
+        ok, detail = process_backend_support()
+        if ok and not args.no_crash:
+            ok, detail = crash_injection_support()
+        if not ok:
+            print(f"note: skipping process backend: {detail}", file=sys.stderr)
+            backends = [b for b in backends if b != "process"]
+    if not backends:
+        print("error: no usable backend remains", file=sys.stderr)
+        return 2
+
+    outcomes = chaos_sweep(
+        seeds, backends=backends, nprocs=args.nprocs, n=args.n,
+        timeout=args.timeout, allow_crash=not args.no_crash,
+    )
+    report = format_report(outcomes)
+    print(report)
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(report + "\n")
+        print(f"wrote {args.report}")
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -328,6 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_gantt(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     parser.error(f"unknown command {args.command}")
     return 2
 

@@ -29,7 +29,8 @@ from .collectives import (
     scatter_cost,
 )
 from .costmodel import CostModel
-from .events import ANY_SOURCE, Barrier, Compute, Op, Recv, Send, payload_words
+from .events import (ANY_SOURCE, Barrier, Checkpoint, Compute, Op, Recv,
+                     Send, payload_words)
 from .faults import (
     FaultPlan,
     FaultRule,
@@ -74,6 +75,7 @@ __all__ = [
     "Recv",
     "Compute",
     "Barrier",
+    "Checkpoint",
     "ANY_SOURCE",
     "payload_words",
     "Scheduler",

@@ -24,7 +24,8 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["Op", "Send", "Recv", "Compute", "Barrier", "payload_words"]
+__all__ = ["Op", "Send", "Recv", "Compute", "Barrier", "Checkpoint",
+           "payload_words"]
 
 ANY_SOURCE = -1
 
@@ -117,3 +118,28 @@ class Barrier(Op):
     """Global barrier across all ranks."""
 
     label: str = ""
+
+
+@dataclass
+class Checkpoint(Op):
+    """Publish this rank's recovery snapshot for iteration ``iteration``.
+
+    The payload is handed to whatever stable storage the executing
+    substrate provides: the simulated scheduler writes it into its
+    caller-supplied checkpoint store, the process backend ships it to the
+    supervising parent over the report queue.  Either way a later run can
+    be restarted from the newest checkpoint *every* rank completed (see
+    :func:`repro.core.resilience.latest_complete_checkpoint`).
+
+    Publishing is free at this layer by design -- programs account for
+    the copy cost themselves with an adjacent :class:`Compute`, exactly
+    like the in-program checkpointing of the resilient SPMD solvers, so
+    both substrates charge identically.
+    """
+
+    iteration: int = 0
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ValueError("checkpoint iteration must be non-negative")

@@ -57,7 +57,16 @@ _ACTIONS = (DROP, DUPLICATE, CORRUPT, DELAY)
 
 
 class RankFailedError(RuntimeError):
-    """A rank suffered a fail-stop crash (or a peer gave up waiting on it)."""
+    """A rank suffered a fail-stop crash (or a peer gave up waiting on it).
+
+    ``rank`` identifies the failed rank when the raiser knows it (the
+    recovery driver reports it in ``crashes_recovered``); ``None`` when
+    the failure could not be pinned on a single rank.
+    """
+
+    def __init__(self, message: str = "", rank: "int | None" = None):
+        super().__init__(message)
+        self.rank = rank
 
 
 class RecvTimeoutError(TimeoutError):
@@ -246,7 +255,6 @@ class FaultPlan:
         Use one clone per run when repeating an experiment: fault decisions
         restart from the seed, so repeats are bit-identical.
         """
-        crashes = tuple(RankCrash(r, t) for r, t in sorted(self._crashes.items()))
         return FaultPlan(
             seed=self.seed,
             drop_prob=self.drop_prob,
@@ -255,8 +263,71 @@ class FaultPlan:
             delay_prob=self.delay_prob,
             delay_time=self.delay_time,
             rules=self.rules,
-            crashes=crashes,
+            crashes=self.crash_schedule(),
             state_corruptions=tuple(self._corruptions),
+        )
+
+    # ------------------------------------------------------------------ #
+    # backend-agnostic decomposition (consumed by repro.backend)
+    # ------------------------------------------------------------------ #
+    @property
+    def message_faults_enabled(self) -> bool:
+        """Whether any message-level fault (drop/dup/corrupt/delay) can fire."""
+        return bool(
+            self.drop_prob
+            or self.duplicate_prob
+            or self.corrupt_prob
+            or self.delay_prob
+            or self.rules
+        )
+
+    def crash_schedule(self) -> Tuple[RankCrash, ...]:
+        """The still-pending fail-stop crashes, in rank order."""
+        return tuple(RankCrash(r, t) for r, t in sorted(self._crashes.items()))
+
+    def state_corruption_schedule(self) -> Tuple[StateCorruption, ...]:
+        """The still-pending silent state corruptions."""
+        return tuple(self._corruptions)
+
+    def crashes_only(self) -> "FaultPlan":
+        """A plan carrying only the fail-stop crash schedule.
+
+        The execution backends split one user-facing plan by layer: message
+        faults are injected at the Comm boundary (sender-side, per rank),
+        state corruptions inside the solver program, and crashes by the
+        substrate itself -- the simulated scheduler or the process-backend
+        supervisor.  This derivation feeds the substrate its share without
+        double-injecting the message faults.
+        """
+        return FaultPlan(seed=self.seed, crashes=self.crash_schedule())
+
+    def for_rank(self, rank: int) -> "FaultPlan":
+        """The rank-local derivation of this plan for sender-side injection.
+
+        Message-fault decisions are drawn from a generator seeded by
+        ``(seed, rank)``, consulted in the *sending rank's program order* --
+        an order that is identical on the simulated and the process backend
+        (it is the program text), which is what makes the injected-fault
+        sequence reproducible across substrates where a globally shared
+        generator could not be.  Targeted rules keep only those that can
+        match this sender (``src`` wildcard rules match on every rank, and
+        their ``nth`` counters count *this rank's* matches); crashes are
+        excluded (substrate business); state corruptions keep only this
+        rank's entries.
+        """
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        return FaultPlan(
+            seed=(self.seed * 1_000_003 + 7_919 * (rank + 1)) % (2**63),
+            drop_prob=self.drop_prob,
+            duplicate_prob=self.duplicate_prob,
+            corrupt_prob=self.corrupt_prob,
+            delay_prob=self.delay_prob,
+            delay_time=self.delay_time,
+            rules=tuple(r for r in self.rules if r.src is None or r.src == rank),
+            state_corruptions=tuple(
+                c for c in self._corruptions if c.rank == rank
+            ),
         )
 
     # ------------------------------------------------------------------ #

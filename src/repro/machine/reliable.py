@@ -174,7 +174,8 @@ class ReliableEndpoint:
                 timeout *= cfg.backoff
         raise RankFailedError(
             f"rank {self.rank}: no ack from rank {dest} for tag {tag} "
-            f"seq {seq} after {cfg.max_retries} retries"
+            f"seq {seq} after {cfg.max_retries} retries",
+            rank=dest,
         )
 
     def recv(self, source: int, tag: int = 0) -> GenOp:

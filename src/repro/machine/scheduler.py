@@ -43,7 +43,7 @@ import enum
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
-from .events import ANY_SOURCE, Barrier, Compute, Op, Recv, Send
+from .events import ANY_SOURCE, Barrier, Checkpoint, Compute, Op, Recv, Send
 from .faults import DELAY, DELIVER, DROP, DUPLICATE, CORRUPT, FaultPlan
 from .faults import RankFailedError, RecvTimeoutError
 from .machine import Machine
@@ -77,12 +77,17 @@ class Scheduler:
         machine: Machine,
         tag: Optional[str] = None,
         faults: Optional[FaultPlan] = None,
+        checkpoint_store: Optional[Dict[int, Dict[int, Any]]] = None,
     ):
         self.machine = machine
         self.tag = tag
         # an inert plan is equivalent to no plan; normalising here keeps the
         # fault checks off the hot path for every fault-free run
         self.faults = faults if (faults is not None and faults.enabled) else None
+        # Checkpoint ops write here: {iteration: {rank: payload}}.  The store
+        # is caller-owned so it survives the failed run it was taken during --
+        # the recovery driver restarts from the newest complete entry.
+        self.checkpoint_store = checkpoint_store if checkpoint_store is not None else {}
         self._gens: List[Optional[RankProgram]] = []
         self._state: List[_State] = []
         self._resume_value: List[Any] = []
@@ -123,7 +128,8 @@ class Scheduler:
         crashed = [r for r in range(n) if self._state[r] is _State.CRASHED]
         if crashed:
             raise RankFailedError(
-                f"rank(s) {crashed} failed during the run; results incomplete"
+                f"rank(s) {crashed} failed during the run; results incomplete",
+                rank=crashed[0],
             )
         return list(self._results)
 
@@ -175,6 +181,9 @@ class Scheduler:
                         float(self.machine.clock[rank]) + op.timeout
                     )
                 return
+            if isinstance(op, Checkpoint):
+                self.checkpoint_store.setdefault(op.iteration, {})[rank] = op.payload
+                continue  # free at this layer; programs charge the copy cost
             if isinstance(op, Barrier):
                 self._state[rank] = _State.AT_BARRIER
                 self._blocked_op[rank] = op
@@ -268,7 +277,8 @@ class Scheduler:
         if crashed:
             raise RankFailedError(
                 f"rank(s) {crashed} failed and the survivors cannot proceed; "
-                f"blocked ranks: {blocked}; pending unmatched sends: {pending}"
+                f"blocked ranks: {blocked}; pending unmatched sends: {pending}",
+                rank=crashed[0],
             )
         raise DeadlockError(
             f"SPMD deadlock; blocked ranks: {blocked}; "
@@ -394,7 +404,8 @@ class Scheduler:
         if crashed:
             raise RankFailedError(
                 f"barrier cannot complete: rank(s) {crashed} failed; "
-                f"waiting ranks: {live}"
+                f"waiting ranks: {live}",
+                rank=crashed[0],
             )
         if len(live) != self.machine.nprocs:
             raise DeadlockError(
@@ -413,6 +424,9 @@ def run_spmd(
     program: ProgramFactory,
     tag: Optional[str] = None,
     faults: Optional[FaultPlan] = None,
+    checkpoint_store: Optional[Dict[int, Dict[int, Any]]] = None,
 ) -> List[Any]:
     """Convenience wrapper: run ``program`` on ``machine`` and return results."""
-    return Scheduler(machine, tag=tag, faults=faults).run(program)
+    return Scheduler(
+        machine, tag=tag, faults=faults, checkpoint_store=checkpoint_store
+    ).run(program)

@@ -1,0 +1,66 @@
+"""Deterministic-input tests for the robust message-cost fit.
+
+``fit_message_model`` runs on measured ping-pong samples everywhere else;
+here it gets synthetic samples with known ground truth so the robustness
+rules -- discard non-finite/non-positive times, refit without >10x
+outliers -- are pinned down exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import fit_message_model
+
+
+def _samples(t_startup=5e-6, t_comm=2e-9, sizes=(1, 64, 256, 1024, 4096)):
+    return [(m, t_startup + m * t_comm) for m in sizes]
+
+
+class TestFitMessageModel:
+    def test_recovers_exact_line(self):
+        t_startup, t_comm = fit_message_model(_samples())
+        assert t_startup == pytest.approx(5e-6, rel=1e-6)
+        assert t_comm == pytest.approx(2e-9, rel=1e-6)
+
+    def test_discards_nonfinite_and_nonpositive_times(self):
+        noisy = _samples() + [
+            (128, float("nan")), (512, float("inf")), (2048, -3e-6), (64, 0.0)
+        ]
+        t_startup, t_comm = fit_message_model(noisy)
+        assert t_startup == pytest.approx(5e-6, rel=1e-6)
+        assert t_comm == pytest.approx(2e-9, rel=1e-6)
+
+    def test_refits_without_10x_outlier(self):
+        # one sample hit by a scheduler hiccup: 50x the true line
+        noisy = _samples()
+        noisy[2] = (noisy[2][0], noisy[2][1] * 50.0)
+        t_startup, t_comm = fit_message_model(noisy)
+        assert t_startup == pytest.approx(5e-6, rel=1e-6)
+        assert t_comm == pytest.approx(2e-9, rel=1e-6)
+
+    def test_moderate_noise_is_kept(self):
+        # 2x noise is within the 10x gate: it must influence the fit,
+        # not be silently discarded
+        noisy = _samples()
+        noisy[2] = (noisy[2][0], noisy[2][1] * 2.0)
+        exact = fit_message_model(_samples())
+        fitted = fit_message_model(noisy)
+        assert fitted != pytest.approx(exact, rel=1e-9)
+
+    def test_all_samples_bad_raises(self):
+        with pytest.raises(ValueError, match="at least two usable"):
+            fit_message_model([(1, float("nan")), (64, -1.0)])
+
+    def test_never_discards_below_two_samples(self):
+        # two samples, one of them a huge outlier: the refit guard keeps
+        # both rather than fitting a single point
+        t_startup, t_comm = fit_message_model([(1, 1e-6), (64, 1e-2)])
+        assert np.isfinite(t_startup) and np.isfinite(t_comm)
+        assert t_startup > 0 and t_comm > 0
+
+    def test_negative_intercept_clamped(self):
+        # a fast host can produce a negative least-squares intercept;
+        # the fit must clamp rather than hand CostModel a negative constant
+        samples = [(1, 1e-9), (64, 1.0e-6), (4096, 64.0e-6)]
+        t_startup, t_comm = fit_message_model(samples)
+        assert t_startup > 0

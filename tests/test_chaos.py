@@ -1,0 +1,139 @@
+"""Chaos harness: seeded schedules, outcome classification, the contract.
+
+Small fixed seed set here; the fuller sweep lives in benchmark E21 and
+the CI chaos job.  Process-backend cases carry support-probe skips so
+the suite stays green on hosts without real crash injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import process_backend_support
+from repro.backend.abft import AbftChecksumError
+from repro.backend.base import (
+    BackendTimeoutError,
+    WorkerCrashedError,
+    WorkerFailedError,
+)
+from repro.backend.chaos import (
+    CHAOS_BACKENDS,
+    ChaosOutcome,
+    chaos_plan,
+    chaos_run,
+    chaos_sweep,
+    classify_failure,
+    format_report,
+)
+from repro.backend.process import crash_injection_support
+from repro.core.resilience import RecoveryExhaustedError
+from repro.machine.faults import RankFailedError
+from repro.machine.scheduler import DeadlockError
+
+_OK, _DETAIL = process_backend_support()
+needs_process = pytest.mark.skipif(
+    not _OK, reason=f"process backend unavailable: {_DETAIL}"
+)
+_KOK, _KDETAIL = crash_injection_support()
+needs_crash = pytest.mark.skipif(
+    not _KOK, reason=f"crash injection unavailable: {_KDETAIL}"
+)
+
+
+class TestClassifyFailure:
+    @pytest.mark.parametrize("exc,label", [
+        (RecoveryExhaustedError("x"), "recovery_exhausted"),
+        (AbftChecksumError("x"), "abft_detected"),
+        (RankFailedError("x"), "rank_failed"),
+        (WorkerCrashedError(1), "worker_crashed"),
+        (BackendTimeoutError("x"), "timeout"),
+        (DeadlockError("x"), "deadlock"),
+    ])
+    def test_typed_errors(self, exc, label):
+        assert classify_failure(exc) == label
+
+    def test_worker_failed_message_is_scanned(self):
+        exc = WorkerFailedError(
+            "rank 2 failed: Traceback ... AbftChecksumError: dot mismatch"
+        )
+        assert classify_failure(exc) == "abft_detected"
+        assert classify_failure(WorkerFailedError("boom")) == "worker_failed"
+
+    def test_unknown_is_none(self):
+        assert classify_failure(ValueError("nope")) is None
+
+
+class TestChaosPlan:
+    def test_same_seed_same_plan(self):
+        a, b = chaos_plan(7, nprocs=4), chaos_plan(7, nprocs=4)
+        assert a["planned"] == b["planned"]
+        assert a["crash_on_checkpoint"] == b["crash_on_checkpoint"]
+        assert a["plan"].seed == b["plan"].seed
+
+    def test_no_crash_flag(self):
+        drawn = chaos_plan(4, nprocs=4, allow_crash=False)
+        assert drawn["crash_on_checkpoint"] == {}
+        assert not drawn["plan"].crash_schedule()
+
+    def test_corruptions_target_auditable_state(self):
+        # only x and r corruptions are detectable by the sanity audit;
+        # the harness must never schedule an invisible one
+        for seed in range(30):
+            for c in chaos_plan(seed, nprocs=4)["plan"].state_corruption_schedule():
+                assert c.target in ("x", "r")
+
+
+class TestChaosRunSimulated:
+    @pytest.mark.parametrize("seed", [0, 1, 4])
+    def test_contract_holds(self, seed):
+        out = chaos_run(seed, backend="simulated")
+        assert out.ok
+        assert out.outcome == "converged"
+        assert out.converged_to_reference
+        assert out.max_abs_err == 0.0  # simulated recovery is bitwise-exact
+
+    def test_crash_seed_recovers(self):
+        # seed 4 draws a crash (see chaos_plan's RNG stream)
+        out = chaos_run(4, backend="simulated")
+        assert out.planned["crash"]
+        assert out.attempts == 2
+        assert len(out.crashes_recovered) == 1
+
+    def test_faults_actually_injected(self):
+        out = chaos_run(1, backend="simulated")
+        injected = sum(
+            out.injected.get(k, 0)
+            for k in ("dropped", "duplicated", "corrupted", "delayed")
+        )
+        assert injected > 0
+
+
+@needs_crash
+class TestChaosRunProcess:
+    def test_crash_seed_recovers_for_real(self):
+        out = chaos_run(4, backend="process", timeout=60.0)
+        assert out.ok and out.outcome == "converged"
+        assert out.planned["crash"]
+        assert out.attempts == 2
+        assert out.converged_to_reference
+
+
+class TestReport:
+    def test_format_report_lists_every_run(self):
+        outs = chaos_sweep([0, 1], backends=["simulated"])
+        text = format_report(outs)
+        assert "seed" in text and "outcome" in text
+        assert text.count("simulated") == 2
+        assert "contract held on 2/2" in text
+
+    def test_backends_constant(self):
+        assert CHAOS_BACKENDS == ("simulated", "process")
+
+    def test_classified_failure_counts_as_ok(self):
+        out = ChaosOutcome(
+            seed=0, backend="simulated", nprocs=4, n=48,
+            outcome="recovery_exhausted", converged_to_reference=False,
+            max_abs_err=float("nan"), iterations=0, elapsed=0.0,
+        )
+        assert out.ok
+        out.outcome = "converged"
+        assert not out.ok  # converged but not to reference: contract broken

@@ -166,3 +166,79 @@ class TestReliableCollectives:
             return res, m.elapsed(), m.stats.total_words, dict(telemetry)
 
         assert run() == run()
+
+
+class TestReliableEdgeCases:
+    """ISSUE-mandated edge cases: exhaustion, duplicate acks, charged costs."""
+
+    def test_exhaustion_raises_typed_error_with_bounded_attempts(self):
+        telemetry = {}
+
+        def prog(rank, size):
+            ep = ReliableEndpoint(
+                rank, ReliableConfig(base_timeout=1e-4, max_retries=3),
+                telemetry=telemetry,
+            )
+            if rank == 0:
+                yield from ep.send(1, np.arange(8.0), tag=2)
+            else:
+                yield Compute(1e12)  # never posts the receive
+            return None
+
+        plan = FaultPlan(drop_prob=1.0)
+        with pytest.raises(RankFailedError, match="after 3 retries") as err:
+            Scheduler(Machine(nprocs=2), faults=plan).run(prog)
+        assert err.value.rank == 1  # the peer that never acked
+        assert telemetry["retransmissions"] == 3  # bounded, no hang
+
+    def test_stale_and_duplicate_acks_are_idempotent_at_sender(self):
+        # drive the send generator by hand: a stale ack for an already
+        # completed sequence number must be skipped, not treated as the
+        # ack of the in-flight message -- even when delivered twice
+        ep = ReliableEndpoint(0, ReliableConfig(base_timeout=1.0))
+        gen = ep.send(1, 7.0, tag=3)
+        next(gen)              # the data Send (seq 0)
+        gen.send(None)         # now waiting on the ack Recv
+        with pytest.raises(StopIteration):
+            gen.send(0)        # matching ack completes the send
+
+        gen = ep.send(1, 8.0, tag=3)  # seq 1
+        next(gen)
+        op = gen.send(None)
+        assert op.tag > 1 << 19       # the ack Recv
+        op = gen.send(0)              # stale ack for seq 0: keep listening
+        assert op.tag > 1 << 19
+        op = gen.send(0)              # duplicated stale ack: still listening
+        assert op.tag > 1 << 19
+        with pytest.raises(StopIteration):
+            gen.send(1)               # the real ack
+
+    def test_duplicate_data_packet_reacked_and_discarded(self):
+        telemetry = {}
+        plan = FaultPlan(rules=[FaultRule(kind="duplicate", src=0, dst=1, tag=4)])
+        m = Machine(nprocs=2)
+        results = Scheduler(m, faults=plan).run(
+            _p2p_program(telemetry, ReliableConfig(base_timeout=1e-3))
+        )
+        assert results[1] == (sum(range(16)), 100 + 101 + 102 + 103)
+        assert telemetry["duplicates_discarded"] >= 1
+        # every duplicate is re-acked so a retransmitting sender can stop
+        assert telemetry["acks"] >= 2 + telemetry["duplicates_discarded"]
+
+    def test_retransmission_costs_charged_to_machine_stats(self):
+        def run(plan):
+            telemetry = {}
+            m = Machine(nprocs=2)
+            Scheduler(m, faults=plan).run(
+                _p2p_program(telemetry, ReliableConfig(base_timeout=1e-3))
+            )
+            return m, telemetry
+
+        clean_m, _ = run(None)
+        faulty_m, telemetry = run(
+            FaultPlan(rules=[FaultRule(kind="drop", src=0, dst=1, tag=4, nth=1)])
+        )
+        assert telemetry["retransmissions"] == 1
+        # the retransmitted packet is charged wire words and elapsed time
+        assert faulty_m.stats.total_words > clean_m.stats.total_words
+        assert faulty_m.elapsed() > clean_m.elapsed()
