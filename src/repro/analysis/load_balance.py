@@ -10,7 +10,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LoadReport", "load_report", "parallel_efficiency"]
+__all__ = [
+    "LoadReport",
+    "load_report",
+    "parallel_efficiency",
+    "ShrinkReport",
+    "shrink_report",
+]
 
 
 @dataclass(frozen=True)
@@ -54,3 +60,46 @@ def parallel_efficiency(serial_time: float, parallel_time: float, nprocs: int) -
     if parallel_time <= 0 or nprocs < 1:
         raise ValueError("parallel_time must be positive and nprocs >= 1")
     return serial_time / (nprocs * parallel_time)
+
+
+@dataclass(frozen=True)
+class ShrinkReport:
+    """Before/after load balance of a degraded-mode shrink.
+
+    Compares the pre-fault layout on the full rank set with the post-
+    REDISTRIBUTE layout on the survivors: per-rank loads, imbalance
+    ratios, and the slowdown a perfectly balanced shrink would cost
+    (``expected_slowdown = P_old / P_new``) against the bottleneck
+    slowdown actually realised.
+    """
+
+    before: LoadReport
+    after: LoadReport
+    nprocs_before: int
+    nprocs_after: int
+    expected_slowdown: float  # P_old / P_new: the unavoidable part
+    bottleneck_slowdown: float  # max-load ratio: what the layout costs
+
+    def __str__(self) -> str:
+        return (
+            f"shrink {self.nprocs_before}->{self.nprocs_after}: "
+            f"imbalance {self.before.imbalance:.3f}->{self.after.imbalance:.3f}, "
+            f"bottleneck x{self.bottleneck_slowdown:.3f} "
+            f"(ideal x{self.expected_slowdown:.3f})"
+        )
+
+
+def shrink_report(before_per_rank, after_per_rank) -> ShrinkReport:
+    """Build a :class:`ShrinkReport` from per-rank loads before/after."""
+    before = load_report(before_per_rank)
+    after = load_report(after_per_rank)
+    return ShrinkReport(
+        before=before,
+        after=after,
+        nprocs_before=len(before.per_rank),
+        nprocs_after=len(after.per_rank),
+        expected_slowdown=len(before.per_rank) / len(after.per_rank),
+        bottleneck_slowdown=(
+            after.maximum / before.maximum if before.maximum else 1.0
+        ),
+    )

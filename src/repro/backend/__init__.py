@@ -24,6 +24,14 @@ ABFT checksums (:mod:`~repro.backend.abft`), sanity audits/rollbacks and
 respawn-from-checkpoint restarts; :mod:`~repro.backend.chaos` sweeps
 seeded randomized schedules to enforce the converge-or-classified-error
 contract.
+
+Degraded-mode execution (DESIGN.md §9) extends the layer to losses the
+respawn protocol cannot mask: under ``policy="shrink"`` a crashed or
+deadline-stale rank (:class:`~repro.machine.faults.StragglerDetectedError`)
+is dropped, the survivors run an online ``REDISTRIBUTE`` of every CG
+operand onto a balanced smaller layout, and the solve continues from the
+re-sliced checkpoint; ``policy="rebalance"`` instead re-cuts the row
+space around a slow-but-alive rank with the capacity-scaled partitioner.
 """
 
 from .abft import (
@@ -58,8 +66,15 @@ from .chaos import (
     classify_failure,
     format_report,
 )
-from .faulty import FaultInjectingProgram, FaultInjector, FaultyComm
+from .faulty import (
+    FaultInjectingProgram,
+    FaultInjector,
+    FaultyComm,
+    SlowdownProgram,
+)
 from .process import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_RUN_DEADLINE,
     ProcessBackend,
     crash_injection_support,
     default_start_method,
@@ -74,9 +89,11 @@ from .programs import (
 from .simulated import SimulatedBackend
 from .solve import (
     BACKENDS,
+    RecoveryPolicy,
     backend_solve,
     make_backend,
     make_solver_program,
+    reslice_snapshots,
     run_with_recovery,
 )
 from .validate import (
@@ -99,6 +116,8 @@ __all__ = [
     "ChaosOutcome",
     "Comm",
     "CrossValidation",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_RUN_DEADLINE",
     "ExecutionBackend",
     "FaultInjectingProgram",
     "FaultInjector",
@@ -107,9 +126,11 @@ __all__ = [
     "PCGRankProgram",
     "PingPongProgram",
     "ProcessBackend",
+    "RecoveryPolicy",
     "RecvTimeoutError",
     "ResilientCGProgram",
     "SimulatedBackend",
+    "SlowdownProgram",
     "WorkerCrashedError",
     "WorkerFailedError",
     "backend_solve",
@@ -133,5 +154,6 @@ __all__ = [
     "measure_message_costs",
     "measure_t_flop",
     "process_backend_support",
+    "reslice_snapshots",
     "run_with_recovery",
 ]

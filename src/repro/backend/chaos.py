@@ -39,7 +39,7 @@ import numpy as np
 
 from ..core.resilience import RecoveryExhaustedError, ResilienceConfig
 from ..core.stopping import StoppingCriterion
-from ..machine.faults import FaultPlan, RankCrash, StateCorruption
+from ..machine.faults import FaultPlan, RankCrash, RankSlowdown, StateCorruption
 from ..machine.reliable import ReliableConfig
 from ..machine.scheduler import DeadlockError
 from ..sparse.generators import poisson1d, rhs_for_solution
@@ -67,11 +67,14 @@ CHAOS_BACKENDS = ("simulated", "process")
 
 #: outcome labels every chaos run must land on
 CONVERGED = "converged"
+#: converged on fewer ranks than it started with (a shrink happened)
+DEGRADED = "degraded"
 _FAILURE_LABELS = {
     "RecoveryExhaustedError": "recovery_exhausted",
     "AbftChecksumError": "abft_detected",
     "RankFailedError": "rank_failed",
     "WorkerCrashedError": "worker_crashed",
+    "StragglerDetectedError": "straggler",
     "BackendTimeoutError": "timeout",
     "RecvTimeoutError": "timeout",
     "DeadlockError": "deadlock",
@@ -130,17 +133,23 @@ class ChaosOutcome:
     restart_iterations: List[int] = field(default_factory=list)
     recovery_wall: float = 0.0
     error: str = ""
+    policy: str = "respawn"
+    stragglers_detected: List[int] = field(default_factory=list)
+    final_nprocs: int = 0  #: 0 = never set (pre-degraded-mode outcome)
 
     @property
     def ok(self) -> bool:
         """The chaos contract held for this run."""
-        if self.outcome == CONVERGED:
+        if self.outcome in (CONVERGED, DEGRADED):
             return self.converged_to_reference
         return True  # a classified failure is a contract-respecting outcome
 
 
 def chaos_plan(
-    seed: int, nprocs: int, allow_crash: bool = True
+    seed: int,
+    nprocs: int,
+    allow_crash: bool = True,
+    allow_straggler: bool = False,
 ) -> Dict[str, Any]:
     """Draw one seeded fault mix, expressed for both substrates.
 
@@ -151,6 +160,16 @@ def chaos_plan(
     the same crash -- SIGKILL the victim when it publishes the chosen
     checkpoint.  Rank 0's blocks are never the corruption victim's
     exclusive... any rank can be hit; the draw is uniform.
+
+    With ``allow_straggler`` the mix may also schedule one
+    :class:`~repro.machine.faults.RankSlowdown` carrying both substrate
+    expressions of the same fault: a compute-dilation ``factor`` large
+    enough to trip a virtual-clock deadline on the simulator (baseline
+    rank skew is about one message time, ~5e-5 s) and a real per-op
+    ``op_delay`` long enough to trip a heartbeat deadline on the process
+    backend.  The straggler draws come *after* every pre-existing draw,
+    so plans with ``allow_straggler=False`` are bit-identical to older
+    releases.
     """
     rng = np.random.default_rng(seed)
     drop = float(rng.uniform(0.0, 0.04))
@@ -179,6 +198,27 @@ def chaos_plan(
         crashes.append(RankCrash(victim, float(rng.uniform(1e-4, 5e-3))))
         crash_on_checkpoint[victim] = ckpt
 
+    slowdowns = []
+    straggler_planned = allow_straggler and rng.random() < 0.6
+    if straggler_planned:
+        victim = int(rng.integers(nprocs))
+        # simulated expression: dilate charged compute by 1e7..1e8.  CG is
+        # bulk-synchronous, so peers' clocks are dragged up to the victim
+        # at every halo exchange and the observable lag is roughly ONE
+        # dilated op, not an accumulated drift; a single dilated matvec
+        # segment must therefore exceed the harness deadline on its own.
+        # Process expression: sleep 1.5..3 s per op, beyond a ~1 s
+        # heartbeat deadline.  at_time=0 so even a fast solve exhibits
+        # the fault.
+        slowdowns.append(
+            RankSlowdown(
+                rank=victim,
+                at_time=0.0,
+                factor=float(10.0 ** rng.uniform(7.0, 8.0)),
+                op_delay=float(rng.uniform(1.5, 3.0)),
+            )
+        )
+
     plan = FaultPlan(
         seed=seed,
         drop_prob=drop,
@@ -187,6 +227,7 @@ def chaos_plan(
         delay_prob=delay,
         crashes=crashes,
         state_corruptions=corruptions,
+        slowdowns=slowdowns,
     )
     planned = {
         "drop_prob": round(drop, 4),
@@ -195,6 +236,7 @@ def chaos_plan(
         "delay_prob": round(delay, 4),
         "state_corruptions": len(corruptions),
         "crash": crash_planned,
+        "straggler": straggler_planned,
     }
     return {
         "plan": plan,
@@ -212,11 +254,24 @@ def chaos_run(
     allow_crash: bool = True,
     reference_x: Optional[np.ndarray] = None,
     rtol: float = 1.0e-8,
+    policy: str = "respawn",
+    stragglers: bool = False,
+    straggler_deadline: float = 1.0,
 ) -> ChaosOutcome:
     """Run one seeded chaos schedule and return its classified outcome.
 
     Any exception *not* classified by :func:`classify_failure` propagates:
     an unknown failure mode is a harness failure, not an outcome.
+
+    ``stragglers`` admits seeded rank slowdowns to the fault mix and arms
+    deadline-based detection on the substrate (virtual-clock lag on the
+    simulator, heartbeat staleness on real processes).
+    ``straggler_deadline`` is the *process-backend* deadline in wall
+    seconds; the simulator uses a deadline matched to its virtual clock
+    (20 message times).  ``policy`` picks the recovery response
+    (:data:`~repro.backend.solve.RecoveryPolicy`); a solve that converges
+    on fewer ranks than it started with is classified ``"degraded"`` and
+    must still match the reference.
     """
     if backend not in CHAOS_BACKENDS:
         raise ValueError(f"backend must be one of {CHAOS_BACKENDS}")
@@ -228,7 +283,8 @@ def chaos_run(
             criterion=criterion,
         ).x
 
-    drawn = chaos_plan(seed, nprocs, allow_crash=allow_crash)
+    drawn = chaos_plan(seed, nprocs, allow_crash=allow_crash,
+                       allow_straggler=stragglers)
     plan: FaultPlan = drawn["plan"]
     cfg = ResilienceConfig(
         checkpoint_interval=5,
@@ -239,25 +295,40 @@ def chaos_run(
         # values safe (a fault-free receive never expires spuriously)
         reliable=ReliableConfig(base_timeout=0.05, max_retries=8),
     )
+    # simulated deadline in *virtual* seconds: it must sit above the ARQ
+    # retransmission timeout (base_timeout=0.05 below), or a single
+    # injected message drop would stall a healthy rank past the deadline
+    # and scapegoat it; 5x that still trips on a dilated rank within a
+    # few iterations
+    sim_deadline = 0.25 if stragglers else None
     if backend == "simulated":
-        be = SimulatedBackend(faults=plan.crashes_only())
+        be = SimulatedBackend(
+            faults=plan.substrate_plan(),
+            straggler_deadline=sim_deadline,
+        )
     else:
-        be = ProcessBackend(
+        proc_kwargs: Dict[str, Any] = dict(
             timeout=timeout,
             crash_on_checkpoint=dict(drawn["crash_on_checkpoint"]),
         )
+        if stragglers:
+            proc_kwargs["straggler_deadline"] = straggler_deadline
+            proc_kwargs["heartbeat_interval"] = min(
+                0.1, straggler_deadline / 4.0
+            )
+        be = ProcessBackend(**proc_kwargs)
 
     out = ChaosOutcome(
         seed=seed, backend=backend, nprocs=nprocs, n=n,
         outcome=CONVERGED, converged_to_reference=False,
         max_abs_err=float("nan"), iterations=0, elapsed=0.0,
-        planned=drawn["planned"],
+        planned=drawn["planned"], policy=policy, final_nprocs=nprocs,
     )
     t0 = time.perf_counter()
     try:
         result = backend_solve(
             "cg", A, b, backend=be, nprocs=nprocs, criterion=criterion,
-            faults=plan, resilience=cfg,
+            faults=plan, resilience=cfg, policy=policy,
         )
     except Exception as exc:  # noqa: BLE001 - classified or re-raised
         label = classify_failure(exc)
@@ -272,7 +343,6 @@ def chaos_run(
     out.max_abs_err = err
     scale = float(np.max(np.abs(reference_x))) or 1.0
     out.converged_to_reference = bool(result.converged) and err <= rtol * scale
-    out.outcome = CONVERGED
     out.iterations = int(result.iterations)
     resil = result.extras.get("resilience", {}) or {}
     recov = result.extras.get("recovery", {}) or {}
@@ -285,6 +355,9 @@ def chaos_run(
     out.crashes_recovered = list(recov.get("crashes_recovered", []))
     out.restart_iterations = list(recov.get("restart_iterations", []))
     out.recovery_wall = float(recov.get("recovery_wall", 0.0))
+    out.stragglers_detected = list(recov.get("stragglers_detected", []))
+    out.final_nprocs = int(recov.get("final_nprocs", nprocs))
+    out.outcome = DEGRADED if out.final_nprocs < nprocs else CONVERGED
     return out
 
 
@@ -295,6 +368,9 @@ def chaos_sweep(
     n: int = 48,
     timeout: float = 60.0,
     allow_crash: bool = True,
+    policy: str = "respawn",
+    stragglers: bool = False,
+    straggler_deadline: float = 1.0,
 ) -> List[ChaosOutcome]:
     """Run every seed on every backend; reference computed once per sweep."""
     A, b = _chaos_problem(n)
@@ -309,7 +385,9 @@ def chaos_sweep(
                 chaos_run(
                     seed, backend=backend, nprocs=nprocs, n=n,
                     timeout=timeout, allow_crash=allow_crash,
-                    reference_x=reference,
+                    reference_x=reference, policy=policy,
+                    stragglers=stragglers,
+                    straggler_deadline=straggler_deadline,
                 )
             )
     return outcomes
@@ -320,7 +398,8 @@ def format_report(outcomes: Sequence[ChaosOutcome]) -> str:
     header = (
         f"{'seed':>5} {'backend':<9} {'outcome':<18} {'ref':<5} "
         f"{'max|err|':>10} {'iters':>5} {'att':>3} {'rb':>3} {'rtx':>5} "
-        f"{'crash':>5} {'rec_wall':>9} {'faults (drop/dup/corr/delay)':<28}"
+        f"{'crash':>5} {'strag':>5} {'ranks':>5} {'rec_wall':>9} "
+        f"{'faults (drop/dup/corr/delay)':<28}"
     )
     lines = [header, "-" * len(header)]
     for o in outcomes:
@@ -329,18 +408,20 @@ def format_report(outcomes: Sequence[ChaosOutcome]) -> str:
             f"{inj.get('dropped', 0)}/{inj.get('duplicated', 0)}"
             f"/{inj.get('corrupted', 0)}/{inj.get('delayed', 0)}"
         )
+        ranks = o.final_nprocs if o.final_nprocs else o.nprocs
         lines.append(
             f"{o.seed:>5} {o.backend:<9} {o.outcome:<18} "
             f"{'yes' if o.converged_to_reference else 'no':<5} "
             f"{o.max_abs_err:>10.2e} {o.iterations:>5} {o.attempts:>3} "
             f"{o.rollbacks:>3} {o.retransmissions:>5.0f} "
-            f"{len(o.crashes_recovered):>5} {o.recovery_wall:>9.3f} "
-            f"{faults:<28}"
+            f"{len(o.crashes_recovered):>5} "
+            f"{len(o.stragglers_detected):>5} {ranks:>5} "
+            f"{o.recovery_wall:>9.3f} {faults:<28}"
         )
     ok = sum(1 for o in outcomes if o.ok)
     lines.append("-" * len(header))
     lines.append(
         f"contract held on {ok}/{len(outcomes)} runs "
-        f"(converged-to-reference or classified failure)"
+        f"(converged-to-reference, degraded-converged, or classified failure)"
     )
     return "\n".join(lines)

@@ -43,9 +43,10 @@ channel.  Self-sends are exempt (they never touch the network).
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, List, Optional, Tuple
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..machine.events import Barrier, Recv, Send
+from ..machine.events import Barrier, Compute, Recv, Send
 from ..machine.faults import (
     CORRUPT,
     DELAY,
@@ -53,10 +54,16 @@ from ..machine.faults import (
     DROP,
     DUPLICATE,
     FaultPlan,
+    RankSlowdown,
 )
 from .base import Comm, ProgramFactory, RankProgram
 
-__all__ = ["FaultInjector", "FaultyComm", "FaultInjectingProgram"]
+__all__ = [
+    "FaultInjector",
+    "FaultyComm",
+    "FaultInjectingProgram",
+    "SlowdownProgram",
+]
 
 #: one fault-log entry: (message ordinal on this rank, action, dest, tag)
 LogEntry = Tuple[int, str, int, int]
@@ -255,8 +262,9 @@ class FaultInjectingProgram:
             return wrapped
         return _merge_injector_stats(wrapped, injector)
 
-    # the recovery driver sets ``restart`` on whatever factory it runs;
-    # forward it to the wrapped program, which is what honours it
+    # the recovery driver sets ``restart``/``layout`` on whatever factory it
+    # runs; forward both to the wrapped program, which is what honours them.
+    # Explicit properties (not __getattr__) so pickling stays well-defined.
     @property
     def restart(self):
         return getattr(self.inner, "restart", None)
@@ -264,3 +272,122 @@ class FaultInjectingProgram:
     @restart.setter
     def restart(self, value):
         self.inner.restart = value
+
+    @property
+    def layout(self):
+        return getattr(self.inner, "layout", None)
+
+    @layout.setter
+    def layout(self, value):
+        self.inner.layout = value
+
+    @property
+    def n(self):
+        return self.inner.n
+
+    @property
+    def indptr(self):
+        return self.inner.indptr
+
+
+class SlowdownProgram:
+    """Picklable factory injecting *real* per-op slowdowns (process backend).
+
+    The simulated scheduler models a straggler by dilating charged compute
+    time; real OS processes need real lateness a heartbeat monitor can
+    observe.  This wrapper sleeps ``op_delay`` wall-clock seconds before
+    forwarding each :class:`~repro.machine.events.Compute` op of a slowed
+    rank, starting once ``at_time`` seconds have elapsed since the rank
+    entered its program.  All other ops, resume values and thrown
+    exceptions pass through untouched, so the wrapped program's numerics
+    and message sequence are byte-identical to the unwrapped run -- the
+    rank is merely late.
+
+    ``drop_slowdown`` / ``remap_ranks`` mirror the
+    :class:`~repro.machine.faults.FaultPlan` consumed-once semantics so the
+    recovery driver can retire or renumber slowdowns across restarts.
+    """
+
+    def __init__(
+        self,
+        inner: ProgramFactory,
+        slowdowns: Sequence[RankSlowdown] = (),
+    ):
+        self.inner = inner
+        ranks = [s.rank for s in slowdowns]
+        if len(ranks) != len(set(ranks)):
+            raise ValueError("at most one slowdown per rank")
+        self.slowdowns: Dict[int, RankSlowdown] = {s.rank: s for s in slowdowns}
+
+    def drop_slowdown(self, rank: int) -> Optional[RankSlowdown]:
+        """Consume ``rank``'s slowdown (``None`` if none scheduled)."""
+        return self.slowdowns.pop(rank, None)
+
+    def remap_ranks(self, survivors: Sequence[int]) -> None:
+        """Renumber pending slowdowns after a shrink (drops dead ranks)."""
+        new_of = {old: new for new, old in enumerate(survivors)}
+        self.slowdowns = {
+            new_of[r]: RankSlowdown(
+                rank=new_of[r], at_time=s.at_time, factor=s.factor,
+                op_delay=s.op_delay,
+            )
+            for r, s in self.slowdowns.items()
+            if r in new_of
+        }
+
+    def __call__(self, rank: int, size: int) -> RankProgram:
+        gen = self.inner(rank, size)
+        slow = self.slowdowns.get(rank)
+        if slow is None or slow.op_delay <= 0.0:
+            return gen
+        return self._slowed(gen, slow)
+
+    @staticmethod
+    def _slowed(gen: RankProgram, slow: RankSlowdown) -> RankProgram:
+        start = time.monotonic()
+        value: Any = None
+        throw: Optional[BaseException] = None
+        while True:
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            value = None
+            if (
+                isinstance(op, Compute)
+                and time.monotonic() - start >= slow.at_time
+            ):
+                time.sleep(slow.op_delay)
+            try:
+                value = yield op
+            except Exception as exc:  # receive timeout: forward inward
+                throw = exc
+
+    # driver-facing forwarding, same contract as FaultInjectingProgram
+    @property
+    def restart(self):
+        return getattr(self.inner, "restart", None)
+
+    @restart.setter
+    def restart(self, value):
+        self.inner.restart = value
+
+    @property
+    def layout(self):
+        return getattr(self.inner, "layout", None)
+
+    @layout.setter
+    def layout(self, value):
+        self.inner.layout = value
+
+    @property
+    def n(self):
+        return self.inner.n
+
+    @property
+    def indptr(self):
+        return self.inner.indptr

@@ -52,7 +52,7 @@ from ..machine.events import (
     Send,
     payload_words,
 )
-from ..machine.faults import FaultPlan, RecvTimeoutError
+from ..machine.faults import FaultPlan, RecvTimeoutError, StragglerDetectedError
 from ..machine.stats import MachineStats
 from ..machine.trace import Tracer
 from .base import (
@@ -70,11 +70,58 @@ __all__ = [
     "process_backend_support",
     "crash_injection_support",
     "default_start_method",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_RUN_DEADLINE",
 ]
 
 #: grace period the parent grants workers beyond their own deadline before
 #: it starts killing them (seconds)
 _PARENT_GRACE = 5.0
+
+#: built-in defaults, overridable by environment or constructor (see
+#: :class:`ProcessBackend`)
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+DEFAULT_RUN_DEADLINE = 120.0
+
+#: sentinel distinguishing "caller said nothing" (fall back to env/default)
+#: from an explicit ``None`` (which disables the run deadline)
+_UNSET = object()
+
+#: env-var spellings that disable an optional float knob
+_NONE_WORDS = ("", "none", "off", "disabled")
+
+
+def _env_float(
+    name: str,
+    default,
+    *,
+    none_ok: bool = False,
+    positive: bool = True,
+):
+    """Read and validate a float tuning knob from the environment.
+
+    ``none_ok`` accepts ``none``/``off``/``disabled`` (case-insensitive) as
+    "disable this bound".  Malformed or non-positive values raise
+    ``ValueError`` naming the variable -- a silent fallback would hide the
+    typo until a worker hangs forever.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    if none_ok and raw.strip().lower() in _NONE_WORDS:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name}={raw!r} is not a number"
+        ) from None
+    if positive and value <= 0:
+        raise ValueError(
+            f"environment variable {name}={raw!r} must be positive"
+            + (" (or 'none' to disable)" if none_ok else "")
+        )
+    return value
 
 
 def default_start_method() -> str:
@@ -160,7 +207,8 @@ def _match_store(
     return (src, payload)
 
 
-def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
+def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace,
+           hb_interval=DEFAULT_HEARTBEAT_INTERVAL):
     """Run one rank's generator to completion; returns (result, report)."""
     gen = program(rank, size)
     inbox = inboxes[rank]
@@ -177,8 +225,18 @@ def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
 
     barrier.wait(timeout)  # align the measured start across ranks
     result_q.put(("hb", rank, time.monotonic()))  # liveness: run entered
+    last_hb = time.monotonic()
     start = time.perf_counter()
     hard_deadline = None if timeout is None else start + timeout
+
+    def _heartbeat() -> None:
+        # periodic liveness: the parent's straggler detector watches the
+        # age of these; a rank stuck in one slow op goes visibly stale
+        nonlocal last_hb
+        now = time.monotonic()
+        if now - last_hb >= hb_interval:
+            result_q.put(("hb", rank, now))
+            last_hb = now
 
     def _remaining(op_deadline: Optional[float]) -> Optional[float]:
         now = time.perf_counter()
@@ -208,6 +266,7 @@ def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
         compute_time += t1 - t0
         if trace:
             segments.append(("compute", t0, t1, ""))
+        _heartbeat()
         value = None
         if isinstance(op, Compute):
             flops += op.flops  # the real work already ran inside the program
@@ -227,14 +286,19 @@ def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
             op_deadline = None if op.timeout is None else t_wait + op.timeout
             matched = _match_store(store, op.source, op.tag)
             while matched is None:
+                _heartbeat()  # a rank blocked in a receive is alive
                 remaining = _remaining(op_deadline)
                 if remaining is not None and remaining <= 0:
                     if op_deadline is not None and (
                         hard_deadline is None or op_deadline <= hard_deadline
                     ):
                         throw = RecvTimeoutError(
-                            f"rank {rank}: receive (source={op.source}, "
-                            f"tag={op.tag}) timed out after {op.timeout:g}s"
+                            rank=rank,
+                            peer=(
+                                None if op.source == ANY_SOURCE else op.source
+                            ),
+                            tag=op.tag,
+                            elapsed=op.timeout,
                         )
                         break
                     raise BackendTimeoutError(
@@ -242,8 +306,13 @@ def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
                         f"waiting for a message (source={op.source}, "
                         f"tag={op.tag})"
                     )
+                # cap each poll by the heartbeat interval so liveness keeps
+                # flowing while we wait
+                poll = hb_interval if remaining is None else min(
+                    remaining, hb_interval
+                )
                 try:
-                    src, tag, payload = inbox.get(timeout=remaining)
+                    src, tag, payload = inbox.get(timeout=max(poll, 1e-3))
                 except queue_mod.Empty:
                     continue
                 store.setdefault(tag, deque()).append((src, payload))
@@ -297,11 +366,16 @@ def _drive(rank, size, program, inboxes, result_q, barrier, timeout, trace):
     return result, report
 
 
-def _worker_main(rank, size, program, inboxes, result_q, barrier, timeout, trace):
+def _worker_main(rank, size, program, inboxes, result_q, barrier, timeout,
+                 trace, hb_interval=DEFAULT_HEARTBEAT_INTERVAL):
     """Process entry point: run the rank, ship (result, report) or the error."""
     try:
         outcome = ("ok", rank, _drive(rank, size, program, inboxes, result_q,
-                                      barrier, timeout, trace))
+                                      barrier, timeout, trace, hb_interval))
+        # tell the parent this rank is merely draining, not stuck: a rank
+        # waiting at the drain barrier stops heartbeating, and without this
+        # marker the straggler detector could mistake it for the slow one
+        result_q.put(("done", rank, time.monotonic()))
         # Drain barrier: a finished rank may still have sends sitting in its
         # queues' feeder-thread buffers, and the cancel_join_thread() below
         # would discard them on exit.  Nobody leaves until every rank has
@@ -345,7 +419,25 @@ class ProcessBackend(ExecutionBackend):
         Hard wall-clock bound in seconds for the whole run.  Workers bound
         every blocking wait by it and the parent kills any process still
         alive once it expires (plus a small grace period).  ``None``
-        disables the bound -- never do that in a test suite.
+        disables the bound -- never do that in a test suite.  When not
+        given, the ``REPRO_RUN_DEADLINE`` environment variable (a float in
+        seconds, or ``none``/``off``/``disabled``) is consulted before
+        falling back to ``DEFAULT_RUN_DEADLINE``.
+    heartbeat_interval:
+        Seconds between worker liveness heartbeats (positive).  When not
+        given, ``REPRO_HEARTBEAT_INTERVAL`` is consulted before falling
+        back to ``DEFAULT_HEARTBEAT_INTERVAL``.  Smaller intervals tighten
+        straggler detection latency at the cost of queue traffic.
+    straggler_deadline:
+        Optional seconds of heartbeat staleness after which an unfinished
+        rank is declared a straggler and the run aborted with
+        :class:`~repro.machine.faults.StragglerDetectedError` (carrying
+        ``rank`` and ``lag``).  Detection only fires while at least one
+        *other* rank is demonstrably making progress (fresh heartbeat,
+        finished, or reported), so a cold start or a global stall cannot
+        misfire.  ``None`` (default) disables detection.  Must exceed the
+        heartbeat interval, else every rank would look stale between
+        beats.
     trace:
         Record measured per-rank compute/comm segments and return them as
         a :class:`~repro.machine.trace.Tracer` on the run.
@@ -372,14 +464,40 @@ class ProcessBackend(ExecutionBackend):
     def __init__(
         self,
         start_method: Optional[str] = None,
-        timeout: Optional[float] = 120.0,
+        timeout: Optional[float] = _UNSET,
         trace: bool = False,
         tag: Optional[str] = None,
         faults: Optional[FaultPlan] = None,
         crash_on_checkpoint: Optional[Dict[int, int]] = None,
+        heartbeat_interval: float = _UNSET,
+        straggler_deadline: Optional[float] = None,
     ):
         self.start_method = start_method
+        if timeout is _UNSET:
+            timeout = _env_float(
+                "REPRO_RUN_DEADLINE", DEFAULT_RUN_DEADLINE, none_ok=True
+            )
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None to disable)")
         self.timeout = timeout
+        if heartbeat_interval is _UNSET:
+            heartbeat_interval = _env_float(
+                "REPRO_HEARTBEAT_INTERVAL", DEFAULT_HEARTBEAT_INTERVAL
+            )
+        if heartbeat_interval is None or heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.heartbeat_interval = heartbeat_interval
+        if straggler_deadline is not None:
+            if straggler_deadline <= 0:
+                raise ValueError(
+                    "straggler_deadline must be positive (or None to disable)"
+                )
+            if straggler_deadline <= heartbeat_interval:
+                raise ValueError(
+                    f"straggler_deadline ({straggler_deadline:g}s) must exceed "
+                    f"the heartbeat interval ({heartbeat_interval:g}s)"
+                )
+        self.straggler_deadline = straggler_deadline
         self.trace = trace
         self.tag = tag
         self.faults = faults
@@ -444,7 +562,7 @@ class ProcessBackend(ExecutionBackend):
             ctx.Process(
                 target=_worker_main,
                 args=(rank, nprocs, program, inboxes, result_q, barrier,
-                      self.timeout, self.trace),
+                      self.timeout, self.trace, self.heartbeat_interval),
                 name=f"repro-rank-{rank}",
                 daemon=True,
             )
@@ -452,6 +570,7 @@ class ProcessBackend(ExecutionBackend):
         ]
         reports: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
         last_heartbeat: Dict[int, float] = {}
+        done_ranks: set = set()
         try:
             for w in workers:
                 w.start()
@@ -463,6 +582,11 @@ class ProcessBackend(ExecutionBackend):
             )
             while len(reports) < nprocs:
                 self._fire_due_time_kills(workers, reports, run_start)
+                # every iteration, not just on an empty queue: busy peers
+                # heartbeat constantly, so the queue is rarely empty while
+                # a straggler silently stalls
+                self._check_straggler(nprocs, reports, done_ranks,
+                                      last_heartbeat)
                 try:
                     kind, rank, payload = result_q.get(timeout=0.1)
                 except queue_mod.Empty:
@@ -497,6 +621,12 @@ class ProcessBackend(ExecutionBackend):
                         )
                     continue
                 if kind == "hb":
+                    last_heartbeat[rank] = time.monotonic()
+                    continue
+                if kind == "done":
+                    # the rank finished its program and is only draining;
+                    # exempt it from straggler staleness checks
+                    done_ranks.add(rank)
                     last_heartbeat[rank] = time.monotonic()
                     continue
                 if kind == "ckpt":
@@ -535,6 +665,45 @@ class ProcessBackend(ExecutionBackend):
     def _hb_age(last_heartbeat: Dict[int, float], rank: int) -> float:
         t = last_heartbeat.get(rank)
         return float("inf") if t is None else time.monotonic() - t
+
+    def _check_straggler(
+        self, nprocs, reports, done_ranks, last_heartbeat
+    ) -> None:
+        """Abort the run when a rank's heartbeats go deadline-stale.
+
+        A rank counts as stale only once it has heartbeated at least once
+        (so startup cost is never charged) and is neither done nor
+        reported.  Detection further requires at least one *other* rank to
+        be demonstrably healthy -- fresh heartbeat, done, or reported --
+        so a machine-wide pause (swap storm, suspended laptop) does not
+        scapegoat whichever rank happens to be oldest.
+        """
+        dl = self.straggler_deadline
+        if dl is None:
+            return
+        now = time.monotonic()
+        stale: Dict[int, float] = {}
+        healthy = False
+        for r in range(nprocs):
+            if r in reports or r in done_ranks:
+                healthy = True
+                continue
+            t = last_heartbeat.get(r)
+            if t is None:
+                continue  # not yet started measuring: never stale
+            age = now - t
+            if age > dl:
+                stale[r] = age
+            else:
+                healthy = True
+        if stale and healthy:
+            victim = max(stale, key=stale.get)
+            others = [
+                now - t for r, t in last_heartbeat.items()
+                if r != victim
+            ]
+            lag = stale[victim] - min(others) if others else stale[victim]
+            raise StragglerDetectedError(rank=victim, lag=max(lag, 0.0))
 
     @staticmethod
     def _reap(workers) -> None:

@@ -51,7 +51,18 @@ def csr_arrays(matrix):
 
 
 class _RowBlockProgram:
-    """Shared state for row-block solvers: CSR slices + vector blocks."""
+    """Shared state for row-block solvers: CSR slices + vector blocks.
+
+    ``layout`` makes the row distribution a run-time parameter: any
+    *contiguous* :class:`~repro.hpf.distribution.Distribution` over the row
+    space (``Block``, ``BlockK``, or the ``ATOM:BLOCK``
+    :class:`~repro.hpf.distribution.IrregularBlock` a partitioner
+    produced).  The degraded-mode driver re-points it after an online
+    REDISTRIBUTE, so the same program instance runs correctly on the
+    shrunken rank set.  ``None`` (the default) keeps the classic HPF
+    ``BLOCK`` derived from the run's rank count -- every pre-existing
+    caller is unchanged.
+    """
 
     def __init__(
         self,
@@ -60,6 +71,7 @@ class _RowBlockProgram:
         x0: Optional[np.ndarray] = None,
         criterion: Optional[StoppingCriterion] = None,
         maxiter: Optional[int] = None,
+        layout=None,
     ):
         n, indptr, indices, data = csr_arrays(matrix)
         b = np.asarray(b, dtype=np.float64)
@@ -75,10 +87,32 @@ class _RowBlockProgram:
         )
         self.crit = criterion or StoppingCriterion()
         self.maxiter = maxiter if maxiter is not None else self.crit.cap(n)
+        self.layout = layout
+
+    @property
+    def layout(self):
+        return self._layout
+
+    @layout.setter
+    def layout(self, value) -> None:
+        if value is not None:
+            if not getattr(value, "is_contiguous", False):
+                raise ValueError(
+                    "row-block programs need a contiguous layout "
+                    f"(got {value!r})"
+                )
+            if value.n != self.n:
+                raise ValueError(
+                    f"layout extent {value.n} != matrix rows {self.n}"
+                )
+        self._layout = value
 
     def _local(self, rank: int, size: int):
         """This rank's row range, CSR segment and local row ids."""
-        dist = Block(self.n, size)
+        if self._layout is not None and self._layout.nprocs == size:
+            dist = self._layout
+        else:
+            dist = Block(self.n, size)
         lo, hi = dist.local_range(rank)
         seg = slice(int(self.indptr[lo]), int(self.indptr[hi]))
         local_nnz = int(self.indptr[hi] - self.indptr[lo])
@@ -306,8 +340,9 @@ class ResilientCGProgram(_RowBlockProgram):
         reliable_config: Optional[ReliableConfig] = None,
         abft: bool = False,
         abft_rtol: float = 1.0e-8,
+        layout=None,
     ):
-        super().__init__(matrix, b, x0, criterion, maxiter)
+        super().__init__(matrix, b, x0, criterion, maxiter, layout=layout)
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
         if sanity_interval < 1:

@@ -42,9 +42,16 @@ class SimulatedBackend(ExecutionBackend):
     faults:
         An optional :class:`~repro.machine.faults.FaultPlan` handed to the
         scheduler.  The fault-tolerant driver passes only the plan's
-        ``crashes_only()`` share here -- message faults are injected at the
-        Comm boundary (:mod:`repro.backend.faulty`) so they behave
-        identically on the process backend.
+        ``substrate_plan()`` share here (crashes + slowdowns) -- message
+        faults are injected at the Comm boundary
+        (:mod:`repro.backend.faulty`) so they behave identically on the
+        process backend.
+    straggler_deadline:
+        When set, the scheduler raises
+        :class:`~repro.machine.faults.StragglerDetectedError` once a live
+        rank's virtual clock runs this many seconds past the slowest live
+        peer's -- the simulated twin of the process backend's heartbeat
+        deadline.
     """
 
     name = "simulated"
@@ -57,6 +64,7 @@ class SimulatedBackend(ExecutionBackend):
         trace: bool = False,
         tag: Optional[str] = None,
         faults: Optional[FaultPlan] = None,
+        straggler_deadline: Optional[float] = None,
     ):
         self.machine = machine
         self.topology = topology
@@ -64,6 +72,7 @@ class SimulatedBackend(ExecutionBackend):
         self.trace = trace
         self.tag = tag
         self.faults = faults
+        self.straggler_deadline = straggler_deadline
 
     def run(
         self,
@@ -97,6 +106,7 @@ class SimulatedBackend(ExecutionBackend):
                 tag=self.tag,
                 faults=self.faults,
                 checkpoint_store=checkpoints,
+                straggler_deadline=self.straggler_deadline,
             ).run(program)
         finally:
             if tracer is not None:

@@ -6,23 +6,37 @@ and assembles the standard :class:`~repro.core.result.SolveResult` via
 :func:`repro.core.driver.assemble_backend_result` -- so downstream
 reporting treats a real-process solve exactly like a simulated one.
 
-:func:`run_with_recovery` is the backend-agnostic fail-stop recovery
-driver: it runs a checkpointing program, and when the substrate reports a
-crashed rank -- :class:`~repro.machine.faults.RankFailedError` from the
-simulated scheduler, :class:`~repro.backend.base.WorkerCrashedError` from
-the process backend's supervisor -- it respawns *all* ranks and restarts
-the solve from the newest checkpoint every rank completed, exactly the
-coordinated rollback-restart protocol DESIGN.md §6 specifies for the
-simulated machine, now executed for real.
+:func:`run_with_recovery` is the backend-agnostic fault recovery driver:
+it runs a checkpointing program, and when the substrate reports a crashed
+rank -- :class:`~repro.machine.faults.RankFailedError` from the simulated
+scheduler, :class:`~repro.backend.base.WorkerCrashedError` from the
+process backend's supervisor -- or a deadline-stale straggler
+(:class:`~repro.machine.faults.StragglerDetectedError` from either), it
+applies the configured :data:`RecoveryPolicy`:
+
+* ``"respawn"`` (default, DESIGN.md §6): re-run *all* ranks from the
+  newest checkpoint every rank completed; a straggler's injected slowdown
+  is consumed so the respawned rank runs at nominal speed;
+* ``"shrink"`` (DESIGN.md §9): drop the victim, run an online
+  ``REDISTRIBUTE`` of every CG operand from the ``P``-rank layout onto a
+  balanced ``P-1``-rank :class:`~repro.hpf.distribution.IrregularBlock`,
+  re-slice the newest complete checkpoint to the new layout, and continue
+  degraded on the survivors;
+* ``"rebalance"`` (stragglers only): keep all ranks but re-cut the row
+  space with :func:`~repro.extensions.partitioners.capacity_scaled_partitioner`
+  so the slow rank gets proportionally less work; a rank flagged again
+  after its rebalance escalates to a shrink (crashes always shrink under
+  this policy -- a dead rank cannot be given less work).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from ..analysis.load_balance import shrink_report
 from ..core.driver import assemble_backend_result
 from ..core.resilience import (
     RecoveryExhaustedError,
@@ -31,15 +45,39 @@ from ..core.resilience import (
 )
 from ..core.result import SolveResult
 from ..core.stopping import StoppingCriterion
-from ..machine.faults import FaultPlan, RankFailedError
+from ..extensions.partitioners import (
+    capacity_scaled_partitioner,
+    cg_balanced_partitioner_1,
+)
+from ..hpf.distribution import (
+    Block,
+    Distribution,
+    IrregularBlock,
+    RedistributionPlan,
+    redistribute_vector,
+)
+from ..machine.costmodel import CostModel
+from ..machine.faults import (
+    FaultPlan,
+    RankFailedError,
+    StragglerDetectedError,
+)
 from .base import BackendRun, ExecutionBackend, ProgramFactory, WorkerCrashedError
-from .faulty import FaultInjectingProgram
+from .faulty import FaultInjectingProgram, SlowdownProgram
 from .process import ProcessBackend
 from .programs import CGRankProgram, PCGRankProgram, ResilientCGProgram
 from .simulated import SimulatedBackend
 
-__all__ = ["BACKENDS", "SOLVER_PROGRAMS", "make_backend", "make_solver_program",
-           "backend_solve", "run_with_recovery"]
+__all__ = ["BACKENDS", "SOLVER_PROGRAMS", "RecoveryPolicy", "make_backend",
+           "make_solver_program", "backend_solve", "run_with_recovery",
+           "reslice_snapshots"]
+
+#: valid values for ``run_with_recovery``'s / ``backend_solve``'s ``policy``
+RecoveryPolicy = ("respawn", "shrink", "rebalance")
+
+#: capacity assumed for a straggler whose slowdown factor is unknown
+#: (organic lag, no injected fault): rebalance as if it ran at 1/4 speed
+_DEFAULT_STRAGGLER_CAPACITY = 0.25
 
 BACKENDS = ("simulated", "process")
 
@@ -79,61 +117,359 @@ def make_solver_program(
     return cls(matrix, b, x0=x0, criterion=criterion)
 
 
+def reslice_snapshots(
+    snaps: Dict[int, Dict[str, Any]],
+    old: Distribution,
+    new: Distribution,
+) -> Dict[int, Dict[str, Any]]:
+    """Re-slice one complete checkpoint from layout ``old`` onto ``new``.
+
+    The vector state (``x``, ``r``, ``p``) is remapped exactly with
+    :func:`~repro.hpf.distribution.redistribute_vector`; the reduced
+    scalars (``rho``, ``bnorm``, residual history, ...) are identical on
+    every rank by construction, so they are taken from rank 0 and shared.
+    The result is a ``{new_rank: snapshot}`` dict a
+    :class:`~repro.backend.programs.ResilientCGProgram` restarts from.
+    """
+    if set(snaps) != set(range(old.nprocs)):
+        raise ValueError(
+            f"checkpoint is not complete for {old.nprocs} ranks: "
+            f"got ranks {sorted(snaps)}"
+        )
+    parts = {
+        key: redistribute_vector(
+            [np.asarray(snaps[r][key], dtype=np.float64)
+             for r in range(old.nprocs)],
+            old, new,
+        )
+        for key in ("x", "r", "p")
+    }
+    base = snaps[0]
+    return {
+        nr: {
+            "k": base["k"],
+            "x": parts["x"][nr],
+            "r": parts["r"][nr],
+            "p": parts["p"][nr],
+            "rho": base["rho"],
+            "rho0": base["rho0"],
+            "residuals": list(base["residuals"]),
+            "iterations": base["iterations"],
+            "bnorm": base["bnorm"],
+        }
+        for nr in range(new.nprocs)
+    }
+
+
+def _effective_layout(program, nprocs: int) -> Distribution:
+    """The row layout the program actually runs under at ``nprocs`` ranks."""
+    layout = getattr(program, "layout", None)
+    if layout is not None and layout.nprocs == nprocs:
+        return layout
+    return Block(program.n, nprocs)
+
+
+def _fault_plans(backend, program) -> List[FaultPlan]:
+    """Every distinct FaultPlan the run consults, deduplicated by identity.
+
+    One user plan typically appears several times -- the substrate share on
+    the backend, the message share on a
+    :class:`~repro.backend.faulty.FaultInjectingProgram`, the corruption
+    share on the inner solver program -- sometimes as the *same* object.
+    """
+    plans: List[FaultPlan] = []
+    seen: set = set()
+
+    def _add(plan) -> None:
+        if isinstance(plan, FaultPlan) and id(plan) not in seen:
+            seen.add(id(plan))
+            plans.append(plan)
+
+    _add(getattr(backend, "faults", None))
+    obj = program
+    while obj is not None:
+        _add(getattr(obj, "plan", None))
+        _add(getattr(obj, "faults", None))
+        obj = getattr(obj, "inner", None)
+    return plans
+
+
+def _slowdown_wrappers(program) -> List[SlowdownProgram]:
+    """The SlowdownProgram wrappers in the factory chain (usually 0 or 1)."""
+    found: List[SlowdownProgram] = []
+    obj = program
+    while obj is not None:
+        if isinstance(obj, SlowdownProgram):
+            found.append(obj)
+        obj = getattr(obj, "inner", None)
+    return found
+
+
+def _consume_slowdowns(backend, program, rank: int) -> None:
+    """Retire ``rank``'s pending slowdown everywhere it is scheduled."""
+    for plan in _fault_plans(backend, program):
+        plan.drop_slowdown(rank)
+    for wrapper in _slowdown_wrappers(program):
+        wrapper.drop_slowdown(rank)
+
+
+def _remap_faults(backend, program, survivors: Sequence[int]) -> None:
+    """Renumber every pending fault after a shrink onto ``survivors``."""
+    for plan in _fault_plans(backend, program):
+        plan.remap_ranks(survivors)
+    for wrapper in _slowdown_wrappers(program):
+        wrapper.remap_ranks(survivors)
+    coc = getattr(backend, "crash_on_checkpoint", None)
+    if coc:
+        new_of = {old: new for new, old in enumerate(survivors)}
+        backend.crash_on_checkpoint = {
+            new_of[r]: it for r, it in coc.items() if r in new_of
+        }
+
+
+def _degrade_topology(backend, new_nprocs: int) -> Optional[str]:
+    """Fall back to a complete network when the topology can't shrink.
+
+    A hypercube minus a node is not a hypercube: when the simulated
+    backend's per-run topology spec cannot be instantiated at the survivor
+    count (power-of-two constraints, fixed mesh shapes), the degraded
+    machine is modelled as a complete network instead -- survivors are
+    assumed to route around the hole at unit hop cost.  Returns the old
+    spec's repr when a fallback happened, for the recovery telemetry.
+    """
+    spec = getattr(backend, "topology", None)
+    if spec is None or getattr(backend, "machine", None) is not None:
+        return None
+    from ..machine.topology import make_topology
+
+    try:
+        make_topology(spec, new_nprocs)
+    except (ValueError, TypeError):
+        backend.topology = "complete"
+        return str(spec)
+    return None
+
+
+def _redistribute_state(
+    backend, program, store, old_layout, new_layout, survivors, nprocs,
+    recovery,
+) -> None:
+    """Point ``program`` at ``new_layout`` with re-sliced checkpoint state.
+
+    The stable store is cleared and re-seeded with the single re-sliced
+    entry: stale old-layout snapshots must never satisfy a later
+    ``latest_complete_checkpoint`` probe on the new rank count.  Also
+    records the modelled cost of the online REDISTRIBUTE -- each global
+    row carries its CSR entries (``2*nnz``), its x/r/p elements (3) and
+    its indptr entry (1).
+    """
+    latest = latest_complete_checkpoint(store, nprocs)
+    store.clear()
+    if latest is None:
+        program.restart = None
+        recovery["restart_iterations"].append(-1)
+    else:
+        k0, snaps = latest
+        resliced = reslice_snapshots(snaps, old_layout, new_layout)
+        store[k0] = resliced
+        program.restart = (k0, resliced)
+        recovery["restart_iterations"].append(k0)
+    program.layout = new_layout
+    row_words = 2.0 * np.diff(program.indptr) + 4.0
+    plan = RedistributionPlan(
+        old_layout, new_layout, survivors=survivors, weights=row_words,
+    )
+    cost = getattr(backend, "cost", None) or CostModel()
+    entry = plan.as_dict()
+    entry["modelled_time"] = plan.modelled_time(cost)
+    recovery["redistributions"].append(entry)
+
+
 def run_with_recovery(
     backend: ExecutionBackend,
     program,
     nprocs: int,
     max_restarts: int = 4,
     store: Optional[Dict[int, Dict[int, Any]]] = None,
+    policy: str = "respawn",
+    min_ranks: int = 1,
+    straggler_capacity: Optional[float] = None,
 ) -> BackendRun:
-    """Run a checkpointing program, surviving fail-stop rank crashes.
+    """Run a checkpointing program, surviving crashes and stragglers.
 
     ``program`` must publish :class:`~repro.machine.events.Checkpoint` ops
     and honour a ``restart`` attribute (``ResilientCGProgram`` does both).
     On a crash the driver locates the newest checkpoint *every* rank
     completed in ``store`` (partial snapshots are never restored --
     :func:`~repro.core.resilience.latest_complete_checkpoint`), points the
-    program at it, and re-runs all ranks.  Crashes in the substrate's
-    fault plan are consumed-once, so the respawned ranks do not die again
-    on the same schedule.  After ``max_restarts`` failed attempts the
-    driver raises :class:`~repro.core.resilience.RecoveryExhaustedError`.
+    program at it, and re-runs.  Crashes in the substrate's fault plan are
+    consumed-once, so the respawned ranks do not die again on the same
+    schedule.  After ``max_restarts`` failed attempts the driver raises
+    :class:`~repro.core.resilience.RecoveryExhaustedError`.
+
+    ``policy`` selects what a re-run looks like (see module docstring):
+    ``"respawn"`` keeps all ``nprocs`` ranks; ``"shrink"`` drops the victim
+    and redistributes onto the survivors (``program`` must then expose
+    ``layout``/``n``/``indptr``, as the row-block programs do);
+    ``"rebalance"`` re-cuts the row space around a straggler, giving it
+    capacity ``straggler_capacity`` (default: the inverse of its injected
+    slowdown factor when known, else 1/4), and escalates to a shrink if
+    the same rank is flagged again.  A shrink below ``min_ranks`` raises
+    :class:`~repro.core.resilience.RecoveryExhaustedError` instead.
 
     The returned run's ``recovery`` dict reports ``attempts``,
-    ``crashes_recovered`` (ranks, in order), ``restart_iterations`` (the
-    checkpoint each restart resumed from) and ``recovery_wall`` -- the
-    wall-clock seconds consumed before the successful attempt began.
+    ``crashes_recovered`` / ``stragglers_detected`` (ranks, in order),
+    ``restart_iterations`` (the checkpoint each restart resumed from),
+    ``recovery_wall`` (wall-clock seconds consumed before the successful
+    attempt began), ``final_nprocs``, and -- per layout change --
+    ``shrinks`` / ``rebalances`` (load-balance before/after) and
+    ``redistributions`` (message/word counts and modelled time of each
+    online REDISTRIBUTE).
     """
+    if policy not in RecoveryPolicy:
+        raise ValueError(
+            f"unknown recovery policy {policy!r}; expected one of "
+            f"{RecoveryPolicy}"
+        )
+    if min_ranks < 1:
+        raise ValueError("min_ranks must be >= 1")
     store = {} if store is None else store
     recovery: Dict[str, Any] = {
         "attempts": 0,
         "crashes_recovered": [],
+        "stragglers_detected": [],
         "restart_iterations": [],
         "recovery_wall": 0.0,
+        "policy": policy,
+        "shrinks": [],
+        "rebalances": [],
+        "redistributions": [],
+        "final_nprocs": nprocs,
     }
+    cur = nprocs
+    rebalanced: set = set()
     loop_start = time.perf_counter()
     while True:
         recovery["attempts"] += 1
         attempt_start = time.perf_counter()
         try:
-            run = backend.run(program, nprocs, checkpoints=store)
-        except (WorkerCrashedError, RankFailedError) as exc:
+            run = backend.run(program, cur, checkpoints=store)
+        except (WorkerCrashedError, RankFailedError,
+                StragglerDetectedError) as exc:
             if recovery["attempts"] > max_restarts:
                 raise RecoveryExhaustedError(
                     f"run still failing after {max_restarts} "
                     f"recovery attempts: {exc}"
                 ) from exc
-            rank = getattr(exc, "rank", -1)
-            recovery["crashes_recovered"].append(rank)
-            latest = latest_complete_checkpoint(store, nprocs)
-            if latest is None:
-                # crash before the iteration-0 checkpoint: cold restart
-                program.restart = None
-                recovery["restart_iterations"].append(-1)
+            is_straggler = isinstance(exc, StragglerDetectedError)
+            rank = getattr(exc, "rank", None)
+            if is_straggler:
+                recovery["stragglers_detected"].append(rank)
             else:
-                program.restart = latest
-                recovery["restart_iterations"].append(latest[0])
+                recovery["crashes_recovered"].append(
+                    -1 if rank is None else rank
+                )
+
+            # choose the action this failure gets under the policy
+            action = policy
+            if rank is None or not 0 <= rank < cur:
+                action = "respawn"  # cannot identify a victim: rerun all
+            elif policy == "rebalance":
+                if not is_straggler:
+                    action = "shrink"  # a dead rank cannot be given less work
+                elif rank in rebalanced:
+                    action = "shrink"  # rebalancing did not cure it: escalate
+
+            if action == "respawn":
+                if is_straggler and rank is not None:
+                    # the respawned rank must run at nominal speed
+                    _consume_slowdowns(backend, program, rank)
+                latest = latest_complete_checkpoint(store, cur)
+                if latest is None:
+                    # failure before the iteration-0 checkpoint: cold restart
+                    program.restart = None
+                    recovery["restart_iterations"].append(-1)
+                else:
+                    program.restart = latest
+                    recovery["restart_iterations"].append(latest[0])
+                continue
+
+            row_weights = np.diff(program.indptr).astype(np.float64)
+            old_layout = _effective_layout(program, cur)
+            old_loads = [
+                float(row_weights[old_layout.local_indices(r)].sum())
+                for r in range(cur)
+            ]
+
+            if action == "shrink":
+                if cur - 1 < min_ranks:
+                    raise RecoveryExhaustedError(
+                        f"cannot shrink below min_ranks={min_ranks}: "
+                        f"{cur} ranks left and rank {rank} "
+                        f"{'straggling' if is_straggler else 'lost'}"
+                    ) from exc
+                survivors = [r for r in range(cur) if r != rank]
+                new_layout = IrregularBlock(
+                    cg_balanced_partitioner_1(row_weights, cur - 1)
+                )
+                _redistribute_state(
+                    backend, program, store, old_layout, new_layout,
+                    survivors, cur, recovery,
+                )
+                _remap_faults(backend, program, survivors)
+                degraded_topo = _degrade_topology(backend, cur - 1)
+                new_loads = [
+                    float(row_weights[new_layout.local_indices(r)].sum())
+                    for r in range(cur - 1)
+                ]
+                report = shrink_report(old_loads, new_loads)
+                recovery["shrinks"].append(
+                    {"victim": rank, "straggler": is_straggler,
+                     "summary": str(report),
+                     "imbalance_after": report.after.imbalance,
+                     "topology_fallback": degraded_topo}
+                )
+                new_of = {old: new for new, old in enumerate(survivors)}
+                rebalanced = {new_of[r] for r in rebalanced if r in new_of}
+                cur -= 1
+                recovery["final_nprocs"] = cur
+                continue
+
+            # action == "rebalance": keep all ranks, shift work off the
+            # straggler in proportion to its remaining speed
+            slow = next(
+                (p.slowdown_for(rank) for p in _fault_plans(backend, program)
+                 if p.slowdown_for(rank) is not None),
+                None,
+            )
+            factor = getattr(exc, "factor", None) or (
+                slow.factor if slow is not None else None
+            )
+            capacity = straggler_capacity or (
+                1.0 / factor if factor and factor > 1.0
+                else _DEFAULT_STRAGGLER_CAPACITY
+            )
+            capacities = np.ones(cur)
+            capacities[rank] = capacity
+            new_layout = IrregularBlock(
+                capacity_scaled_partitioner(row_weights, capacities)
+            )
+            _redistribute_state(
+                backend, program, store, old_layout, new_layout,
+                list(range(cur)), cur, recovery,
+            )
+            new_loads = [
+                float(row_weights[new_layout.local_indices(r)].sum())
+                for r in range(cur)
+            ]
+            recovery["rebalances"].append(
+                {"victim": rank, "capacity": float(capacity),
+                 "loads_before": old_loads, "loads_after": new_loads}
+            )
+            rebalanced.add(rank)
             continue
         recovery["recovery_wall"] = attempt_start - loop_start
+        recovery["final_nprocs"] = cur
         run.recovery.update(recovery)
         return run
 
@@ -148,6 +484,10 @@ def backend_solve(
     criterion: Optional[StoppingCriterion] = None,
     faults: Optional[FaultPlan] = None,
     resilience: Optional[ResilienceConfig] = None,
+    policy: str = "respawn",
+    min_ranks: int = 1,
+    straggler_deadline: Optional[float] = None,
+    heartbeat_interval: Optional[float] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with ``solver`` on the chosen execution backend.
 
@@ -156,12 +496,30 @@ def backend_solve(
     only) under :func:`run_with_recovery`.  The plan is split by layer:
     message faults are injected at the Comm boundary
     (:class:`~repro.backend.faulty.FaultInjectingProgram`), state
-    corruptions inside the program, and fail-stop crashes by the substrate
-    itself -- which is what makes the same plan meaningful on both
-    backends.  ``resilience`` also switches the transport: with message
-    faults present the collectives run over the reliable ARQ layer.
+    corruptions inside the program, and fail-stop crashes *and slowdowns*
+    by the substrate itself -- which is what makes the same plan meaningful
+    on both backends.  On the process backend a scheduled slowdown becomes
+    real per-op sleeps (:class:`~repro.backend.faulty.SlowdownProgram`);
+    on the simulator the scheduler dilates the rank's charged compute
+    time.  ``resilience`` also switches the transport: with message faults
+    present the collectives run over the reliable ARQ layer.
+
+    ``policy`` / ``min_ranks`` select the degraded-mode recovery behaviour
+    (see :func:`run_with_recovery`); ``straggler_deadline`` arms straggler
+    detection on either substrate (virtual-clock lag on the simulator,
+    heartbeat staleness on real processes) and ``heartbeat_interval``
+    tunes the process backend's liveness cadence.
     """
-    if faults is None and resilience is None:
+    if policy not in RecoveryPolicy:
+        raise ValueError(
+            f"unknown recovery policy {policy!r}; expected one of "
+            f"{RecoveryPolicy}"
+        )
+    plain = (
+        faults is None and resilience is None and policy == "respawn"
+        and straggler_deadline is None and heartbeat_interval is None
+    )
+    if plain:
         program = make_solver_program(solver, matrix, b, x0=x0,
                                       criterion=criterion)
         be = make_backend(backend)
@@ -189,15 +547,29 @@ def backend_solve(
     runnable = (
         FaultInjectingProgram(program, plan) if message_faults else program
     )
-    # the substrate executes only the crash share of the plan; passing the
-    # full plan would double-inject the message faults
-    crash_share = plan.crashes_only() if plan is not None else None
+    # the substrate executes only the crash + slowdown share of the plan;
+    # passing the full plan would double-inject the message faults
+    substrate_share = plan.substrate_plan() if plan is not None else None
     if isinstance(backend, str):
-        be = make_backend(backend, faults=crash_share)
+        kwargs: Dict[str, Any] = {"faults": substrate_share}
+        if straggler_deadline is not None:
+            kwargs["straggler_deadline"] = straggler_deadline
+        if backend == "process" and heartbeat_interval is not None:
+            kwargs["heartbeat_interval"] = heartbeat_interval
+        be = make_backend(backend, **kwargs)
     else:
         be = backend
+    if (
+        be.name == "process"
+        and plan is not None
+        and plan.slowdown_schedule()
+    ):
+        # real lateness the heartbeat monitor can observe (the simulator
+        # realises the same schedule by dilating charged compute time)
+        runnable = SlowdownProgram(runnable, plan.slowdown_schedule())
     run = run_with_recovery(be, runnable, nprocs,
-                            max_restarts=cfg.max_restarts)
+                            max_restarts=cfg.max_restarts,
+                            policy=policy, min_ranks=min_ranks)
     result = assemble_backend_result(run, solver=solver, n=program.n)
     result.extras["recovery"] = dict(run.recovery)
     result.extras["resilience"] = run.results[0][4] if run.results else {}

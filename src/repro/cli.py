@@ -25,6 +25,9 @@ Commands
     distributed CG on one or both backends and print the per-seed
     report; exits non-zero if any run breaks the chaos contract
     (converge to reference, or fail with a classified typed error).
+    ``--stragglers`` adds seeded slowdown faults with deadline detection;
+    ``--policy shrink|rebalance`` selects degraded-mode recovery (online
+    REDISTRIBUTE onto the survivors / capacity-aware re-partitioning).
 """
 
 from __future__ import annotations
@@ -120,8 +123,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(cg/pcg only)",
     )
     solve.add_argument(
-        "--timeout", type=float, default=120.0,
-        help="hard wall-clock bound for --backend process (seconds)",
+        "--timeout", type=float, default=None,
+        help="hard wall-clock bound for --backend process (seconds; "
+             "default $REPRO_RUN_DEADLINE, else 120)",
+    )
+    solve.add_argument(
+        "--heartbeat-interval", type=float, default=None,
+        help="process-backend worker liveness cadence (seconds; default "
+             "$REPRO_HEARTBEAT_INTERVAL, else 0.5)",
+    )
+    solve.add_argument(
+        "--policy", choices=("respawn", "shrink", "rebalance"),
+        default="respawn",
+        help="degraded-mode recovery policy (--backend process, cg only)",
+    )
+    solve.add_argument(
+        "--straggler-deadline", type=float, default=None,
+        help="arm straggler detection: flag a rank whose heartbeat stays "
+             "stale this many seconds (--backend process, cg only)",
     )
 
     gantt = sub.add_parser("gantt", help="ASCII Gantt of one mat-vec")
@@ -172,6 +191,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable fail-stop crash injection (message/state faults only)",
     )
     chaos.add_argument(
+        "--policy", choices=("respawn", "shrink", "rebalance"),
+        default="respawn",
+        help="recovery policy when a rank is lost or flagged as straggler",
+    )
+    chaos.add_argument(
+        "--stragglers", action="store_true",
+        help="also draw straggler (slowdown) faults and arm deadline "
+             "detection on both backends",
+    )
+    chaos.add_argument(
+        "--straggler-deadline", type=float, default=1.0,
+        help="process-backend heartbeat staleness deadline in seconds "
+             "(the simulated deadline is fixed in virtual time)",
+    )
+    chaos.add_argument(
         "--report", metavar="PATH", default=None,
         help="also write the per-seed report table to PATH",
     )
@@ -211,6 +245,11 @@ def _cmd_solve_process(args: argparse.Namespace) -> int:
               f"{sorted(set(SOLVER_PROGRAMS))}, not {args.solver!r}",
               file=sys.stderr)
         return 2
+    degraded = args.policy != "respawn" or args.straggler_deadline is not None
+    if degraded and args.solver != "cg":
+        print("error: --policy/--straggler-deadline run the fault-tolerant "
+              "program and support --solver cg only", file=sys.stderr)
+        return 2
     ok, detail = process_backend_support()
     if not ok:
         print(f"error: process backend unavailable on this platform: {detail}",
@@ -221,9 +260,20 @@ def _cmd_solve_process(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(0)
     b = rng.standard_normal(A.nrows)
     crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
-    backend = ProcessBackend(timeout=args.timeout)
+    # only pass what the user set: absent kwargs fall back to the
+    # $REPRO_RUN_DEADLINE / $REPRO_HEARTBEAT_INTERVAL environment knobs
+    be_kwargs = {}
+    if args.timeout is not None:
+        be_kwargs["timeout"] = args.timeout
+    if args.heartbeat_interval is not None:
+        be_kwargs["heartbeat_interval"] = args.heartbeat_interval
+    if args.straggler_deadline is not None:
+        be_kwargs["straggler_deadline"] = args.straggler_deadline
+    backend = ProcessBackend(**be_kwargs)
     result = backend_solve(args.solver, A, b, backend=backend,
-                           nprocs=args.nprocs, criterion=crit)
+                           nprocs=args.nprocs, criterion=crit,
+                           policy=args.policy,
+                           straggler_deadline=args.straggler_deadline)
 
     timings = result.extras["timings"]
     print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
@@ -237,12 +287,25 @@ def _cmd_solve_process(args: argparse.Namespace) -> int:
     print(f"  comm    : {timings['comm'] * 1e3:.3f} ms")
     print(f"comm      : {result.comm['messages']} messages, "
           f"{result.comm['words']:.0f} words")
+    recovery = result.extras.get("recovery")
+    if recovery:
+        print(f"recovery  : policy={recovery['policy']} "
+              f"attempts={recovery['attempts']} "
+              f"final ranks={recovery['final_nprocs']}")
+        for shrink in recovery.get("shrinks", []):
+            print(f"  {shrink['summary']}")
     return 0 if result.converged else 1
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     if args.backend == "process":
         return _cmd_solve_process(args)
+    if (args.policy != "respawn" or args.straggler_deadline is not None
+            or args.heartbeat_interval is not None):
+        print("error: --policy/--straggler-deadline/--heartbeat-interval "
+              "need --backend process; for the simulated substrate use "
+              "'repro chaos --stragglers --policy shrink'", file=sys.stderr)
+        return 2
 
     from . import (
         JacobiPreconditioner,
@@ -387,6 +450,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     outcomes = chaos_sweep(
         seeds, backends=backends, nprocs=args.nprocs, n=args.n,
         timeout=args.timeout, allow_crash=not args.no_crash,
+        policy=args.policy, stragglers=args.stragglers,
+        straggler_deadline=args.straggler_deadline,
     )
     report = format_report(outcomes)
     print(report)

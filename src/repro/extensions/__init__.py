@@ -16,6 +16,7 @@ from .inspector import CommunicationSchedule, InspectorExecutor
 from .on_processor import OnProcessor
 from .partitioners import (
     assignment_imbalance,
+    capacity_scaled_partitioner,
     cg_balanced_partitioner_1,
     edge_cut_partitioner,
     imbalance,
@@ -34,6 +35,7 @@ __all__ = [
     "atom_block_balanced",
     "atom_cyclic",
     "AtomCyclic",
+    "capacity_scaled_partitioner",
     "cg_balanced_partitioner_1",
     "lpt_partitioner",
     "edge_cut_partitioner",

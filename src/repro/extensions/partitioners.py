@@ -32,6 +32,7 @@ from ..hpf.errors import DistributionError
 
 __all__ = [
     "cg_balanced_partitioner_1",
+    "capacity_scaled_partitioner",
     "lpt_partitioner",
     "edge_cut_partitioner",
     "imbalance",
@@ -133,6 +134,78 @@ def cg_balanced_partitioner_1(weights, nparts: int) -> np.ndarray:
 def _even_cuts(n: int, nparts: int) -> np.ndarray:
     k = -(-n // nparts)
     return np.minimum(np.arange(nparts + 1, dtype=np.int64) * k, n)
+
+
+def _capacity_feasible(
+    weights: np.ndarray, capacities: np.ndarray, t: float, cuts_out=None
+) -> bool:
+    """Can contiguous chunks fit with chunk ``r`` weighing <= t*capacities[r]?
+
+    Greedy in rank order: each rank takes atoms until its scaled cap would
+    overflow.  Optionally records the cut points it found.
+    """
+    starts = [0]
+    i = 0
+    n = weights.size
+    for r in range(capacities.size):
+        cap = t * capacities[r]
+        acc = 0.0
+        while i < n and acc + weights[i] <= cap:
+            acc += weights[i]
+            i += 1
+        starts.append(i)
+    if cuts_out is not None:
+        cuts_out[:] = starts
+    return i == n
+
+
+def capacity_scaled_partitioner(weights, capacities) -> np.ndarray:
+    """Contiguous chunking for processors of *unequal* speed.
+
+    The degraded-mode rebalancer's workhorse: a straggler running at
+    ``1/f`` of nominal speed gets capacity ``1/f``, so the optimal
+    bottleneck *time* (chunk weight divided by capacity) is minimised
+    instead of the bottleneck weight.  With all capacities equal this
+    reduces to :func:`cg_balanced_partitioner_1`.
+
+    Parameters
+    ----------
+    weights:
+        Per-atom load (nonzeros per row).
+    capacities:
+        Per-rank relative speeds (positive; 1.0 = nominal).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``len(capacities) + 1`` cut points, rank-ordered.
+    """
+    weights = _check_weights(weights)
+    capacities = np.asarray(capacities, dtype=np.float64)
+    if capacities.ndim != 1 or capacities.size == 0:
+        raise DistributionError("capacities must be a non-empty 1-D array")
+    if (capacities <= 0).any():
+        raise DistributionError("capacities must be positive")
+    nparts = capacities.size
+    n = weights.size
+    if n == 0 or weights.sum() == 0.0:
+        return _even_cuts(n, nparts)
+    # binary search on the bottleneck completion time T
+    lo = 0.0
+    hi = float(weights.sum() / capacities.min())
+    for _ in range(64):
+        if hi - lo <= 1e-9 * max(1.0, hi):
+            break
+        mid = 0.5 * (lo + hi)
+        if _capacity_feasible(weights, capacities, mid):
+            hi = mid
+        else:
+            lo = mid
+    cuts = [0] * (nparts + 1)
+    if not _capacity_feasible(weights, capacities, hi, cuts_out=cuts):
+        raise DistributionError("internal error: infeasible capacity bound")
+    cuts[0], cuts[-1] = 0, n
+    return np.asarray(cuts, dtype=np.int64)
 
 
 def lpt_partitioner(weights, nparts: int, seed: int = None) -> np.ndarray:

@@ -19,7 +19,8 @@ the size of the number of processors keeps the cut-off points").
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,6 +35,11 @@ __all__ = [
     "Replicated",
     "IrregularBlock",
     "block_boundaries",
+    "RedistributionMessage",
+    "RedistributionPlan",
+    "redistribute_vector",
+    "redistribute_csr",
+    "vector_blocks",
 ]
 
 IndexLike = Union[int, np.ndarray]
@@ -331,3 +337,244 @@ class IrregularBlock(Distribution):
             f"IrregularBlock(nprocs={self.nprocs}, "
             f"boundaries={self._boundaries.tolist()})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# online REDISTRIBUTE: old-layout -> new-layout remapping
+# ---------------------------------------------------------------------- #
+#: sentinel source for data whose old owner is dead; it is refetched from
+#: the stable checkpoint store instead of a live peer
+SOURCE_LOST = -1
+
+
+@dataclass(frozen=True)
+class RedistributionMessage:
+    """One point-to-point transfer in a redistribution schedule.
+
+    ``src`` and ``dst`` are ranks *in the new (post-shrink) numbering*;
+    ``src == SOURCE_LOST`` marks data whose old owner is gone and must be
+    refetched from the stable checkpoint store.  ``count`` is the number of
+    global indices carried and ``words`` the modelled payload size (per-index
+    weights applied).
+    """
+
+    src: int
+    dst: int
+    count: int
+    words: float
+
+
+class RedistributionPlan:
+    """Message schedule realising ``REDISTRIBUTE`` from ``old`` to ``new``.
+
+    This is the runtime the paper's HPF-2 extension sketch assumes: given
+    the old and new distributions of the same ``0..n-1`` index space, the
+    compiler/runtime derives who sends which slice to whom.  The plan is
+    layout-agnostic -- any :class:`Distribution` pair works, including
+    CYCLIC onto the ATOM:BLOCK :class:`IrregularBlock` a load-balancing
+    partitioner produced.
+
+    Parameters
+    ----------
+    old, new:
+        Source and target distributions over the same global extent.
+    survivors:
+        Old rank ids still alive, listed in new-rank order (``survivors[i]``
+        is the old identity of new rank ``i``).  Defaults to the identity
+        mapping, which requires ``old.nprocs == new.nprocs``.  Indices whose
+        old owner is not a survivor are scheduled from :data:`SOURCE_LOST`
+        (the stable checkpoint store).
+    weights:
+        Optional per-global-index word counts (e.g. ``2*nnz_row + 3`` for a
+        CSR row plus its share of the x/r/p vectors).  Default: one word per
+        index.
+    """
+
+    def __init__(
+        self,
+        old: Distribution,
+        new: Distribution,
+        survivors: Optional[Sequence[int]] = None,
+        weights: Optional[np.ndarray] = None,
+    ):
+        if old.n != new.n:
+            raise DistributionError(
+                f"cannot redistribute extent {old.n} onto extent {new.n}"
+            )
+        if old.is_replicated or new.is_replicated:
+            raise DistributionError("redistribution of replicated arrays is a no-op")
+        if survivors is None:
+            if old.nprocs != new.nprocs:
+                raise DistributionError(
+                    "survivors must be given when the rank count changes "
+                    f"({old.nprocs} -> {new.nprocs})"
+                )
+            survivors = list(range(old.nprocs))
+        survivors = [int(s) for s in survivors]
+        if len(survivors) != new.nprocs:
+            raise DistributionError(
+                f"{new.nprocs} new ranks need {new.nprocs} survivors, "
+                f"got {len(survivors)}"
+            )
+        if len(set(survivors)) != len(survivors):
+            raise DistributionError("survivors must be distinct")
+        for s in survivors:
+            if not 0 <= s < old.nprocs:
+                raise DistributionError(f"survivor {s} not an old rank")
+        self.old = old
+        self.new = new
+        self.survivors = survivors
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (old.n,):
+                raise DistributionError(
+                    f"weights must have shape ({old.n},), got {weights.shape}"
+                )
+        self.weights = weights
+
+        new_of_old = {o: i for i, o in enumerate(survivors)}
+        messages: List[RedistributionMessage] = []
+        in_place_words = 0.0
+        lost_words = 0.0
+        for dst in range(new.nprocs):
+            idx = new.local_indices(dst)
+            if idx.size == 0:
+                continue
+            owners = old.owners(idx)
+            w = weights[idx] if weights is not None else np.ones(idx.size)
+            for o in np.unique(owners):
+                mask = owners == o
+                src = new_of_old.get(int(o), SOURCE_LOST)
+                words = float(w[mask].sum())
+                if src == dst:
+                    in_place_words += words
+                    continue
+                if src == SOURCE_LOST:
+                    lost_words += words
+                messages.append(
+                    RedistributionMessage(
+                        src=src, dst=dst, count=int(mask.sum()), words=words
+                    )
+                )
+        self.messages = messages
+        self.in_place_words = in_place_words
+        self.lost_words = lost_words
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_words(self) -> float:
+        return float(sum(m.words for m in self.messages))
+
+    def modelled_time(self, cost) -> float:
+        """Redistribution time under the machine cost model.
+
+        Each endpoint serialises its own sends and receives (one NIC per
+        node); transfers between different endpoints overlap.  The modelled
+        time is ``max over endpoints of sum of message_time(words)`` --
+        the standard single-port exchange bound.  Fetches from the stable
+        store (``src == SOURCE_LOST``) are charged to the receiver only.
+        """
+        busy: dict = {}
+        for m in self.messages:
+            t = cost.message_time(m.words, 1)
+            if m.src != SOURCE_LOST:
+                busy[m.src] = busy.get(m.src, 0.0) + t
+            busy[m.dst] = busy.get(m.dst, 0.0) + t
+        return max(busy.values()) if busy else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "old": repr(self.old),
+            "new": repr(self.new),
+            "survivors": list(self.survivors),
+            "messages": self.total_messages,
+            "words": self.total_words,
+            "in_place_words": self.in_place_words,
+            "lost_words": self.lost_words,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RedistributionPlan({self.old!r} -> {self.new!r}, "
+            f"messages={self.total_messages}, words={self.total_words:g})"
+        )
+
+
+def vector_blocks(x: np.ndarray, dist: Distribution) -> List[np.ndarray]:
+    """Split a global vector into per-rank local blocks under ``dist``."""
+    x = np.asarray(x)
+    if x.shape[0] != dist.n:
+        raise DistributionError(f"vector length {x.shape[0]} != extent {dist.n}")
+    return [x[dist.local_indices(r)] for r in range(dist.nprocs)]
+
+
+def redistribute_vector(
+    blocks: Sequence[np.ndarray],
+    old: Distribution,
+    new: Distribution,
+    survivors: Optional[Sequence[int]] = None,
+) -> List[np.ndarray]:
+    """Remap per-rank local blocks of a distributed vector onto ``new``.
+
+    ``blocks[r]`` holds old rank ``r``'s local elements in local order.
+    ``survivors`` is accepted for signature symmetry with
+    :class:`RedistributionPlan` but does not change the result: the global
+    contents are reassembled from *all* old blocks (a dead rank's block
+    comes from its checkpoint snapshot) and re-sliced, so redistribution
+    preserves the global vector exactly for any layout pair.
+    """
+    if len(blocks) != old.nprocs:
+        raise DistributionError(
+            f"need {old.nprocs} local blocks, got {len(blocks)}"
+        )
+    first = np.asarray(blocks[0]) if blocks else np.zeros(0)
+    out = np.zeros(old.n, dtype=first.dtype if first.size else np.float64)
+    for r in range(old.nprocs):
+        idx = old.local_indices(r)
+        blk = np.asarray(blocks[r])
+        if blk.shape[0] != idx.size:
+            raise DistributionError(
+                f"old rank {r} block has {blk.shape[0]} elements, owns {idx.size}"
+            )
+        out[idx] = blk
+    return [out[new.local_indices(d)] for d in range(new.nprocs)]
+
+
+def redistribute_csr(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    old: Distribution,
+    new: Distribution,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Row-wise remap of a CSR matrix from layout ``old`` onto ``new``.
+
+    Operates on the raw CSR trio so the HPF layer stays free of sparse-
+    format dependencies.  Returns, per new rank, ``(local_indptr,
+    local_indices, local_data, row_ids)`` where ``row_ids`` are the global
+    rows owned (in local order) -- the pieces a rank program needs to run
+    its share of the matvec after a shrink.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.shape[0] != old.n + 1:
+        raise DistributionError(
+            f"indptr length {indptr.shape[0]} != rows+1 = {old.n + 1}"
+        )
+    out = []
+    for d in range(new.nprocs):
+        rows = new.local_indices(d)
+        counts = indptr[rows + 1] - indptr[rows]
+        local_indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=local_indptr[1:])
+        local_indices = np.concatenate(
+            [indices[indptr[r]:indptr[r + 1]] for r in rows]
+        ) if rows.size else np.zeros(0, dtype=np.int64)
+        local_data = np.concatenate(
+            [data[indptr[r]:indptr[r + 1]] for r in rows]
+        ) if rows.size else np.zeros(0, dtype=np.float64)
+        out.append((local_indptr, local_indices, local_data, rows))
+    return out

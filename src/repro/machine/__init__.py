@@ -37,8 +37,10 @@ from .faults import (
     FaultStats,
     RankCrash,
     RankFailedError,
+    RankSlowdown,
     RecvTimeoutError,
     StateCorruption,
+    StragglerDetectedError,
 )
 from .machine import Machine
 from .reliable import ReliableConfig, ReliableEndpoint
@@ -86,8 +88,10 @@ __all__ = [
     "FaultStats",
     "RankCrash",
     "RankFailedError",
+    "RankSlowdown",
     "RecvTimeoutError",
     "StateCorruption",
+    "StragglerDetectedError",
     "ReliableConfig",
     "ReliableEndpoint",
     "Tracer",

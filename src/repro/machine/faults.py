@@ -39,11 +39,13 @@ __all__ = [
     "DELAY",
     "FaultRule",
     "RankCrash",
+    "RankSlowdown",
     "StateCorruption",
     "FaultStats",
     "FaultPlan",
     "RankFailedError",
     "RecvTimeoutError",
+    "StragglerDetectedError",
 ]
 
 # message-fault actions (plain strings keep FaultRule literals readable)
@@ -75,7 +77,66 @@ class RecvTimeoutError(TimeoutError):
     Raised *inside* the blocked rank's generator so the program can catch
     it and retry -- the mechanism the reliable-messaging layer
     (:mod:`repro.machine.reliable`) builds its retransmissions on.
+
+    Both execution substrates raise it with the same diagnostics: ``rank``
+    (the blocked receiver), ``peer`` (the awaited source; ``None`` for
+    ANY_SOURCE), ``tag`` and ``elapsed`` (how long the receive waited, in
+    that substrate's time base).  When constructed with only those fields
+    the message is composed uniformly, so log lines read the same whether
+    the timeout happened in virtual or wall-clock time.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        rank: "int | None" = None,
+        peer: "int | None" = None,
+        tag: "int | None" = None,
+        elapsed: "float | None" = None,
+    ):
+        if not message:
+            src = "ANY_SOURCE" if peer is None else peer
+            message = (
+                f"rank {rank}: receive (source={src}, tag={tag}) "
+                f"timed out after {elapsed:g}s"
+                if elapsed is not None
+                else f"rank {rank}: receive (source={src}, tag={tag}) timed out"
+            )
+        super().__init__(message)
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.elapsed = elapsed
+
+
+class StragglerDetectedError(RuntimeError):
+    """A live rank fell behind its peers past the straggler deadline.
+
+    Distinct from a fail-stop: the rank is still making progress, just too
+    slowly.  ``rank`` is the detected straggler, ``lag`` how far behind the
+    fastest live peer it was when flagged (virtual seconds on the simulated
+    backend, wall-clock heartbeat age on the process backend), ``factor``
+    the injected slowdown factor when known (``None`` for organic lag).
+    The recovery driver decides whether to respawn, shrink the rank set,
+    or rebalance work away from the slow rank.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        rank: "int | None" = None,
+        lag: "float | None" = None,
+        factor: "float | None" = None,
+    ):
+        if not message:
+            message = f"rank {rank} declared a straggler"
+            if lag is not None:
+                message += f" ({lag:g}s behind the fastest live peer)"
+        super().__init__(message)
+        self.rank = rank
+        self.lag = lag
+        self.factor = factor
 
 
 @dataclass(frozen=True)
@@ -122,6 +183,36 @@ class RankCrash:
     def __post_init__(self) -> None:
         if self.at_time < 0:
             raise ValueError("crash time must be non-negative")
+
+
+@dataclass(frozen=True)
+class RankSlowdown:
+    """A rank turns into a straggler from ``at_time`` onward.
+
+    Models a slow-but-alive processor (thermal throttling, a noisy
+    neighbour, a failing disk) rather than a fail-stop.  The two execution
+    substrates consume different fields:
+
+    * the simulated scheduler multiplies the rank's per-op compute cost by
+      ``factor`` (time dilation in virtual time);
+    * the process backend sleeps ``op_delay`` wall-clock seconds before
+      each Compute op (real dilation a heartbeat monitor can observe).
+
+    At most one slowdown per rank; consumed-once on recovery like crashes.
+    """
+
+    rank: int
+    at_time: float = 0.0
+    factor: float = 1.0
+    op_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("slowdown start time must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1 (1 = no slowdown)")
+        if self.op_delay < 0:
+            raise ValueError("op_delay must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -190,6 +281,8 @@ class FaultPlan:
         probabilistic draw for that message.
     crashes:
         :class:`RankCrash` schedule (at most one per rank).
+    slowdowns:
+        :class:`RankSlowdown` schedule (at most one per rank).
     state_corruptions:
         :class:`StateCorruption` entries consumed by the solvers.
     """
@@ -204,6 +297,7 @@ class FaultPlan:
         delay_time: float = 1.0e-4,
         rules: Sequence[FaultRule] = (),
         crashes: Sequence[RankCrash] = (),
+        slowdowns: Sequence[RankSlowdown] = (),
         state_corruptions: Sequence[StateCorruption] = (),
     ):
         probs = (drop_prob, duplicate_prob, corrupt_prob, delay_prob)
@@ -225,6 +319,10 @@ class FaultPlan:
         if len(crash_ranks) != len(set(crash_ranks)):
             raise ValueError("at most one scheduled crash per rank")
         self._crashes: Dict[int, float] = {c.rank: float(c.at_time) for c in crashes}
+        slow_ranks = [s.rank for s in slowdowns]
+        if len(slow_ranks) != len(set(slow_ranks)):
+            raise ValueError("at most one scheduled slowdown per rank")
+        self._slowdowns: Dict[int, RankSlowdown] = {s.rank: s for s in slowdowns}
         self._corruptions: List[StateCorruption] = list(state_corruptions)
         self._rng = np.random.default_rng(seed)
         self._rule_hits: Dict[int, int] = defaultdict(int)
@@ -246,6 +344,7 @@ class FaultPlan:
             or self.delay_prob
             or self.rules
             or self._crashes
+            or self._slowdowns
             or self._corruptions
         )
 
@@ -264,6 +363,7 @@ class FaultPlan:
             delay_time=self.delay_time,
             rules=self.rules,
             crashes=self.crash_schedule(),
+            slowdowns=self.slowdown_schedule(),
             state_corruptions=tuple(self._corruptions),
         )
 
@@ -288,6 +388,68 @@ class FaultPlan:
     def state_corruption_schedule(self) -> Tuple[StateCorruption, ...]:
         """The still-pending silent state corruptions."""
         return tuple(self._corruptions)
+
+    def slowdown_schedule(self) -> Tuple[RankSlowdown, ...]:
+        """The still-pending rank slowdowns, in rank order."""
+        return tuple(self._slowdowns[r] for r in sorted(self._slowdowns))
+
+    def substrate_plan(self) -> "FaultPlan":
+        """A plan carrying the substrate's share: crashes *and* slowdowns.
+
+        Extends :meth:`crashes_only` for substrates that also model time
+        dilation (the simulated scheduler charges dilated compute; the
+        process-backend driver sleeps before Compute ops).
+        """
+        return FaultPlan(
+            seed=self.seed,
+            crashes=self.crash_schedule(),
+            slowdowns=self.slowdown_schedule(),
+        )
+
+    def remap_ranks(self, survivors: Sequence[int]) -> None:
+        """Renumber every pending fault in-place after a shrink.
+
+        ``survivors`` lists the old rank ids that remain, in their new rank
+        order (new rank = position in the list).  Faults pinned to removed
+        ranks are dropped; targeted rules with a ``src``/``dst`` naming a
+        removed rank are dropped too (wildcards survive untouched).
+        """
+        new_of = {old: new for new, old in enumerate(survivors)}
+        self._crashes = {
+            new_of[r]: t for r, t in self._crashes.items() if r in new_of
+        }
+        self._slowdowns = {
+            new_of[r]: RankSlowdown(
+                rank=new_of[r], at_time=s.at_time, factor=s.factor,
+                op_delay=s.op_delay,
+            )
+            for r, s in self._slowdowns.items()
+            if r in new_of
+        }
+        self._corruptions = [
+            StateCorruption(
+                iteration=c.iteration, target=c.target,
+                rank=new_of[c.rank], scale=c.scale,
+            )
+            for c in self._corruptions
+            if c.rank in new_of
+        ]
+        kept_rules = []
+        for rule in self.rules:
+            if rule.src is not None and rule.src not in new_of:
+                continue
+            if rule.dst is not None and rule.dst not in new_of:
+                continue
+            kept_rules.append(
+                FaultRule(
+                    kind=rule.kind,
+                    src=None if rule.src is None else new_of[rule.src],
+                    dst=None if rule.dst is None else new_of[rule.dst],
+                    tag=rule.tag,
+                    nth=rule.nth,
+                )
+            )
+        self.rules = tuple(kept_rules)
 
     def crashes_only(self) -> "FaultPlan":
         """A plan carrying only the fail-stop crash schedule.
@@ -438,6 +600,31 @@ class FaultPlan:
         return t
 
     # ------------------------------------------------------------------ #
+    # slowdowns / stragglers (consulted by the substrates)
+    # ------------------------------------------------------------------ #
+    def slowdown_for(self, rank: int) -> Optional[RankSlowdown]:
+        """The pending slowdown scheduled for ``rank`` (``None`` if none)."""
+        return self._slowdowns.get(rank)
+
+    def slowdown_factor(self, rank: int, now: float) -> float:
+        """The compute-time dilation factor in force on ``rank`` at ``now``.
+
+        1.0 before the slowdown's start time (or when none is scheduled).
+        """
+        s = self._slowdowns.get(rank)
+        if s is None or now < s.at_time:
+            return 1.0
+        return s.factor
+
+    def drop_slowdown(self, rank: int) -> Optional[RankSlowdown]:
+        """Consume ``rank``'s scheduled slowdown (``None`` if none).
+
+        Consumed-once like crashes: after the recovery driver replaces or
+        sidelines a straggler, the replacement does not re-straggle.
+        """
+        return self._slowdowns.pop(rank, None)
+
+    # ------------------------------------------------------------------ #
     # silent state corruption (consulted by the solvers)
     # ------------------------------------------------------------------ #
     def take_state_corruption(
@@ -469,5 +656,6 @@ class FaultPlan:
             f"dup={self.duplicate_prob}, corrupt={self.corrupt_prob}, "
             f"delay={self.delay_prob}, rules={len(self.rules)}, "
             f"crashes={sorted(self._crashes)}, "
+            f"slowdowns={sorted(self._slowdowns)}, "
             f"state_corruptions={len(self._corruptions)})"
         )

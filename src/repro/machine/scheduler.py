@@ -45,7 +45,7 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from .events import ANY_SOURCE, Barrier, Checkpoint, Compute, Op, Recv, Send
 from .faults import DELAY, DELIVER, DROP, DUPLICATE, CORRUPT, FaultPlan
-from .faults import RankFailedError, RecvTimeoutError
+from .faults import RankFailedError, RecvTimeoutError, StragglerDetectedError
 from .machine import Machine
 
 __all__ = ["Scheduler", "DeadlockError", "run_spmd"]
@@ -78,12 +78,19 @@ class Scheduler:
         tag: Optional[str] = None,
         faults: Optional[FaultPlan] = None,
         checkpoint_store: Optional[Dict[int, Dict[int, Any]]] = None,
+        straggler_deadline: Optional[float] = None,
     ):
         self.machine = machine
         self.tag = tag
         # an inert plan is equivalent to no plan; normalising here keeps the
         # fault checks off the hot path for every fault-free run
         self.faults = faults if (faults is not None and faults.enabled) else None
+        # straggler detection: once a live rank's clock runs this many
+        # virtual seconds past the slowest live peer's, the run aborts with
+        # StragglerDetectedError so the recovery driver can shrink/rebalance
+        if straggler_deadline is not None and straggler_deadline <= 0:
+            raise ValueError("straggler_deadline must be positive")
+        self.straggler_deadline = straggler_deadline
         # Checkpoint ops write here: {iteration: {rank: payload}}.  The store
         # is caller-owned so it survives the failed run it was taken during --
         # the recovery driver restarts from the newest complete entry.
@@ -161,7 +168,17 @@ class Scheduler:
                 return
             self._resume_value[rank] = None
             if isinstance(op, Compute):
-                self.machine.charge_compute(rank, op.flops)
+                flops = op.flops
+                if self.faults is not None:
+                    # a slow processor takes `factor` times longer for the
+                    # same arithmetic: charge dilated virtual time
+                    factor = self.faults.slowdown_factor(
+                        rank, float(self.machine.clock[rank])
+                    )
+                    if factor > 1.0:
+                        flops = flops * factor
+                self.machine.charge_compute(rank, flops)
+                self._check_straggler(rank)
                 continue
             if isinstance(op, Send):
                 self._post_send(rank, op)
@@ -215,6 +232,34 @@ class Scheduler:
             now = float(self.machine.clock[rank])
             self.machine.tracer.record(rank, "crash", now, now, "fail-stop")
 
+    def _check_straggler(self, rank: int) -> None:
+        """Abort the run when ``rank`` has fallen too far behind its peers.
+
+        The straggler's virtual clock races ahead of the live peers who sit
+        blocked at the next synchronisation point, so lag is measured as
+        this rank's clock minus the slowest live peer's.  Detection models
+        a supervisor watching per-rank progress reports: it fires only with
+        a deadline configured, and never on a fault-free machine because
+        rank skew there stays within one message latency.
+        """
+        if self.straggler_deadline is None:
+            return
+        peers = [
+            float(self.machine.clock[r])
+            for r in range(self.machine.nprocs)
+            if r != rank and self._state[r] not in _FINISHED
+        ]
+        if not peers:
+            return
+        lag = float(self.machine.clock[rank]) - min(peers)
+        if lag > self.straggler_deadline:
+            slow = self.faults.slowdown_for(rank) if self.faults else None
+            raise StragglerDetectedError(
+                rank=rank,
+                lag=lag,
+                factor=slow.factor if slow is not None else None,
+            )
+
     def _fire_fault_event(self) -> bool:
         """On a global stall, fire the earliest pending timeout or crash.
 
@@ -255,11 +300,14 @@ class Scheduler:
         self._state[rank] = _State.READY
         self._blocked_op[rank] = None
         self._recv_deadline[rank] = None
+        assert isinstance(op, Recv)
         self._advance(
             rank,
             throw=RecvTimeoutError(
-                f"rank {rank}: receive (source={getattr(op, 'source', '?')}, "
-                f"tag={getattr(op, 'tag', '?')}) timed out at t={when:.6e}"
+                rank=rank,
+                peer=None if op.source == ANY_SOURCE else op.source,
+                tag=op.tag,
+                elapsed=op.timeout,
             ),
         )
         return True

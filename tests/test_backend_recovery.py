@@ -85,6 +85,24 @@ class TestSimulatedCrashRecovery:
         assert rec["crashes_recovered"] == [2]
         assert rec["restart_iterations"] and rec["restart_iterations"][0] >= 0
 
+    def test_crash_before_first_checkpoint_restarts_from_scratch(self):
+        # at 2e-4 virtual seconds not even the iteration-0 checkpoint is
+        # complete on every rank, so recovery must restart from scratch
+        # (-1 in the restart log), not from a partial snapshot
+        A, b, crit = _problem()
+        ref = backend_solve("cg", A, b, backend="simulated", nprocs=2,
+                            criterion=crit)
+        plan = FaultPlan(seed=0, crashes=[RankCrash(rank=1, at_time=2e-4)])
+        res = backend_solve(
+            "cg", A, b, backend="simulated", nprocs=2, criterion=crit,
+            faults=plan, resilience=ResilienceConfig(checkpoint_interval=5),
+        )
+        assert res.converged
+        assert bool(np.all(res.x == ref.x))
+        rec = res.extras["recovery"]
+        assert rec["attempts"] == 2
+        assert rec["restart_iterations"] == [-1]
+
     def test_recovery_exhausted_is_typed(self):
         A, b, crit = _problem()
         prog = ResilientCGProgram(A, b, criterion=crit, checkpoint_interval=5)
