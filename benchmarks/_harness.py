@@ -1,20 +1,27 @@
-"""Shared infrastructure for the experiment benchmarks (E1..E15).
+"""Shared infrastructure for the experiment benchmarks (E1..E23).
 
 Each benchmark module reproduces one figure or claim of the paper and
 renders a paper-style table.  Tables are registered here; the conftest's
 ``pytest_terminal_summary`` hook prints every registered table after the
 pytest-benchmark results, and each table is also written to
 ``benchmarks/results/<name>.txt`` so the harness output is durable.
+
+:func:`record_json` additionally persists machine-readable results
+(``BENCH_<name>.json`` at the repo root) so CI can diff quantitative
+benchmark outcomes -- counts, modelled-vs-measured times -- across
+commits instead of eyeballing tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.analysis import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 _REGISTERED: List[Tuple[str, str]] = []
 
@@ -29,6 +36,21 @@ def record_table(name: str, table: Table, notes: str = "") -> str:
     path.write_text(text + "\n", encoding="utf-8")
     _REGISTERED.append((name, text))
     return text
+
+
+def record_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Persist a benchmark's machine-readable results.
+
+    Writes ``BENCH_<name>.json`` at the repository root (committed, so a
+    CI job can compare the current run against the last committed
+    baseline) with deterministic key order.  Returns the path written.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
 
 
 def registered_tables() -> List[Tuple[str, str]]:

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Fail CI if the fused-vs-classic allreduce-count ratio regresses.
+
+Benchmark E23 writes ``BENCH_e23.json`` with, per processor count, the
+number of allreduce trees a tag-counted run of classic and fused CG
+actually executed.  The fused/classic ratio is the deterministic heart
+of the single-reduction claim (0.5 asymptotically: one tree per
+iteration instead of two), so it is the one number CI guards: if a code
+change makes the freshly generated ratio exceed the last *committed*
+ratio by more than 20% for any P, exit 1.
+
+Baseline = ``git show HEAD:BENCH_e23.json``.  No committed baseline
+(first run, or file renamed) is a clean pass -- the job seeds the
+trajectory instead of failing it.
+
+Usage: run E23 first so BENCH_e23.json reflects the checked-out code,
+then ``python scripts/check_e23_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "BENCH_e23.json"
+TOLERANCE = 1.20  # >20% worse than the committed baseline fails
+
+
+def load_current() -> dict:
+    if not BENCH.exists():
+        print(f"FAIL: {BENCH} missing -- run benchmark E23 first "
+              "(python -m pytest benchmarks/bench_e23_fused_cg.py "
+              "--benchmark-disable)")
+        sys.exit(1)
+    return json.loads(BENCH.read_text(encoding="utf-8"))
+
+
+def load_baseline() -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_e23.json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    current = load_current()
+    baseline = load_baseline()
+    if baseline is None:
+        print("PASS: no committed BENCH_e23.json baseline -- seeding the "
+              "trajectory with the current run.")
+        return 0
+
+    cur_sim = current.get("simulated", {})
+    base_sim = baseline.get("simulated", {})
+    if not cur_sim:
+        print("FAIL: current BENCH_e23.json has no 'simulated' section")
+        return 1
+
+    failed = False
+    for p in sorted(cur_sim, key=int):
+        cur_ratio = cur_sim[p]["allreduce_ratio"]
+        base = base_sim.get(p)
+        if base is None:
+            print(f"P={p}: ratio {cur_ratio:.4f} (no baseline entry -- new)")
+            continue
+        base_ratio = base["allreduce_ratio"]
+        limit = base_ratio * TOLERANCE
+        verdict = "OK" if cur_ratio <= limit else "REGRESSION"
+        if verdict == "REGRESSION":
+            failed = True
+        print(f"P={p}: fused/classic allreduce ratio {cur_ratio:.4f} "
+              f"(baseline {base_ratio:.4f}, limit {limit:.4f}) {verdict}")
+
+    if failed:
+        print(f"\nFAIL: allreduce-count ratio regressed by more than "
+              f"{(TOLERANCE - 1) * 100:.0f}% -- the fused path is issuing "
+              "extra reduction trees.")
+        return 1
+    print("\nPASS: fused-vs-classic allreduce-count ratio within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

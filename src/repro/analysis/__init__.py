@@ -2,18 +2,23 @@
 and benchmark table rendering."""
 
 from .cost_model import (
+    classic_cg_iteration_time,
     csc_serial_time,
     csr_storage_words,
     dense_storage_words,
     inner_product_local_time,
     inner_product_merge_time,
+    fused_cg_iteration_time,
+    fused_cg_saving_per_iteration,
     inner_product_time,
+    packed_allreduce_time,
     private_merge_matvec_time,
     private_storage_words,
     rowwise_matvec_time,
     saxpy_time,
     scenario1_broadcast_time,
     scenario2_comm_time,
+    spmd_allgather_time,
 )
 from .load_balance import LoadReport, load_report, parallel_efficiency
 from .report import Table, format_quantity
@@ -31,6 +36,11 @@ __all__ = [
     "private_merge_matvec_time",
     "dense_storage_words",
     "csr_storage_words",
+    "packed_allreduce_time",
+    "spmd_allgather_time",
+    "classic_cg_iteration_time",
+    "fused_cg_iteration_time",
+    "fused_cg_saving_per_iteration",
     "LoadReport",
     "load_report",
     "parallel_efficiency",

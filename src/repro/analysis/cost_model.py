@@ -37,6 +37,11 @@ __all__ = [
     "private_merge_matvec_time",
     "dense_storage_words",
     "csr_storage_words",
+    "packed_allreduce_time",
+    "spmd_allgather_time",
+    "classic_cg_iteration_time",
+    "fused_cg_iteration_time",
+    "fused_cg_saving_per_iteration",
 ]
 
 
@@ -128,6 +133,105 @@ def private_merge_matvec_time(
         (nprocs - 1) / nprocs
     ) * n * (cost.t_comm + cost.t_flop)
     return local + merge
+
+
+# ---------------------------------------------------------------------- #
+# fused (single-reduction) CG: closed forms the E23 benchmark validates
+# against both the event simulator and calibrated real processes.  These
+# model the *SPMD rank programs* of repro.backend.programs exactly (the
+# reduce+bcast trees of repro.machine.spmd), not the paper's idealised
+# hypercube merge -- which is why they reproduce simulator elapsed times
+# to the word.
+# ---------------------------------------------------------------------- #
+
+
+def _ceil_log2(p: int) -> int:
+    return (p - 1).bit_length() if p > 1 else 0
+
+
+def packed_allreduce_time(nscalars: int, nprocs: int, cost: CostModel) -> float:
+    """One ``allreduce_vec`` of ``k`` packed scalars: ``2 ceil(log2 P)``
+    sequential tree stages (binomial reduce + binomial broadcast), each a
+    ``k``-word message::
+
+        2 * ceil(log2 P) * (t_startup + k * t_comm)
+
+    Packing ``k`` reductions costs ``k`` words on every stage but only
+    *one* latency tree -- separate scalar allreduces pay the whole
+    ``2 ceil(log2 P) * t_startup`` again per scalar, which is the entire
+    case for the fused recurrence.
+    """
+    if nprocs <= 1:
+        return 0.0
+    return 2.0 * _ceil_log2(nprocs) * cost.message_time(float(nscalars))
+
+
+def spmd_allgather_time(n: int, nprocs: int, cost: CostModel) -> float:
+    """The gather+bcast allgather of :func:`repro.machine.spmd.allgather`.
+
+    Gather: the root's ``ceil(log2 P)`` sequential receives carry
+    ``m, 2m, ...`` words (``(P-1) m`` total); broadcast: every stage
+    forwards the full ``P m``-word list.  With ``m = ceil(n/P)``::
+
+        2 L t_startup + ((P-1) + L P) * m * t_comm,  L = ceil(log2 P)
+    """
+    if nprocs <= 1:
+        return 0.0
+    L = _ceil_log2(nprocs)
+    m = _chunk(n, nprocs)
+    return 2.0 * L * cost.t_startup + ((nprocs - 1) + L * nprocs) * m * cost.t_comm
+
+
+def classic_cg_iteration_time(
+    n: int, nnz: int, nprocs: int, cost: CostModel
+) -> float:
+    """One steady-state iteration of the classic two-reduction CG program.
+
+    Allgather of ``p``, local mat-vec (``2 nnz/P`` flops), **two**
+    single-scalar allreduce trees (``p.q`` and ``r.r``) and the local
+    vector updates (saypx 2, dot 2, x/r 4, dot 2 = ``10 n/P`` flops).
+    """
+    return (
+        spmd_allgather_time(n, nprocs, cost)
+        + 2.0 * _chunk(nnz, nprocs) * cost.t_flop
+        + 2.0 * packed_allreduce_time(1, nprocs, cost)
+        + 10.0 * _chunk(n, nprocs) * cost.t_flop
+    )
+
+
+def fused_cg_iteration_time(
+    n: int, nnz: int, nprocs: int, cost: CostModel
+) -> float:
+    """One steady-state iteration of the single-reduction CG program.
+
+    Same allgather and mat-vec as classic, **one** two-scalar packed
+    allreduce (``gamma``/``delta`` together), and the Chronopoulos--Gear
+    recurrence's local updates (x/r 4, two dots 4, p/s 4 = ``12 n/P``
+    flops -- the recurrence maintains the extra vector ``s = A p``).
+    """
+    return (
+        spmd_allgather_time(n, nprocs, cost)
+        + 2.0 * _chunk(nnz, nprocs) * cost.t_flop
+        + packed_allreduce_time(2, nprocs, cost)
+        + 12.0 * _chunk(n, nprocs) * cost.t_flop
+    )
+
+
+def fused_cg_saving_per_iteration(n: int, nprocs: int, cost: CostModel) -> float:
+    """Modelled per-iteration gain of fusing the two reductions into one::
+
+        2 ceil(log2 P) t_startup  -  2 (n/P) t_flop
+
+    One whole latency tree is saved (the second word rides free modulo
+    ``2 L t_comm``, which cancels against the dropped 1-word tree), paid
+    for by the two extra local flops per element of the ``s`` recurrence.
+    Latency-dominated machines (large ``t_startup``, large ``P``) win;
+    the formula going negative predicts exactly when fusion stops paying.
+    """
+    return (
+        classic_cg_iteration_time(n, 0, nprocs, cost)
+        - fused_cg_iteration_time(n, 0, nprocs, cost)
+    )
 
 
 def dense_storage_words(n: int) -> float:

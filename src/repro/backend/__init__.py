@@ -58,6 +58,7 @@ from .calibrate import (
     measure_message_costs,
     measure_t_flop,
 )
+from .counting import TagCountingProgram, allreduce_trees, tally_send_tags
 from .chaos import (
     ChaosOutcome,
     chaos_plan,
@@ -131,8 +132,10 @@ __all__ = [
     "ResilientCGProgram",
     "SimulatedBackend",
     "SlowdownProgram",
+    "TagCountingProgram",
     "WorkerCrashedError",
     "WorkerFailedError",
+    "allreduce_trees",
     "backend_solve",
     "calibrate_host",
     "chaos_plan",
@@ -156,4 +159,5 @@ __all__ = [
     "process_backend_support",
     "reslice_snapshots",
     "run_with_recovery",
+    "tally_send_tags",
 ]

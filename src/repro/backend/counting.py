@@ -1,0 +1,83 @@
+"""Per-message-tag send counting for rank programs, on either backend.
+
+Neither substrate's :class:`~repro.machine.stats.MachineStats` keeps
+per-*message-tag* totals (the scheduler and the process supervisor record
+one run-level stats tag), but several invariants in this repo are stated
+in message-tag terms -- "the fused recurrence issues exactly one
+allreduce tree per iteration", "a restart must not replay the ``bnorm``
+reduction".  :class:`TagCountingProgram` wraps any rank program and
+tallies every yielded :class:`~repro.machine.events.Send` by its tag,
+returning ``{"result": ..., "send_tags": {tag: count}}`` per rank, so a
+counted run pins those invariants on the simulator *and* on real
+processes (the tallies travel home in the pickled rank result).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..machine.events import Send
+
+__all__ = ["TagCountingProgram", "tally_send_tags", "allreduce_trees"]
+
+
+class TagCountingProgram:
+    """Wrap a rank-program factory; tally Sends by message tag per rank."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    # expose the wrapped program's metadata (layout, n, ...) for drivers
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    def __call__(self, rank: int, size: int):
+        gen = self.inner(rank, size)
+        counts: Dict[int, int] = {}
+        try:
+            op = next(gen)
+        except StopIteration as stop:
+            return {"result": stop.value, "send_tags": counts}
+        while True:
+            if isinstance(op, Send):
+                counts[op.tag] = counts.get(op.tag, 0) + 1
+            # exceptions thrown into this wrapper (receive timeouts,
+            # injected faults) must reach the wrapped program's own
+            # handlers at *its* yield point, not unwind here
+            try:
+                reply = yield op
+            except BaseException as exc:
+                try:
+                    op = gen.throw(exc)
+                except StopIteration as stop:
+                    return {"result": stop.value, "send_tags": counts}
+                continue
+            try:
+                op = gen.send(reply)
+            except StopIteration as stop:
+                return {"result": stop.value, "send_tags": counts}
+
+
+def tally_send_tags(results: List[Any]) -> Dict[int, int]:
+    """Merge the per-rank ``send_tags`` dicts of a counted run's results."""
+    total: Dict[int, int] = {}
+    for res in results:
+        for tag, count in res["send_tags"].items():
+            total[tag] = total.get(tag, 0) + count
+    return total
+
+
+def allreduce_trees(results: List[Any], nprocs: int, tag: int = 3) -> float:
+    """Number of whole-machine allreduce trees a counted run performed.
+
+    The reduce phase of :func:`~repro.machine.spmd.allreduce_sum` (and of
+    the packed :func:`~repro.machine.spmd.allreduce_vec`) sends exactly
+    ``P - 1`` messages on ``tag``; dividing the tallied count recovers the
+    tree count regardless of backend.  ARQ acks travel on their own tag
+    range (``ACK_TAG_BASE + tag``) so they never pollute this count.
+    Returns a float so an unexpected partial tree shows up as a
+    non-integer instead of silently rounding.
+    """
+    if nprocs == 1:
+        return 0.0
+    return tally_send_tags(results).get(tag, 0) / (nprocs - 1)

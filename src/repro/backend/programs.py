@@ -134,9 +134,39 @@ class CGRankProgram(_RowBlockProgram):
     SAXPY-type updates.  Each rank returns
     ``(x_block, residuals, converged, iterations)``; the residual history
     and flags are identical on every rank.
+
+    ``fused=True`` switches to the single-reduction (communication-
+    avoiding, Chronopoulos--Gear) recurrence: the mat-vec rides on ``r``
+    instead of ``p`` and the two inner products ``gamma = r.r`` and
+    ``delta = (A r).r`` travel in **one** batched
+    :func:`~repro.machine.spmd.allreduce_vec` per iteration, with
+    ``alpha = gamma / (delta - beta * gamma / alpha_prev)`` recovering the
+    classic step length.  Same solution, same residual trajectory (up to
+    floating-point reassociation), half the per-iteration ``t_startup``
+    latency trees.
     """
 
+    def __init__(
+        self,
+        matrix,
+        b: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+        criterion: Optional[StoppingCriterion] = None,
+        maxiter: Optional[int] = None,
+        layout=None,
+        fused: bool = False,
+    ):
+        super().__init__(matrix, b, x0, criterion, maxiter, layout=layout)
+        self.fused = bool(fused)
+
     def __call__(self, rank: int, size: int):
+        if self.fused:
+            result = yield from self._run_fused(rank, size)
+        else:
+            result = yield from self._run_classic(rank, size)
+        return result
+
+    def _run_classic(self, rank: int, size: int):
         indices, data = self.indices, self.data
         crit, maxiter = self.crit, self.maxiter
         lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
@@ -196,6 +226,78 @@ class CGRankProgram(_RowBlockProgram):
                 break
         return x, residuals, converged, iterations
 
+    def _run_fused(self, rank: int, size: int):
+        indices, data = self.indices, self.data
+        crit, maxiter = self.crit, self.maxiter
+        lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
+        x = self.x_start[lo:hi].copy()
+        bb = self.b[lo:hi].copy()
+
+        def matvec(v_full):
+            out = np.zeros(hi - lo)
+            np.add.at(out, row_ids, data[seg] * v_full[indices[seg]])
+            return out
+
+        if np.any(self.x_start):
+            blocks = yield from spmd.allgather(rank, size, x)
+            ax = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            r = bb - ax
+        else:
+            r = bb.copy()
+
+        # w = A r: the per-iteration allgather replicates r, not p
+        blocks = yield from spmd.allgather(rank, size, r)
+        w = matvec(np.concatenate(blocks))
+        yield Compute(2.0 * local_nnz)
+        # the single fused reduction; b.b rides along on the first trip so
+        # even setup needs no second latency tree
+        packed = yield from spmd.allreduce_vec(
+            rank, size,
+            np.array([float(r @ r), float(w @ r), float(bb @ bb)]),
+        )
+        yield Compute(6.0 * r.size)
+        gamma, delta = float(packed[0]), float(packed[1])
+        bnorm = float(np.sqrt(packed[2]))
+        residuals = [float(np.sqrt(max(0.0, gamma)))]
+        if crit.satisfied(residuals[-1], bnorm):
+            return x, residuals, True, 0
+        if delta == 0.0:
+            return x, residuals, False, 0
+        alpha = gamma / delta
+        p = r.copy()
+        s = w.copy()
+
+        converged = False
+        iterations = 0
+        for k in range(1, maxiter + 1):
+            x += alpha * p
+            r -= alpha * s
+            yield Compute(4.0 * r.size)
+            blocks = yield from spmd.allgather(rank, size, r)
+            w = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            packed = yield from spmd.allreduce_vec(
+                rank, size, np.array([float(r @ r), float(w @ r)])
+            )
+            yield Compute(4.0 * r.size)
+            gamma_new, delta = float(packed[0]), float(packed[1])
+            residuals.append(float(np.sqrt(max(0.0, gamma_new))))
+            iterations = k
+            if crit.satisfied(residuals[-1], bnorm):
+                converged = True
+                break
+            beta = gamma_new / gamma
+            denom = delta - beta * gamma_new / alpha
+            if denom == 0.0:
+                break
+            alpha = gamma_new / denom
+            gamma = gamma_new
+            p = r + beta * p
+            s = w + beta * s
+            yield Compute(4.0 * r.size)
+        return x, residuals, converged, iterations
+
 
 class PCGRankProgram(_RowBlockProgram):
     """Jacobi-preconditioned row-block SPMD CG rank program.
@@ -204,17 +306,31 @@ class PCGRankProgram(_RowBlockProgram):
     ``p = beta p + z`` at the *end* of the body), with the diagonal
     preconditioner applied locally -- Jacobi needs no communication, the
     paper's "fully parallel, one divide each" case.
+
+    ``fused=True`` runs the preconditioned single-reduction recurrence:
+    per iteration the three inner products ``gamma = r.u``,
+    ``delta = (A u).u`` and ``rnorm2 = r.r`` (``u = M^-1 r``) share one
+    batched :func:`~repro.machine.spmd.allreduce_vec`.
     """
 
-    def __init__(self, matrix, b, x0=None, criterion=None, maxiter=None):
+    def __init__(self, matrix, b, x0=None, criterion=None, maxiter=None,
+                 fused: bool = False):
         super().__init__(matrix, b, x0, criterion, maxiter)
         A = as_matrix(matrix)
         d = A.diagonal()
         if (d == 0).any():
             raise ValueError("Jacobi preconditioner needs a zero-free diagonal")
         self.inv_diag = 1.0 / d
+        self.fused = bool(fused)
 
     def __call__(self, rank: int, size: int):
+        if self.fused:
+            result = yield from self._run_fused(rank, size)
+        else:
+            result = yield from self._run_classic(rank, size)
+        return result
+
+    def _run_classic(self, rank: int, size: int):
         indices, data = self.indices, self.data
         crit, maxiter = self.crit, self.maxiter
         lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
@@ -281,6 +397,84 @@ class PCGRankProgram(_RowBlockProgram):
             yield Compute(2.0 * p.size)
         return x, residuals, converged, iterations
 
+    def _run_fused(self, rank: int, size: int):
+        indices, data = self.indices, self.data
+        crit, maxiter = self.crit, self.maxiter
+        lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
+        x = self.x_start[lo:hi].copy()
+        bb = self.b[lo:hi].copy()
+        inv_d = self.inv_diag[lo:hi]
+
+        def matvec(v_full):
+            out = np.zeros(hi - lo)
+            np.add.at(out, row_ids, data[seg] * v_full[indices[seg]])
+            return out
+
+        if np.any(self.x_start):
+            blocks = yield from spmd.allgather(rank, size, x)
+            ax = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            r = bb - ax
+        else:
+            r = bb.copy()
+
+        u = inv_d * r  # Jacobi apply: local, one divide each
+        yield Compute(float(hi - lo))
+        blocks = yield from spmd.allgather(rank, size, u)
+        w = matvec(np.concatenate(blocks))
+        yield Compute(2.0 * local_nnz)
+        # one fused reduction carries gamma = r.u, delta = (A u).u, the
+        # stopping norm r.r, and (first trip only) b.b
+        packed = yield from spmd.allreduce_vec(
+            rank, size,
+            np.array([float(r @ u), float(w @ u), float(r @ r),
+                      float(bb @ bb)]),
+        )
+        yield Compute(8.0 * r.size)
+        gamma, delta = float(packed[0]), float(packed[1])
+        bnorm = float(np.sqrt(packed[3]))
+        residuals = [float(np.sqrt(max(0.0, packed[2])))]
+        if crit.satisfied(residuals[-1], bnorm):
+            return x, residuals, True, 0
+        if delta == 0.0:
+            return x, residuals, False, 0
+        alpha = gamma / delta
+        p = u.copy()
+        s = w.copy()
+
+        converged = False
+        iterations = 0
+        for k in range(1, maxiter + 1):
+            x += alpha * p
+            r -= alpha * s
+            yield Compute(4.0 * r.size)
+            u = inv_d * r
+            yield Compute(float(hi - lo))
+            blocks = yield from spmd.allgather(rank, size, u)
+            w = matvec(np.concatenate(blocks))
+            yield Compute(2.0 * local_nnz)
+            packed = yield from spmd.allreduce_vec(
+                rank, size,
+                np.array([float(r @ u), float(w @ u), float(r @ r)]),
+            )
+            yield Compute(6.0 * r.size)
+            gamma_new, delta = float(packed[0]), float(packed[1])
+            residuals.append(float(np.sqrt(max(0.0, packed[2]))))
+            iterations = k
+            if crit.satisfied(residuals[-1], bnorm):
+                converged = True
+                break
+            beta = gamma_new / gamma
+            denom = delta - beta * gamma_new / alpha
+            if denom == 0.0:
+                break
+            alpha = gamma_new / denom
+            gamma = gamma_new
+            p = u + beta * p
+            s = w + beta * s
+            yield Compute(4.0 * r.size)
+        return x, residuals, converged, iterations
+
 
 class ResilientCGProgram(_RowBlockProgram):
     """Fault-tolerant row-block SPMD CG: runs unchanged on both backends.
@@ -322,6 +516,15 @@ class ResilientCGProgram(_RowBlockProgram):
     checkpoint; every rank then resumes from that coordinated state.  Each
     rank returns ``(x_block, residuals, converged, iterations, extras)``
     with recovery telemetry in ``extras``.
+
+    ``fused=True`` layers all of the above on the single-reduction
+    recurrence of :class:`CGRankProgram`: one batched
+    ``allreduce_vec`` per iteration carries ``gamma``/``delta`` -- with
+    ``abft=True`` their duplicate-sum slots *and* the mat-vec column
+    checksum ride in the same packed message (6 words instead of three
+    separate latency trees).  Checkpoints then snapshot the extra
+    recurrence state (``s``, ``gamma``, ``alpha``) so restarts resume the
+    fused iteration exactly.
     """
 
     def __init__(
@@ -341,8 +544,10 @@ class ResilientCGProgram(_RowBlockProgram):
         abft: bool = False,
         abft_rtol: float = 1.0e-8,
         layout=None,
+        fused: bool = False,
     ):
         super().__init__(matrix, b, x0, criterion, maxiter, layout=layout)
+        self.fused = bool(fused)
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
         if sanity_interval < 1:
@@ -366,6 +571,13 @@ class ResilientCGProgram(_RowBlockProgram):
 
     # ------------------------------------------------------------------ #
     def __call__(self, rank: int, size: int):
+        if self.fused:
+            result = yield from self._run_fused(rank, size)
+        else:
+            result = yield from self._run_classic(rank, size)
+        return result
+
+    def _run_classic(self, rank: int, size: int):
         indices, data = self.indices, self.data
         crit, maxiter = self.crit, self.maxiter
         lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
@@ -557,6 +769,228 @@ class ResilientCGProgram(_RowBlockProgram):
             if stopping:
                 converged = True
                 break
+        return x, residuals, converged, iterations, self._extras(
+            rollbacks, audits, checkpoints_published, restarted_from, ep, plan,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_fused(self, rank: int, size: int):
+        indices, data = self.indices, self.data
+        crit, maxiter = self.crit, self.maxiter
+        lo, hi, seg, local_nnz, row_ids = self._local(rank, size)
+        bb = self.b[lo:hi].copy()
+        plan = self.faults.for_rank(rank) if self.faults is not None else None
+        ep = (
+            ReliableEndpoint(rank, self.reliable_config)
+            if self.reliable
+            else None
+        )
+
+        def allreduce_vec(values, tag=3):
+            if ep is not None:
+                out = yield from rel.allreduce_vec(ep, rank, size, values,
+                                                   tag=tag)
+            else:
+                out = yield from spmd.allreduce_vec(rank, size, values,
+                                                    tag=tag)
+            return out
+
+        def allgather(value, tag=7):
+            if ep is not None:
+                out = yield from rel.allgather(ep, rank, size, value, tag=tag)
+            else:
+                out = yield from spmd.allgather(rank, size, value, tag=tag)
+            return out
+
+        def dot(value, tag, what):
+            if self.abft:
+                pair = yield from allreduce_vec(encode_dot(value), tag=tag)
+                return decode_dot(pair, what)
+            out = yield from allreduce_vec(np.array([float(value)]), tag=tag)
+            return float(out[0])
+
+        def matvec(v_full):
+            out = np.zeros(hi - lo)
+            np.add.at(out, row_ids, data[seg] * v_full[indices[seg]])
+            return out
+
+        def fused_iteration_reduce(r, w, r_full, extra=()):
+            """One packed reduction: gamma = r.r, delta = w.r (+ extras).
+
+            With ABFT every dot slot travels duplicated and the mat-vec
+            column checksum rides along, so silent in-flight corruption
+            of the *single* per-iteration message is still caught.
+            ``extra`` appends more plain slots (the first trip adds b.b).
+            """
+            g, d = float(r @ r), float(w @ r)
+            if self.abft:
+                slots = [g, g, d, d, float(w.sum()), float(w.sum())]
+                slots += [v for pair in extra for v in (pair, pair)]
+                red = yield from allreduce_vec(np.array(slots))
+                gamma = decode_dot(red[0:2], "r·r")
+                delta = decode_dot(red[2:4], "(A r)·r")
+                w_total = decode_dot(red[4:6], "sum(A r)")
+                check_matvec(w_total, self.colsum, self.abs_colsum, r_full,
+                             self.abft_rtol)
+                rest = [decode_dot(red[6 + 2 * i:8 + 2 * i], "setup")
+                        for i in range(len(extra))]
+            else:
+                red = yield from allreduce_vec(np.array([g, d, *extra]))
+                gamma, delta = float(red[0]), float(red[1])
+                rest = [float(v) for v in red[2:]]
+            return gamma, delta, rest
+
+        rollbacks = 0
+        audits = 0
+        checkpoints_published = 0
+        last_snap: Optional[Dict[str, Any]] = None
+
+        def snapshot(k, x, r, p, s, gamma, alpha, residuals, iterations,
+                     bnorm):
+            return {
+                "k": k,
+                "x": x.copy(),
+                "r": r.copy(),
+                "p": p.copy(),
+                "s": s.copy(),
+                "gamma": gamma,
+                "alpha": alpha,
+                "residuals": list(residuals),
+                "iterations": iterations,
+                "bnorm": bnorm,
+            }
+
+        # ---------------- initial state (fresh or restarted) ----------- #
+        if self.restart is not None:
+            k0, snaps = self.restart
+            snap = snaps[rank]
+            if snap["k"] != k0:  # pragma: no cover - driver invariant
+                raise ValueError("restart snapshot iteration mismatch")
+            x = snap["x"].copy()
+            r = snap["r"].copy()
+            p = snap["p"].copy()
+            s = snap["s"].copy()
+            gamma, alpha = snap["gamma"], snap["alpha"]
+            residuals = list(snap["residuals"])
+            iterations = snap["iterations"]
+            bnorm = snap["bnorm"]
+            k = k0
+            last_snap = snapshot(k, x, r, p, s, gamma, alpha, residuals,
+                                 iterations, bnorm)
+            restarted_from: Optional[int] = k0
+        else:
+            x = self.x_start[lo:hi].copy()
+            if np.any(self.x_start):
+                blocks = yield from allgather(x)
+                ax = matvec(np.concatenate(blocks))
+                yield Compute(2.0 * local_nnz)
+                r = bb - ax
+            else:
+                r = bb.copy()
+            blocks = yield from allgather(r)
+            r_full = np.concatenate(blocks)
+            w = matvec(r_full)
+            yield Compute(2.0 * local_nnz)
+            gamma, delta, (bnorm2,) = yield from fused_iteration_reduce(
+                r, w, r_full, extra=(float(bb @ bb),)
+            )
+            yield Compute(6.0 * r.size)
+            bnorm = float(np.sqrt(bnorm2))
+            residuals = [float(np.sqrt(max(0.0, gamma)))]
+            iterations = 0
+            k = 0
+            restarted_from = None
+            if crit.satisfied(residuals[-1], bnorm) or delta == 0.0:
+                return x, residuals, crit.satisfied(residuals[-1], bnorm), 0, \
+                    self._extras(rollbacks, audits, checkpoints_published,
+                                 restarted_from, ep, plan)
+            alpha = gamma / delta
+            p = r.copy()
+            s = w.copy()
+            last_snap = snapshot(0, x, r, p, s, gamma, alpha, residuals,
+                                 iterations, bnorm)
+            yield Compute(4.0 * x.size)  # checkpoint copy cost (x, r, p, s)
+            yield Checkpoint(iteration=0, payload=last_snap)
+            checkpoints_published += 1
+
+        # ---------------- main loop ------------------------------------ #
+        converged = False
+        while k < maxiter:
+            k += 1
+            if plan is not None:
+                corr = plan.take_state_corruption(k, rank)
+                if corr is not None:
+                    target = {"x": x, "r": r, "p": p}[corr.target]
+                    if target.size:
+                        i = plan.draw_index(target.size)
+                        target[i] += (1.0 + abs(target[i])) * corr.scale
+            x += alpha * p
+            r -= alpha * s
+            yield Compute(4.0 * r.size)
+            blocks = yield from allgather(r)
+            r_full = np.concatenate(blocks)
+            w = matvec(r_full)
+            yield Compute(2.0 * local_nnz)
+            gamma_new, delta, _ = yield from fused_iteration_reduce(
+                r, w, r_full
+            )
+            yield Compute(4.0 * r.size)
+            residuals.append(float(np.sqrt(max(0.0, gamma_new))))
+            iterations = k
+            stopping = crit.satisfied(residuals[-1], bnorm)
+            need_ckpt = k % self.checkpoint_interval == 0
+            if stopping or need_ckpt or k % self.sanity_interval == 0:
+                # sanity audit, exactly as in the classic variant: all
+                # ranks compare identical reduced values, so they roll
+                # back (or none do) without extra coordination
+                audits += 1
+                x_blocks = yield from allgather(x, tag=21)
+                ax = matvec(np.concatenate(x_blocks))
+                yield Compute(2.0 * local_nnz)
+                d = bb - ax
+                true2 = yield from dot(float(d @ d), 23, "audit")
+                yield Compute(2.0 * d.size)
+                true_norm = float(np.sqrt(max(0.0, true2)))
+                if abs(true_norm - residuals[-1]) > self.sanity_rtol * max(
+                    bnorm, 1.0e-300
+                ):
+                    rollbacks += 1
+                    if rollbacks > self.max_restarts:
+                        raise RecoveryExhaustedError(
+                            f"rank {rank}: sanity audit failed at iteration "
+                            f"{k} (recurrence {residuals[-1]:.3e} vs true "
+                            f"{true_norm:.3e}) after "
+                            f"{rollbacks - 1} rollbacks"
+                        )
+                    snap = last_snap
+                    x = snap["x"].copy()
+                    r = snap["r"].copy()
+                    p = snap["p"].copy()
+                    s = snap["s"].copy()
+                    gamma, alpha = snap["gamma"], snap["alpha"]
+                    residuals = list(snap["residuals"])
+                    iterations = snap["iterations"]
+                    k = snap["k"]
+                    yield Compute(4.0 * x.size)  # restore copy cost
+                    continue
+            if stopping:
+                converged = True
+                break
+            beta = gamma_new / gamma
+            denom = delta - beta * gamma_new / alpha
+            if denom == 0.0:
+                break
+            alpha = gamma_new / denom
+            gamma = gamma_new
+            p = r + beta * p
+            s = w + beta * s
+            yield Compute(4.0 * r.size)
+            if need_ckpt:
+                last_snap = snapshot(k, x, r, p, s, gamma, alpha, residuals,
+                                     iterations, bnorm)
+                yield Compute(4.0 * x.size)  # checkpoint copy cost
+                yield Checkpoint(iteration=k, payload=last_snap)
+                checkpoints_published += 1
         return x, residuals, converged, iterations, self._extras(
             rollbacks, audits, checkpoints_published, restarted_from, ep, plan,
         )

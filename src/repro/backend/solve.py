@@ -105,8 +105,13 @@ def make_solver_program(
     b: np.ndarray,
     x0: Optional[np.ndarray] = None,
     criterion: Optional[StoppingCriterion] = None,
+    fused: bool = False,
 ) -> ProgramFactory:
-    """Build the backend-portable rank program for ``solver``."""
+    """Build the backend-portable rank program for ``solver``.
+
+    ``fused=True`` selects the single-reduction (Chronopoulos--Gear)
+    recurrence: one batched allreduce per iteration instead of two.
+    """
     try:
         cls = SOLVER_PROGRAMS[solver]
     except KeyError:
@@ -114,7 +119,7 @@ def make_solver_program(
             f"solver {solver!r} has no backend-portable SPMD program; "
             f"available: {sorted(SOLVER_PROGRAMS)}"
         ) from None
-    return cls(matrix, b, x0=x0, criterion=criterion)
+    return cls(matrix, b, x0=x0, criterion=criterion, fused=fused)
 
 
 def reslice_snapshots(
@@ -124,41 +129,44 @@ def reslice_snapshots(
 ) -> Dict[int, Dict[str, Any]]:
     """Re-slice one complete checkpoint from layout ``old`` onto ``new``.
 
-    The vector state (``x``, ``r``, ``p``) is remapped exactly with
-    :func:`~repro.hpf.distribution.redistribute_vector`; the reduced
-    scalars (``rho``, ``bnorm``, residual history, ...) are identical on
-    every rank by construction, so they are taken from rank 0 and shared.
-    The result is a ``{new_rank: snapshot}`` dict a
-    :class:`~repro.backend.programs.ResilientCGProgram` restarts from.
+    The distributed vector state (``x``, ``r``, ``p``, and ``s`` for
+    fused-recurrence snapshots) is remapped exactly with
+    :func:`~repro.hpf.distribution.redistribute_vector`; every other
+    snapshot entry is a reduced scalar (``rho``, ``gamma``, ``bnorm``,
+    residual history, ...) identical on every rank by construction, so it
+    is taken from rank 0 and shared.  Keys are discovered from the
+    snapshot itself, so classic and fused checkpoint formats reslice
+    through the same code path.  The result is a ``{new_rank: snapshot}``
+    dict a :class:`~repro.backend.programs.ResilientCGProgram` restarts
+    from.
     """
     if set(snaps) != set(range(old.nprocs)):
         raise ValueError(
             f"checkpoint is not complete for {old.nprocs} ranks: "
             f"got ranks {sorted(snaps)}"
         )
+    base = snaps[0]
+    vec_keys = [k for k in ("x", "r", "p", "s") if k in base]
     parts = {
         key: redistribute_vector(
             [np.asarray(snaps[r][key], dtype=np.float64)
              for r in range(old.nprocs)],
             old, new,
         )
-        for key in ("x", "r", "p")
+        for key in vec_keys
     }
-    base = snaps[0]
-    return {
-        nr: {
-            "k": base["k"],
-            "x": parts["x"][nr],
-            "r": parts["r"][nr],
-            "p": parts["p"][nr],
-            "rho": base["rho"],
-            "rho0": base["rho0"],
-            "residuals": list(base["residuals"]),
-            "iterations": base["iterations"],
-            "bnorm": base["bnorm"],
-        }
-        for nr in range(new.nprocs)
-    }
+    out: Dict[int, Dict[str, Any]] = {}
+    for nr in range(new.nprocs):
+        snap: Dict[str, Any] = {}
+        for key, value in base.items():
+            if key in parts:
+                snap[key] = parts[key][nr]
+            elif key == "residuals":
+                snap[key] = list(value)
+            else:
+                snap[key] = value
+        out[nr] = snap
+    return out
 
 
 def _effective_layout(program, nprocs: int) -> Distribution:
@@ -488,8 +496,16 @@ def backend_solve(
     min_ranks: int = 1,
     straggler_deadline: Optional[float] = None,
     heartbeat_interval: Optional[float] = None,
+    fused: bool = False,
 ) -> SolveResult:
     """Solve ``A x = b`` with ``solver`` on the chosen execution backend.
+
+    ``fused=True`` runs the single-reduction (communication-avoiding)
+    recurrence of the selected program: all per-iteration inner products
+    travel in one batched allreduce (``spmd.allreduce_vec``) instead of
+    two or three scalar trees.  Works on both backends and composes with
+    ``faults``/``resilience`` (ABFT duplicate-sum slots ride in the same
+    packed message).
 
     With ``faults`` and/or ``resilience`` the solve runs the fault-tolerant
     :class:`~repro.backend.programs.ResilientCGProgram` (``"cg"`` family
@@ -521,7 +537,7 @@ def backend_solve(
     )
     if plain:
         program = make_solver_program(solver, matrix, b, x0=x0,
-                                      criterion=criterion)
+                                      criterion=criterion, fused=fused)
         be = make_backend(backend)
         run = be.run(program, nprocs)
         return assemble_backend_result(run, solver=solver, n=program.n)
@@ -543,6 +559,7 @@ def backend_solve(
         faults=plan,  # state corruptions; rank-local derivation inside
         reliable=message_faults,
         reliable_config=cfg.reliable,
+        fused=fused,
     )
     runnable = (
         FaultInjectingProgram(program, plan) if message_faults else program

@@ -103,6 +103,7 @@ def cross_validate(
     simulated: Optional[Union[SimulatedBackend, ExecutionBackend]] = None,
     process: Optional[Union[ProcessBackend, ExecutionBackend]] = None,
     strict: bool = True,
+    fused: bool = False,
 ) -> CrossValidation:
     """Run one solve on both backends and compare.
 
@@ -110,14 +111,17 @@ def cross_validate(
     numerical divergence; ``strict=False`` returns the report and lets
     the caller decide.  ``simulated``/``process`` accept pre-configured
     backends (e.g. a custom calibrated cost model, a shorter timeout).
+    ``fused=True`` cross-validates the single-reduction recurrence -- the
+    packed allreduce must stay bitwise-deterministic across substrates
+    just like the classic scalar trees.
     """
     sim_backend = simulated if simulated is not None else SimulatedBackend()
     proc_backend = process if process is not None else ProcessBackend()
 
     sim = backend_solve(solver, matrix, b, backend=sim_backend, nprocs=nprocs,
-                        x0=x0, criterion=criterion)
+                        x0=x0, criterion=criterion, fused=fused)
     proc = backend_solve(solver, matrix, b, backend=proc_backend, nprocs=nprocs,
-                         x0=x0, criterion=criterion)
+                         x0=x0, criterion=criterion, fused=fused)
 
     x_equal = sim.x.shape == proc.x.shape and bool(np.all(sim.x == proc.x))
     max_abs_diff = (

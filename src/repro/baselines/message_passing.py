@@ -127,8 +127,8 @@ def spmd_cg(
 
 
 def _copy_snapshot(snap):
-    x, r, p, rho, rho0 = snap
-    return x.copy(), r.copy(), p.copy(), rho, rho0
+    x, r, p, rho, rho0, bnorm2 = snap
+    return x.copy(), r.copy(), p.copy(), rho, rho0, bnorm2
 
 
 def _run_resilient(
@@ -191,17 +191,23 @@ def _run_resilient(
             yield Compute(2.0 * r.size)
             return 0, x, r, p, rho, rho
 
-        bnorm2 = yield from rel.allreduce_sum(ep, rank, size, float(bb @ bb))
-        yield Compute(2.0 * bb.size)
-        bnorm = float(np.sqrt(bnorm2))
-
+        # probe for a checkpoint *before* reducing ||b||: a restart already
+        # has bnorm2 in its snapshot, and replaying the reduction here used
+        # to shift every message tag/count of the recovered run (tag 13/14
+        # is reserved for this one-shot reduction so a counted run can pin
+        # that it happens exactly once across any number of restarts)
         ck = latest_complete_checkpoint(store, size)
         if ck is None:
+            bnorm2 = yield from rel.allreduce_sum(
+                ep, rank, size, float(bb @ bb), tag=13
+            )
+            yield Compute(2.0 * bb.size)
             k, x, r, p, rho, rho0 = yield from fresh_state()
         else:
             k, snap = ck
-            x, r, p, rho, rho0 = _copy_snapshot(snap[rank])
+            x, r, p, rho, rho0, bnorm2 = _copy_snapshot(snap[rank])
             yield Compute(3.0 * x.size)  # checkpoint read-back
+        bnorm = float(np.sqrt(bnorm2))
         residuals = [float(np.sqrt(max(0.0, rho)))]
         if k == 0 and crit.satisfied(residuals[-1], bnorm):
             return x, residuals, True, 0
@@ -275,7 +281,7 @@ def _run_resilient(
                         k, x, r, p, rho, rho0 = yield from fresh_state()
                     else:
                         k, snap = ck
-                        x, r, p, rho, rho0 = _copy_snapshot(snap[rank])
+                        x, r, p, rho, rho0, _ = _copy_snapshot(snap[rank])
                         yield Compute(3.0 * x.size)
                     iterations = k
                     last_true = None
@@ -301,7 +307,7 @@ def _run_resilient(
                         counters["refreshes"] += 1
                 if need_ckpt:
                     store.setdefault(k, {})[rank] = (
-                        x.copy(), r.copy(), p.copy(), rho, rho0,
+                        x.copy(), r.copy(), p.copy(), rho, rho0, bnorm2,
                     )
                     yield Compute(3.0 * x.size)  # checkpoint write
                     if len(store[k]) == size:

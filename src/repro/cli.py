@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--strategy", choices=sorted(STRATEGIES),
                        default="csr_forall_aligned")
     solve.add_argument("--solver", choices=SOLVERS, default="cg")
+    solve.add_argument(
+        "--fused", action="store_true",
+        help="single-reduction (communication-avoiding) recurrence: all "
+             "per-iteration inner products in one batched allreduce "
+             "(cg/pcg, either backend)",
+    )
     solve.add_argument("--rtol", type=float, default=1e-8)
     solve.add_argument("--maxiter", type=int, default=None)
     solve.add_argument(
@@ -273,13 +279,15 @@ def _cmd_solve_process(args: argparse.Namespace) -> int:
     result = backend_solve(args.solver, A, b, backend=backend,
                            nprocs=args.nprocs, criterion=crit,
                            policy=args.policy,
-                           straggler_deadline=args.straggler_deadline)
+                           straggler_deadline=args.straggler_deadline,
+                           fused=args.fused)
 
     timings = result.extras["timings"]
     print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
     print(f"machine   : {args.nprocs} OS processes "
           f"({backend.start_method or default_start_method()} start)")
-    print(f"solver    : {result.solver} / {result.strategy}")
+    fused_mark = " [fused]" if args.fused else ""
+    print(f"solver    : {result.solver} / {result.strategy}{fused_mark}")
     print(f"converged : {result.converged} in {result.iterations} iterations")
     print(f"residual  : {result.final_residual:.3e}")
     print(f"wall time : {result.machine_elapsed * 1e3:.3f} ms (measured)")
@@ -323,6 +331,34 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     A = _make_matrix(args.matrix, args.n)
     rng = np.random.default_rng(0)
     b = rng.standard_normal(A.nrows)
+
+    if args.fused:
+        # the fused recurrence lives in the backend-portable SPMD rank
+        # programs; run them on the simulated substrate
+        from . import StoppingCriterion, backend_solve
+        from .backend import SimulatedBackend
+        from .backend.solve import SOLVER_PROGRAMS
+
+        if args.solver not in SOLVER_PROGRAMS:
+            print(f"error: --fused supports solvers "
+                  f"{sorted(set(SOLVER_PROGRAMS))}, not {args.solver!r}",
+                  file=sys.stderr)
+            return 2
+        crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
+        backend = SimulatedBackend(topology=args.topology)
+        result = backend_solve(args.solver, A, b, backend=backend,
+                               nprocs=args.nprocs, criterion=crit, fused=True)
+        print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
+        print(f"machine   : {args.nprocs} procs, {args.topology} (simulated)")
+        print(f"solver    : {result.solver} / {result.strategy} [fused]")
+        print(f"converged : {result.converged} in {result.iterations} "
+              f"iterations")
+        print(f"residual  : {result.final_residual:.3e}")
+        print(f"sim time  : {result.machine_elapsed * 1e3:.3f} ms")
+        print(f"comm      : {result.comm['messages']} messages, "
+              f"{result.comm['words']:.0f} words")
+        return 0 if result.converged else 1
+
     machine = Machine(nprocs=args.nprocs, topology=args.topology)
     strategy = make_strategy(args.strategy, machine, A)
     crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)

@@ -109,7 +109,7 @@ class DenseCheckerboard(MatvecStrategy):
         # scatter the reduced row blocks back onto the machine-wide BLOCK
         q_full = np.concatenate(partial_rows)[: self.n]
         for r in range(self.machine.nprocs):
-            q_out.local(r)[:] = q_full[self._dist.local_indices(r)]
+            q_out.local(r)[:] = q_full[self._dist.local_indices_cached(r)]
 
     def apply_transpose(self, x, y, tag: str = "matvec_T") -> None:
         """Checkerboard is symmetric under transposition: same cost shape."""
@@ -129,7 +129,7 @@ class DenseCheckerboard(MatvecStrategy):
         self._charge_subgroup_stage("grid_reduce", tag, with_flops=True)
         y_full = np.concatenate(partial_cols)[: self.n]
         for r in range(self.machine.nprocs):
-            y.local(r)[:] = y_full[self._dist.local_indices(r)]
+            y.local(r)[:] = y_full[self._dist.local_indices_cached(r)]
 
     def comm_words_received_per_rank(self) -> float:
         """Words each rank receives per apply: ``2 n / q = 2 n / sqrt(P)``.

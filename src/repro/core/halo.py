@@ -142,7 +142,7 @@ class CsrHalo(MatvecStrategy):
         rows = self.csr.expanded_rows()
         np.add.at(total, indices, data * x_full[rows])
         for r in range(self.machine.nprocs):
-            y.local(r)[:] = total[self._dist.local_indices(r)]
+            y.local(r)[:] = total[self._dist.local_indices_cached(r)]
             lo, hi = self._dist.local_range(r)
             self.machine.charge_compute(r, 2.0 * float(self._local_nnz[r]))
 

@@ -223,7 +223,7 @@ class ColBlockDenseSerial(MatvecStrategy):
             time = messages * self.machine.cost.message_time(chunk)
             self.machine.charge_comm_interval("p2p", messages, words, time, tag)
         for r in range(nprocs):
-            q.local(r)[:] = total[self._dist.local_indices(r)]
+            q.local(r)[:] = total[self._dist.local_indices_cached(r)]
 
     def apply_transpose(
         self, x: DistributedArray, y: DistributedArray, tag: str = "matvec_T"
@@ -441,7 +441,7 @@ class CscSerial(MatvecStrategy):
                 )
                 self.machine.charge_comm_interval("p2p", messages, words, time, tag)
         for r in range(nprocs):
-            q.local(r)[:] = total[self._dist.local_indices(r)]
+            q.local(r)[:] = total[self._dist.local_indices_cached(r)]
 
     def apply_transpose(
         self, x: DistributedArray, y: DistributedArray, tag: str = "matvec_T"

@@ -108,7 +108,7 @@ class DistributedArray:
             name=name,
         )
         for r in range(machine.nprocs):
-            arr._locals[r][:] = values[arr.distribution.local_indices(r)]
+            arr._locals[r][:] = values[arr.distribution.local_indices_cached(r)]
         return arr
 
     def to_global(self) -> np.ndarray:
@@ -119,7 +119,7 @@ class DistributedArray:
                 out[:] = self._locals[0]
             return out
         for r in range(self.machine.nprocs):
-            out[self.distribution.local_indices(r)] = self._locals[r]
+            out[self.distribution.local_indices_cached(r)] = self._locals[r]
         return out
 
     def local(self, rank: int) -> np.ndarray:
@@ -164,7 +164,7 @@ class DistributedArray:
         values = self.to_global()
         self.distribution = new_distribution
         self._locals = [
-            values[new_distribution.local_indices(r)].astype(self.dtype)
+            values[new_distribution.local_indices_cached(r)].astype(self.dtype)
             for r in range(self.machine.nprocs)
         ]
 
@@ -189,18 +189,17 @@ class DistributedArray:
         Every element whose owner changes moves once; per-rank message
         counts come from the distinct (old owner -> new owner) pairs.
         """
-        idx = np.arange(self.n, dtype=np.int64)
         if self.distribution.is_replicated:
             # replicated -> distributed: no traffic, every rank narrows
             return
-        old = self.distribution.owners(idx)
+        old = self.distribution.owner_map()
         if new_distribution.is_replicated:
             # distributed -> replicated is an allgather
             self.machine.allgather(
                 float(self.distribution.max_local_count()), tag="redistribute"
             )
             return
-        new = new_distribution.owners(idx)
+        new = new_distribution.owner_map()
         moving = old != new
         words = float(np.count_nonzero(moving))
         if words == 0:
@@ -236,7 +235,7 @@ class DistributedArray:
     def _other_block(self, other: "DistributedArray", rank: int) -> np.ndarray:
         """The piece of ``other`` co-located with this array's rank block."""
         if other.distribution.is_replicated and not self.distribution.is_replicated:
-            return other._locals[rank][self.distribution.local_indices(rank)]
+            return other._locals[rank][self.distribution.local_indices_cached(rank)]
         if other.distribution.same_mapping(self.distribution):
             return other._locals[rank]
         raise AlignmentError(
@@ -468,11 +467,11 @@ class DistributedDenseMatrix:
         self.name = name
         if axis == 0:
             self._blocks = [
-                array[distribution.local_indices(r), :] for r in range(machine.nprocs)
+                array[distribution.local_indices_cached(r), :] for r in range(machine.nprocs)
             ]
         else:
             self._blocks = [
-                array[:, distribution.local_indices(r)] for r in range(machine.nprocs)
+                array[:, distribution.local_indices_cached(r)] for r in range(machine.nprocs)
             ]
         for r in range(machine.nprocs):
             machine.charge_storage(r, float(self._blocks[r].size))
@@ -485,7 +484,7 @@ class DistributedDenseMatrix:
         """Reassemble the dense matrix on the host (uncharged)."""
         out = np.empty(self.shape)
         for r in range(self.machine.nprocs):
-            idx = self.distribution.local_indices(r)
+            idx = self.distribution.local_indices_cached(r)
             if self.axis == 0:
                 out[idx, :] = self._blocks[r]
             else:

@@ -89,6 +89,50 @@ class Distribution(ABC):
         self._check_index(i)
         return int(self.owners(np.asarray([i]))[0])
 
+    # ------------------------------------------------------------------ #
+    # Memoized full-extent maps.  A Distribution is immutable after
+    # construction (every subclass stores only scalars / copied arrays),
+    # so these caches are write-once: computed on first use, returned as
+    # read-only views forever after.  They exist because the index
+    # translation sits on the hot path -- every REDISTRIBUTE plan, vector
+    # re-slice and alignment check used to rebuild the same O(n) arrays
+    # from scratch per call.
+    # ------------------------------------------------------------------ #
+    def owner_map(self) -> np.ndarray:
+        """Cached ``owners(arange(n))`` (read-only array)."""
+        cached = getattr(self, "_owner_map", None)
+        if cached is None:
+            cached = np.ascontiguousarray(
+                self.owners(np.arange(self.n, dtype=np.int64))
+            )
+            cached.setflags(write=False)
+            self._owner_map = cached
+        return cached
+
+    def global_to_local_map(self) -> np.ndarray:
+        """Cached ``global_to_local(arange(n))`` (read-only array)."""
+        cached = getattr(self, "_g2l_map", None)
+        if cached is None:
+            cached = np.ascontiguousarray(
+                self.global_to_local(np.arange(self.n, dtype=np.int64))
+            )
+            cached.setflags(write=False)
+            self._g2l_map = cached
+        return cached
+
+    def local_indices_cached(self, rank: int) -> np.ndarray:
+        """Cached :meth:`local_indices` per rank (read-only array)."""
+        cache = getattr(self, "_local_indices_cache", None)
+        if cache is None:
+            cache = {}
+            self._local_indices_cache = cache
+        cached = cache.get(rank)
+        if cached is None:
+            cached = np.ascontiguousarray(self.local_indices(rank))
+            cached.setflags(write=False)
+            cache[rank] = cached
+        return cached
+
     def local_count(self, rank: int) -> int:
         """Number of elements ``rank`` owns."""
         return int(self.local_indices(rank).size)
@@ -119,17 +163,25 @@ class Distribution(ABC):
             return True
         if self.is_replicated or other.is_replicated:
             return self.is_replicated and other.is_replicated
-        idx = np.arange(self.n, dtype=np.int64)
         return bool(
-            np.array_equal(self.owners(idx), other.owners(idx))
-            and np.array_equal(self.global_to_local(idx), other.global_to_local(idx))
+            np.array_equal(self.owner_map(), other.owner_map())
+            and np.array_equal(
+                self.global_to_local_map(), other.global_to_local_map()
+            )
         )
 
+    #: lazily-populated memo attributes, excluded from equality: a cached
+    #: and an uncached instance of the same layout must still compare ==
+    _CACHE_ATTRS = ("_owner_map", "_g2l_map", "_local_indices_cache")
+
     def __eq__(self, other: object) -> bool:
-        return (
-            type(self) is type(other)
-            and self.__dict__ == other.__dict__  # type: ignore[union-attr]
-        )
+        if type(self) is not type(other):
+            return False
+        mine = {k: v for k, v in self.__dict__.items()
+                if k not in self._CACHE_ATTRS}
+        theirs = {k: v for k, v in other.__dict__.items()  # type: ignore[union-attr]
+                  if k not in self._CACHE_ATTRS}
+        return mine == theirs
 
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.n, self.nprocs))
@@ -436,11 +488,12 @@ class RedistributionPlan:
         messages: List[RedistributionMessage] = []
         in_place_words = 0.0
         lost_words = 0.0
+        old_owner_map = old.owner_map()
         for dst in range(new.nprocs):
-            idx = new.local_indices(dst)
+            idx = new.local_indices_cached(dst)
             if idx.size == 0:
                 continue
-            owners = old.owners(idx)
+            owners = old_owner_map[idx]
             w = weights[idx] if weights is not None else np.ones(idx.size)
             for o in np.unique(owners):
                 mask = owners == o
@@ -509,7 +562,7 @@ def vector_blocks(x: np.ndarray, dist: Distribution) -> List[np.ndarray]:
     x = np.asarray(x)
     if x.shape[0] != dist.n:
         raise DistributionError(f"vector length {x.shape[0]} != extent {dist.n}")
-    return [x[dist.local_indices(r)] for r in range(dist.nprocs)]
+    return [x[dist.local_indices_cached(r)] for r in range(dist.nprocs)]
 
 
 def redistribute_vector(
@@ -534,14 +587,14 @@ def redistribute_vector(
     first = np.asarray(blocks[0]) if blocks else np.zeros(0)
     out = np.zeros(old.n, dtype=first.dtype if first.size else np.float64)
     for r in range(old.nprocs):
-        idx = old.local_indices(r)
+        idx = old.local_indices_cached(r)
         blk = np.asarray(blocks[r])
         if blk.shape[0] != idx.size:
             raise DistributionError(
                 f"old rank {r} block has {blk.shape[0]} elements, owns {idx.size}"
             )
         out[idx] = blk
-    return [out[new.local_indices(d)] for d in range(new.nprocs)]
+    return [out[new.local_indices_cached(d)] for d in range(new.nprocs)]
 
 
 def redistribute_csr(
@@ -566,7 +619,7 @@ def redistribute_csr(
         )
     out = []
     for d in range(new.nprocs):
-        rows = new.local_indices(d)
+        rows = new.local_indices_cached(d)
         counts = indptr[rows + 1] - indptr[rows]
         local_indptr = np.zeros(rows.size + 1, dtype=np.int64)
         np.cumsum(counts, out=local_indptr[1:])

@@ -60,7 +60,7 @@ def forall(
     )
     staged = []
     for r in range(machine.nprocs):
-        idx = out.distribution.local_indices(r)
+        idx = out.distribution.local_indices_cached(r)
         values = np.empty(idx.size, dtype=out.dtype)
         flops = 0.0
         for pos, j in enumerate(idx):
@@ -121,5 +121,5 @@ def forall_indexed(
     else:
         staged[targets] = values
     for r in range(machine.nprocs):
-        out.local(r)[:] = staged[out.distribution.local_indices(r)]
+        out.local(r)[:] = staged[out.distribution.local_indices_cached(r)]
     return out

@@ -85,7 +85,7 @@ def sum_private_copies(
             )
     stacked = np.sum(np.stack(copies, axis=0), axis=0)
     for r in range(machine.nprocs):
-        out.local(r)[:] = stacked[out.distribution.local_indices(r)]
+        out.local(r)[:] = stacked[out.distribution.local_indices_cached(r)]
         # each rank adds P partial blocks of its n/P elements
         machine.charge_compute(
             r, float((machine.nprocs - 1) * out.local(r).size)

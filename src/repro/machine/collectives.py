@@ -120,12 +120,38 @@ def _reduce_stages(topology: Topology) -> int:
     return ceil_log2(p)
 
 
+def _fold_doubling(p: int):
+    """Structure of fold-based recursive doubling among ``p`` ranks.
+
+    Returns ``(latency_stages, combine_stages, messages)``.  With
+    ``c = 2**floor(log2 p)`` core ranks and ``f = p - c`` extras: a fold
+    stage (``f`` messages, one combine), ``log2 c`` exchange stages
+    (``c`` messages each, one combine each) and an unfold stage (``f``
+    messages, no combine).  For a power of two this reduces to the
+    textbook ``log2 p`` stages of ``p`` messages; the naive
+    ``ceil_log2(p) * p`` count overcounts every non-power-of-two machine
+    (e.g. 18 instead of 12 messages for ``p = 6``).
+    """
+    if p == 1:
+        return 0, 0, 0
+    c = 1 << (p.bit_length() - 1)  # largest power of two <= p
+    f = p - c
+    k = c.bit_length() - 1  # log2 c
+    messages = 2 * f + k * c
+    latency_stages = k + (2 if f else 0)
+    combine_stages = k + (1 if f else 0)
+    return latency_stages, combine_stages, messages
+
+
 def allreduce_cost(topology: Topology, cost: CostModel, nwords: float) -> CollectiveCost:
     """All-reduce of ``nwords`` words (every rank ends with the result).
 
     Recursive doubling on hypercube/complete: ``log P`` exchange stages,
-    each moving ``nwords`` both ways and combining.  Ring: reduce-scatter +
-    allgather.  Mesh: row and column recursive doubling.
+    each moving ``nwords`` both ways and combining; non-power-of-two rank
+    counts fold the extras in and out (:func:`_fold_doubling`), matching
+    the message count a scheduler run of
+    :func:`repro.machine.spmd.allreduce_doubling` records.  Ring:
+    reduce-scatter + allgather.  Mesh: row and column recursive doubling.
     """
     p = topology.size
     if p == 1:
@@ -138,11 +164,17 @@ def allreduce_cost(topology: Topology, cost: CostModel, nwords: float) -> Collec
         msgs = 2 * p * (p - 1)
         return CollectiveCost(time, msgs, msgs * m)
     if isinstance(topology, Mesh2D):
-        stages = ceil_log2(topology.cols) + ceil_log2(topology.rows)
+        # fold-based doubling along rows, then along columns: each of the
+        # `rows` row groups folds over `cols` ranks and vice versa
+        rs, rc, rm = _fold_doubling(topology.cols)
+        cs, cc, cm = _fold_doubling(topology.rows)
+        stages = rs + cs
+        combines = rc + cc
+        msgs = rm * topology.rows + cm * topology.cols
     else:
-        stages = ceil_log2(p)
-    time = stages * (cost.message_time(nwords) + nwords * cost.t_flop)
-    msgs = stages * p  # every rank sends once per stage
+        stages, combines, per_group = _fold_doubling(p)
+        msgs = per_group
+    time = stages * cost.message_time(nwords) + combines * nwords * cost.t_flop
     return CollectiveCost(time, msgs, msgs * nwords)
 
 
@@ -166,15 +198,14 @@ def allgather_cost(
         msgs = p * (p - 1)
         return CollectiveCost(time, msgs, msgs * m)
     if isinstance(topology, Mesh2D):
-        # allgather along rows then along columns
+        # allgather along rows then along columns; *every* rank takes part
+        # in both phases (there are `rows` simultaneous row groups and
+        # `cols` column groups), so whole-machine totals scale the
+        # per-rank counts by p -- scaling by the group count alone
+        # undercounted machine totals by the other mesh dimension
         rc = _doubling_allgather(topology.cols, cost, m)
         cc = _doubling_allgather(topology.rows, cost, m * topology.cols)
-        total = CollectiveCost(
-            rc.time + cc.time,
-            rc.messages * topology.rows + cc.messages * topology.cols,
-            rc.words * topology.rows + cc.words * topology.cols,
-        )
-        return total
+        return _scale_ranks(rc, p) + _scale_ranks(cc, p)
     return _scale_ranks(_doubling_allgather(p, cost, m), p)
 
 
@@ -213,16 +244,17 @@ def reduce_scatter_cost(
         time = (p - 1) * (cost.message_time(m) + m * cost.t_flop)
         msgs = p * (p - 1)
         return CollectiveCost(time, msgs, msgs * m)
-    stages = (
-        ceil_log2(topology.cols) + ceil_log2(topology.rows)
-        if isinstance(topology, Mesh2D)
-        else ceil_log2(p)
-    )
+    if isinstance(topology, Mesh2D):
+        rs, _, rm = _fold_doubling(topology.cols)
+        cs, _, cm = _fold_doubling(topology.rows)
+        stages = rs + cs
+        msgs = rm * topology.rows + cm * topology.cols
+    else:
+        stages, _, msgs = _fold_doubling(p)
     # recursive halving: stage i moves nwords_total / 2**(i+1)
     time = stages * cost.t_startup + (p - 1) / p * nwords_total * (
         cost.t_comm + cost.t_flop
     )
-    msgs = stages * p
     words = (p - 1) * nwords_total  # each rank moves (p-1)/p * n words
     return CollectiveCost(time, msgs, words)
 

@@ -40,6 +40,7 @@ __all__ = [
     "bcast",
     "reduce_to_root",
     "allreduce_sum",
+    "allreduce_vec",
     "gather_to_root",
     "allgather",
 ]
@@ -295,6 +296,34 @@ def allreduce_sum(
     """All-reduce: reliable reduce to rank 0, then reliable broadcast."""
     reduced = yield from reduce_to_root(ep, rank, size, value, root=0, op=op, tag=tag)
     result = yield from bcast(ep, rank, size, reduced, root=0, tag=tag + 1)
+    return result
+
+
+def allreduce_vec(
+    ep: ReliableEndpoint, rank: int, size: int, values: Any, tag: int = 3
+) -> GenOp:
+    """Batched all-reduce of ``k`` packed scalars over the reliable ARQ.
+
+    Same wire format as :func:`repro.machine.spmd.allreduce_vec` (one flat
+    float64 vector, slot-wise sums), so the fused CG variants pay one
+    acknowledged tree per iteration instead of one per inner product.
+    """
+    vec = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    if vec.ndim != 1 or vec.size == 0:
+        raise ValueError(
+            f"allreduce_vec packs a non-empty 1-D scalar vector, got "
+            f"shape {vec.shape}"
+        )
+
+    def combine(a, b):
+        if b.shape != vec.shape:
+            raise ValueError(
+                f"allreduce_vec slot mismatch: rank contributed {b.shape}, "
+                f"expected {vec.shape}"
+            )
+        return a + b
+
+    result = yield from allreduce_sum(ep, rank, size, vec, op=combine, tag=tag)
     return result
 
 

@@ -17,14 +17,20 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
+import numpy as np
+
 from .events import Op, Recv, Send
 
 __all__ = [
     "bcast",
     "reduce_to_root",
     "allreduce_sum",
+    "allreduce_vec",
+    "allreduce_doubling",
     "gather_to_root",
     "allgather",
+    "allgather_bruck",
+    "allgather_grid",
     "scatter_from_root",
 ]
 
@@ -93,6 +99,83 @@ def allreduce_sum(
     return result
 
 
+def allreduce_vec(
+    rank: int, size: int, values: Any, tag: int = 3
+) -> GenOp:
+    """Batched all-reduce: ``k`` scalars packed into one message.
+
+    The communication-avoiding CG variants fuse every per-iteration inner
+    product into a single reduction; this is the primitive they ride on.
+    The wire format is a flat float64 vector -- slot ``j`` of the result is
+    the sum over ranks of slot ``j`` of the contribution, so callers can
+    pack unrelated reductions (dots, norms, ABFT duplicate sums) into one
+    ``2 log P``-stage tree instead of paying ``t_startup`` per scalar.
+    Every rank must contribute the same slot count.
+    """
+    vec = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    if vec.ndim != 1 or vec.size == 0:
+        raise ValueError(
+            f"allreduce_vec packs a non-empty 1-D scalar vector, got "
+            f"shape {vec.shape}"
+        )
+
+    def combine(a, b):
+        if b.shape != vec.shape:
+            raise ValueError(
+                f"allreduce_vec slot mismatch: rank contributed {b.shape}, "
+                f"expected {vec.shape}"
+            )
+        return a + b
+
+    result = yield from allreduce_sum(rank, size, vec, op=combine, tag=tag)
+    return result
+
+
+def allreduce_doubling(
+    rank: int,
+    size: int,
+    value: Any,
+    op: Callable[[Any, Any], Any] = _combine_default,
+    tag: int = 12,
+) -> GenOp:
+    """Fold-based recursive-doubling all-reduce, correct for any ``P``.
+
+    With ``c = 2**floor(log2 P)`` and ``f = P - c`` extra ranks: the extras
+    first *fold* their contribution into rank ``r - c``, the ``c`` core
+    ranks run ``log2 c`` pairwise exchange stages, and the result is
+    *unfolded* back to the extras.  Message total is ``2 f + c log2 c`` --
+    the count :func:`repro.machine.collectives.allreduce_cost` models,
+    which is what lets a counted scheduler run pin the closed form for
+    non-power-of-two machines.
+    """
+    if size == 1:
+        return value
+    c = 1 << (size.bit_length() - 1)  # largest power of two <= size
+    extras = size - c
+    result = value
+    # fold: the f extra ranks donate their value to their core partner
+    if rank >= c:
+        yield Send(dest=rank - c, payload=result, tag=tag)
+    elif rank < extras:
+        other = yield Recv(source=rank + c, tag=tag)
+        result = op(result, other)
+    # recursive doubling among the c core ranks
+    if rank < c:
+        mask = 1
+        while mask < c:
+            partner = rank ^ mask
+            yield Send(dest=partner, payload=result, tag=tag)
+            other = yield Recv(source=partner, tag=tag)
+            result = op(result, other)
+            mask <<= 1
+    # unfold: core partners hand the finished result back to the extras
+    if rank < extras:
+        yield Send(dest=rank + c, payload=result, tag=tag + 1)
+    elif rank >= c:
+        result = yield Recv(source=rank - c, tag=tag + 1)
+    return result
+
+
 def gather_to_root(
     rank: int, size: int, value: Any, root: int = 0, tag: int = 5
 ) -> GenOp:
@@ -131,6 +214,70 @@ def allgather(rank: int, size: int, value: Any, tag: int = 7) -> GenOp:
     gathered = yield from gather_to_root(rank, size, value, root=0, tag=tag)
     result = yield from bcast(rank, size, gathered, root=0, tag=tag + 1)
     return result
+
+
+def _bruck_allgather_group(
+    me: int, group: List[int], value: Any, tag: int
+) -> GenOp:
+    """Bruck all-gather among the ranks listed in ``group``.
+
+    ``me`` is this rank's position within ``group``.  Each of the
+    ``ceil(log2 g)`` rounds sends one message of the blocks accumulated so
+    far to the rank ``step`` positions behind, so every rank sends exactly
+    ``ceil(log2 g)`` messages and moves ``(g - 1)`` blocks in total -- the
+    per-rank structure :func:`repro.machine.collectives._doubling_allgather`
+    prices.  Returns the per-rank values in group order.
+    """
+    g = len(group)
+    blocks = [value]  # blocks[j] holds the value of group rank (me + j) % g
+    step = 1
+    while step < g:
+        count = min(step, g - step)
+        dst = group[(me - step) % g]
+        src = group[(me + step) % g]
+        yield Send(dest=dst, payload=blocks[:count], tag=tag)
+        incoming = yield Recv(source=src, tag=tag)
+        blocks.extend(incoming)
+        step <<= 1
+    return [blocks[(j - me) % g] for j in range(g)]
+
+
+def allgather_bruck(rank: int, size: int, value: Any, tag: int = 16) -> GenOp:
+    """Recursive-doubling (Bruck) all-gather, correct for any rank count.
+
+    The measured counterpart of the hypercube/complete branch of
+    :func:`repro.machine.collectives.allgather_cost`: ``ceil(log2 P)``
+    messages per rank, ``(P-1)`` value-blocks moved per rank.
+    """
+    result = yield from _bruck_allgather_group(
+        rank, list(range(size)), value, tag
+    )
+    return result
+
+
+def allgather_grid(
+    rank: int, size: int, value: Any, rows: int, cols: int, tag: int = 15
+) -> GenOp:
+    """Row-then-column all-gather on an ``rows x cols`` process grid.
+
+    Phase 1 all-gathers within each row (``cols``-rank Bruck), phase 2
+    exchanges the assembled row lists along each column, and the flattened
+    result is in world-rank order.  Every rank sends
+    ``ceil(log2 cols) + ceil(log2 rows)`` messages -- the structure the
+    ``Mesh2D`` branch of :func:`repro.machine.collectives.allgather_cost`
+    prices, so a counted scheduler run of this generator pins that closed
+    form's whole-machine totals.
+    """
+    if rows * cols != size:
+        raise ValueError(f"{rows}x{cols} grid does not cover {size} ranks")
+    row, col = divmod(rank, cols)
+    row_group = [row * cols + c for c in range(cols)]
+    row_values = yield from _bruck_allgather_group(col, row_group, value, tag)
+    col_group = [r * cols + col for r in range(rows)]
+    row_lists = yield from _bruck_allgather_group(
+        row, col_group, row_values, tag + 1
+    )
+    return [v for row_list in row_lists for v in row_list]
 
 
 def scatter_from_root(

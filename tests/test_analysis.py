@@ -8,13 +8,17 @@ import pytest
 from repro.analysis import (
     LoadReport,
     Table,
+    classic_cg_iteration_time,
     csc_serial_time,
     csr_storage_words,
     dense_storage_words,
     format_quantity,
+    fused_cg_iteration_time,
+    fused_cg_saving_per_iteration,
     inner_product_merge_time,
     inner_product_time,
     load_report,
+    packed_allreduce_time,
     parallel_efficiency,
     private_merge_matvec_time,
     private_storage_words,
@@ -22,6 +26,7 @@ from repro.analysis import (
     saxpy_time,
     scenario1_broadcast_time,
     scenario2_comm_time,
+    spmd_allgather_time,
 )
 from repro.machine import CostModel
 
@@ -169,3 +174,80 @@ class TestFormatQuantity:
 
     def test_nan(self):
         assert format_quantity(float("nan")) == "nan"
+
+
+class TestFusedCgClosedForms:
+    """The fused-iteration cost forms are EXACT for the SPMD programs.
+
+    Unlike the paper's idealised hypercube formulas, these model the
+    reduce+bcast trees of :mod:`repro.machine.spmd` to the word, so a
+    simulator run of the matching collective must reproduce them to
+    rounding error -- this exactness is what lets benchmark E23 assert
+    modelled == measured instead of "same order".
+    """
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_packed_allreduce_exact(self, p, k):
+        from repro.machine import Machine, run_spmd, spmd
+
+        m = Machine(p, "hypercube")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_vec(rank, nprocs, np.ones(k))
+            return out
+
+        run_spmd(m, prog)
+        assert m.elapsed() == pytest.approx(
+            packed_allreduce_time(k, p, m.cost), rel=1e-9)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("n", [32, 100])
+    def test_spmd_allgather_exact(self, p, n):
+        from repro.machine import Machine, run_spmd, spmd
+
+        m = Machine(p, "hypercube")
+        chunk = -(-n // p)
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allgather(rank, nprocs, np.zeros(chunk))
+            return out
+
+        run_spmd(m, prog)
+        assert m.elapsed() == pytest.approx(
+            spmd_allgather_time(n, p, m.cost), rel=1e-9)
+
+    def test_single_rank_collectives_are_free(self):
+        assert packed_allreduce_time(4, 1, COST) == 0.0
+        assert spmd_allgather_time(100, 1, COST) == 0.0
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_saving_formula_identity(self, p):
+        n = 256
+        L = (p - 1).bit_length()
+        chunk = -(-n // p)
+        saving = fused_cg_saving_per_iteration(n, p, COST)
+        assert saving == pytest.approx(
+            2 * L * COST.t_startup - 2 * chunk * COST.t_flop)
+        assert saving == pytest.approx(
+            classic_cg_iteration_time(n, 0, p, COST)
+            - fused_cg_iteration_time(n, 0, p, COST))
+
+    def test_saving_goes_negative_when_compute_bound(self):
+        """The formula predicts when fusion stops paying: tiny startup
+        cost, huge local blocks -> the extra 2 n/P flops dominate."""
+        compute_bound = CostModel(t_startup=1e-9, t_comm=1e-9, t_flop=1e-6)
+        assert fused_cg_saving_per_iteration(
+            1_000_000, 2, compute_bound) < 0.0
+        assert fused_cg_saving_per_iteration(256, 8, COST) > 0.0
+
+    def test_iteration_forms_decompose(self):
+        n, nnz, p = 256, 1216, 4
+        chunk_n, chunk_nnz = -(-n // p), -(-nnz // p)
+        base = spmd_allgather_time(n, p, COST) + 2 * chunk_nnz * COST.t_flop
+        assert classic_cg_iteration_time(n, nnz, p, COST) == pytest.approx(
+            base + 2 * packed_allreduce_time(1, p, COST)
+            + 10 * chunk_n * COST.t_flop)
+        assert fused_cg_iteration_time(n, nnz, p, COST) == pytest.approx(
+            base + packed_allreduce_time(2, p, COST)
+            + 12 * chunk_n * COST.t_flop)

@@ -143,3 +143,68 @@ class TestCollectiveCostAlgebra:
         assert s.time == pytest.approx(a.time + b.time)
         assert s.messages == a.messages + b.messages
         assert s.words == pytest.approx(a.words + b.words)
+
+
+class TestNonPowerOfTwoAllreduce:
+    """The fold-based allreduce pricing (collective-cost accounting fix)."""
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 7, 12])
+    def test_fold_based_message_count(self, p):
+        c = 1 << (p.bit_length() - 1)
+        f = p - c
+        k = c.bit_length() - 1
+        got = allreduce_cost(Complete(p), COST, 4.0)
+        assert got.messages == 2 * f + k * c
+        # the naive ceil(log2 p) * p count overprices every such machine
+        assert got.messages < math.ceil(math.log2(p)) * p
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_power_of_two_is_textbook(self, p):
+        got = allreduce_cost(Complete(p), COST, 4.0)
+        assert got.messages == p * int(math.log2(p))
+
+    def test_six_ranks_twelve_messages(self):
+        # the motivating example: 4 core ranks x 2 stages + 2 fold + 2
+        # unfold = 12, where the naive count priced 18
+        assert allreduce_cost(Complete(6), COST, 1.0).messages == 12
+
+    @pytest.mark.parametrize("p", [3, 5, 6, 7, 12])
+    def test_matches_counted_scheduler_run(self, p):
+        from repro.machine import Machine, run_spmd, spmd
+
+        m = Machine(p, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_doubling(rank, nprocs, 1.0)
+            return out
+
+        run_spmd(m, prog)
+        assert m.stats.total_messages == allreduce_cost(
+            Complete(p), COST, 1.0).messages
+
+
+class TestMesh2DAllgatherScaling:
+    """The Mesh2D allgather fix: totals scale with ALL ranks, not groups."""
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 2), (3, 4)])
+    def test_whole_machine_message_total(self, rows, cols):
+        p = rows * cols
+        got = allgather_cost(Mesh2D(rows, cols), COST, 1.0)
+        L = lambda q: (q - 1).bit_length() if q > 1 else 0
+        assert got.messages == p * (L(cols) + L(rows))
+
+    @pytest.mark.parametrize("rows,cols", [(2, 3), (3, 4)])
+    def test_matches_counted_grid_allgather(self, rows, cols):
+        from repro.machine import Machine, run_spmd, spmd
+
+        p = rows * cols
+        m = Machine(p, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allgather_grid(
+                rank, nprocs, rank, rows, cols)
+            return out
+
+        run_spmd(m, prog)
+        assert m.stats.total_messages == allgather_cost(
+            Mesh2D(rows, cols), COST, 1.0).messages

@@ -192,3 +192,54 @@ class TestSameMapping:
 
     def test_extent_mismatch(self):
         assert not Block(10, 4).same_mapping(Block(11, 4))
+
+
+@pytest.mark.parametrize("dist_factory", [
+    lambda: Block(10, 4),
+    lambda: BlockK(10, 4, 3),
+    lambda: Cyclic(10, 4),
+    lambda: CyclicK(10, 4, 2),
+    lambda: IrregularBlock([0, 2, 7, 7, 10]),
+], ids=["block", "blockk", "cyclic", "cyclick", "irregular"])
+class TestMapMemoization:
+    """The cached whole-array maps: correct, stable, equality-neutral."""
+
+    def test_owner_map_matches_owners(self, dist_factory):
+        d = dist_factory()
+        np.testing.assert_array_equal(
+            d.owner_map(), d.owners(np.arange(d.n, dtype=np.int64)))
+
+    def test_g2l_map_matches_global_to_local(self, dist_factory):
+        d = dist_factory()
+        np.testing.assert_array_equal(
+            d.global_to_local_map(),
+            d.global_to_local(np.arange(d.n, dtype=np.int64)))
+
+    def test_local_indices_cached_matches_uncached(self, dist_factory):
+        d = dist_factory()
+        for r in range(d.nprocs):
+            np.testing.assert_array_equal(
+                d.local_indices_cached(r), d.local_indices(r))
+
+    def test_repeat_calls_return_same_object(self, dist_factory):
+        d = dist_factory()
+        assert d.owner_map() is d.owner_map()
+        assert d.global_to_local_map() is d.global_to_local_map()
+        assert d.local_indices_cached(0) is d.local_indices_cached(0)
+
+    def test_cached_arrays_are_read_only(self, dist_factory):
+        d = dist_factory()
+        for arr in (d.owner_map(), d.global_to_local_map(),
+                    d.local_indices_cached(0)):
+            assert not arr.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                arr[0] = 99
+
+    def test_caching_does_not_affect_equality(self, dist_factory):
+        """A warmed cache must not make equal layouts compare unequal."""
+        warmed, fresh = dist_factory(), dist_factory()
+        warmed.owner_map()
+        warmed.global_to_local_map()
+        warmed.local_indices_cached(1)
+        assert warmed == fresh
+        assert fresh == warmed

@@ -174,3 +174,131 @@ class TestEmergentCostMatchesClosedForm:
         # gather+bcast moves each block up and back down the tree: within 3x
         # of the recursive-doubling volume, same O(P * m) order
         assert m.stats.total_words == pytest.approx(model.words, rel=2.0)
+
+
+def _ceil_log2(p):
+    return (p - 1).bit_length() if p > 1 else 0
+
+
+@pytest.mark.parametrize("size", SIZES)
+class TestAllreduceVec:
+    def test_slotwise_sums(self, size):
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_vec(
+                rank, nprocs, [float(rank), 2.0 * rank, 1.0])
+            return out
+
+        results = run_spmd(Machine(size, "complete"), prog)
+        s = size * (size - 1) / 2.0
+        for r in results:
+            np.testing.assert_array_equal(r, [s, 2.0 * s, float(size)])
+
+    def test_single_message_per_tree_edge(self, size):
+        """Packing k scalars costs ONE reduce+bcast tree, not k of them."""
+        m = Machine(size, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_vec(rank, nprocs, np.ones(4))
+            return out
+
+        run_spmd(m, prog)
+        # reduce: size-1 messages up the tree, bcast: size-1 back down
+        assert m.stats.total_messages == 2 * (size - 1)
+
+
+class TestAllreduceVecValidation:
+    def test_rejects_empty(self):
+        gen = spmd.allreduce_vec(0, 2, [])
+        with pytest.raises(ValueError, match="non-empty"):
+            next(gen)
+
+    def test_rejects_matrix(self):
+        gen = spmd.allreduce_vec(0, 2, np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="1-D"):
+            next(gen)
+
+    def test_slot_count_mismatch_detected(self):
+        def prog(rank, nprocs):
+            vec = np.ones(1) if rank == 0 else np.ones(3)
+            out = yield from spmd.allreduce_vec(rank, nprocs, vec)
+            return out
+
+        with pytest.raises(ValueError, match="slot mismatch"):
+            run_spmd(Machine(2, "complete"), prog)
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 6, 7, 12, 16])
+class TestAllreduceDoublingAnyP:
+    """Fold-based recursive doubling: correct and exactly as priced.
+
+    The non-power-of-two cost fix is pinned here: the counted message
+    total of a scheduler run must equal ``allreduce_cost``'s fold-based
+    count (2f + c log2 c), which the old ``ceil(log2 P) * P`` formula
+    overcounted for every P not a power of two (18 vs 14 at P=6).
+    """
+
+    def test_result_and_message_count(self, size):
+        m = Machine(size, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_doubling(
+                rank, nprocs, float(rank + 1))
+            return out
+
+        results = run_spmd(m, prog)
+        assert all(r == size * (size + 1) / 2.0 for r in results)
+        model = allreduce_cost(m.topology, m.cost, 1.0)
+        c = 1 << (size.bit_length() - 1)
+        f = size - c
+        assert m.stats.total_messages == model.messages
+        assert model.messages == 2 * f + (c.bit_length() - 1) * c
+
+    def test_emergent_time_matches_model(self, size):
+        m = Machine(size, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allreduce_doubling(
+                rank, nprocs, float(rank))
+            return out
+
+        run_spmd(m, prog)
+        model = allreduce_cost(m.topology, m.cost, 1.0)
+        # the only gap is the combine flops the generator does not charge
+        assert m.elapsed() == pytest.approx(model.time, rel=1e-3)
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 6, 8, 12])
+class TestAllgatherBruck:
+    def test_world_order_and_message_count(self, size):
+        m = Machine(size, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allgather_bruck(rank, nprocs, rank)
+            return out
+
+        results = run_spmd(m, prog)
+        assert all(r == list(range(size)) for r in results)
+        assert m.stats.total_messages == size * _ceil_log2(size)
+
+
+@pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 2), (3, 4)])
+class TestAllgatherGrid:
+    def test_world_order_and_message_count(self, rows, cols):
+        size = rows * cols
+        m = Machine(size, "complete")
+
+        def prog(rank, nprocs):
+            out = yield from spmd.allgather_grid(
+                rank, nprocs, rank, rows, cols)
+            return out
+
+        results = run_spmd(m, prog)
+        assert all(r == list(range(size)) for r in results)
+        # every rank participates in a row phase and a column phase
+        assert m.stats.total_messages == size * (
+            _ceil_log2(cols) + _ceil_log2(rows))
+
+    def test_grid_must_cover_machine(self, rows, cols):
+        gen = spmd.allgather_grid(0, rows * cols + 1, 0.0, rows, cols)
+        with pytest.raises(ValueError, match="does not cover"):
+            next(gen)
