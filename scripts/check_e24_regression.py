@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fail CI if the warm-pool service throughput advantage regresses.
+
+Benchmark E24 writes ``BENCH_e24.json`` with solves/sec for three paths
+over the same (n, P) stream: one-shot process execution (fresh backend
+per job), the warm pool, and the full service stack.  Two numbers are
+guarded:
+
+* **floor** -- the warm-pool speedup over one-shot must stay >= 2.0x
+  (the service's acceptance criterion).  This is absolute: a pool that
+  no longer amortises worker startup has lost its reason to exist.
+* **trajectory** -- the speedup must not collapse to less than half the
+  last *committed* value, so a gross leak of per-job overhead into the
+  pool path (extra rebuilds, queue churn, supervision cost) is caught
+  even while still above the floor.  The band is deliberately wide: the
+  speedup is a wall-clock ratio and varies ~30% run to run.
+
+Baseline = ``git show HEAD:BENCH_e24.json``.  No committed baseline
+(first run, or file renamed) skips the trajectory check -- the job
+seeds it -- but the 2.0x floor always applies.
+
+Usage: run E24 first so BENCH_e24.json reflects the checked-out code,
+then ``python scripts/check_e24_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "BENCH_e24.json"
+# Unlike E23's counted-collective ratio (deterministic), this speedup is
+# a wall-clock ratio of spawn cost to solve cost and swings ~30% between
+# runs even on an idle host -- so the trajectory band is wide and the
+# 2.0x floor is the hard criterion.
+TOLERANCE = 2.0    # more than 2x below the committed baseline fails
+FLOOR = 2.0        # warm pool must at least double one-shot throughput
+
+
+def load_current() -> dict:
+    if not BENCH.exists():
+        print(f"FAIL: {BENCH} missing -- run benchmark E24 first "
+              "(python -m pytest benchmarks/bench_e24_service.py "
+              "--benchmark-disable)")
+        sys.exit(1)
+    return json.loads(BENCH.read_text(encoding="utf-8"))
+
+
+def load_baseline() -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_e24.json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    current = load_current()
+    try:
+        speedup = current["warm_pool"]["speedup_vs_one_shot"]
+        service_speedup = current["service"]["speedup_vs_one_shot"]
+    except KeyError as missing:
+        print(f"FAIL: BENCH_e24.json is missing {missing} -- regenerate it")
+        return 1
+
+    failed = False
+
+    verdict = "OK" if speedup >= FLOOR else "REGRESSION"
+    if verdict == "REGRESSION":
+        failed = True
+    print(f"warm pool vs one-shot: {speedup:.2f}x "
+          f"(floor {FLOOR:.1f}x) {verdict}")
+    print(f"service vs one-shot:   {service_speedup:.2f}x (informational)")
+
+    baseline = load_baseline()
+    if baseline is None:
+        print("no committed BENCH_e24.json baseline -- seeding the "
+              "trajectory with the current run.")
+    else:
+        base = baseline.get("warm_pool", {}).get("speedup_vs_one_shot")
+        if base is not None:
+            limit = base / TOLERANCE
+            verdict = "OK" if speedup >= limit else "REGRESSION"
+            if verdict == "REGRESSION":
+                failed = True
+            print(f"trajectory: {speedup:.2f}x vs committed {base:.2f}x "
+                  f"(limit {limit:.2f}x) {verdict}")
+
+    if failed:
+        print("\nFAIL: the warm pool no longer amortises worker startup -- "
+              "per-job overhead has crept back into the pooled path.")
+        return 1
+    print("\nPASS: warm-pool throughput advantage holds.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,7 @@ exists to surface.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -143,6 +143,19 @@ class ChaosOutcome:
         if self.outcome in (CONVERGED, DEGRADED):
             return self.converged_to_reference
         return True  # a classified failure is a contract-respecting outcome
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready record of this run (``repro chaos --json``).
+
+        Plain ``asdict`` plus the derived ``ok`` verdict; non-finite
+        floats (``max_abs_err`` is NaN on a failed run) are nulled so the
+        output is strict JSON.
+        """
+        out = asdict(self)
+        out["ok"] = self.ok
+        if not np.isfinite(self.max_abs_err):
+            out["max_abs_err"] = None
+        return out
 
 
 def chaos_plan(

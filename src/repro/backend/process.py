@@ -657,7 +657,13 @@ class ProcessBackend(ExecutionBackend):
             for w in workers:
                 w.join(timeout=_PARENT_GRACE)
         finally:
+            # every exit path -- success, deadline, crash, worker error,
+            # KeyboardInterrupt -- must leave zero live children and no
+            # parent-side queue resources (a solver *service* runs
+            # thousands of these; leaking one pipe pair per failed run
+            # would exhaust the fd table)
             self._reap(workers)
+            self._close_queues(inboxes + [result_q])
 
         return self._assemble(nprocs, reports)
 
@@ -707,7 +713,13 @@ class ProcessBackend(ExecutionBackend):
 
     @staticmethod
     def _reap(workers) -> None:
-        """Terminate, then kill, any worker still alive.  Never hangs."""
+        """Terminate, then kill, any worker still alive.  Never hangs.
+
+        Every join carries a bound, so even a SIGTERM-proof child cannot
+        wedge the caller; a final bounded join on *every* worker collects
+        the exit status of processes that died on their own (no zombies
+        left for ``active_children`` to report).
+        """
         for w in workers:
             if w.is_alive():
                 w.terminate()
@@ -715,9 +727,21 @@ class ProcessBackend(ExecutionBackend):
             if w.is_alive():
                 w.join(timeout=1.0)
         for w in workers:
+            if w.pid is None:
+                continue  # never started: nothing to collect
             if w.is_alive():  # pragma: no cover - needs a SIGTERM-proof child
                 w.kill()
-                w.join(timeout=1.0)
+            w.join(timeout=1.0)
+
+    @staticmethod
+    def _close_queues(queues) -> None:
+        """Release parent-side queue pipes/feeders without ever blocking."""
+        for q in queues:
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
 
     # -------------------------------------------------------------- #
     def _assemble(self, nprocs: int, reports) -> BackendRun:

@@ -748,7 +748,13 @@ class ResilientCGProgram(_RowBlockProgram):
                             f"rank {rank}: sanity audit failed at iteration "
                             f"{k} (recurrence {residuals[-1]:.3e} vs true "
                             f"{true_norm:.3e}) after "
-                            f"{rollbacks - 1} rollbacks"
+                            f"{rollbacks - 1} rollbacks",
+                            attempts=[{
+                                "outcome": "audit_rollback_exhausted",
+                                "rank": rank,
+                                "iteration": k,
+                                "rollbacks": rollbacks - 1,
+                            }],
                         )
                     snap = last_snap
                     x = snap["x"].copy()
@@ -960,7 +966,13 @@ class ResilientCGProgram(_RowBlockProgram):
                             f"rank {rank}: sanity audit failed at iteration "
                             f"{k} (recurrence {residuals[-1]:.3e} vs true "
                             f"{true_norm:.3e}) after "
-                            f"{rollbacks - 1} rollbacks"
+                            f"{rollbacks - 1} rollbacks",
+                            attempts=[{
+                                "outcome": "audit_rollback_exhausted",
+                                "rank": rank,
+                                "iteration": k,
+                                "rollbacks": rollbacks - 1,
+                            }],
                         )
                     snap = last_snap
                     x = snap["x"].copy()

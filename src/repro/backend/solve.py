@@ -344,6 +344,7 @@ def run_with_recovery(
     store = {} if store is None else store
     recovery: Dict[str, Any] = {
         "attempts": 0,
+        "attempt_log": [],
         "crashes_recovered": [],
         "stragglers_detected": [],
         "restart_iterations": [],
@@ -364,13 +365,22 @@ def run_with_recovery(
             run = backend.run(program, cur, checkpoints=store)
         except (WorkerCrashedError, RankFailedError,
                 StragglerDetectedError) as exc:
+            is_straggler = isinstance(exc, StragglerDetectedError)
+            rank = getattr(exc, "rank", None)
+            recovery["attempt_log"].append({
+                "attempt": recovery["attempts"],
+                "nprocs": cur,
+                "outcome": "straggler" if is_straggler else "crash",
+                "rank": rank,
+                "error": f"{type(exc).__name__}: {exc}",
+                "elapsed": time.perf_counter() - attempt_start,
+            })
             if recovery["attempts"] > max_restarts:
                 raise RecoveryExhaustedError(
                     f"run still failing after {max_restarts} "
-                    f"recovery attempts: {exc}"
+                    f"recovery attempts: {exc}",
+                    attempts=recovery["attempt_log"],
                 ) from exc
-            is_straggler = isinstance(exc, StragglerDetectedError)
-            rank = getattr(exc, "rank", None)
             if is_straggler:
                 recovery["stragglers_detected"].append(rank)
             else:
@@ -387,6 +397,7 @@ def run_with_recovery(
                     action = "shrink"  # a dead rank cannot be given less work
                 elif rank in rebalanced:
                     action = "shrink"  # rebalancing did not cure it: escalate
+            recovery["attempt_log"][-1]["action"] = action
 
             if action == "respawn":
                 if is_straggler and rank is not None:
@@ -414,7 +425,8 @@ def run_with_recovery(
                     raise RecoveryExhaustedError(
                         f"cannot shrink below min_ranks={min_ranks}: "
                         f"{cur} ranks left and rank {rank} "
-                        f"{'straggling' if is_straggler else 'lost'}"
+                        f"{'straggling' if is_straggler else 'lost'}",
+                        attempts=recovery["attempt_log"],
                     ) from exc
                 survivors = [r for r in range(cur) if r != rank]
                 new_layout = IrregularBlock(
@@ -577,7 +589,7 @@ def backend_solve(
     else:
         be = backend
     if (
-        be.name == "process"
+        isinstance(be, ProcessBackend)
         and plan is not None
         and plan.slowdown_schedule()
     ):

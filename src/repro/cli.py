@@ -215,6 +215,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="also write the per-seed report table to PATH",
     )
+    chaos.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_path",
+        help="write structured per-seed outcomes (outcome, classification, "
+             "attempts, injected faults) as JSON to PATH ('-' for stdout)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a multi-tenant job stream through the persistent "
+             "solver service (warm pool, retries, chaos soak)",
+    )
+    serve.add_argument("--jobs", type=int, default=32,
+                       help="number of jobs in the stream")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="soak seed (job fault draws are derived from it)")
+    serve.add_argument("--backend", choices=("process", "simulated"),
+                       default="process")
+    serve.add_argument("-p", "--nprocs", type=int, default=4)
+    serve.add_argument("--n", type=int, default=48, help="problem size")
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="number of tenants sharing the queue")
+    serve.add_argument("--policy", choices=("respawn", "shrink", "rebalance"),
+                       default="shrink",
+                       help="mid-stream recovery policy")
+    serve.add_argument("--crash-prob", type=float, default=0.3,
+                       help="per-job probability of an injected crash")
+    serve.add_argument("--straggler-prob", type=float, default=0.2,
+                       help="per-job probability of an injected straggler")
+    serve.add_argument("--deadline", type=float, default=60.0,
+                       help="per-job wall-clock SLA on the process pool "
+                            "(seconds)")
+    serve.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_path",
+        help="write the full soak report as JSON to PATH ('-' for stdout)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit one solve to an ephemeral service instance and "
+             "print its result with full attempt telemetry",
+    )
+    submit.add_argument("--matrix", choices=sorted(MATRICES),
+                        default="poisson2d")
+    submit.add_argument("--n", type=int, default=256,
+                        help="problem size (rows)")
+    submit.add_argument("-p", "--nprocs", type=int, default=4)
+    submit.add_argument("--backend", choices=("process", "simulated"),
+                        default="process")
+    submit.add_argument("--solver", default="cg")
+    submit.add_argument("--rtol", type=float, default=1e-8)
+    submit.add_argument("--maxiter", type=int, default=None)
+    submit.add_argument("--tenant", default="cli")
+    submit.add_argument("--deadline", type=float, default=60.0,
+                        help="per-attempt wall-clock SLA (seconds, "
+                             "process backend)")
+    submit.add_argument("--retries", type=int, default=3,
+                        help="max service-level attempts")
+    submit.add_argument("--policy",
+                        choices=("respawn", "shrink", "rebalance"),
+                        default="respawn")
+    submit.add_argument("--fused", action="store_true",
+                        help="single-reduction CG recurrence")
+    submit.add_argument(
+        "--json", metavar="PATH", default=None, dest="json_path",
+        help="write the job result (with attempt telemetry) as JSON to "
+             "PATH ('-' for stdout)",
+    )
     return parser
 
 
@@ -490,13 +557,164 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         straggler_deadline=args.straggler_deadline,
     )
     report = format_report(outcomes)
-    print(report)
+    out = _human_stream(args)
+    print(report, file=out)
     if args.report:
         from pathlib import Path
 
         Path(args.report).write_text(report + "\n")
-        print(f"wrote {args.report}")
+        print(f"wrote {args.report}", file=out)
+    if args.json_path:
+        payload = {
+            "config": {
+                "seeds": seeds,
+                "backends": backends,
+                "nprocs": args.nprocs,
+                "n": args.n,
+                "policy": args.policy,
+                "allow_crash": not args.no_crash,
+                "stragglers": args.stragglers,
+                "straggler_deadline": args.straggler_deadline,
+            },
+            "contract_held": all(o.ok for o in outcomes),
+            "outcomes": [o.to_dict() for o in outcomes],
+        }
+        _emit_json(payload, args.json_path)
     return 0 if all(o.ok for o in outcomes) else 1
+
+
+def _human_stream(args: argparse.Namespace):
+    """Stdout normally; stderr when ``--json -`` claims stdout for JSON.
+
+    Keeps ``repro <cmd> --json - | jq`` parseable while the table stays
+    visible on the terminal.
+    """
+    return sys.stderr if args.json_path == "-" else sys.stdout
+
+
+def _emit_json(payload, path: str) -> None:
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if path == "-":
+        print(text)
+    else:
+        from pathlib import Path
+
+        Path(path).write_text(text + "\n")
+        print(f"wrote {path}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .backend import process_backend_support
+    from .backend.process import crash_injection_support
+    from .service import soak_run
+
+    if args.backend == "process":
+        ok, detail = process_backend_support()
+        if ok:
+            ok, detail = crash_injection_support()
+        if not ok:
+            print(f"error: process service unavailable: {detail}",
+                  file=sys.stderr)
+            return 2
+    report = soak_run(
+        jobs=args.jobs, seed=args.seed, backend=args.backend,
+        nprocs=args.nprocs, n=args.n, tenants=args.tenants,
+        crash_prob=args.crash_prob, straggler_prob=args.straggler_prob,
+        policy=args.policy, deadline=args.deadline,
+    )
+    out = _human_stream(args)
+    header = (
+        f"{'job':>4} {'tenant':<10} {'fault':<10} {'status':<9} "
+        f"{'class':<18} {'att':>3} {'ranks':>5} {'bitwise':<7} "
+        f"{'elapsed':>8}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for v in report.verdicts:
+        print(
+            f"{v.job_id:>4} {v.tenant:<10} {v.fault:<10} {v.status:<9} "
+            f"{v.classification or '-':<18} {v.attempts:>3} "
+            f"{v.nprocs_final or '-':>5} "
+            f"{'yes' if v.bitwise else 'no':<7} {v.elapsed:>7.2f}s",
+            file=out,
+        )
+    print("-" * len(header), file=out)
+    print(report.summary(), file=out)
+    c = report.counters
+    print(
+        f"service: retries={c.get('retries', 0)} "
+        f"rebuilds={c.get('pool_rebuilds', 0)} heals={c.get('heals', 0)} "
+        f"breaker_trips={c.get('breaker_trips', 0)} "
+        f"busy={c.get('busy_time', 0.0):.2f}s",
+        file=out,
+    )
+    if args.json_path:
+        _emit_json(report.as_dict(), args.json_path)
+    return 0 if report.contract_held else 1
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from . import StoppingCriterion
+    from .backend import process_backend_support
+    from .backend.simulated import SimulatedBackend
+    from .service import (
+        JobSpec,
+        RetryPolicy,
+        ServiceOverloadedError,
+        SolverService,
+        WarmPool,
+    )
+    from .service.telemetry import summarize_attempts
+
+    if args.backend == "process":
+        ok, detail = process_backend_support()
+        if not ok:
+            print(f"error: process backend unavailable: {detail}",
+                  file=sys.stderr)
+            return 2
+        backend = WarmPool(args.nprocs, timeout=args.deadline)
+    else:
+        backend = SimulatedBackend()
+
+    A = _make_matrix(args.matrix, args.n)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.nrows)
+    spec = JobSpec(
+        matrix=A, b=b, tenant=args.tenant, solver=args.solver,
+        nprocs=args.nprocs,
+        criterion=StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter),
+        policy=args.policy, fused=args.fused,
+        deadline=args.deadline if args.backend == "process" else None,
+    )
+    with SolverService(
+        backend=backend, target_nprocs=args.nprocs,
+        retry=RetryPolicy(max_attempts=args.retries),
+    ) as svc:
+        try:
+            result = svc.solve(spec, timeout=10 * args.deadline)
+        except ServiceOverloadedError as exc:  # pragma: no cover - depth 64
+            print(f"rejected: {exc}", file=sys.stderr)
+            return 1
+
+    out = _human_stream(args)
+    print(f"job       : #{result.job_id} tenant={result.tenant}", file=out)
+    print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}", file=out)
+    print(f"status    : {result.status}"
+          + (f" [{result.classification}]" if result.classification else ""),
+          file=out)
+    print(f"ranks     : requested={result.nprocs_requested} "
+          f"final={result.nprocs_final}", file=out)
+    print(f"iterations: {result.iterations}", file=out)
+    print(f"attempts  : {summarize_attempts(result.attempts)}", file=out)
+    print(f"time      : queued {result.queued * 1e3:.1f} ms, "
+          f"executed {result.elapsed * 1e3:.1f} ms", file=out)
+    if result.error:
+        print(f"error     : {result.error}", file=out)
+    if args.json_path:
+        _emit_json(result.as_dict(), args.json_path)
+    return 0 if result.ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -517,6 +735,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_calibrate(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     parser.error(f"unknown command {args.command}")
     return 2
 

@@ -55,7 +55,18 @@ _TINY = 1.0e-300
 
 
 class RecoveryExhaustedError(RuntimeError):
-    """Recovery gave up: more rollbacks were needed than ``max_restarts``."""
+    """Recovery gave up: more rollbacks were needed than ``max_restarts``.
+
+    ``attempts`` carries the full attempt telemetry when the raiser has it
+    (one dict per failed attempt: outcome label, victim rank, recovery
+    action taken, restart iteration, backoff delay where applicable), so
+    an operator reading the error can see *why* the job failed, not just
+    that it did.  Raisers without per-attempt records leave it empty.
+    """
+
+    def __init__(self, message: str = "", attempts=None):
+        super().__init__(message)
+        self.attempts = list(attempts or [])
 
 
 @dataclass(frozen=True)

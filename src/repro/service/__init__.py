@@ -1,0 +1,52 @@
+"""Persistent resilient solver service (DESIGN.md §11).
+
+Layers, bottom-up:
+
+* :mod:`~repro.service.pool` -- :class:`WarmPool`, persistent rank
+  processes reused across solves (generations, condemn-on-failure,
+  heal);
+* :mod:`~repro.service.queue` -- :class:`TenantFairQueue`, bounded
+  admission with per-tenant fairness;
+* :mod:`~repro.service.retry` -- :class:`RetryPolicy`, exponential
+  backoff with seeded jitter over retryable infrastructure failures;
+* :mod:`~repro.service.breaker` -- :class:`CircuitBreaker`, per-pool
+  fast-fail after consecutive failures;
+* :mod:`~repro.service.service` -- :class:`SolverService`, the
+  dispatcher tying them together; jobs are :class:`JobSpec`, futures
+  are :class:`JobHandle`, verdicts are :class:`JobResult`;
+* :mod:`~repro.service.soak` -- the chaos-driven stream soak backing
+  the converge-or-classified-error acceptance contract;
+* :mod:`~repro.service.telemetry` -- attempt records and counters.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpenError
+from .pool import WarmPool
+from .queue import ServiceOverloadedError, TenantFairQueue
+from .retry import RetryPolicy, is_retryable
+from .service import JobHandle, JobResult, JobSpec, SolverService
+from .soak import SoakJobVerdict, SoakReport, leaked_pool_workers, soak_run
+from .telemetry import AttemptRecord, JobStatus, ServiceCounters
+
+__all__ = [
+    "AttemptRecord",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "JobHandle",
+    "JobResult",
+    "JobSpec",
+    "JobStatus",
+    "RetryPolicy",
+    "ServiceCounters",
+    "ServiceOverloadedError",
+    "SoakJobVerdict",
+    "SoakReport",
+    "SolverService",
+    "TenantFairQueue",
+    "WarmPool",
+    "is_retryable",
+    "leaked_pool_workers",
+    "soak_run",
+]

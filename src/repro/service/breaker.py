@@ -1,0 +1,156 @@
+"""Per-pool circuit breaker: stop hammering a substrate that is down.
+
+Retry-with-backoff protects one *job* from transient faults; the breaker
+protects the *stream* from persistent ones.  When ``failure_threshold``
+consecutive infrastructure failures accumulate (across jobs -- a pool
+whose host is dying fails everything), the breaker opens and every
+subsequent job fails fast with :class:`CircuitOpenError` -- a classified,
+typed outcome -- instead of burning a full timeout + retry ladder each.
+After ``reset_timeout`` seconds the breaker goes **half-open**: exactly
+one probe job is admitted; success closes the circuit, failure re-opens
+it for another full window.
+
+State transitions (the classic three-state machine)::
+
+    closed --[K consecutive failures]--> open
+    open --[reset_timeout elapsed]--> half_open (one probe admitted)
+    half_open --[probe ok]--> closed
+    half_open --[probe failed]--> open
+
+The clock is injectable so the transition tests run on a fake clock with
+no real sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker", "CircuitOpenError", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(RuntimeError):
+    """Fast-fail verdict: the pool's circuit breaker is open.
+
+    Carries ``retry_after`` -- seconds until the breaker will admit a
+    half-open probe -- so clients can schedule a resubmit instead of
+    polling.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
+
+
+class CircuitBreaker:
+    """Trip after K consecutive infrastructure failures; heal via probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures (any job, any attempt) that open the circuit.
+    reset_timeout:
+        Seconds the circuit stays open before admitting one half-open
+        probe.
+    clock:
+        Monotonic-seconds callable; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+        self.trips = 0  #: lifetime closed/half_open -> open transitions
+
+    # -------------------------------------------------------------- #
+    @property
+    def state(self) -> str:
+        """Current state, accounting for reset-timeout expiry."""
+        if self._state == OPEN and self._ready_for_probe():
+            return HALF_OPEN
+        return self._state
+
+    def _ready_for_probe(self) -> bool:
+        return (
+            self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        )
+
+    def retry_after(self) -> float:
+        """Seconds until a probe will be admitted (0 when not open)."""
+        if self._state != OPEN or self._opened_at is None:
+            return 0.0
+        return max(
+            0.0, self.reset_timeout - (self._clock() - self._opened_at)
+        )
+
+    # -------------------------------------------------------------- #
+    def allow(self) -> bool:
+        """May a job execute now?  Admits the single half-open probe."""
+        if self._state == CLOSED:
+            return True
+        if self._ready_for_probe() and not self._probe_in_flight:
+            self._state = HALF_OPEN
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def check(self) -> None:
+        """Like :meth:`allow`, raising :class:`CircuitOpenError` on refusal."""
+        if not self.allow():
+            ra = self.retry_after()
+            raise CircuitOpenError(
+                f"circuit breaker open after "
+                f"{self._consecutive_failures} consecutive infrastructure "
+                f"failures; probe admitted in {ra:.2f}s",
+                retry_after=ra,
+            )
+
+    def record_success(self) -> None:
+        """An execution finished healthy: close and reset the count."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """An execution hit infrastructure failure: count, maybe trip."""
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN or (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+        elif self._state == OPEN and self._probe_in_flight:
+            # a probe admitted via allow() without the state() read
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self.trips += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures}/"
+            f"{self.failure_threshold}, trips={self.trips})"
+        )

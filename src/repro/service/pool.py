@@ -1,0 +1,396 @@
+"""Warm worker pool: persistent rank processes reused across solves.
+
+A one-shot :class:`~repro.backend.process.ProcessBackend` run pays, per
+solve: fork/spawn of P processes, creation of P+1 queues and a barrier,
+NumPy/module state warm-up, and a full reap.  For the ROADMAP's
+"millions of users" stream that per-job tax dominates small solves.  The
+:class:`WarmPool` keeps one **generation** of rank processes alive across
+jobs: each worker blocks on a per-rank task queue, receives
+``(job_id, program, timeout)``, runs the *exact same* ``_drive`` loop the
+one-shot backend runs (same heartbeats, same checkpoint publishing, same
+deadline semantics), then loops for the next job.  Partition and
+distribution caches memoized inside each worker (PR 5) stay hot between
+jobs that share a layout -- which is what benchmark E24 measures.
+
+Failure semantics -- the part a *service* cares about:
+
+* any job failure (worker error, fail-stop crash, straggler verdict,
+  deadline) **condemns the generation**: every worker is reaped with
+  bounded joins and every queue closed, because a broken barrier or a
+  half-drained inbox must never leak into the next job;
+* the next ``run()`` transparently builds a fresh generation -- at
+  whatever rank count the caller asks for, so
+  :func:`~repro.backend.solve.run_with_recovery` drives respawn *and*
+  shrink against the pool unchanged (a shrunken request simply builds a
+  smaller generation, which then serves the stream warm on the
+  survivors);
+* :meth:`heal` re-grows a shrunken or dead pool back to
+  ``target_nprocs`` between jobs;
+* :meth:`shutdown` is the graceful path: a ``stop`` message per worker,
+  bounded joins, then the reaper for anything still alive.
+
+Messages are tagged with the generation's job id on both the result and
+the p2p queues; a worker drops any payload from an older job on the
+floor, so even a message that somehow survives condemnation cannot
+corrupt a later solve.
+
+The pool *is* an :class:`~repro.backend.base.ExecutionBackend` (it
+subclasses the one-shot backend for its supervision helpers), so
+``backend_solve``/``run_with_recovery``/``cross_validate`` all accept it
+wherever they accept a ``ProcessBackend``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from ..backend.base import (
+    BackendError,
+    BackendRun,
+    BackendTimeoutError,
+    ProgramFactory,
+    WorkerCrashedError,
+    WorkerFailedError,
+)
+from ..backend.process import (
+    _PARENT_GRACE,
+    ProcessBackend,
+    _drive,
+    crash_injection_support,
+    process_backend_support,
+)
+
+__all__ = ["WarmPool"]
+
+
+# ---------------------------------------------------------------------- #
+# worker-side job scoping
+# ---------------------------------------------------------------------- #
+class _JobResultQueue:
+    """Tags every report with the job id so the parent can scope it."""
+
+    __slots__ = ("q", "job_id")
+
+    def __init__(self, q, job_id: int):
+        self.q = q
+        self.job_id = job_id
+
+    def put(self, item) -> None:
+        self.q.put((self.job_id,) + tuple(item))
+
+
+class _JobInbox:
+    """A rank inbox scoped to one job: stale traffic is dropped on read."""
+
+    __slots__ = ("q", "job_id")
+
+    def __init__(self, q, job_id: int):
+        self.q = q
+        self.job_id = job_id
+
+    def put(self, item) -> None:
+        src, tag, payload = item
+        self.q.put((self.job_id, src, tag, payload))
+
+    def get(self, timeout: Optional[float] = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise queue_mod.Empty
+            item = self.q.get(timeout=remaining)
+            if item[0] == self.job_id:
+                return item[1:]
+            # stale message from a condemned job: discard and keep waiting
+
+    def cancel_join_thread(self) -> None:
+        self.q.cancel_join_thread()
+
+
+def _pool_worker_main(rank, size, task_q, inboxes, result_q, barrier,
+                      hb_interval):
+    """Persistent worker: serve jobs until told to stop or a job breaks."""
+    try:
+        while True:
+            task = task_q.get()
+            if task[0] == "stop":
+                break
+            _, job_id, program, timeout, trace = task
+            rq = _JobResultQueue(result_q, job_id)
+            boxes = [_JobInbox(q, job_id) for q in inboxes]
+            broken = False
+            try:
+                outcome = ("ok", rank,
+                           _drive(rank, size, program, boxes, rq, barrier,
+                                  timeout, trace, hb_interval))
+                rq.put(("done", rank, time.monotonic()))
+                # drain barrier, exactly like the one-shot worker: nobody
+                # proceeds until every rank completed its receives, so no
+                # in-flight message can be abandoned between jobs
+                try:
+                    barrier.wait(timeout)
+                except Exception:
+                    broken = True  # a peer failed; generation is done for
+            except BaseException as exc:  # noqa: BLE001 - report, don't die
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+                outcome = ("err", rank, f"{type(exc).__name__}: {exc}\n"
+                                        f"{traceback.format_exc()}")
+                broken = True
+            rq.put(outcome)
+            if broken:
+                # the barrier is unusable; exit and let the parent reap
+                break
+    finally:
+        try:
+            result_q.close()
+            result_q.join_thread()  # flush the last outcome
+        except Exception:
+            pass
+        for q in inboxes:
+            q.cancel_join_thread()
+
+
+# ---------------------------------------------------------------------- #
+# parent side
+# ---------------------------------------------------------------------- #
+class _Generation:
+    """One cohort of persistent workers sharing queues and a barrier."""
+
+    def __init__(self, ctx, nprocs: int, hb_interval: float):
+        self.nprocs = nprocs
+        self.task_qs = [ctx.Queue() for _ in range(nprocs)]
+        self.inboxes = [ctx.Queue() for _ in range(nprocs)]
+        self.result_q = ctx.Queue()
+        self.barrier = ctx.Barrier(nprocs)
+        self.next_job_id = 0
+        self.jobs_served = 0
+        self.workers = [
+            ctx.Process(
+                target=_pool_worker_main,
+                args=(rank, nprocs, self.task_qs[rank], self.inboxes,
+                      self.result_q, self.barrier, hb_interval),
+                name=f"repro-pool-{rank}",
+                daemon=True,
+            )
+            for rank in range(nprocs)
+        ]
+
+    def all_queues(self):
+        return self.task_qs + self.inboxes + [self.result_q]
+
+    def healthy(self) -> bool:
+        return all(w.is_alive() for w in self.workers)
+
+
+class WarmPool(ProcessBackend):
+    """A :class:`ProcessBackend` whose workers survive between runs.
+
+    Accepts every ``ProcessBackend`` knob (timeout, heartbeat interval,
+    straggler deadline, fault plan, ``crash_on_checkpoint``) with the
+    same semantics -- re-read at each ``run()``, so a service can set
+    per-job deadlines on the shared instance.  ``target_nprocs`` is the
+    pool's home size: :meth:`heal` restores it after a shrink.
+    """
+
+    name = "warm_pool"
+
+    def __init__(self, target_nprocs: int, **kwargs):
+        if target_nprocs < 1:
+            raise ValueError("target_nprocs must be >= 1")
+        super().__init__(**kwargs)
+        self.target_nprocs = target_nprocs
+        self._gen: Optional[_Generation] = None
+        self.rebuilds = 0  #: lifetime generation builds (1 = never rebuilt)
+
+    # -------------------------------------------------------------- #
+    @property
+    def generation_size(self) -> int:
+        """Rank count of the live generation (0 = no generation)."""
+        return self._gen.nprocs if self._gen is not None else 0
+
+    @property
+    def jobs_served(self) -> int:
+        return self._gen.jobs_served if self._gen is not None else 0
+
+    def healthy(self) -> bool:
+        """Every worker of the current generation is alive."""
+        return self._gen is not None and self._gen.healthy()
+
+    # -------------------------------------------------------------- #
+    def _ensure_generation(self, nprocs: int) -> _Generation:
+        ok, detail = process_backend_support(self.start_method)
+        if not ok:
+            raise BackendError(f"process backend unavailable: {detail}")
+        gen = self._gen
+        if gen is not None and (gen.nprocs != nprocs or not gen.healthy()):
+            # size mismatch (shrink/heal) or a worker died idle: rebuild
+            self.condemn()
+            gen = None
+        if gen is None:
+            ctx = mp.get_context(detail)
+            gen = _Generation(ctx, nprocs, self.heartbeat_interval)
+            for w in gen.workers:
+                w.start()
+            self._gen = gen
+            self.rebuilds += 1
+        return gen
+
+    def condemn(self) -> None:
+        """Reap the current generation and release its queues.  Idempotent."""
+        gen, self._gen = self._gen, None
+        if gen is None:
+            return
+        self._reap(gen.workers)
+        self._close_queues(gen.all_queues())
+
+    def heal(self, nprocs: Optional[int] = None) -> int:
+        """Ensure a healthy generation at ``nprocs`` (default: target size).
+
+        Returns the resulting generation size.  Cheap when the pool is
+        already healthy at that size (the common between-jobs call).
+        """
+        want = self.target_nprocs if nprocs is None else nprocs
+        self._ensure_generation(want)
+        return self.generation_size
+
+    def shutdown(self, grace: float = 2.0) -> None:
+        """Graceful stop: ask workers to exit, then reap stragglers."""
+        gen, self._gen = self._gen, None
+        if gen is None:
+            return
+        for tq in gen.task_qs:
+            try:
+                tq.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
+        for w in gen.workers:
+            if w.is_alive():
+                w.join(timeout=grace)
+        self._reap(gen.workers)
+        self._close_queues(gen.all_queues())
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- #
+    def run(
+        self,
+        program: ProgramFactory,
+        nprocs: int,
+        *,
+        checkpoints: Optional[Dict[int, Dict[int, Any]]] = None,
+    ) -> BackendRun:
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self._wants_kills():
+            ok_kill, why = crash_injection_support(self.start_method)
+            if not ok_kill:
+                raise BackendError(f"crash injection unavailable: {why}")
+        gen = self._ensure_generation(nprocs)
+        job_id = gen.next_job_id
+        gen.next_job_id += 1
+        for tq in gen.task_qs:
+            tq.put(("job", job_id, program, self.timeout, self.trace))
+        try:
+            reports = self._supervise(gen, job_id, checkpoints)
+        except BaseException:
+            # deadline, crash, straggler, worker error, KeyboardInterrupt:
+            # the generation's barrier/queues are unusable -- reap it all,
+            # with bounded joins, before letting the error propagate
+            self.condemn()
+            raise
+        gen.jobs_served += 1
+        return self._assemble(nprocs, reports)
+
+    # -------------------------------------------------------------- #
+    def _supervise(self, gen: _Generation, job_id: int, checkpoints):
+        """Collect one job's reports; same verdicts as the one-shot backend."""
+        nprocs = gen.nprocs
+        workers = gen.workers
+        reports: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        last_heartbeat: Dict[int, float] = {}
+        done_ranks: set = set()
+        run_start = time.monotonic()
+        deadline = (
+            None
+            if self.timeout is None
+            else run_start + self.timeout + _PARENT_GRACE
+        )
+        while len(reports) < nprocs:
+            self._fire_due_time_kills(workers, reports, run_start)
+            self._check_straggler(nprocs, reports, done_ranks, last_heartbeat)
+            try:
+                item = gen.result_q.get(timeout=0.1)
+            except queue_mod.Empty:
+                crashed = self._crashed_rank(workers, reports)
+                if crashed is not None:
+                    raise WorkerCrashedError(
+                        crashed,
+                        f"pool worker rank {crashed} vanished fail-stop "
+                        f"(exitcode {workers[crashed].exitcode}; last "
+                        f"heartbeat "
+                        f"{self._hb_age(last_heartbeat, crashed):.2f}s ago)",
+                    )
+                dead = [
+                    w.name
+                    for r, w in enumerate(workers)
+                    if r not in reports
+                    and w.exitcode is not None
+                    and w.exitcode != 0
+                ]
+                if dead:
+                    raise WorkerFailedError(
+                        f"pool worker(s) died without reporting: {dead}"
+                    )
+                if deadline is not None and time.monotonic() > deadline:
+                    raise BackendTimeoutError(
+                        f"warm pool timed out after {self.timeout:g}s; "
+                        f"ranks missing: "
+                        f"{sorted(set(range(nprocs)) - set(reports))}"
+                    )
+                continue
+            jid, kind, rank, payload = item
+            if jid != job_id:
+                continue  # stale report from a previous (failed) job
+            if kind == "hb":
+                last_heartbeat[rank] = time.monotonic()
+                continue
+            if kind == "done":
+                done_ranks.add(rank)
+                last_heartbeat[rank] = time.monotonic()
+                continue
+            if kind == "ckpt":
+                last_heartbeat[rank] = time.monotonic()
+                iteration, snapshot = payload
+                if checkpoints is not None:
+                    checkpoints.setdefault(iteration, {})[rank] = snapshot
+                due = self.crash_on_checkpoint.get(rank)
+                if due is not None and iteration >= due:
+                    del self.crash_on_checkpoint[rank]  # consumed-once
+                    self._kill_rank(workers, rank)
+                continue
+            if kind == "err":
+                crashed = self._crashed_rank(workers, reports)
+                if crashed is not None:
+                    raise WorkerCrashedError(
+                        crashed,
+                        f"pool worker rank {crashed} vanished fail-stop; "
+                        f"rank {rank} failed in the aftermath:\n{payload}",
+                    )
+                raise WorkerFailedError(
+                    f"rank {rank} failed on the warm pool:\n{payload}"
+                )
+            reports[rank] = payload
+        return reports

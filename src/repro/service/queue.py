@@ -1,0 +1,147 @@
+"""Admission-controlled, tenant-fair job queue.
+
+The "millions of users" shape of the ROADMAP is many tenants sharing one
+warm pool; the two failure modes a queue must prevent are **starvation**
+(one chatty tenant monopolizing the pool) and **unbounded growth** (accept
+everything, serve nothing).  This queue addresses both:
+
+* **fairness** -- one FIFO lane per tenant, drained round-robin, so a
+  tenant submitting 1000 jobs delays a tenant submitting 1 by at most one
+  service time per cycle, not by 1000;
+* **admission control** -- a global depth bound and a per-tenant depth
+  bound; a submit over either limit raises the typed
+  :class:`ServiceOverloadedError` *immediately* (backpressure at the
+  door), instead of queueing work that would miss every deadline anyway.
+
+Thread-safe: producers call :meth:`put` from any thread, the single
+dispatcher thread calls :meth:`get`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Dict, Optional
+
+__all__ = ["TenantFairQueue", "ServiceOverloadedError"]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Admission control refused the job: the queue is at capacity.
+
+    ``tenant`` names the lane that was full (``None`` = the global bound
+    tripped); ``depth``/``limit`` report the load at refusal so clients
+    can implement informed backoff.
+    """
+
+    def __init__(self, message: str, tenant: Optional[str] = None,
+                 depth: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.tenant = tenant
+        self.depth = depth
+        self.limit = limit
+
+
+class TenantFairQueue:
+    """Bounded multi-tenant FIFO with round-robin draining.
+
+    Parameters
+    ----------
+    max_depth:
+        Global bound on queued (not yet dispatched) jobs.
+    max_per_tenant:
+        Bound per tenant lane; ``None`` disables the per-lane bound
+        (the global bound still applies).
+    """
+
+    def __init__(self, max_depth: int = 64,
+                 max_per_tenant: Optional[int] = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if max_per_tenant is not None and max_per_tenant < 1:
+            raise ValueError("max_per_tenant must be >= 1 (or None)")
+        self.max_depth = max_depth
+        self.max_per_tenant = max_per_tenant
+        self._lanes: "OrderedDict[str, deque]" = OrderedDict()
+        self._rr: deque = deque()  # round-robin order of tenants with work
+        self._depth = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # -------------------------------------------------------------- #
+    def __len__(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def depths(self) -> Dict[str, int]:
+        """Per-tenant queued-job counts (telemetry snapshot)."""
+        with self._lock:
+            return {t: len(q) for t, q in self._lanes.items() if q}
+
+    # -------------------------------------------------------------- #
+    def put(self, tenant: str, item: Any) -> None:
+        """Enqueue ``item`` for ``tenant`` or raise ``ServiceOverloadedError``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("queue is closed to new submissions")
+            if self._depth >= self.max_depth:
+                raise ServiceOverloadedError(
+                    f"service overloaded: {self._depth} jobs queued "
+                    f"(global bound {self.max_depth})",
+                    tenant=None, depth=self._depth, limit=self.max_depth,
+                )
+            lane = self._lanes.get(tenant)
+            if lane is None:
+                lane = self._lanes[tenant] = deque()
+            if (self.max_per_tenant is not None
+                    and len(lane) >= self.max_per_tenant):
+                raise ServiceOverloadedError(
+                    f"tenant {tenant!r} overloaded: {len(lane)} jobs queued "
+                    f"(per-tenant bound {self.max_per_tenant})",
+                    tenant=tenant, depth=len(lane),
+                    limit=self.max_per_tenant,
+                )
+            if not lane:
+                self._rr.append(tenant)  # lane becomes active
+            lane.append(item)
+            self._depth += 1
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Any]:
+        """Dequeue the next job, rotating tenants round-robin.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``); returns
+        ``None`` on timeout or when the queue is closed *and* empty.
+        """
+        with self._not_empty:
+            while self._depth == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            tenant = self._rr.popleft()
+            lane = self._lanes[tenant]
+            item = lane.popleft()
+            self._depth -= 1
+            if lane:
+                self._rr.append(tenant)  # still busy: back of the cycle
+            return item
+
+    # -------------------------------------------------------------- #
+    def close(self) -> None:
+        """Refuse new submissions; queued jobs remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def drain_remaining(self) -> list:
+        """Atomically remove and return every queued item (shutdown path)."""
+        with self._lock:
+            items = []
+            while self._rr:
+                tenant = self._rr.popleft()
+                items.extend(self._lanes[tenant])
+                self._lanes[tenant].clear()
+            self._depth = 0
+            return items

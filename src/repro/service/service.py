@@ -1,0 +1,467 @@
+"""The persistent resilient solver service.
+
+Composition of the pieces in this package, in the order a job meets
+them::
+
+    submit() -- admission control ----------------- TenantFairQueue
+        |        (ServiceOverloadedError at the door)
+    dispatcher thread -- fast-fail gate ----------- CircuitBreaker
+        |
+    attempt loop -- backoff between attempts ------ RetryPolicy
+        |
+    backend_solve + run_with_recovery ------------- WarmPool
+        |        (respawn / shrink / rebalance *inside* one attempt)
+    JobResult -- full attempt telemetry ----------- AttemptRecord
+
+Two nested resilience loops, deliberately different in kind:
+
+* the **inner** loop (``run_with_recovery``) rolls a *single job* back to
+  its newest complete checkpoint after a crash or straggler verdict --
+  possibly shrinking onto survivors -- and its attempt log rides along in
+  each :class:`~repro.service.telemetry.AttemptRecord`;
+* the **outer** loop (this module) re-executes the *whole job* when even
+  the inner loop gave up, with exponential backoff, and trips the
+  circuit breaker when consecutive jobs keep dying -- the signature of a
+  sick substrate rather than an unlucky job.
+
+Degraded mode is stream-aware: when a job shrinks the pool, the pool
+*stays* shrunk while the queue is busy (survivors keep serving), and the
+service heals it back to ``target_nprocs`` at the next idle moment.
+
+A service on a :class:`~repro.backend.simulated.SimulatedBackend` is the
+same code path minus process management -- the unit tests exercise queue
+fairness, retries, and breaker logic there in milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..backend.base import ExecutionBackend
+from ..backend.chaos import classify_failure
+from ..backend.process import ProcessBackend
+from ..backend.solve import backend_solve
+from ..core.resilience import RecoveryExhaustedError
+from .breaker import CircuitBreaker, CircuitOpenError
+from .pool import WarmPool
+from .queue import ServiceOverloadedError, TenantFairQueue
+from .retry import RetryPolicy
+from .telemetry import AttemptRecord, JobStatus, ServiceCounters
+
+__all__ = ["JobSpec", "JobResult", "JobHandle", "SolverService"]
+
+#: classification label for breaker fast-fails (not a chaos label: the
+#: job never touched the substrate)
+CIRCUIT_OPEN = "circuit_open"
+
+
+# ---------------------------------------------------------------------- #
+@dataclass
+class JobSpec:
+    """Everything needed to solve one system on the service.
+
+    The solver/fault/resilience fields mirror
+    :func:`~repro.backend.solve.backend_solve`; the service-level fields
+    (``tenant``, ``deadline``, ``straggler_deadline``) control admission
+    and per-job SLAs.  ``deadline`` is the hard wall-clock bound *per
+    attempt* (the existing backend timeout machinery enforces it);
+    ``None`` keeps the pool's default.
+    """
+
+    matrix: Any
+    b: np.ndarray
+    tenant: str = "default"
+    solver: str = "cg"
+    nprocs: int = 4
+    x0: Optional[np.ndarray] = None
+    criterion: Optional[Any] = None
+    fused: bool = False
+    faults: Optional[Any] = None
+    resilience: Optional[Any] = None
+    policy: str = "respawn"
+    min_ranks: int = 1
+    deadline: Optional[float] = None
+    straggler_deadline: Optional[float] = None
+    heartbeat_interval: Optional[float] = None
+    #: deterministic mid-solve crash triggers, ``{rank: iteration}``
+    #: (consumed per attempt; each retry re-arms its own copy)
+    crash_on_checkpoint: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class JobResult:
+    """Terminal verdict of one submitted job, with full attempt history."""
+
+    job_id: int
+    tenant: str
+    status: str                       #: a :class:`JobStatus` value
+    x: Optional[np.ndarray] = None
+    iterations: int = 0
+    nprocs_requested: int = 0
+    nprocs_final: int = 0
+    classification: str = ""          #: chaos-style failure label when failed
+    error: str = ""
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    elapsed: float = 0.0              #: execution wall time (sum of attempts)
+    queued: float = 0.0               #: seconds spent waiting in the queue
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (JobStatus.OK, JobStatus.DEGRADED)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "status": self.status,
+            "iterations": self.iterations,
+            "nprocs_requested": self.nprocs_requested,
+            "nprocs_final": self.nprocs_final,
+            "classification": self.classification,
+            "error": self.error,
+            "attempts": [a.as_dict() for a in self.attempts],
+            "elapsed": self.elapsed,
+            "queued": self.queued,
+        }
+
+
+class JobHandle:
+    """Caller-side future for a submitted job."""
+
+    def __init__(self, job_id: int, tenant: str):
+        self.job_id = job_id
+        self.tenant = tenant
+        self._event = threading.Event()
+        self._result: Optional[JobResult] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        """Block until the job completes; raises ``TimeoutError`` if not."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} not finished within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+    def _fulfil(self, result: JobResult) -> None:
+        self._result = result
+        self._event.set()
+
+
+# ---------------------------------------------------------------------- #
+class SolverService:
+    """Long-lived solver service over a warm pool (or any backend).
+
+    Parameters
+    ----------
+    backend:
+        The execution substrate.  Default: a :class:`WarmPool` sized
+        ``target_nprocs``.  A :class:`SimulatedBackend` works too (fast
+        deterministic tests); pool-specific behaviours (heal, shutdown,
+        per-job deadlines) degrade to no-ops on non-pool backends.
+    target_nprocs:
+        Home rank count; :meth:`SolverService.submit` defaults jobs to it
+        and idle healing grows a shrunken pool back to it.
+    queue:
+        Admission-controlled job queue (default: ``TenantFairQueue()``).
+    retry:
+        Outer retry schedule (default: ``RetryPolicy()`` -- 3 attempts).
+    breaker:
+        Per-pool circuit breaker (default: trip after 3 consecutive
+        infrastructure failures, 5 s reset).
+    heal_between_jobs:
+        Re-grow a shrunken/dead pool to ``target_nprocs`` whenever the
+        queue goes idle (the degraded-mode contract: survivors keep
+        serving a busy queue; healing happens between jobs).
+    """
+
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        target_nprocs: int = 4,
+        queue: Optional[TenantFairQueue] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        heal_between_jobs: bool = True,
+    ):
+        self.target_nprocs = target_nprocs
+        self._backend = (
+            WarmPool(target_nprocs) if backend is None else backend
+        )
+        self.queue = queue if queue is not None else TenantFairQueue()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.heal_between_jobs = heal_between_jobs
+        self.counters = ServiceCounters()
+        self._next_job_id = 0
+        self._id_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        self._started = False
+
+    # -------------------------------------------------------------- #
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
+
+    @property
+    def pool(self) -> Optional[WarmPool]:
+        """The warm pool, when the backend is one (else ``None``)."""
+        return self._backend if isinstance(self._backend, WarmPool) else None
+
+    def start(self) -> "SolverService":
+        if not self._started:
+            self._started = True
+            self._dispatcher.start()
+        return self
+
+    def __enter__(self) -> "SolverService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- #
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Enqueue a job; raises :class:`ServiceOverloadedError` when full."""
+        if not self._started:
+            raise RuntimeError("service not started (call start())")
+        with self._id_lock:
+            job_id = self._next_job_id
+            self._next_job_id += 1
+        handle = JobHandle(job_id, spec.tenant)
+        try:
+            self.queue.put(spec.tenant, (spec, handle, time.monotonic()))
+        except ServiceOverloadedError:
+            self.counters.rejected += 1
+            raise
+        self.counters.submitted += 1
+        self._idle.clear()
+        return handle
+
+    def solve(self, spec: JobSpec,
+              timeout: Optional[float] = None) -> JobResult:
+        """Submit and wait: the synchronous convenience wrapper."""
+        return self.submit(spec).result(timeout)
+
+    # -------------------------------------------------------------- #
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, finish everything queued.  True when drained."""
+        self.queue.close()
+        return self._idle.wait(timeout)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the service; optionally finish queued work first.
+
+        With ``drain=False`` queued jobs are cancelled (their handles
+        resolve with :data:`JobStatus.CANCELLED`).  Always leaves zero
+        live pool workers.
+        """
+        self.queue.close()
+        if drain and self._started:
+            self._idle.wait(timeout)
+        for spec, handle, t_in in self.queue.drain_remaining():
+            handle._fulfil(JobResult(
+                job_id=handle.job_id, tenant=spec.tenant,
+                status=JobStatus.CANCELLED,
+                nprocs_requested=spec.nprocs,
+                queued=time.monotonic() - t_in,
+            ))
+        self._stop.set()
+        if self._started:
+            self._dispatcher.join(timeout=10.0)
+        pool = self.pool
+        if pool is not None:
+            pool.shutdown()
+
+    def status(self) -> Dict[str, Any]:
+        """One observability snapshot: counters, queue, breaker, pool."""
+        pool = self.pool
+        return {
+            "counters": self.counters.as_dict(),
+            "queue_depth": len(self.queue),
+            "queue_by_tenant": self.queue.depths(),
+            "breaker": {
+                "state": self.breaker.state,
+                "trips": self.breaker.trips,
+                "retry_after": round(self.breaker.retry_after(), 3),
+            },
+            "pool": None if pool is None else {
+                "generation_size": pool.generation_size,
+                "target_nprocs": pool.target_nprocs,
+                "rebuilds": pool.rebuilds,
+                "jobs_served": pool.jobs_served,
+                "healthy": pool.healthy(),
+            },
+        }
+
+    # -------------------------------------------------------------- #
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            item = self.queue.get(timeout=0.05)
+            if item is None:
+                if len(self.queue) == 0:
+                    self._maybe_heal()
+                    self._idle.set()
+                    if self.queue._closed:  # drained after close: done
+                        break
+                continue
+            spec, handle, t_in = item
+            queued = time.monotonic() - t_in
+            t0 = time.monotonic()
+            try:
+                result = self._execute(spec, handle.job_id)
+            except BaseException as exc:  # noqa: BLE001 - never kill the loop
+                result = JobResult(
+                    job_id=handle.job_id, tenant=spec.tenant,
+                    status=JobStatus.FAILED,
+                    nprocs_requested=spec.nprocs,
+                    classification=classify_failure(exc) or "internal_error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            result.queued = queued
+            self.counters.busy_time += time.monotonic() - t0
+            if result.status == JobStatus.OK:
+                self.counters.completed += 1
+            elif result.status == JobStatus.DEGRADED:
+                self.counters.completed += 1
+                self.counters.degraded += 1
+            else:
+                self.counters.failed += 1
+            handle._fulfil(result)
+        self._idle.set()
+
+    def _maybe_heal(self) -> None:
+        """Idle-time pool healing: re-grow to target between jobs."""
+        pool = self.pool
+        if (
+            self.heal_between_jobs
+            and pool is not None
+            and pool.generation_size > 0
+            and (pool.generation_size != pool.target_nprocs
+                 or not pool.healthy())
+        ):
+            pool.heal()
+            self.counters.heals += 1
+
+    # -------------------------------------------------------------- #
+    def _execute(self, spec: JobSpec, job_id: int) -> JobResult:
+        """Run one job through breaker, retry ladder, and recovery."""
+        result = JobResult(
+            job_id=job_id, tenant=spec.tenant, status=JobStatus.FAILED,
+            nprocs_requested=spec.nprocs,
+        )
+        trips_before = self.breaker.trips
+        if not self.breaker.allow():
+            self.counters.breaker_fast_fails += 1
+            ra = self.breaker.retry_after()
+            result.classification = CIRCUIT_OPEN
+            result.error = (
+                f"CircuitOpenError: breaker open; next probe in {ra:.2f}s"
+            )
+            return result
+
+        attempt = 0
+        while True:
+            attempt += 1
+            backoff = 0.0
+            if attempt > 1:
+                self.counters.retries += 1
+                backoff = self.retry.backoff(attempt)
+            rec = AttemptRecord(
+                attempt=attempt, outcome="ok", nprocs=spec.nprocs,
+                elapsed=0.0, backoff_before=backoff,
+            )
+            t0 = time.monotonic()
+            pool = self.pool
+            rebuilds_before = pool.rebuilds if pool is not None else 0
+            try:
+                solve = self._run_attempt(spec)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                rec.elapsed = time.monotonic() - t0
+                rec.outcome = classify_failure(exc) or "internal_error"
+                rec.error = f"{type(exc).__name__}: {exc}"
+                if isinstance(exc, RecoveryExhaustedError):
+                    rec.recovery_log = list(exc.attempts)
+                result.attempts.append(rec)
+                result.elapsed += rec.elapsed
+                self.breaker.record_failure()
+                self.counters.breaker_trips += (
+                    self.breaker.trips - trips_before
+                )
+                trips_before = self.breaker.trips
+                if self.retry.should_retry(attempt, exc):
+                    continue
+                result.status = JobStatus.FAILED
+                result.classification = rec.outcome
+                result.error = rec.error
+                self._account_rebuilds(rebuilds_before)
+                return result
+            rec.elapsed = time.monotonic() - t0
+            recov = (solve.extras or {}).get("recovery") or {}
+            rec.recovery_log = list(recov.get("attempt_log", []))
+            result.attempts.append(rec)
+            result.elapsed += rec.elapsed
+            result.x = solve.x
+            result.iterations = int(solve.iterations)
+            result.nprocs_final = int(
+                recov.get("final_nprocs", spec.nprocs)
+            )
+            result.status = (
+                JobStatus.DEGRADED
+                if result.nprocs_final < spec.nprocs
+                else JobStatus.OK
+            )
+            self.breaker.record_success()
+            self._account_rebuilds(rebuilds_before)
+            return result
+
+    def _account_rebuilds(self, rebuilds_before: int) -> None:
+        pool = self.pool
+        if pool is not None:
+            self.counters.pool_rebuilds += pool.rebuilds - rebuilds_before
+
+    def _run_attempt(self, spec: JobSpec):
+        """One ``backend_solve`` execution with per-job knobs applied."""
+        be = self._backend
+        # per-job SLA and fault knobs live on the shared backend instance
+        # (backend_solve only applies them when constructing a backend
+        # from a string; the chaos harness sets them the same way).  Every
+        # job sets all of them, so no job inherits a predecessor's.
+        if isinstance(be, ProcessBackend):
+            if spec.deadline is not None:
+                be.timeout = spec.deadline
+            if spec.heartbeat_interval is not None:
+                be.heartbeat_interval = spec.heartbeat_interval
+            be.straggler_deadline = spec.straggler_deadline
+            # consumed-once triggers: re-arm a fresh copy per attempt
+            be.crash_on_checkpoint = dict(spec.crash_on_checkpoint)
+        elif hasattr(be, "faults"):  # SimulatedBackend
+            # the substrate executes only the crash+slowdown share; the
+            # message share is injected at the Comm boundary by
+            # backend_solve itself
+            be.faults = (
+                spec.faults.substrate_plan()
+                if spec.faults is not None else None
+            )
+            be.straggler_deadline = spec.straggler_deadline
+        return backend_solve(
+            spec.solver, spec.matrix, spec.b,
+            backend=be, nprocs=spec.nprocs, x0=spec.x0,
+            criterion=spec.criterion, faults=spec.faults,
+            resilience=spec.resilience, policy=spec.policy,
+            min_ranks=spec.min_ranks, fused=spec.fused,
+        )

@@ -1,0 +1,360 @@
+"""Chaos-driven service soak: a seeded multi-tenant job stream under fire.
+
+The acceptance contract for the service (mirrors the chaos harness's
+converge-or-classified-error contract, lifted to a *stream*):
+
+* every job either converges **bitwise-equal** to its fault-free
+  simulated reference (full-rank outcomes -- crash respawns replay the
+  identical recurrence from the checkpoint), converges within tolerance
+  on fewer ranks (``degraded``, after a mid-stream shrink), or resolves
+  to a **classified** failure -- never an unclassified exception, never
+  a hang;
+* after a shrink the queue *keeps serving* on the survivors (jobs
+  complete while the pool is below target) and the pool heals back
+  between jobs;
+* at drain, **zero** pool workers remain alive.
+
+Fault draws are seeded per job, so a soak is exactly reproducible from
+``(seed, jobs, nprocs, n)`` -- the CI job pins these and archives the
+report.  Faults are crashes (checkpoint-triggered SIGKILL on the process
+pool, virtual-time kills on the simulator) and stragglers (per-op
+delays / compute dilation); message-level faults are excluded here
+because they live below the service layer and already have their own
+harness (``repro chaos``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..backend.chaos import _chaos_problem
+from ..backend.simulated import SimulatedBackend
+from ..backend.solve import backend_solve
+from ..core.resilience import ReliableConfig, ResilienceConfig
+from ..core.stopping import StoppingCriterion
+from ..machine.faults import FaultPlan, RankCrash, RankSlowdown
+from .breaker import CircuitBreaker
+from .pool import WarmPool
+from .queue import TenantFairQueue
+from .retry import RetryPolicy
+from .service import JobSpec, JobStatus, SolverService
+
+__all__ = ["SoakJobVerdict", "SoakReport", "soak_run"]
+
+POOL_NAME_PREFIX = "repro-pool-"
+
+
+def leaked_pool_workers() -> List[str]:
+    """Names of still-live pool worker processes (must be [] after drain)."""
+    return sorted(
+        p.name
+        for p in mp.active_children()
+        if p.name.startswith(POOL_NAME_PREFIX)
+    )
+
+
+@dataclass
+class SoakJobVerdict:
+    """Contract evaluation of one soak job."""
+
+    job_id: int
+    tenant: str
+    seed: int
+    status: str
+    classification: str
+    fault: str                      #: "none" | "crash" | "straggler"
+    attempts: int
+    nprocs_final: int
+    bitwise: bool                   #: exact match to the reference
+    max_abs_err: float
+    elapsed: float
+    contract_ok: bool
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class SoakReport:
+    """Whole-stream verdict: per-job outcomes plus service accounting."""
+
+    seed: int
+    backend: str
+    jobs: int
+    nprocs: int
+    n: int
+    policy: str
+    elapsed: float
+    verdicts: List[SoakJobVerdict] = field(default_factory=list)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    final_status: Dict[str, Any] = field(default_factory=dict)
+    leaked_workers: List[str] = field(default_factory=list)
+    served_while_shrunk: int = 0    #: jobs completed on a below-target pool
+
+    @property
+    def contract_held(self) -> bool:
+        return (
+            all(v.contract_ok for v in self.verdicts)
+            and not self.leaked_workers
+        )
+
+    @property
+    def ok_jobs(self) -> int:
+        return sum(
+            1 for v in self.verdicts
+            if v.status in (JobStatus.OK, JobStatus.DEGRADED)
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "backend": self.backend,
+            "jobs": self.jobs,
+            "nprocs": self.nprocs,
+            "n": self.n,
+            "policy": self.policy,
+            "elapsed": round(self.elapsed, 3),
+            "contract_held": self.contract_held,
+            "ok_jobs": self.ok_jobs,
+            "served_while_shrunk": self.served_while_shrunk,
+            "leaked_workers": self.leaked_workers,
+            "counters": self.counters,
+            "final_status": self.final_status,
+            "verdicts": [v.as_dict() for v in self.verdicts],
+        }
+
+    def summary(self) -> str:
+        by_class: Dict[str, int] = {}
+        for v in self.verdicts:
+            key = v.status if v.status != JobStatus.FAILED else (
+                f"failed:{v.classification}"
+            )
+            by_class[key] = by_class.get(key, 0) + 1
+        mix = ", ".join(f"{k}={n}" for k, n in sorted(by_class.items()))
+        return (
+            f"soak seed={self.seed} backend={self.backend}: "
+            f"{self.ok_jobs}/{self.jobs} jobs converged ({mix}); "
+            f"served_while_shrunk={self.served_while_shrunk}; "
+            f"leaked={len(self.leaked_workers)}; "
+            f"contract {'HELD' if self.contract_held else 'BROKEN'}"
+        )
+
+
+# ---------------------------------------------------------------------- #
+def _draw_job_faults(
+    rng: np.random.Generator,
+    nprocs: int,
+    crash_prob: float,
+    straggler_prob: float,
+    backend: str,
+) -> Dict[str, Any]:
+    """One job's seeded fault mix: maybe a crash, maybe a straggler."""
+    fault = "none"
+    crash_on_checkpoint: Dict[int, int] = {}
+    crashes: List[RankCrash] = []
+    slowdowns: List[RankSlowdown] = []
+    roll = rng.random()
+    if roll < crash_prob:
+        fault = "crash"
+        victim = int(rng.integers(nprocs))
+        ckpt = int(rng.integers(1, 4))
+        if backend == "process":
+            crash_on_checkpoint[victim] = ckpt
+        else:
+            crashes.append(RankCrash(victim, float(rng.uniform(1e-4, 5e-3))))
+    elif roll < crash_prob + straggler_prob:
+        fault = "straggler"
+        victim = int(rng.integers(nprocs))
+        slowdowns.append(
+            RankSlowdown(
+                rank=victim,
+                at_time=0.0,
+                factor=float(10.0 ** rng.uniform(7.0, 8.0)),
+                op_delay=float(rng.uniform(1.5, 3.0)),
+            )
+        )
+    plan = None
+    if crashes or slowdowns:
+        plan = FaultPlan(
+            seed=int(rng.integers(2 ** 31)),
+            crashes=crashes,
+            slowdowns=slowdowns,
+        )
+    return {
+        "fault": fault,
+        "plan": plan,
+        "crash_on_checkpoint": crash_on_checkpoint,
+    }
+
+
+def soak_run(
+    jobs: int = 32,
+    seed: int = 0,
+    backend: str = "process",
+    nprocs: int = 4,
+    n: int = 48,
+    tenants: int = 4,
+    crash_prob: float = 0.3,
+    straggler_prob: float = 0.2,
+    policy: str = "shrink",
+    deadline: float = 60.0,
+    straggler_deadline: float = 1.0,
+    rtol: float = 1.0e-8,
+    retry: Optional[RetryPolicy] = None,
+    service: Optional[SolverService] = None,
+) -> SoakReport:
+    """Run a seeded soak stream through a fresh (or provided) service.
+
+    ``policy="shrink"`` is the interesting default: a crash mid-solve
+    drops the victim and the stream then runs on the survivors until the
+    idle heal -- exercising exactly the degraded-mode path the service
+    exists for.
+    """
+    if backend not in ("process", "simulated"):
+        raise ValueError("backend must be 'process' or 'simulated'")
+    A, b = _chaos_problem(n)
+    criterion = StoppingCriterion(rtol=1e-10, atol=0.0)
+    cfg = ResilienceConfig(
+        checkpoint_interval=5,
+        sanity_interval=5,
+        max_restarts=8,
+        reliable=ReliableConfig(base_timeout=0.05, max_retries=8),
+    )
+    # one fault-free reference at the requested rank count: full-rank
+    # outcomes must match it bitwise (checkpoint replay is exact and
+    # cross-backend parity holds), degraded outcomes to tolerance (a
+    # shrink changes the reduction layout, so only the chaos-harness
+    # rtol contract applies)
+    reference_x = backend_solve(
+        "cg", A, b, backend="simulated", nprocs=nprocs, criterion=criterion
+    ).x
+    ref_scale = float(np.max(np.abs(reference_x))) or 1.0
+
+    own_service = service is None
+    if own_service:
+        service = SolverService(
+            backend=(
+                WarmPool(nprocs, timeout=deadline)
+                if backend == "process"
+                else SimulatedBackend(straggler_deadline=0.25)
+            ),
+            target_nprocs=nprocs,
+            queue=TenantFairQueue(max_depth=jobs + 8),
+            retry=retry or RetryPolicy(max_attempts=2, base_delay=0.01,
+                                       max_delay=0.1, seed=seed),
+            breaker=CircuitBreaker(failure_threshold=5, reset_timeout=0.5),
+        )
+    service.start()
+
+    rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    submitted = []
+    for j in range(jobs):
+        job_seed = int(rng.integers(2 ** 31))
+        draw = _draw_job_faults(
+            np.random.default_rng(job_seed), nprocs,
+            crash_prob, straggler_prob, backend,
+        )
+        spec = JobSpec(
+            matrix=A, b=b,
+            tenant=f"tenant-{j % tenants}",
+            nprocs=nprocs,
+            criterion=criterion,
+            resilience=cfg,
+            faults=draw["plan"],
+            crash_on_checkpoint=draw["crash_on_checkpoint"],
+            policy=policy,
+            deadline=deadline if backend == "process" else None,
+            # deadline units are substrate-specific: wall seconds on the
+            # process pool, virtual seconds on the simulator (same split
+            # as the chaos harness)
+            straggler_deadline=(
+                (straggler_deadline if backend == "process" else 0.25)
+                if draw["fault"] == "straggler"
+                else None
+            ),
+            heartbeat_interval=(
+                min(0.1, straggler_deadline / 4.0)
+                if backend == "process" and draw["fault"] == "straggler"
+                else None
+            ),
+        )
+        handle = service.submit(spec)
+        submitted.append((handle, job_seed, draw["fault"]))
+
+    report = SoakReport(
+        seed=seed, backend=backend, jobs=jobs, nprocs=nprocs, n=n,
+        policy=policy, elapsed=0.0,
+    )
+    pool = service.pool
+    for handle, job_seed, fault in submitted:
+        res = handle.result(timeout=max(4 * deadline, 120.0))
+        if (
+            res.ok
+            and pool is not None
+            and 0 < pool.generation_size < nprocs
+        ):
+            # completed while the pool was still running degraded
+            report.served_while_shrunk += 1
+        verdict = _judge(res, fault, job_seed, reference_x,
+                         rtol, ref_scale)
+        report.verdicts.append(verdict)
+
+    service.drain(timeout=60.0)
+    report.final_status = service.status()
+    if own_service:
+        service.shutdown()
+        time.sleep(0.2)  # give reaped children a beat to be collected
+        report.leaked_workers = leaked_pool_workers()
+    report.counters = dict(service.counters.as_dict())
+    report.elapsed = time.perf_counter() - t0
+    return report
+
+
+def _judge(res, fault, job_seed, reference_x, rtol, ref_scale):
+    """Evaluate one job result against the soak contract."""
+    bitwise = False
+    max_err = float("nan")
+    ok = False
+    detail = ""
+    if res.status == JobStatus.OK:
+        max_err = float(np.max(np.abs(res.x - reference_x)))
+        bitwise = bool(np.array_equal(res.x, reference_x))
+        ok = bitwise
+        if not ok:
+            detail = f"full-rank result not bitwise (max|err|={max_err:.2e})"
+    elif res.status == JobStatus.DEGRADED:
+        max_err = float(np.max(np.abs(res.x - reference_x)))
+        ok = max_err <= rtol * ref_scale
+        if not ok:
+            detail = (
+                f"degraded result off-reference "
+                f"(max|err|={max_err:.2e} > {rtol:g}*{ref_scale:g})"
+            )
+    elif res.status == JobStatus.FAILED:
+        ok = bool(res.classification)
+        if not ok:
+            detail = f"unclassified failure: {res.error}"
+    else:
+        detail = f"unexpected terminal status {res.status!r}"
+    return SoakJobVerdict(
+        job_id=res.job_id,
+        tenant=res.tenant,
+        seed=job_seed,
+        status=res.status,
+        classification=res.classification,
+        fault=fault,
+        attempts=len(res.attempts),
+        nprocs_final=res.nprocs_final,
+        bitwise=bitwise,
+        max_abs_err=max_err,
+        elapsed=res.elapsed,
+        contract_ok=ok,
+        detail=detail,
+    )

@@ -1,0 +1,74 @@
+"""Service observability: per-attempt records, job verdicts, counters.
+
+Everything an operator needs to answer "why did this job fail?" and "how
+is the pool doing?" without reading logs: each job carries its full
+attempt history (outcome, error, recovery action, backoff delay before
+the attempt), and the service aggregates stream-level counters
+(jobs/retries/breaker trips/heals) into one snapshot dict that the CLI
+prints and the soak harness serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["AttemptRecord", "JobStatus", "ServiceCounters"]
+
+
+#: terminal job states (``JobResult.status``)
+class JobStatus:
+    OK = "ok"                    #: solve converged (full rank count)
+    DEGRADED = "degraded"        #: converged on fewer ranks than requested
+    FAILED = "failed"            #: classified error after all retries
+    REJECTED = "rejected"        #: admission control refused the submit
+    CANCELLED = "cancelled"      #: service shut down before execution
+
+
+@dataclass
+class AttemptRecord:
+    """One service-level execution attempt of one job."""
+
+    attempt: int                      #: 1-based attempt index
+    outcome: str                      #: ``"ok"`` or a failure label
+    nprocs: int                       #: rank count the attempt ran at
+    elapsed: float                    #: wall seconds spent in the attempt
+    backoff_before: float = 0.0       #: delay slept before this attempt
+    error: str = ""                   #: ``Type: message`` when failed
+    #: the in-attempt recovery driver's own attempt log (crash respawns,
+    #: shrinks, rebalances inside this one service attempt)
+    recovery_log: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ServiceCounters:
+    """Stream-level accounting across the service's lifetime."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    degraded: int = 0
+    failed: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    breaker_fast_fails: int = 0
+    pool_rebuilds: int = 0
+    heals: int = 0
+    busy_time: float = 0.0  #: seconds the dispatcher spent executing jobs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def summarize_attempts(attempts: List[AttemptRecord]) -> str:
+    """One-line human summary: ``crash(+0.05s) -> straggler(+0.11s) -> ok``."""
+    parts = []
+    for rec in attempts:
+        delay = (
+            f"(+{rec.backoff_before:.2f}s)" if rec.backoff_before > 0 else ""
+        )
+        parts.append(f"{rec.outcome}{delay}")
+    return " -> ".join(parts) if parts else "(no attempts)"
