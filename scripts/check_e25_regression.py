@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Fail CI if multigrid's iteration advantage over Jacobi regresses.
+
+Benchmark E25 writes ``BENCH_e25.json`` with per-preconditioner CG
+iteration counts on the stencil27 system.  The deterministic heart of
+the HPCG subsystem is the ratio ``mg_iterations / jacobi_iterations``
+(lower = better): if a change to the V-cycle, the smoother or the
+coarsening makes the freshly generated ratio exceed the last *committed*
+ratio by more than 20%, exit 1.  Two absolute checks always apply:
+
+* MG must need strictly fewer iterations than Jacobi -- a V-cycle that
+  stops paying for itself has lost its reason to exist;
+* the reproducible run must have reported bitwise p-invariant scalars
+  (the benchmark asserts it and records the verdict).
+
+Baseline = ``git show HEAD:BENCH_e25.json``.  No committed baseline
+(first run, or file renamed) is a clean pass for the trajectory check --
+the job seeds it -- but the absolute checks always apply.
+
+Usage: run E25 first so BENCH_e25.json reflects the checked-out code,
+then ``python scripts/check_e25_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "BENCH_e25.json"
+TOLERANCE = 1.20  # >20% worse than the committed baseline fails
+
+
+def load_current() -> dict:
+    if not BENCH.exists():
+        print(f"FAIL: {BENCH} missing -- run benchmark E25 first "
+              "(python -m pytest benchmarks/bench_e25_hpcg.py "
+              "--benchmark-disable)")
+        sys.exit(1)
+    return json.loads(BENCH.read_text(encoding="utf-8"))
+
+
+def load_baseline() -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_e25.json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    current = load_current()
+    try:
+        ratio = current["iteration_ratio_mg_vs_jacobi"]
+        mg = current["runs"]["mg"]["iterations"]
+        jacobi = current["runs"]["jacobi"]["iterations"]
+        p_invariant = current["reproducible_bitwise_p_invariant"]
+    except KeyError as missing:
+        print(f"FAIL: BENCH_e25.json is missing {missing} -- regenerate it")
+        return 1
+
+    failed = False
+
+    verdict = "OK" if mg < jacobi else "REGRESSION"
+    if verdict == "REGRESSION":
+        failed = True
+    print(f"iterations: mg={mg} jacobi={jacobi} "
+          f"(ratio {ratio:.3f}, must be < 1) {verdict}")
+
+    verdict = "OK" if p_invariant else "REGRESSION"
+    if verdict == "REGRESSION":
+        failed = True
+    print(f"reproducible scalars bitwise p-invariant: {p_invariant} {verdict}")
+
+    baseline = load_baseline()
+    if baseline is None:
+        print("no committed BENCH_e25.json baseline -- seeding the "
+              "trajectory with the current run.")
+    else:
+        base = baseline.get("iteration_ratio_mg_vs_jacobi")
+        if base is not None:
+            limit = base * TOLERANCE
+            verdict = "OK" if ratio <= limit else "REGRESSION"
+            if verdict == "REGRESSION":
+                failed = True
+            print(f"trajectory: ratio {ratio:.3f} vs committed {base:.3f} "
+                  f"(limit {limit:.3f}) {verdict}")
+
+    if failed:
+        print("\nFAIL: the multigrid V-cycle no longer earns its keep "
+              "against Jacobi, or reproducibility broke.")
+        return 1
+    print("\nPASS: MG iteration advantage and reproducibility hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

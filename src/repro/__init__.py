@@ -40,6 +40,7 @@ from .backend import (
     process_backend_support,
 )
 from .baselines import direct_solve, direct_vs_cg_flops, spmd_cg
+from .hpcg import MultigridPreconditioner, hpcg_solve
 from .core import (
     ConvergenceHistory,
     IdentityPreconditioner,
@@ -95,6 +96,7 @@ from .sparse import (
     nonsymmetric_diag_dominant,
     poisson1d,
     poisson2d,
+    stencil27,
     rhs_for_solution,
     structural_truss,
 )
@@ -108,6 +110,8 @@ __all__ = [
     "SimulatedBackend",
     "ProcessBackend",
     "backend_solve",
+    "hpcg_solve",
+    "MultigridPreconditioner",
     "cross_validate",
     "calibrate_host",
     "process_backend_support",
@@ -131,6 +135,7 @@ __all__ = [
     "figure1_matrix",
     "poisson1d",
     "poisson2d",
+    "stencil27",
     "structural_truss",
     "circuit_nodal",
     "nas_cg_style",

@@ -97,12 +97,14 @@ from .solve import (
     reslice_snapshots,
     run_with_recovery,
 )
+from .reproducible import Superaccumulator
 from .validate import (
     BackendMismatchError,
     CrossValidation,
     FaultSequenceParity,
     cross_validate,
     fault_sequence_parity,
+    hpcg_cross_validate,
 )
 
 __all__ = [
@@ -110,6 +112,7 @@ __all__ = [
     "AbftChecksumError",
     "BackendError",
     "BackendMismatchError",
+    "Superaccumulator",
     "BackendRun",
     "BackendTimeoutError",
     "CGRankProgram",
@@ -146,6 +149,7 @@ __all__ = [
     "column_checksums",
     "crash_injection_support",
     "cross_validate",
+    "hpcg_cross_validate",
     "decode_dot",
     "default_start_method",
     "encode_dot",

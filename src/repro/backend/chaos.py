@@ -270,6 +270,7 @@ def chaos_run(
     policy: str = "respawn",
     stragglers: bool = False,
     straggler_deadline: float = 1.0,
+    reproducible: bool = False,
 ) -> ChaosOutcome:
     """Run one seeded chaos schedule and return its classified outcome.
 
@@ -285,6 +286,15 @@ def chaos_run(
     (:data:`~repro.backend.solve.RecoveryPolicy`); a solve that converges
     on fewer ranks than it started with is classified ``"degraded"`` and
     must still match the reference.
+
+    ``reproducible=True`` *sharpens the contract*: the solve and its
+    reference both run over superaccumulator reductions, whose results are
+    invariant to rank count and recovery history -- so a converged run
+    (and a degraded one: redistribution is an exact permutation and the
+    restarted trajectory replays the same exact dots) must match the
+    reference **bitwise**, ``max|err| == 0.0``, not merely to ``rtol``.
+    The fault draw itself is untouched, so seeds map to the same schedules
+    as in legacy (non-reproducible) runs.
     """
     if backend not in CHAOS_BACKENDS:
         raise ValueError(f"backend must be one of {CHAOS_BACKENDS}")
@@ -293,7 +303,7 @@ def chaos_run(
     if reference_x is None:
         reference_x = backend_solve(
             "cg", A, b, backend="simulated", nprocs=nprocs,
-            criterion=criterion,
+            criterion=criterion, reproducible=reproducible,
         ).x
 
     drawn = chaos_plan(seed, nprocs, allow_crash=allow_crash,
@@ -342,6 +352,7 @@ def chaos_run(
         result = backend_solve(
             "cg", A, b, backend=be, nprocs=nprocs, criterion=criterion,
             faults=plan, resilience=cfg, policy=policy,
+            reproducible=reproducible,
         )
     except Exception as exc:  # noqa: BLE001 - classified or re-raised
         label = classify_failure(exc)
@@ -354,8 +365,14 @@ def chaos_run(
     out.elapsed = time.perf_counter() - t0
     err = float(np.max(np.abs(result.x - reference_x)))
     out.max_abs_err = err
-    scale = float(np.max(np.abs(reference_x))) or 1.0
-    out.converged_to_reference = bool(result.converged) and err <= rtol * scale
+    if reproducible:
+        # exact reductions: OK (and degraded-OK) means bitwise equality
+        out.converged_to_reference = bool(result.converged) and err == 0.0
+    else:
+        scale = float(np.max(np.abs(reference_x))) or 1.0
+        out.converged_to_reference = (
+            bool(result.converged) and err <= rtol * scale
+        )
     out.iterations = int(result.iterations)
     resil = result.extras.get("resilience", {}) or {}
     recov = result.extras.get("recovery", {}) or {}
@@ -384,12 +401,14 @@ def chaos_sweep(
     policy: str = "respawn",
     stragglers: bool = False,
     straggler_deadline: float = 1.0,
+    reproducible: bool = False,
 ) -> List[ChaosOutcome]:
     """Run every seed on every backend; reference computed once per sweep."""
     A, b = _chaos_problem(n)
     criterion = StoppingCriterion(rtol=1e-10, atol=0.0)
     reference = backend_solve(
-        "cg", A, b, backend="simulated", nprocs=nprocs, criterion=criterion
+        "cg", A, b, backend="simulated", nprocs=nprocs, criterion=criterion,
+        reproducible=reproducible,
     ).x
     outcomes = []
     for backend in backends:
@@ -401,6 +420,7 @@ def chaos_sweep(
                     reference_x=reference, policy=policy,
                     stragglers=stragglers,
                     straggler_deadline=straggler_deadline,
+                    reproducible=reproducible,
                 )
             )
     return outcomes

@@ -34,6 +34,13 @@ from ..core.resilience import RecoveryExhaustedError
 from ..core.stopping import StoppingCriterion
 from ..sparse.convert import as_matrix
 from .abft import check_matvec, column_checksums, decode_dot, encode_dot
+from .reproducible import (
+    dot_slots,
+    pack_slots,
+    render_slots,
+    sum_slots,
+    unpack_slots,
+)
 
 __all__ = [
     "CGRankProgram",
@@ -72,6 +79,7 @@ class _RowBlockProgram:
         criterion: Optional[StoppingCriterion] = None,
         maxiter: Optional[int] = None,
         layout=None,
+        reproducible: bool = False,
     ):
         n, indptr, indices, data = csr_arrays(matrix)
         b = np.asarray(b, dtype=np.float64)
@@ -88,6 +96,7 @@ class _RowBlockProgram:
         self.crit = criterion or StoppingCriterion()
         self.maxiter = maxiter if maxiter is not None else self.crit.cap(n)
         self.layout = layout
+        self.reproducible = bool(reproducible)
 
     @property
     def layout(self):
@@ -125,6 +134,37 @@ class _RowBlockProgram:
         )
         return lo, hi, seg, local_nnz, row_ids
 
+    def _dot(self, rank: int, size: int, a, b, tag: int = 3):
+        """Globally reduced inner product ``a . b`` (one latency tree).
+
+        With ``reproducible=True`` the local elementwise products are
+        splat into a superaccumulator and the limb slots travel through
+        the packed reduction exactly (:mod:`repro.backend.reproducible`),
+        so the result is bitwise invariant to rank count and tree shape.
+        """
+        if self.reproducible:
+            red = yield from spmd.allreduce_vec(
+                rank, size, dot_slots(a, b), tag=tag
+            )
+            return render_slots(red)
+        out = yield from spmd.allreduce_sum(rank, size, float(a @ b), tag=tag)
+        return float(out)
+
+    def _dots(self, rank: int, size: int, pairs, tag: int = 3):
+        """Reduce several inner products in one packed ``allreduce_vec``."""
+        if self.reproducible:
+            red = yield from spmd.allreduce_vec(
+                rank,
+                size,
+                pack_slots([dot_slots(a, b) for a, b in pairs]),
+                tag=tag,
+            )
+            return [render_slots(s) for s in unpack_slots(red, len(pairs))]
+        red = yield from spmd.allreduce_vec(
+            rank, size, np.array([float(a @ b) for a, b in pairs]), tag=tag
+        )
+        return [float(v) for v in red]
+
 
 class CGRankProgram(_RowBlockProgram):
     """Row-block SPMD CG rank program (paper §5.1, fault-free path).
@@ -155,8 +195,10 @@ class CGRankProgram(_RowBlockProgram):
         maxiter: Optional[int] = None,
         layout=None,
         fused: bool = False,
+        reproducible: bool = False,
     ):
-        super().__init__(matrix, b, x0, criterion, maxiter, layout=layout)
+        super().__init__(matrix, b, x0, criterion, maxiter, layout=layout,
+                         reproducible=reproducible)
         self.fused = bool(fused)
 
     def __call__(self, rank: int, size: int):
@@ -186,10 +228,10 @@ class CGRankProgram(_RowBlockProgram):
             r = bb.copy()
         p = r.copy()
 
-        bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
+        bnorm2 = yield from self._dot(rank, size, bb, bb)
         yield Compute(2.0 * bb.size)
         bnorm = np.sqrt(bnorm2)
-        rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+        rho = yield from self._dot(rank, size, r, r)
         yield Compute(2.0 * r.size)
         residuals = [float(np.sqrt(max(0.0, rho)))]
         if crit.satisfied(residuals[-1], bnorm):
@@ -208,7 +250,7 @@ class CGRankProgram(_RowBlockProgram):
             q = np.zeros(hi - lo)
             np.add.at(q, row_ids, data[seg] * p_full[indices[seg]])
             yield Compute(2.0 * local_nnz)
-            pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
+            pq = yield from self._dot(rank, size, p, q)
             yield Compute(2.0 * p.size)
             if pq == 0.0:
                 break
@@ -217,7 +259,7 @@ class CGRankProgram(_RowBlockProgram):
             r -= alpha * q
             yield Compute(4.0 * p.size)
             rho0 = rho
-            rho = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+            rho = yield from self._dot(rank, size, r, r)
             yield Compute(2.0 * r.size)
             residuals.append(float(np.sqrt(max(0.0, rho))))
             iterations = k
@@ -252,12 +294,11 @@ class CGRankProgram(_RowBlockProgram):
         yield Compute(2.0 * local_nnz)
         # the single fused reduction; b.b rides along on the first trip so
         # even setup needs no second latency tree
-        packed = yield from spmd.allreduce_vec(
-            rank, size,
-            np.array([float(r @ r), float(w @ r), float(bb @ bb)]),
+        packed = yield from self._dots(
+            rank, size, [(r, r), (w, r), (bb, bb)]
         )
         yield Compute(6.0 * r.size)
-        gamma, delta = float(packed[0]), float(packed[1])
+        gamma, delta = packed[0], packed[1]
         bnorm = float(np.sqrt(packed[2]))
         residuals = [float(np.sqrt(max(0.0, gamma)))]
         if crit.satisfied(residuals[-1], bnorm):
@@ -277,11 +318,9 @@ class CGRankProgram(_RowBlockProgram):
             blocks = yield from spmd.allgather(rank, size, r)
             w = matvec(np.concatenate(blocks))
             yield Compute(2.0 * local_nnz)
-            packed = yield from spmd.allreduce_vec(
-                rank, size, np.array([float(r @ r), float(w @ r)])
-            )
+            packed = yield from self._dots(rank, size, [(r, r), (w, r)])
             yield Compute(4.0 * r.size)
-            gamma_new, delta = float(packed[0]), float(packed[1])
+            gamma_new, delta = packed[0], packed[1]
             residuals.append(float(np.sqrt(max(0.0, gamma_new))))
             iterations = k
             if crit.satisfied(residuals[-1], bnorm):
@@ -314,8 +353,9 @@ class PCGRankProgram(_RowBlockProgram):
     """
 
     def __init__(self, matrix, b, x0=None, criterion=None, maxiter=None,
-                 fused: bool = False):
-        super().__init__(matrix, b, x0, criterion, maxiter)
+                 fused: bool = False, reproducible: bool = False):
+        super().__init__(matrix, b, x0, criterion, maxiter,
+                         reproducible=reproducible)
         A = as_matrix(matrix)
         d = A.diagonal()
         if (d == 0).any():
@@ -351,10 +391,10 @@ class PCGRankProgram(_RowBlockProgram):
         else:
             r = bb.copy()
 
-        bnorm2 = yield from spmd.allreduce_sum(rank, size, float(bb @ bb))
+        bnorm2 = yield from self._dot(rank, size, bb, bb)
         yield Compute(2.0 * bb.size)
         bnorm = np.sqrt(bnorm2)
-        rnorm2 = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+        rnorm2 = yield from self._dot(rank, size, r, r)
         yield Compute(2.0 * r.size)
         residuals = [float(np.sqrt(max(0.0, rnorm2)))]
         if crit.satisfied(residuals[-1], bnorm):
@@ -363,7 +403,7 @@ class PCGRankProgram(_RowBlockProgram):
         z = inv_d * r  # Jacobi apply: local, one divide each
         yield Compute(float(hi - lo))
         p = z.copy()
-        rho = yield from spmd.allreduce_sum(rank, size, float(r @ z))
+        rho = yield from self._dot(rank, size, r, z)
         yield Compute(2.0 * r.size)
 
         converged = False
@@ -372,7 +412,7 @@ class PCGRankProgram(_RowBlockProgram):
             blocks = yield from spmd.allgather(rank, size, p)
             q = matvec(np.concatenate(blocks))
             yield Compute(2.0 * local_nnz)
-            pq = yield from spmd.allreduce_sum(rank, size, float(p @ q))
+            pq = yield from self._dot(rank, size, p, q)
             yield Compute(2.0 * p.size)
             if pq == 0.0:
                 break
@@ -380,7 +420,7 @@ class PCGRankProgram(_RowBlockProgram):
             x += alpha * p
             r -= alpha * q
             yield Compute(4.0 * p.size)
-            rnorm2 = yield from spmd.allreduce_sum(rank, size, float(r @ r))
+            rnorm2 = yield from self._dot(rank, size, r, r)
             yield Compute(2.0 * r.size)
             residuals.append(float(np.sqrt(max(0.0, rnorm2))))
             iterations = k
@@ -390,7 +430,7 @@ class PCGRankProgram(_RowBlockProgram):
             z = inv_d * r
             yield Compute(float(hi - lo))
             rho0 = rho
-            rho = yield from spmd.allreduce_sum(rank, size, float(r @ z))
+            rho = yield from self._dot(rank, size, r, z)
             yield Compute(2.0 * r.size)
             beta = rho / rho0
             p = beta * p + z  # saypx
@@ -425,13 +465,11 @@ class PCGRankProgram(_RowBlockProgram):
         yield Compute(2.0 * local_nnz)
         # one fused reduction carries gamma = r.u, delta = (A u).u, the
         # stopping norm r.r, and (first trip only) b.b
-        packed = yield from spmd.allreduce_vec(
-            rank, size,
-            np.array([float(r @ u), float(w @ u), float(r @ r),
-                      float(bb @ bb)]),
+        packed = yield from self._dots(
+            rank, size, [(r, u), (w, u), (r, r), (bb, bb)]
         )
         yield Compute(8.0 * r.size)
-        gamma, delta = float(packed[0]), float(packed[1])
+        gamma, delta = packed[0], packed[1]
         bnorm = float(np.sqrt(packed[3]))
         residuals = [float(np.sqrt(max(0.0, packed[2])))]
         if crit.satisfied(residuals[-1], bnorm):
@@ -453,12 +491,11 @@ class PCGRankProgram(_RowBlockProgram):
             blocks = yield from spmd.allgather(rank, size, u)
             w = matvec(np.concatenate(blocks))
             yield Compute(2.0 * local_nnz)
-            packed = yield from spmd.allreduce_vec(
-                rank, size,
-                np.array([float(r @ u), float(w @ u), float(r @ r)]),
+            packed = yield from self._dots(
+                rank, size, [(r, u), (w, u), (r, r)]
             )
             yield Compute(6.0 * r.size)
-            gamma_new, delta = float(packed[0]), float(packed[1])
+            gamma_new, delta = packed[0], packed[1]
             residuals.append(float(np.sqrt(max(0.0, packed[2]))))
             iterations = k
             if crit.satisfied(residuals[-1], bnorm):
@@ -545,8 +582,10 @@ class ResilientCGProgram(_RowBlockProgram):
         abft_rtol: float = 1.0e-8,
         layout=None,
         fused: bool = False,
+        reproducible: bool = False,
     ):
-        super().__init__(matrix, b, x0, criterion, maxiter, layout=layout)
+        super().__init__(matrix, b, x0, criterion, maxiter, layout=layout,
+                         reproducible=reproducible)
         self.fused = bool(fused)
         if checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
@@ -603,13 +642,24 @@ class ResilientCGProgram(_RowBlockProgram):
                 out = yield from spmd.allgather(rank, size, value, tag=tag)
             return out
 
-        def dot(value, tag, what):
-            # duplicate-sum ABFT: both slots see the identical addition
-            # sequence, so exact slot equality is the corruption detector
+        def dot(a, b, tag, what):
+            # duplicate-sum ABFT: both slots (or, reproducible, both limb
+            # blocks) see the identical addition sequence, so exact
+            # equality of the reduced copies is the corruption detector
+            if self.reproducible:
+                blk = dot_slots(a, b)
+                blocks = [blk, blk] if self.abft else [blk]
+                red = yield from allreduce(pack_slots(blocks), tag=tag)
+                vals = [render_slots(s)
+                        for s in unpack_slots(red, len(blocks))]
+                if self.abft:
+                    return decode_dot(np.array(vals), what)
+                return vals[0]
+            value = float(a @ b)
             if self.abft:
                 pair = yield from allreduce(encode_dot(value), tag=tag)
                 return decode_dot(pair, what)
-            out = yield from allreduce(float(value), tag=tag)
+            out = yield from allreduce(value, tag=tag)
             return out
 
         def matvec(v_full):
@@ -662,10 +712,10 @@ class ResilientCGProgram(_RowBlockProgram):
             else:
                 r = bb.copy()
             p = r.copy()
-            bnorm2 = yield from dot(float(bb @ bb), 3, "b·b")
+            bnorm2 = yield from dot(bb, bb, 3, "b·b")
             yield Compute(2.0 * bb.size)
             bnorm = float(np.sqrt(bnorm2))
-            rho = yield from dot(float(r @ r), 3, "r·r")
+            rho = yield from dot(r, r, 3, "r·r")
             yield Compute(2.0 * r.size)
             rho0 = rho
             residuals = [float(np.sqrt(max(0.0, rho)))]
@@ -705,14 +755,23 @@ class ResilientCGProgram(_RowBlockProgram):
             if self.abft:
                 # one fused reduction: duplicate-sum p·q plus the mat-vec
                 # column checksum, 4 words instead of 1
-                vec = np.array([float(p @ q)] * 2 + [float(q.sum())] * 2)
-                red = yield from allreduce(vec, tag=3)
-                pq = decode_dot(red[:2], "p·q")
-                q_total = decode_dot(red[2:], "sum(A p)")
+                if self.reproducible:
+                    pq_blk, qs_blk = dot_slots(p, q), sum_slots(q)
+                    red = yield from allreduce(
+                        pack_slots([pq_blk, pq_blk, qs_blk, qs_blk]), tag=3
+                    )
+                    vals = [render_slots(s) for s in unpack_slots(red, 4)]
+                    pq = decode_dot(np.array(vals[:2]), "p·q")
+                    q_total = decode_dot(np.array(vals[2:]), "sum(A p)")
+                else:
+                    vec = np.array([float(p @ q)] * 2 + [float(q.sum())] * 2)
+                    red = yield from allreduce(vec, tag=3)
+                    pq = decode_dot(red[:2], "p·q")
+                    q_total = decode_dot(red[2:], "sum(A p)")
                 check_matvec(q_total, self.colsum, self.abs_colsum, p_full,
                              self.abft_rtol)
             else:
-                pq = yield from allreduce(float(p @ q), tag=3)
+                pq = yield from dot(p, q, 3, "p·q")
             yield Compute(2.0 * p.size)
             if pq == 0.0:
                 break
@@ -721,7 +780,7 @@ class ResilientCGProgram(_RowBlockProgram):
             r -= alpha * q
             yield Compute(4.0 * p.size)
             rho0 = rho
-            rho = yield from dot(float(r @ r), 3, "r·r")
+            rho = yield from dot(r, r, 3, "r·r")
             yield Compute(2.0 * r.size)
             residuals.append(float(np.sqrt(max(0.0, rho))))
             iterations = k
@@ -736,7 +795,7 @@ class ResilientCGProgram(_RowBlockProgram):
                 ax = matvec(np.concatenate(x_blocks))
                 yield Compute(2.0 * local_nnz)
                 d = bb - ax
-                true2 = yield from dot(float(d @ d), 23, "audit")
+                true2 = yield from dot(d, d, 23, "audit")
                 yield Compute(2.0 * d.size)
                 true_norm = float(np.sqrt(max(0.0, true2)))
                 if abs(true_norm - residuals[-1]) > self.sanity_rtol * max(
@@ -808,11 +867,21 @@ class ResilientCGProgram(_RowBlockProgram):
                 out = yield from spmd.allgather(rank, size, value, tag=tag)
             return out
 
-        def dot(value, tag, what):
+        def dot(a, b, tag, what):
+            if self.reproducible:
+                blk = dot_slots(a, b)
+                blocks = [blk, blk] if self.abft else [blk]
+                red = yield from allreduce_vec(pack_slots(blocks), tag=tag)
+                vals = [render_slots(s)
+                        for s in unpack_slots(red, len(blocks))]
+                if self.abft:
+                    return decode_dot(np.array(vals), what)
+                return vals[0]
+            value = float(a @ b)
             if self.abft:
                 pair = yield from allreduce_vec(encode_dot(value), tag=tag)
                 return decode_dot(pair, what)
-            out = yield from allreduce_vec(np.array([float(value)]), tag=tag)
+            out = yield from allreduce_vec(np.array([value]), tag=tag)
             return float(out[0])
 
         def matvec(v_full):
@@ -826,12 +895,44 @@ class ResilientCGProgram(_RowBlockProgram):
             With ABFT every dot slot travels duplicated and the mat-vec
             column checksum rides along, so silent in-flight corruption
             of the *single* per-iteration message is still caught.
-            ``extra`` appends more plain slots (the first trip adds b.b).
+            ``extra`` appends more dot pairs ``(a, b)`` (the first trip
+            adds ``(b, b)``).  With ``reproducible=True`` every slot
+            becomes a superaccumulator limb block and the duplicate-copy
+            check compares exactly-rendered values.
             """
+            if self.reproducible:
+                base = [dot_slots(r, r), dot_slots(w, r)]
+                ex = [dot_slots(a, b) for a, b in extra]
+                if self.abft:
+                    blocks = []
+                    for blk in base + [sum_slots(w)] + ex:
+                        blocks += [blk, blk]
+                    red = yield from allreduce_vec(pack_slots(blocks))
+                    vals = [render_slots(s)
+                            for s in unpack_slots(red, len(blocks))]
+                    gamma = decode_dot(np.array(vals[0:2]), "r·r")
+                    delta = decode_dot(np.array(vals[2:4]), "(A r)·r")
+                    w_total = decode_dot(np.array(vals[4:6]), "sum(A r)")
+                    check_matvec(w_total, self.colsum, self.abs_colsum,
+                                 r_full, self.abft_rtol)
+                    rest = [
+                        decode_dot(np.array(vals[6 + 2 * i:8 + 2 * i]),
+                                   "setup")
+                        for i in range(len(ex))
+                    ]
+                else:
+                    blocks = base + ex
+                    red = yield from allreduce_vec(pack_slots(blocks))
+                    vals = [render_slots(s)
+                            for s in unpack_slots(red, len(blocks))]
+                    gamma, delta = vals[0], vals[1]
+                    rest = vals[2:]
+                return gamma, delta, rest
             g, d = float(r @ r), float(w @ r)
+            ex = [float(a @ b) for a, b in extra]
             if self.abft:
                 slots = [g, g, d, d, float(w.sum()), float(w.sum())]
-                slots += [v for pair in extra for v in (pair, pair)]
+                slots += [v for pair in ex for v in (pair, pair)]
                 red = yield from allreduce_vec(np.array(slots))
                 gamma = decode_dot(red[0:2], "r·r")
                 delta = decode_dot(red[2:4], "(A r)·r")
@@ -839,9 +940,9 @@ class ResilientCGProgram(_RowBlockProgram):
                 check_matvec(w_total, self.colsum, self.abs_colsum, r_full,
                              self.abft_rtol)
                 rest = [decode_dot(red[6 + 2 * i:8 + 2 * i], "setup")
-                        for i in range(len(extra))]
+                        for i in range(len(ex))]
             else:
-                red = yield from allreduce_vec(np.array([g, d, *extra]))
+                red = yield from allreduce_vec(np.array([g, d, *ex]))
                 gamma, delta = float(red[0]), float(red[1])
                 rest = [float(v) for v in red[2:]]
             return gamma, delta, rest
@@ -898,7 +999,7 @@ class ResilientCGProgram(_RowBlockProgram):
             w = matvec(r_full)
             yield Compute(2.0 * local_nnz)
             gamma, delta, (bnorm2,) = yield from fused_iteration_reduce(
-                r, w, r_full, extra=(float(bb @ bb),)
+                r, w, r_full, extra=((bb, bb),)
             )
             yield Compute(6.0 * r.size)
             bnorm = float(np.sqrt(bnorm2))
@@ -954,7 +1055,7 @@ class ResilientCGProgram(_RowBlockProgram):
                 ax = matvec(np.concatenate(x_blocks))
                 yield Compute(2.0 * local_nnz)
                 d = bb - ax
-                true2 = yield from dot(float(d @ d), 23, "audit")
+                true2 = yield from dot(d, d, 23, "audit")
                 yield Compute(2.0 * d.size)
                 true_norm = float(np.sqrt(max(0.0, true2)))
                 if abs(true_norm - residuals[-1]) > self.sanity_rtol * max(

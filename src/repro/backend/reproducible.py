@@ -1,0 +1,221 @@
+"""Bitwise-reproducible reductions via a fixed-point superaccumulator.
+
+Floating-point addition is not associative, so the value of a distributed
+dot product depends on rank count, reduction-tree shape and whether the
+per-iteration reductions were fused -- exactly the degrees of freedom this
+repository exercises.  Following the long-accumulator designs of ExBLAS
+(Iakymchuk et al., arXiv:2005.07282), this module removes the dependence:
+
+* every float64 addend is **splat** exactly into a fixed-point accumulator
+  of 32-bit limbs spanning the entire double range (down to the smallest
+  subnormal, ``2**-1074``);
+* limb vectors are **transported** through the existing packed
+  :func:`repro.machine.spmd.allreduce_vec` -- each limb is an integer below
+  ``2**32`` stored exactly in a float64 slot, and slot-wise float64 sums of
+  such integers stay below ``2**53`` for any realistic rank count, so the
+  reduction is *exact* regardless of tree shape, topology or fusion;
+* the reduced accumulator **renders** to the correctly-rounded float64 of
+  the exact sum (CPython big-int division is correctly rounded, including
+  into the subnormal range).
+
+Exact + correctly rounded == bitwise invariant: any ordering, chunking or
+partitioning of the same multiset of addends produces the same bits.
+
+The accumulator is the substrate of ``reproducible=True`` solves: local
+elementwise products ``x[i] * y[i]`` are pointwise-deterministic under any
+row partition, so splat + exact reduce + render makes every distributed dot
+product and norm independent of ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "LIMB_BITS",
+    "NLIMBS",
+    "Superaccumulator",
+    "dot_slots",
+    "sum_slots",
+    "render_slots",
+    "pack_slots",
+    "unpack_slots",
+]
+
+#: bits per limb; limbs live in int64 so partial sums have 31 bits of
+#: headroom before a carry-propagation pass is needed
+LIMB_BITS = 32
+_LIMB_MASK = (1 << LIMB_BITS) - 1
+
+#: bit position 0 of the accumulator is the least-significant bit of a
+#: subnormal double, ``2**-1074``
+_BIAS = 1074
+
+#: ``np.frexp`` exponents span [-1073, 1024]; a 53-bit mantissa shifted to
+#: bit ``e + 1021`` tops out below bit 2099, i.e. limb 65 -- two spare limbs
+#: absorb carries from huge addend counts
+NLIMBS = 68
+
+#: splats between carry-normalisation passes; each splat adds < 2**33 to a
+#: limb, so 2**28 of them stay far below the int64 overflow point
+_NORMALIZE_EVERY = 1 << 28
+
+
+class Superaccumulator:
+    """Exact fixed-point accumulator for float64 addends.
+
+    ``splat`` folds addends in exactly; ``add`` merges accumulators;
+    ``render`` returns the correctly-rounded float64 of the exact sum.
+    All three are order-invariant by construction.
+    """
+
+    __slots__ = ("limbs", "_pending")
+
+    def __init__(self, limbs: Optional[np.ndarray] = None) -> None:
+        if limbs is None:
+            limbs = np.zeros(NLIMBS, dtype=np.int64)
+        else:
+            limbs = np.asarray(limbs)
+            if limbs.shape != (NLIMBS,):
+                raise ValueError(
+                    f"superaccumulator has {NLIMBS} limbs, got shape "
+                    f"{limbs.shape}"
+                )
+            limbs = limbs.astype(np.int64, copy=True)
+        self.limbs = limbs
+        self._pending = 0
+
+    def splat(self, values: Iterable[float]) -> "Superaccumulator":
+        """Fold ``values`` (float64 array-like) into the accumulator exactly."""
+        x = np.ascontiguousarray(np.asarray(values, dtype=np.float64)).ravel()
+        if x.size == 0:
+            return self
+        if not np.all(np.isfinite(x)):
+            raise ValueError("superaccumulator addends must be finite")
+        x = x[x != 0.0]
+        if x.size == 0:
+            return self
+        # x = m * 2**e with |m| in [0.5, 1); the 53-bit signed integer
+        # mantissa is exact even for subnormals
+        m, e = np.frexp(x)
+        mant = np.round(np.ldexp(m, 53)).astype(np.int64)
+        # value * 2**1074 = mant * 2**q; q < 0 only for subnormals whose
+        # low mantissa bits are zero, so the shift below is exact
+        q = e.astype(np.int64) + (_BIAS - 53)
+        neg = q < 0
+        if np.any(neg):
+            mant = np.where(neg, mant >> (-q * neg), mant)
+            q = np.where(neg, 0, q)
+        limb, r = np.divmod(q, LIMB_BITS)
+        # split mant * 2**r into three sub-2**53 limb pieces: the unsigned
+        # low 32 bits shifted by r (two pieces) plus the signed high part
+        lo = (mant & _LIMB_MASK) << r
+        hi = (mant >> LIMB_BITS) << r
+        acc = self.limbs
+        np.add.at(acc, limb, lo & _LIMB_MASK)
+        np.add.at(acc, limb + 1, (lo >> LIMB_BITS) + (hi & _LIMB_MASK))
+        np.add.at(acc, limb + 2, hi >> LIMB_BITS)
+        self._pending += x.size
+        if self._pending >= _NORMALIZE_EVERY:
+            self._normalize()
+        return self
+
+    def add(self, other: "Superaccumulator") -> "Superaccumulator":
+        """Merge another accumulator in (exact)."""
+        other._normalize()
+        self.limbs += other.limbs
+        self._pending += 1
+        return self
+
+    def _normalize(self) -> None:
+        """Carry-propagate so limbs 0..N-2 are in [0, 2**32)."""
+        acc = self.limbs
+        carry = np.int64(0)
+        for i in range(NLIMBS - 1):
+            v = acc[i] + carry
+            acc[i] = v & _LIMB_MASK
+            carry = v >> LIMB_BITS  # arithmetic shift: floor, keeps sign
+        acc[NLIMBS - 1] += carry
+        self._pending = 0
+
+    def render(self) -> float:
+        """The correctly-rounded float64 of the exact accumulated sum."""
+        self._normalize()
+        total = 0
+        for i in range(NLIMBS):
+            limb = int(self.limbs[i])
+            if limb:
+                total += limb << (LIMB_BITS * i)
+        if total == 0:
+            return 0.0
+        try:
+            # CPython int/int true division is correctly rounded, subnormals
+            # included; the denominator is exact
+            return total / (1 << _BIAS)
+        except OverflowError:
+            return math.inf if total > 0 else -math.inf
+
+    def to_slots(self) -> np.ndarray:
+        """Normalised limbs as float64 slots for ``allreduce_vec`` transport.
+
+        Every slot is an integer of magnitude below ``2**32`` (the top limb
+        below ``2**53``), so float64 represents it exactly and slot-wise
+        sums over ranks remain exact integers below ``2**53`` -- the
+        reduction is associative and the result tree-shape-invariant.
+        """
+        self._normalize()
+        if abs(int(self.limbs[NLIMBS - 1])) >= (1 << 53):
+            raise OverflowError("superaccumulator top limb exceeds exact float64")
+        return self.limbs.astype(np.float64)
+
+    @classmethod
+    def from_slots(cls, slots: np.ndarray) -> "Superaccumulator":
+        """Rebuild from (possibly slot-wise summed) float64 transport slots."""
+        arr = np.asarray(slots, dtype=np.float64)
+        if arr.shape != (NLIMBS,):
+            raise ValueError(
+                f"expected {NLIMBS} transport slots, got shape {arr.shape}"
+            )
+        if not np.all(arr == np.rint(arr)):
+            raise ValueError("transport slots must hold exact integers")
+        return cls(limbs=arr.astype(np.int64))
+
+
+def dot_slots(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Transport slots of the local contribution to a reproducible dot.
+
+    The elementwise products are pointwise-deterministic under any row
+    partition (each ``x[i] * y[i]`` is a single IEEE multiply), so splatting
+    them exactly makes the global dot independent of the partition.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return Superaccumulator().splat(x * y).to_slots()
+
+
+def sum_slots(values: np.ndarray) -> np.ndarray:
+    """Transport slots of the local contribution to a reproducible sum."""
+    return Superaccumulator().splat(values).to_slots()
+
+
+def render_slots(slots: np.ndarray) -> float:
+    """Correctly-rounded float64 of globally-reduced transport slots."""
+    return Superaccumulator.from_slots(slots).render()
+
+
+def pack_slots(groups: Iterable[np.ndarray]) -> np.ndarray:
+    """Concatenate per-dot slot blocks into one ``allreduce_vec`` payload."""
+    return np.concatenate([np.asarray(g, dtype=np.float64) for g in groups])
+
+
+def unpack_slots(vec: np.ndarray, k: int) -> list:
+    """Split a reduced payload back into ``k`` slot blocks."""
+    arr = np.asarray(vec, dtype=np.float64)
+    if arr.size != k * NLIMBS:
+        raise ValueError(
+            f"packed payload has {arr.size} slots, expected {k}x{NLIMBS}"
+        )
+    return [arr[i * NLIMBS:(i + 1) * NLIMBS] for i in range(k)]

@@ -106,6 +106,7 @@ def make_solver_program(
     x0: Optional[np.ndarray] = None,
     criterion: Optional[StoppingCriterion] = None,
     fused: bool = False,
+    reproducible: bool = False,
 ) -> ProgramFactory:
     """Build the backend-portable rank program for ``solver``.
 
@@ -119,7 +120,8 @@ def make_solver_program(
             f"solver {solver!r} has no backend-portable SPMD program; "
             f"available: {sorted(SOLVER_PROGRAMS)}"
         ) from None
-    return cls(matrix, b, x0=x0, criterion=criterion, fused=fused)
+    return cls(matrix, b, x0=x0, criterion=criterion, fused=fused,
+               reproducible=reproducible)
 
 
 def reslice_snapshots(
@@ -509,6 +511,7 @@ def backend_solve(
     straggler_deadline: Optional[float] = None,
     heartbeat_interval: Optional[float] = None,
     fused: bool = False,
+    reproducible: bool = False,
 ) -> SolveResult:
     """Solve ``A x = b`` with ``solver`` on the chosen execution backend.
 
@@ -518,6 +521,13 @@ def backend_solve(
     two or three scalar trees.  Works on both backends and composes with
     ``faults``/``resilience`` (ABFT duplicate-sum slots ride in the same
     packed message).
+
+    ``reproducible=True`` rides every inner product on the fixed-point
+    superaccumulator of :mod:`repro.backend.reproducible`: dots and norms
+    -- and hence the whole scalar trajectory and solution -- become
+    bitwise invariant to rank count, topology, backend and fusion.
+    Composes with ABFT (the duplicate-copy corruption check compares
+    exactly-rendered values) at the cost of wider reduction payloads.
 
     With ``faults`` and/or ``resilience`` the solve runs the fault-tolerant
     :class:`~repro.backend.programs.ResilientCGProgram` (``"cg"`` family
@@ -549,7 +559,8 @@ def backend_solve(
     )
     if plain:
         program = make_solver_program(solver, matrix, b, x0=x0,
-                                      criterion=criterion, fused=fused)
+                                      criterion=criterion, fused=fused,
+                                      reproducible=reproducible)
         be = make_backend(backend)
         run = be.run(program, nprocs)
         return assemble_backend_result(run, solver=solver, n=program.n)
@@ -572,6 +583,7 @@ def backend_solve(
         reliable=message_faults,
         reliable_config=cfg.reliable,
         fused=fused,
+        reproducible=reproducible,
     )
     runnable = (
         FaultInjectingProgram(program, plan) if message_faults else program

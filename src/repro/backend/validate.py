@@ -35,6 +35,7 @@ __all__ = [
     "BackendMismatchError",
     "CrossValidation",
     "cross_validate",
+    "hpcg_cross_validate",
     "FaultSequenceParity",
     "fault_sequence_parity",
 ]
@@ -104,6 +105,7 @@ def cross_validate(
     process: Optional[Union[ProcessBackend, ExecutionBackend]] = None,
     strict: bool = True,
     fused: bool = False,
+    reproducible: bool = False,
 ) -> CrossValidation:
     """Run one solve on both backends and compare.
 
@@ -113,15 +115,20 @@ def cross_validate(
     backends (e.g. a custom calibrated cost model, a shorter timeout).
     ``fused=True`` cross-validates the single-reduction recurrence -- the
     packed allreduce must stay bitwise-deterministic across substrates
-    just like the classic scalar trees.
+    just like the classic scalar trees.  ``reproducible=True`` runs both
+    solves over superaccumulator reductions; cross-backend parity then
+    holds *by construction*, so a mismatch flags transport corruption
+    rather than reassociation.
     """
     sim_backend = simulated if simulated is not None else SimulatedBackend()
     proc_backend = process if process is not None else ProcessBackend()
 
     sim = backend_solve(solver, matrix, b, backend=sim_backend, nprocs=nprocs,
-                        x0=x0, criterion=criterion, fused=fused)
+                        x0=x0, criterion=criterion, fused=fused,
+                        reproducible=reproducible)
     proc = backend_solve(solver, matrix, b, backend=proc_backend, nprocs=nprocs,
-                         x0=x0, criterion=criterion, fused=fused)
+                         x0=x0, criterion=criterion, fused=fused,
+                         reproducible=reproducible)
 
     x_equal = sim.x.shape == proc.x.shape and bool(np.all(sim.x == proc.x))
     max_abs_diff = (
@@ -140,6 +147,64 @@ def cross_validate(
         process=proc,
         bitwise_equal=x_equal and iters_equal and res_equal
         and sim.converged == proc.converged,
+        iterations_equal=iters_equal,
+        residuals_equal=res_equal,
+        max_abs_diff=max_abs_diff,
+        modelled=dict(sim.extras["timings"]),
+        measured=dict(proc.extras["timings"]),
+    )
+    return report.check() if strict else report
+
+
+def hpcg_cross_validate(
+    shape,
+    nprocs: int = 2,
+    precond: str = "mg",
+    fused: bool = False,
+    reproducible: bool = False,
+    criterion: Optional[StoppingCriterion] = None,
+    simulated: Optional[Union[SimulatedBackend, ExecutionBackend]] = None,
+    process: Optional[Union[ProcessBackend, ExecutionBackend]] = None,
+    strict: bool = True,
+    **kwargs,
+) -> CrossValidation:
+    """Cross-backend parity for the HPCG subsystem (stencil27 + MG + halo).
+
+    Same contract as :func:`cross_validate`, but exercising the 3-D
+    subcube distribution, face/edge/corner halo exchange and the chosen
+    preconditioner instead of the row-block path.  Beyond ``x``, the
+    residual history and the iteration count, the per-iteration scalar
+    trajectory (``alphas``/``betas``/``gammas`` in
+    ``extras["hpcg"]``) must match bit for bit across substrates.
+    """
+    from ..hpcg.solve import hpcg_solve
+
+    sim_backend = simulated if simulated is not None else SimulatedBackend()
+    proc_backend = process if process is not None else ProcessBackend()
+    common = dict(nprocs=nprocs, precond=precond, fused=fused,
+                  reproducible=reproducible, criterion=criterion, **kwargs)
+    sim = hpcg_solve(shape, backend=sim_backend, **common)
+    proc = hpcg_solve(shape, backend=proc_backend, **common)
+
+    x_equal = sim.x.shape == proc.x.shape and bool(np.all(sim.x == proc.x))
+    max_abs_diff = (
+        float(np.max(np.abs(sim.x - proc.x))) if sim.x.shape == proc.x.shape
+        else float("inf")
+    )
+    iters_equal = sim.iterations == proc.iterations
+    res_equal = sim.history.residual_norms == proc.history.residual_norms
+    scalars_equal = all(
+        sim.extras["hpcg"][key] == proc.extras["hpcg"][key]
+        for key in ("alphas", "betas", "gammas")
+    )
+    report = CrossValidation(
+        solver=f"hpcg[{precond}]",
+        n=int(sim.x.size),
+        nprocs=nprocs,
+        simulated=sim,
+        process=proc,
+        bitwise_equal=x_equal and iters_equal and res_equal
+        and scalars_equal and sim.converged == proc.converged,
         iterations_equal=iters_equal,
         residuals_equal=res_equal,
         max_abs_diff=max_abs_diff,

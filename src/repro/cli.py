@@ -120,6 +120,28 @@ def build_parser() -> argparse.ArgumentParser:
              "per-iteration inner products in one batched allreduce "
              "(cg/pcg, either backend)",
     )
+    solve.add_argument(
+        "--scenario", choices=("stencil27",), default=None,
+        help="HPCG-class workload: 3-D 27-point stencil on a subcube "
+             "process grid with halo exchange (overrides --matrix/"
+             "--solver/--strategy; use --shape/--precond/--reproducible)",
+    )
+    solve.add_argument(
+        "--shape", default="8", metavar="NX[xNYxNZ]",
+        help="stencil27 grid dimensions, e.g. '16' (cube) or '16x16x8'",
+    )
+    solve.add_argument(
+        "--precond", choices=("none", "jacobi", "mg"), default="mg",
+        help="stencil27 preconditioner: geometric multigrid V-cycle "
+             "(default), local Jacobi, or none",
+    )
+    solve.add_argument(
+        "--reproducible", action="store_true",
+        help="bitwise-reproducible reductions: inner products ride a "
+             "fixed-point superaccumulator, making the solution invariant "
+             "to rank count, topology, backend and fusion (backend-"
+             "portable solvers: cg/pcg/--scenario stencil27)",
+    )
     solve.add_argument("--rtol", type=float, default=1e-8)
     solve.add_argument("--maxiter", type=int, default=None)
     solve.add_argument(
@@ -210,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--straggler-deadline", type=float, default=1.0,
         help="process-backend heartbeat staleness deadline in seconds "
              "(the simulated deadline is fixed in virtual time)",
+    )
+    chaos.add_argument(
+        "--reproducible", action="store_true",
+        help="sharpen the contract: solves run over superaccumulator "
+             "reductions and an OK outcome (converged or degraded) must "
+             "match the reference bitwise, not merely to rtol",
     )
     chaos.add_argument(
         "--report", metavar="PATH", default=None,
@@ -347,14 +375,18 @@ def _cmd_solve_process(args: argparse.Namespace) -> int:
                            nprocs=args.nprocs, criterion=crit,
                            policy=args.policy,
                            straggler_deadline=args.straggler_deadline,
-                           fused=args.fused)
+                           fused=args.fused,
+                           reproducible=args.reproducible)
 
     timings = result.extras["timings"]
     print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
     print(f"machine   : {args.nprocs} OS processes "
           f"({backend.start_method or default_start_method()} start)")
-    fused_mark = " [fused]" if args.fused else ""
-    print(f"solver    : {result.solver} / {result.strategy}{fused_mark}")
+    marks = "".join(
+        m for m, on in ((" [fused]", args.fused),
+                        (" [reproducible]", args.reproducible)) if on
+    )
+    print(f"solver    : {result.solver} / {result.strategy}{marks}")
     print(f"converged : {result.converged} in {result.iterations} iterations")
     print(f"residual  : {result.final_residual:.3e}")
     print(f"wall time : {result.machine_elapsed * 1e3:.3f} ms (measured)")
@@ -372,7 +404,75 @@ def _cmd_solve_process(args: argparse.Namespace) -> int:
     return 0 if result.converged else 1
 
 
+def _parse_shape(spec: str):
+    """Parse ``--shape``: '16' -> (16,16,16); '16x16x8' -> (16,16,8)."""
+    parts = [int(p) for p in spec.lower().split("x") if p]
+    if len(parts) == 1:
+        return (parts[0],) * 3
+    if len(parts) == 3:
+        return tuple(parts)
+    raise ValueError(f"--shape wants NX or NXxNYxNZ, got {spec!r}")
+
+
+def _cmd_solve_hpcg(args: argparse.Namespace) -> int:
+    from . import StoppingCriterion
+    from .backend import SimulatedBackend, process_backend_support
+    from .hpcg import hpcg_solve
+
+    try:
+        shape = _parse_shape(args.shape)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.backend == "process":
+        ok, detail = process_backend_support()
+        if not ok:
+            print(f"error: process backend unavailable: {detail}",
+                  file=sys.stderr)
+            return 2
+        backend = "process"
+        machine_desc = f"{args.nprocs} OS processes"
+    else:
+        backend = SimulatedBackend(topology=args.topology)
+        machine_desc = f"{args.nprocs} procs, {args.topology} (simulated)"
+    crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
+    result = hpcg_solve(
+        shape, backend=backend, nprocs=args.nprocs, precond=args.precond,
+        fused=args.fused, reproducible=args.reproducible, criterion=crit,
+    )
+    hp = result.extras["hpcg"]
+    nx, ny, nz = shape
+    marks = "".join(
+        m for m, on in ((" [fused]", args.fused),
+                        (" [reproducible]", args.reproducible)) if on
+    )
+    print(f"scenario  : stencil27 {nx}x{ny}x{nz} "
+          f"(n={result.x.size}, 27-point)")
+    print(f"machine   : {machine_desc}, process grid "
+          f"{'x'.join(str(g) for g in hp['grid'])}")
+    print(f"solver    : hpcg cg / precond={hp['precond']}"
+          f"{' depth=' + str(hp['mg_depth']) if hp['precond'] == 'mg' else ''}"
+          f"{marks}")
+    print(f"converged : {result.converged} in {result.iterations} iterations")
+    print(f"residual  : {result.final_residual:.3e}")
+    label = "wall time" if args.backend == "process" else "sim time "
+    print(f"{label} : {result.machine_elapsed * 1e3:.3f} ms")
+    print(f"comm      : {result.comm['messages']} messages, "
+          f"{result.comm['words']:.0f} words")
+    halo = hp["halo"]
+    print(f"halo      : {halo['neighbors']} neighbors "
+          f"({halo['faces']}f/{halo['edges']}e/{halo['corners']}c), "
+          f"{halo['words_per_exchange']} words per exchange")
+    ph = hp["phase_seconds"]
+    print("phases    : " + "  ".join(
+        f"{k}={ph[k] * 1e3:.2f}ms" for k in ("setup", "spmv", "mg", "dot")
+    ))
+    return 0 if result.converged else 1
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.scenario == "stencil27":
+        return _cmd_solve_hpcg(args)
     if args.backend == "process":
         return _cmd_solve_process(args)
     if (args.policy != "respawn" or args.straggler_deadline is not None
@@ -399,25 +499,35 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(0)
     b = rng.standard_normal(A.nrows)
 
-    if args.fused:
-        # the fused recurrence lives in the backend-portable SPMD rank
-        # programs; run them on the simulated substrate
+    if args.fused or args.reproducible:
+        # the fused and reproducible modes live in the backend-portable
+        # SPMD rank programs; run them on the simulated substrate
         from . import StoppingCriterion, backend_solve
         from .backend import SimulatedBackend
         from .backend.solve import SOLVER_PROGRAMS
 
+        flags = "/".join(
+            f for f, on in (("--fused", args.fused),
+                            ("--reproducible", args.reproducible)) if on
+        )
         if args.solver not in SOLVER_PROGRAMS:
-            print(f"error: --fused supports solvers "
+            print(f"error: {flags} supports solvers "
                   f"{sorted(set(SOLVER_PROGRAMS))}, not {args.solver!r}",
                   file=sys.stderr)
             return 2
         crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
         backend = SimulatedBackend(topology=args.topology)
         result = backend_solve(args.solver, A, b, backend=backend,
-                               nprocs=args.nprocs, criterion=crit, fused=True)
+                               nprocs=args.nprocs, criterion=crit,
+                               fused=args.fused,
+                               reproducible=args.reproducible)
+        marks = "".join(
+            m for m, on in ((" [fused]", args.fused),
+                            (" [reproducible]", args.reproducible)) if on
+        )
         print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}")
         print(f"machine   : {args.nprocs} procs, {args.topology} (simulated)")
-        print(f"solver    : {result.solver} / {result.strategy} [fused]")
+        print(f"solver    : {result.solver} / {result.strategy}{marks}")
         print(f"converged : {result.converged} in {result.iterations} "
               f"iterations")
         print(f"residual  : {result.final_residual:.3e}")
@@ -555,6 +665,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         timeout=args.timeout, allow_crash=not args.no_crash,
         policy=args.policy, stragglers=args.stragglers,
         straggler_deadline=args.straggler_deadline,
+        reproducible=args.reproducible,
     )
     report = format_report(outcomes)
     out = _human_stream(args)

@@ -1,0 +1,26 @@
+"""HPCG-class workload: 3-D 27-point stencils, geometric multigrid, and
+bitwise-reproducible distributed CG.
+
+The paper's scenarios stop at 1-D/2-D sparse layouts; this package adds the
+workload modern CG evaluation is built around (the HPCG benchmark): the
+:func:`~repro.sparse.generators.stencil27` operator distributed over a 3-D
+process grid (:class:`~repro.hpf.distribution.Grid3DBlock`) with
+face/edge/corner halo exchange, a geometric multigrid V-cycle
+preconditioner built on the SSOR symmetric Gauss--Seidel machinery
+(:class:`~repro.hpcg.mg.MultigridPreconditioner`), and a rank program
+(:class:`~repro.hpcg.program.HPCGRankProgram`) whose ``reproducible=True``
+mode rides every inner product on the superaccumulator of
+:mod:`repro.backend.reproducible` -- making the solution bitwise invariant
+to rank count, topology, backend and reduction fusion.
+"""
+
+from .mg import MultigridPreconditioner
+from .program import HPCGRankProgram
+from .solve import assemble_hpcg_result, hpcg_solve
+
+__all__ = [
+    "MultigridPreconditioner",
+    "HPCGRankProgram",
+    "hpcg_solve",
+    "assemble_hpcg_result",
+]

@@ -1,0 +1,451 @@
+"""Backend-portable HPCG rank program: 3-D halo exchange + reproducible CG.
+
+:class:`HPCGRankProgram` runs preconditioned conjugate gradients on a
+:func:`~repro.sparse.generators.stencil27` system distributed over the 3-D
+subcube layout of :class:`~repro.hpf.distribution.Grid3DBlock`.  Like the
+row-block programs it is a picklable factory -- ``program(rank, size)``
+yields the rank's generator -- and runs identically on the simulated and
+process backends.
+
+Design choices that make the bitwise-reproducibility pin possible:
+
+* **one recurrence, two communication schedules.**  Genuinely different
+  update orders (classic two-reduction CG vs the Chronopoulos--Gear
+  recurrence) can never be bitwise equal, exact dots or not.  This program
+  therefore always runs the *preconditioned Chronopoulos--Gear* recurrence,
+  whose three per-iteration inner products (``gamma = r.u``,
+  ``delta = w.u``, ``rnorm2 = r.r``) are all available together after the
+  mat-vec; ``fused`` only chooses whether they travel in three separate
+  reduction trees (``classic``) or one packed
+  :func:`~repro.machine.spmd.allreduce_vec` (``fused``).  Slot-wise, both
+  schedules perform the identical additions in the identical binomial-tree
+  order, so classic and fused agree bitwise at any fixed rank count -- and
+  with ``reproducible=True`` (exact superaccumulator reductions) across
+  rank counts too.
+
+* **halo exchange vs replicated preconditioning.**  With a local
+  preconditioner (``none``/``jacobi``) the mat-vec operand is only known
+  locally, so ranks exchange the faces, edges and corners of their subcube
+  with up to 26 neighbours; received values land in a full-length scatter
+  buffer so the CSR accumulation order -- and hence every mat-vec bit -- is
+  independent of the partition.  With ``mg`` the residual is allgathered
+  and every rank applies the deterministic V-cycle to the *full* vector
+  (the serialised-preconditioner treatment of
+  :func:`repro.core.pcg.hpf_pcg`, charged at ``flops_per_apply``), so the
+  mat-vec needs no halo at all.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend.programs import csr_arrays
+from ..backend.reproducible import (
+    dot_slots,
+    pack_slots,
+    render_slots,
+    unpack_slots,
+)
+from ..core.stopping import StoppingCriterion
+from ..hpf.distribution import Grid3DBlock
+from ..machine import spmd
+from ..machine.events import Compute, Recv, Send
+from .mg import MultigridPreconditioner
+
+__all__ = ["HPCGRankProgram", "HPCG_PRECONDS", "halo_plan"]
+
+HPCG_PRECONDS = ("none", "jacobi", "mg")
+
+#: tag of the halo point-to-point exchange (clear of the collectives' tags)
+_HALO_TAG = 31
+
+#: modelled per-element overhead of splat + render on a reproducible dot
+_REPRO_FLOPS = 8.0
+
+
+def _box_intersect(a, b):
+    """Intersection of two ``((xlo,xhi),(ylo,yhi),(zlo,zhi))`` boxes."""
+    out = []
+    for (alo, ahi), (blo, bhi) in zip(a, b):
+        lo, hi = max(alo, blo), min(ahi, bhi)
+        if lo >= hi:
+            return None
+        out.append((lo, hi))
+    return tuple(out)
+
+
+def _box_expand(box, shape):
+    """Grow a box by one cell per face, clipped to the global grid."""
+    return tuple(
+        (max(0, lo - 1), min(dim, hi + 1))
+        for (lo, hi), dim in zip(box, shape)
+    )
+
+
+def _box_ids(box, shape) -> np.ndarray:
+    """Global ids inside a box, in global row-major (z, y, x) order."""
+    nx, ny, nz = shape
+    (xlo, xhi), (ylo, yhi), (zlo, zhi) = box
+    ids = np.arange(nx * ny * nz, dtype=np.int64).reshape(nz, ny, nx)
+    return ids[zlo:zhi, ylo:yhi, xlo:xhi].ravel()
+
+
+def halo_plan(layout: Grid3DBlock, rank: int) -> List[Dict[str, Any]]:
+    """Per-neighbour halo schedule for ``rank`` under ``layout``.
+
+    Each entry names the neighbour rank, its kind (``face``/``edge``/
+    ``corner`` by the number of process-grid axes that differ), the global
+    ids this rank must *send* (its own cells the neighbour's stencil
+    reads) and the global ids it will *receive* (the neighbour's cells its
+    own stencil reads).  Both sides compute the same plan from the layout
+    alone, so no negotiation messages are needed.
+    """
+    px, py, pz = layout.grid
+    rx, ry, rz = layout.coords(rank)
+    my_box = layout.local_box(rank)
+    shape = layout.shape
+    plan: List[Dict[str, Any]] = []
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if (dx, dy, dz) == (0, 0, 0):
+                    continue
+                cx, cy, cz = rx + dx, ry + dy, rz + dz
+                if not (0 <= cx < px and 0 <= cy < py and 0 <= cz < pz):
+                    continue
+                nb = layout.rank_of(cx, cy, cz)
+                nb_box = layout.local_box(nb)
+                send_box = _box_intersect(my_box, _box_expand(nb_box, shape))
+                recv_box = _box_intersect(_box_expand(my_box, shape), nb_box)
+                if send_box is None and recv_box is None:
+                    continue
+                if (send_box is None) != (recv_box is None):
+                    raise RuntimeError(
+                        f"asymmetric halo between ranks {rank} and {nb}"
+                    )
+                kind = ("face", "edge", "corner")[
+                    abs(dx) + abs(dy) + abs(dz) - 1
+                ]
+                plan.append({
+                    "rank": nb,
+                    "kind": kind,
+                    "send_ids": _box_ids(send_box, shape),
+                    "recv_ids": _box_ids(recv_box, shape),
+                })
+    return plan
+
+
+class HPCGRankProgram:
+    """Preconditioned CG on a 3-D 27-point stencil, subcube-distributed.
+
+    Parameters
+    ----------
+    matrix, b:
+        The :func:`stencil27` system (CSR-convertible) and right-hand side.
+    shape:
+        Grid dimensions ``(nx, ny, nz)`` with ``nx*ny*nz`` matrix rows.
+    precond:
+        ``"none"``, ``"jacobi"`` (local diagonal scaling) or ``"mg"``
+        (replicated geometric V-cycle).
+    fused:
+        Pack the three per-iteration inner products into one
+        ``allreduce_vec`` instead of three separate trees.  Numerics are
+        identical either way (see module docstring).
+    reproducible:
+        Ride every inner product on the fixed-point superaccumulator of
+        :mod:`repro.backend.reproducible`: dots and norms become bitwise
+        invariant to rank count, topology, backend and fusion, at the cost
+        of wider reduction payloads.
+
+    Each rank returns ``(x_block, residuals, converged, iterations,
+    extras)`` where ``extras`` carries the per-iteration scalar trajectory
+    (``alphas``/``betas``/``gammas`` -- the bitwise pin checks these), halo
+    statistics and per-phase compute seconds.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        b: np.ndarray,
+        shape: Tuple[int, int, int],
+        x0: Optional[np.ndarray] = None,
+        criterion: Optional[StoppingCriterion] = None,
+        maxiter: Optional[int] = None,
+        precond: str = "mg",
+        fused: bool = False,
+        reproducible: bool = False,
+        mg_levels: int = 4,
+        grid: Optional[Tuple[int, int, int]] = None,
+    ):
+        n, indptr, indices, data = csr_arrays(matrix)
+        nx, ny, nz = (int(s) for s in shape)
+        if nx * ny * nz != n:
+            raise ValueError(
+                f"shape {shape} implies {nx * ny * nz} rows, matrix has {n}"
+            )
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape != (n,):
+            raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        if precond not in HPCG_PRECONDS:
+            raise ValueError(
+                f"unknown preconditioner {precond!r}; "
+                f"expected one of {HPCG_PRECONDS}"
+            )
+        self.n = n
+        self.shape = (nx, ny, nz)
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.b = b
+        self.x_start = (
+            np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64)
+        )
+        self.crit = criterion or StoppingCriterion()
+        self.maxiter = maxiter if maxiter is not None else self.crit.cap(n)
+        self.precond = precond
+        self.fused = bool(fused)
+        self.reproducible = bool(reproducible)
+        self.grid = grid
+        if precond == "jacobi":
+            diag = np.zeros(n)
+            for_rows = np.repeat(np.arange(n), np.diff(indptr))
+            on_diag = for_rows == indices
+            diag[for_rows[on_diag]] = data[on_diag]
+            if (diag == 0).any():
+                raise ValueError("Jacobi needs a zero-free diagonal")
+            self.inv_diag: Optional[np.ndarray] = 1.0 / diag
+        else:
+            self.inv_diag = None
+        self.mg = (
+            MultigridPreconditioner(matrix, self.shape, max_levels=mg_levels)
+            if precond == "mg"
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, rank: int, size: int):
+        t_setup = time.perf_counter()
+        phase = {"setup": 0.0, "spmv": 0.0, "mg": 0.0, "dot": 0.0}
+        layout = Grid3DBlock(self.shape, size, grid=self.grid)
+        rows = layout.local_indices_cached(rank)
+        indptr, indices, data = self.indptr, self.indices, self.data
+        counts = (indptr[rows + 1] - indptr[rows]) if rows.size else \
+            np.zeros(0, dtype=np.int64)
+        local_nnz = int(counts.sum())
+        lptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=lptr[1:])
+        if rows.size:
+            offs = (
+                np.repeat(indptr[rows] - lptr[:-1], counts)
+                + np.arange(local_nnz, dtype=np.int64)
+            )
+        else:
+            offs = np.zeros(0, dtype=np.int64)
+        lindices = indices[offs]
+        ldata = data[offs]
+        lrow_ids = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+
+        x = self.x_start[rows].copy()
+        bb = self.b[rows].copy()
+        inv_d = self.inv_diag[rows] if self.inv_diag is not None else None
+
+        plan = (
+            halo_plan(layout, rank) if self.precond != "mg" and size > 1
+            else []
+        )
+        halo_words = int(sum(e["send_ids"].size for e in plan))
+        send_lpos = [
+            np.asarray(layout.global_to_local(e["send_ids"]), dtype=np.int64)
+            for e in plan
+        ]
+        crit, maxiter = self.crit, self.maxiter
+        phase["setup"] += time.perf_counter() - t_setup
+
+        def matvec(v_full):
+            t0 = time.perf_counter()
+            out = np.zeros(rows.size)
+            np.add.at(out, lrow_ids, ldata * v_full[lindices])
+            phase["spmv"] += time.perf_counter() - t0
+            return out
+
+        def assemble(blocks):
+            full = np.zeros(self.n)
+            for rr, blk in enumerate(blocks):
+                full[layout.local_indices_cached(rr)] = blk
+            return full
+
+        def exchange(v_local):
+            """Halo exchange: local block -> full-length scatter buffer."""
+            for entry, lpos in zip(plan, send_lpos):
+                yield Send(dest=entry["rank"], payload=v_local[lpos],
+                           tag=_HALO_TAG)
+            buf = np.zeros(self.n)
+            buf[rows] = v_local
+            for entry in plan:
+                vals = yield Recv(source=entry["rank"], tag=_HALO_TAG)
+                buf[entry["recv_ids"]] = vals
+            return buf
+
+        def reduce_dots(pairs, tag=3):
+            """Globally reduce ``len(pairs)`` inner products.
+
+            ``fused`` packs them into one tree; otherwise each gets its
+            own.  Slot-wise the combination order is identical, so the two
+            schedules agree bitwise at any fixed rank count.
+            """
+            t0 = time.perf_counter()
+            if self.reproducible:
+                blocks = [dot_slots(a, b) for a, b in pairs]
+                nel = sum(a.size for a, _ in pairs)
+                phase["dot"] += time.perf_counter() - t0
+                if self.fused:
+                    red = yield from spmd.allreduce_vec(
+                        rank, size, pack_slots(blocks), tag=tag
+                    )
+                    out = [render_slots(s)
+                           for s in unpack_slots(red, len(pairs))]
+                else:
+                    out = []
+                    for i, blk in enumerate(blocks):
+                        red = yield from spmd.allreduce_vec(
+                            rank, size, blk, tag=tag + 2 * i
+                        )
+                        out.append(render_slots(red))
+                yield Compute((2.0 + _REPRO_FLOPS) * nel)
+                return out
+            locals_ = [float(a @ b) for a, b in pairs]
+            nel = sum(a.size for a, _ in pairs)
+            phase["dot"] += time.perf_counter() - t0
+            if self.fused:
+                red = yield from spmd.allreduce_vec(
+                    rank, size, np.array(locals_), tag=tag
+                )
+                out = [float(v) for v in red]
+            else:
+                out = []
+                for i, v in enumerate(locals_):
+                    red = yield from spmd.allreduce_sum(
+                        rank, size, v, tag=tag + 2 * i
+                    )
+                    out.append(float(red))
+            yield Compute(2.0 * nel)
+            return out
+
+        def apply_precond(r_local):
+            """u = M^-1 r.  Returns (u_local, u_full_or_None)."""
+            if self.precond == "none":
+                return r_local.copy(), None
+            if self.precond == "jacobi":
+                u = inv_d * r_local
+                yield Compute(float(r_local.size))
+                return u, None
+            # mg: allgather r, apply the deterministic V-cycle to the full
+            # vector on every rank (replicated serialised work), slice
+            blocks = yield from spmd.allgather(rank, size, r_local)
+            r_full = assemble(blocks)
+            t0 = time.perf_counter()
+            z_full = self.mg.solve(r_full)
+            phase["mg"] += time.perf_counter() - t0
+            yield Compute(self.mg.flops_per_apply)
+            return z_full[rows], z_full
+
+        def precond_matvec(u_local, u_full):
+            """w = A u, via halo exchange unless u is already replicated."""
+            if u_full is not None:
+                full = u_full
+            elif size > 1:
+                full = yield from exchange(u_local)
+            else:
+                full = np.zeros(self.n)
+                full[rows] = u_local
+            w = matvec(full)
+            yield Compute(2.0 * local_nnz)
+            return w
+
+        # ---------------- setup ---------------------------------------- #
+        if np.any(self.x_start):
+            blocks = yield from spmd.allgather(rank, size, x)
+            ax = matvec(assemble(blocks))
+            yield Compute(2.0 * local_nnz)
+            r = bb - ax
+        else:
+            r = bb.copy()
+
+        u, u_full = yield from apply_precond(r)
+        w = yield from precond_matvec(u, u_full)
+        gamma, delta, rnorm2, bnorm2 = yield from reduce_dots(
+            [(r, u), (w, u), (r, r), (bb, bb)]
+        )
+        bnorm = float(np.sqrt(bnorm2))
+        residuals = [float(np.sqrt(max(0.0, rnorm2)))]
+        alphas: List[float] = []
+        betas: List[float] = []
+        gammas: List[float] = [gamma]
+
+        extras: Dict[str, Any] = {
+            "precond": self.precond,
+            "fused": self.fused,
+            "reproducible": self.reproducible,
+            "grid": layout.grid,
+            "halo": {
+                "neighbors": len(plan),
+                "faces": sum(e["kind"] == "face" for e in plan),
+                "edges": sum(e["kind"] == "edge" for e in plan),
+                "corners": sum(e["kind"] == "corner" for e in plan),
+                "words_per_exchange": halo_words,
+            },
+            "mg_depth": self.mg.depth if self.mg is not None else 0,
+            "mg_flops_per_apply": (
+                self.mg.flops_per_apply if self.mg is not None else 0.0
+            ),
+        }
+
+        def finish(converged, iterations):
+            extras["alphas"] = alphas
+            extras["betas"] = betas
+            extras["gammas"] = gammas
+            extras["phase_seconds"] = dict(phase)
+            return x, residuals, converged, iterations, extras
+
+        if crit.satisfied(residuals[-1], bnorm):
+            return finish(True, 0)
+        if delta == 0.0:
+            return finish(False, 0)
+        alpha = gamma / delta
+        alphas.append(alpha)
+        p = u.copy()
+        s = w.copy()
+
+        # ---------------- main loop ------------------------------------ #
+        converged = False
+        iterations = 0
+        for k in range(1, maxiter + 1):
+            x += alpha * p
+            r -= alpha * s
+            yield Compute(4.0 * r.size)
+            u, u_full = yield from apply_precond(r)
+            w = yield from precond_matvec(u, u_full)
+            gamma_new, delta, rnorm2 = yield from reduce_dots(
+                [(r, u), (w, u), (r, r)]
+            )
+            residuals.append(float(np.sqrt(max(0.0, rnorm2))))
+            gammas.append(gamma_new)
+            iterations = k
+            if crit.satisfied(residuals[-1], bnorm):
+                converged = True
+                break
+            beta = gamma_new / gamma
+            denom = delta - beta * gamma_new / alpha
+            if denom == 0.0:
+                break
+            alpha = gamma_new / denom
+            gamma = gamma_new
+            betas.append(beta)
+            alphas.append(alpha)
+            p = u + beta * p
+            s = w + beta * s
+            yield Compute(4.0 * r.size)
+        return finish(converged, iterations)

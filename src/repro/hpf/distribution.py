@@ -34,6 +34,8 @@ __all__ = [
     "CyclicK",
     "Replicated",
     "IrregularBlock",
+    "Grid3DBlock",
+    "choose_grid3d",
     "block_boundaries",
     "RedistributionMessage",
     "RedistributionPlan",
@@ -389,6 +391,152 @@ class IrregularBlock(Distribution):
             f"IrregularBlock(nprocs={self.nprocs}, "
             f"boundaries={self._boundaries.tolist()})"
         )
+
+
+def choose_grid3d(nprocs: int) -> Tuple[int, int, int]:
+    """Near-cubic process-grid factorisation ``(px, py, pz)`` of ``nprocs``.
+
+    Prime factors are dealt largest-first onto the currently least-divided
+    axis, preferring to cut the slow axes (``z``, then ``y``) so each rank's
+    subcube keeps the longest contiguous ``x``-runs: 2 -> (1, 1, 2),
+    4 -> (1, 2, 2), 8 -> (2, 2, 2), 12 -> (2, 2, 3).
+    """
+    if nprocs < 1:
+        raise DistributionError(f"nprocs must be >= 1, got {nprocs}")
+    factors = []
+    m = nprocs
+    d = 2
+    while d * d <= m:
+        while m % d == 0:
+            factors.append(d)
+            m //= d
+        d += 1
+    if m > 1:
+        factors.append(m)
+    dims = [1, 1, 1]  # (px, py, pz)
+    for f in sorted(factors, reverse=True):
+        # least-divided axis wins; ties go to the slowest axis (z)
+        axis = max(range(3), key=lambda a: (-dims[a], a))
+        dims[axis] *= f
+    return dims[0], dims[1], dims[2]
+
+
+class Grid3DBlock(Distribution):
+    """(BLOCK, BLOCK, BLOCK) over a 3-D grid: each rank owns a subcube.
+
+    The index space is the row-major flattening of an ``nx x ny x nz`` grid
+    with ``x`` fastest -- point ``(ix, iy, iz)`` has global id
+    ``(iz*ny + iy)*nx + ix``, matching
+    :func:`repro.sparse.generators.stencil27`.  Processors form a
+    ``px x py x pz`` grid (``rank = (rz*py + ry)*px + rx``) and each owns
+    the tensor product of one BLOCK interval per axis.  Ownership is *not*
+    globally contiguous, which is the point: a 27-point stencil row only
+    couples to the 26 surrounding subcubes, so rank programs exchange
+    faces, edges and corners instead of all-gathering the operand.
+    """
+
+    is_contiguous = False
+
+    def __init__(
+        self,
+        shape: Tuple[int, int, int],
+        nprocs: int,
+        grid: Optional[Tuple[int, int, int]] = None,
+    ):
+        nx, ny, nz = (int(s) for s in shape)
+        if nx < 1 or ny < 1 or nz < 1:
+            raise DistributionError(f"grid shape must be positive, got {shape}")
+        super().__init__(nx * ny * nz, nprocs)
+        if grid is None:
+            grid = choose_grid3d(nprocs)
+        px, py, pz = (int(g) for g in grid)
+        if px * py * pz != nprocs:
+            raise DistributionError(
+                f"process grid {px}x{py}x{pz} does not cover {nprocs} ranks"
+            )
+        self.shape = (nx, ny, nz)
+        self.grid = (px, py, pz)
+        self._cuts = (
+            block_boundaries(nx, px),
+            block_boundaries(ny, py),
+            block_boundaries(nz, pz),
+        )
+
+    # ------------------------------------------------------------------ #
+    def coords(self, rank: int) -> Tuple[int, int, int]:
+        """Process-grid coordinates ``(rx, ry, rz)`` of ``rank``."""
+        self._check_rank(rank)
+        px, py, _ = self.grid
+        rz, rem = divmod(rank, px * py)
+        ry, rx = divmod(rem, px)
+        return rx, ry, rz
+
+    def rank_of(self, rx: int, ry: int, rz: int) -> int:
+        px, py, pz = self.grid
+        if not (0 <= rx < px and 0 <= ry < py and 0 <= rz < pz):
+            raise DistributionError(f"coords ({rx},{ry},{rz}) outside {self.grid}")
+        return (rz * py + ry) * px + rx
+
+    def local_box(self, rank: int) -> Tuple[Tuple[int, int], ...]:
+        """Half-open ``((xlo, xhi), (ylo, yhi), (zlo, zhi))`` owned by ``rank``."""
+        rx, ry, rz = self.coords(rank)
+        cx, cy, cz = self._cuts
+        return (
+            (int(cx[rx]), int(cx[rx + 1])),
+            (int(cy[ry]), int(cy[ry + 1])),
+            (int(cz[rz]), int(cz[rz + 1])),
+        )
+
+    # ------------------------------------------------------------------ #
+    def owners(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        nx, ny, _ = self.shape
+        iz, rem = np.divmod(idx, nx * ny)
+        iy, ix = np.divmod(rem, nx)
+        cx, cy, cz = self._cuts
+        rx = np.searchsorted(cx, ix, side="right") - 1
+        ry = np.searchsorted(cy, iy, side="right") - 1
+        rz = np.searchsorted(cz, iz, side="right") - 1
+        px, py, _ = self.grid
+        return (rz * py + ry) * px + rx
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        (xlo, xhi), (ylo, yhi), (zlo, zhi) = self.local_box(rank)
+        nx, ny, nz = self.shape
+        ids = np.arange(self.n, dtype=np.int64).reshape(nz, ny, nx)
+        return ids[zlo:zhi, ylo:yhi, xlo:xhi].ravel()
+
+    def global_to_local(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.int64)
+        nx, ny, _ = self.shape
+        iz, rem = np.divmod(idx, nx * ny)
+        iy, ix = np.divmod(rem, nx)
+        cx, cy, cz = self._cuts
+        rx = np.searchsorted(cx, ix, side="right") - 1
+        ry = np.searchsorted(cy, iy, side="right") - 1
+        rz = np.searchsorted(cz, iz, side="right") - 1
+        lx = ix - cx[rx]
+        ly = iy - cy[ry]
+        lz = iz - cz[rz]
+        wx = cx[rx + 1] - cx[rx]
+        wy = cy[ry + 1] - cy[ry]
+        return (lz * wy + ly) * wx + lx
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.shape == other.shape  # type: ignore[union-attr]
+            and self.grid == other.grid  # type: ignore[union-attr]
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Grid3DBlock", self.shape, self.grid))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nx, ny, nz = self.shape
+        px, py, pz = self.grid
+        return f"Grid3DBlock({nx}x{ny}x{nz} over {px}x{py}x{pz})"
 
 
 # ---------------------------------------------------------------------- #

@@ -315,15 +315,28 @@ def allreduce_vec(
             f"shape {vec.shape}"
         )
 
-    def combine(a, b):
-        if b.shape != vec.shape:
-            raise ValueError(
-                f"allreduce_vec slot mismatch: rank contributed {b.shape}, "
-                f"expected {vec.shape}"
-            )
-        return a + b
-
-    result = yield from allreduce_sum(ep, rank, size, vec, op=combine, tag=tag)
+    # inline binomial reduce (same tree as reduce_to_root) so a slot
+    # mismatch can name the rank whose subtree contributed the bad shape
+    mask = 1
+    result = vec
+    while mask < size:
+        if rank & mask:
+            yield from ep.send(rank - mask, result, tag=tag)
+            result = None
+            break
+        partner = rank + mask
+        if partner < size:
+            other = yield from ep.recv(partner, tag=tag)
+            other = np.asarray(other)
+            if other.shape != result.shape:
+                raise ValueError(
+                    f"allreduce_vec slot mismatch: rank {partner} "
+                    f"contributed {other.shape}, rank {rank} expected "
+                    f"{result.shape}"
+                )
+            result = result + other
+        mask <<= 1
+    result = yield from bcast(ep, rank, size, result, root=0, tag=tag + 1)
     return result
 
 

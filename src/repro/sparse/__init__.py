@@ -25,6 +25,7 @@ from .generators import (
     poisson2d,
     random_sparse_symmetric,
     rhs_for_solution,
+    stencil27,
     structural_truss,
     tridiagonal,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "tridiagonal",
     "poisson1d",
     "poisson2d",
+    "stencil27",
     "structural_truss",
     "circuit_nodal",
     "nas_cg_style",

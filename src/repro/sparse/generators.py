@@ -9,6 +9,7 @@ produces a deterministic instance of one of those families:
 
 * :func:`poisson1d` / :func:`poisson2d` -- PDE model problems (CFD pressure
   solves, aerodynamics);
+* :func:`stencil27` -- the HPCG-class 3-D 27-point stencil operator;
 * :func:`structural_truss` -- spring/truss stiffness matrices (structural
   analysis);
 * :func:`circuit_nodal` -- conductance matrices from nodal analysis of a
@@ -41,6 +42,7 @@ __all__ = [
     "tridiagonal",
     "poisson1d",
     "poisson2d",
+    "stencil27",
     "structural_truss",
     "circuit_nodal",
     "nas_cg_style",
@@ -127,6 +129,64 @@ def poisson2d(nx: int, ny: Optional[int] = None) -> CSRMatrix:
         couple(ids[:-1, :], ids[1:, :])
     if ny > 1:
         couple(ids[:, :-1], ids[:, 1:])
+    return COOMatrix(
+        np.concatenate(rows), np.concatenate(cols), np.concatenate(data), (n, n)
+    ).to_csr()
+
+
+def stencil27(
+    nx: int, ny: Optional[int] = None, nz: Optional[int] = None
+) -> CSRMatrix:
+    """3-D 27-point stencil operator on an ``nx x ny x nz`` grid (SPD).
+
+    The HPCG-class workload: every interior point couples to its 26
+    neighbours (faces, edges *and* corners) with weight ``-1`` and carries
+    the diagonal ``26``.  Boundary rows keep the full diagonal, so every row
+    is (weakly, and at the boundary strictly) diagonally dominant and the
+    operator is SPD -- the same convention the HPCG reference code uses.
+
+    Grid point ``(ix, iy, iz)`` has global id ``(iz*ny + iy)*nx + ix``,
+    i.e. ``x`` is the fastest-varying axis; a 3-D BLOCK distribution over a
+    process grid therefore owns subcubes of contiguous ``x``-runs, and rank
+    programs exchange faces, edges and corners
+    (see :class:`repro.hpf.distribution.Grid3DBlock`).
+    """
+    if ny is None:
+        ny = nx
+    if nz is None:
+        nz = ny
+    if nx < 1 or ny < 1 or nz < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    n = nx * ny * nz
+    ids = np.arange(n).reshape(nz, ny, nx)
+    rows, cols, data = [ids.ravel()], [ids.ravel()], [np.full(n, 26.0)]
+
+    def couple(a, b):
+        rows.append(a.ravel())
+        cols.append(b.ravel())
+        data.append(np.full(a.size, -1.0))
+        rows.append(b.ravel())
+        cols.append(a.ravel())
+        data.append(np.full(a.size, -1.0))
+
+    def span(d):
+        # (source, shifted) slices along one axis for a unit offset d
+        if d == 0:
+            return slice(None), slice(None)
+        if d == 1:
+            return slice(None, -1), slice(1, None)
+        return slice(1, None), slice(None, -1)
+
+    # 13 lexicographically-positive offsets; couple() adds both directions,
+    # covering all 26 neighbours exactly once per unordered pair
+    for dz in (0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if (dz, dy, dx) <= (0, 0, 0):
+                    continue
+                src = tuple(span(d)[0] for d in (dz, dy, dx))
+                dst = tuple(span(d)[1] for d in (dz, dy, dx))
+                couple(ids[src], ids[dst])
     return COOMatrix(
         np.concatenate(rows), np.concatenate(cols), np.concatenate(data), (n, n)
     ).to_csr()

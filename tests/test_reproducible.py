@@ -1,0 +1,204 @@
+"""Property-based tests for the reproducible-reduction superaccumulator.
+
+The whole ``reproducible=True`` contract rests on three properties of
+:mod:`repro.backend.reproducible`:
+
+1. **order/chunking invariance** -- splatting the same multiset of addends
+   in any permutation, or split across any number of accumulators that are
+   then merged, renders the same bits;
+2. **correct rounding** -- the rendered float64 equals the correctly
+   rounded value of the *exact* sum (pinned against ``math.fsum``);
+3. **exact transport** -- the float64 slot encoding used to ride
+   ``allreduce_vec`` survives slot-wise summation across ranks without
+   rounding, for any reduction-tree shape.
+
+Hypothesis drives all three over mixed-magnitude inputs, including
+subnormals and catastrophic cancellation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backend.reproducible import (
+    NLIMBS,
+    Superaccumulator,
+    dot_slots,
+    pack_slots,
+    render_slots,
+    sum_slots,
+    unpack_slots,
+)
+from repro.machine import Machine, run_spmd, spmd
+
+SLOW = settings(
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# mixed magnitudes spanning subnormals to near-overflow; fsum of a few
+# hundred of these cannot overflow intermediate doubles, so it stays a
+# valid correctly-rounded oracle
+finite_doubles = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    min_value=-1e300,
+    max_value=1e300,
+    allow_subnormal=True,
+)
+
+addend_lists = st.lists(finite_doubles, min_size=0, max_size=200)
+
+
+def _render(values):
+    return Superaccumulator().splat(values).render()
+
+
+# ---------------------------------------------------------------------- #
+# order / chunking invariance
+# ---------------------------------------------------------------------- #
+@given(addend_lists, st.randoms(use_true_random=False))
+@SLOW
+def test_permutation_invariance(values, rng):
+    """Any ordering of the same addends renders the same bits."""
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    a = _render(values)
+    b = _render(shuffled)
+    assert (a == b) and (math.copysign(1.0, a) == math.copysign(1.0, b))
+
+
+@given(addend_lists, st.integers(min_value=1, max_value=7))
+@SLOW
+def test_chunking_invariance(values, nchunks):
+    """Splitting across accumulators then merging == one big splat."""
+    whole = _render(values)
+    parts = np.array_split(np.asarray(values, dtype=np.float64), nchunks)
+    acc = Superaccumulator()
+    for part in parts:
+        acc.add(Superaccumulator().splat(part))
+    assert acc.render() == whole
+
+
+@given(addend_lists)
+@SLOW
+def test_agrees_with_fsum(values):
+    """Render == correctly-rounded exact sum (math.fsum oracle).
+
+    ``fsum`` may return -0.0 where the accumulator canonicalises the empty
+    / fully-cancelled sum to +0.0, so compare with ``==`` (which treats
+    +-0.0 as equal) plus an explicit bit check for nonzero results.
+    """
+    got = _render(values)
+    want = math.fsum(values)
+    assert got == want
+    if got != 0.0:
+        assert math.copysign(1.0, got) == math.copysign(1.0, want)
+
+
+def test_cancellation_exact():
+    """Catastrophic cancellation leaves the exact tiny remainder."""
+    vals = [1e16, 1.0, -1e16]
+    assert _render(vals) == 1.0
+    vals = [1e308, -1e308, 5e-324]
+    assert _render(vals) == 5e-324
+
+
+def test_subnormal_exactness():
+    tiny = 5e-324  # smallest subnormal
+    assert _render([tiny] * 3) == 3 * tiny
+    assert _render([tiny, -tiny]) == 0.0
+
+
+def test_rejects_non_finite():
+    for bad in (math.inf, -math.inf, math.nan):
+        with pytest.raises(ValueError, match="finite"):
+            Superaccumulator().splat([1.0, bad])
+
+
+# ---------------------------------------------------------------------- #
+# slot transport
+# ---------------------------------------------------------------------- #
+@given(addend_lists)
+@SLOW
+def test_slot_round_trip(values):
+    slots = sum_slots(np.asarray(values, dtype=np.float64))
+    assert slots.shape == (NLIMBS,)
+    assert np.all(slots == np.rint(slots))  # exact integers
+    assert render_slots(slots) == math.fsum(values)
+
+
+@given(
+    st.lists(addend_lists, min_size=2, max_size=6),
+    st.randoms(use_true_random=False),
+)
+@SLOW
+def test_slotwise_sum_is_tree_shape_invariant(partitions, rng):
+    """Summing per-rank slot blocks in ANY order renders the same bits.
+
+    This is the transport guarantee: slot values are integers < 2**32 and
+    slot-wise float64 sums of a handful of them stay < 2**53, hence exact
+    -- so a binomial tree, recursive doubling or a ring all agree.
+    """
+    blocks = [sum_slots(np.asarray(p, dtype=np.float64)) for p in partitions]
+    left_to_right = blocks[0].copy()
+    for blk in blocks[1:]:
+        left_to_right = left_to_right + blk
+    shuffled = list(blocks)
+    rng.shuffle(shuffled)
+    pairwise = shuffled[0].copy()
+    for blk in shuffled[1:]:
+        pairwise = pairwise + blk
+    np.testing.assert_array_equal(left_to_right, pairwise)
+    flat = [v for p in partitions for v in p]
+    assert render_slots(left_to_right) == math.fsum(flat)
+
+
+@given(st.lists(addend_lists, min_size=1, max_size=4))
+@SLOW
+def test_pack_unpack_round_trip(groups):
+    blocks = [sum_slots(np.asarray(g, dtype=np.float64)) for g in groups]
+    packed = pack_slots(blocks)
+    assert packed.size == len(blocks) * NLIMBS
+    for got, want in zip(unpack_slots(packed, len(blocks)), blocks):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_unpack_rejects_wrong_size():
+    with pytest.raises(ValueError, match="expected"):
+        unpack_slots(np.zeros(NLIMBS + 1), 1)
+
+
+def test_from_slots_rejects_fractional():
+    slots = np.zeros(NLIMBS)
+    slots[0] = 0.5
+    with pytest.raises(ValueError, match="exact integers"):
+        render_slots(slots)
+
+
+# ---------------------------------------------------------------------- #
+# through the real collective
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 8])
+def test_dot_through_allreduce_vec_is_p_invariant(size):
+    """A distributed reproducible dot == the serial one, for any p."""
+    rng = np.random.default_rng(7)
+    n = 96
+    x = rng.standard_normal(n) * np.logspace(-30, 30, n)
+    y = rng.standard_normal(n)
+    serial = render_slots(dot_slots(x, y))
+    cuts = np.linspace(0, n, size + 1).astype(int)
+
+    def prog(rank, nprocs):
+        lo, hi = cuts[rank], cuts[rank + 1]
+        out = yield from spmd.allreduce_vec(
+            rank, nprocs, dot_slots(x[lo:hi], y[lo:hi]))
+        return render_slots(out)
+
+    results = run_spmd(Machine(size, "complete"), prog)
+    assert all(r == serial for r in results)
+    assert serial == math.fsum((x * y).tolist())

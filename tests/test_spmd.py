@@ -226,6 +226,33 @@ class TestAllreduceVecValidation:
         with pytest.raises(ValueError, match="slot mismatch"):
             run_spmd(Machine(2, "complete"), prog)
 
+    def test_slot_mismatch_names_offending_rank(self):
+        # rank 2 packs a different slot count; the error must name the
+        # two ranks whose contributions disagree and both shapes, so the
+        # deviant is identifiable from the message alone
+        def prog(rank, nprocs):
+            vec = np.ones(5) if rank == 2 else np.ones(2)
+            out = yield from spmd.allreduce_vec(rank, nprocs, vec)
+            return out
+
+        with pytest.raises(
+            ValueError,
+            match=r"rank 3 contributed \(2,\), rank 2 expected \(5,\)",
+        ):
+            run_spmd(Machine(4, "complete"), prog)
+
+    def test_slot_mismatch_reports_expected_shape(self):
+        def prog(rank, nprocs):
+            vec = np.ones(7) if rank == 1 else np.ones(3)
+            out = yield from spmd.allreduce_vec(rank, nprocs, vec)
+            return out
+
+        with pytest.raises(
+            ValueError,
+            match=r"rank 1 contributed \(7,\), rank 0 expected \(3,\)",
+        ):
+            run_spmd(Machine(2, "complete"), prog)
+
 
 @pytest.mark.parametrize("size", [2, 3, 5, 6, 7, 12, 16])
 class TestAllreduceDoublingAnyP:

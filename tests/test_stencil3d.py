@@ -1,0 +1,176 @@
+"""27-point stencil generator, 3-D BLOCK distribution and halo plans."""
+
+import numpy as np
+import pytest
+
+from repro.hpf.distribution import DistributionError, Grid3DBlock, choose_grid3d
+from repro.hpcg.program import halo_plan
+from repro.sparse import stencil27
+
+
+class TestStencil27:
+    def test_square_defaults(self):
+        a = stencil27(4)
+        assert a.shape == (64, 64)
+        b = stencil27(4, 4, 4)
+        assert a.nnz == b.nnz
+        np.testing.assert_array_equal(a.toarray(), b.toarray())
+
+    def test_interior_row_has_27_entries(self):
+        nx = 5
+        a = stencil27(nx)
+        # centre point of the 5x5x5 grid: (2, 2, 2)
+        row = (2 * nx + 2) * nx + 2
+        dense = a.toarray()
+        assert np.count_nonzero(dense[row]) == 27
+        assert dense[row, row] == 26.0
+        offs = dense[row].copy()
+        offs[row] = 0.0
+        assert np.all(offs[offs != 0.0] == -1.0)
+
+    def test_corner_row_has_8_entries(self):
+        dense = stencil27(3).toarray()
+        assert np.count_nonzero(dense[0]) == 8  # itself + 7 neighbours
+
+    def test_symmetric(self):
+        dense = stencil27(3, 4, 2).toarray()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_positive_definite(self):
+        dense = stencil27(4).toarray()
+        w = np.linalg.eigvalsh(dense)
+        assert w.min() > 0.0
+
+    def test_anisotropic_shape(self):
+        a = stencil27(4, 3, 2)
+        assert a.shape == (24, 24)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            stencil27(0)
+
+
+class TestChooseGrid3d:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(1, (1, 1, 1)), (2, (1, 1, 2)), (4, (1, 2, 2)), (8, (2, 2, 2)),
+         (12, (2, 2, 3)), (27, (3, 3, 3))],
+    )
+    def test_near_cubic(self, p, expected):
+        assert choose_grid3d(p) == expected
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 6, 7, 9, 16, 24])
+    def test_covers(self, p):
+        px, py, pz = choose_grid3d(p)
+        assert px * py * pz == p
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DistributionError):
+            choose_grid3d(0)
+
+
+class TestGrid3DBlock:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 12])
+    def test_partitions_index_space(self, p):
+        layout = Grid3DBlock((6, 5, 4), p)
+        cover = np.concatenate(
+            [layout.local_indices(r) for r in range(p)])
+        assert sorted(cover.tolist()) == list(range(6 * 5 * 4))
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_owners_match_local_indices(self, p):
+        layout = Grid3DBlock((8, 8, 8), p)
+        idx = np.arange(layout.n)
+        owners = layout.owners(idx)
+        for r in range(p):
+            np.testing.assert_array_equal(
+                np.sort(layout.local_indices(r)), idx[owners == r])
+
+    def test_global_to_local_round_trip(self):
+        layout = Grid3DBlock((5, 4, 6), 4)
+        for r in range(4):
+            rows = layout.local_indices(r)
+            # local position of each owned id equals its rank in the
+            # rank's own row-major enumeration
+            np.testing.assert_array_equal(
+                layout.global_to_local(rows), np.arange(rows.size))
+
+    def test_explicit_grid_must_cover(self):
+        with pytest.raises(DistributionError, match="does not cover"):
+            Grid3DBlock((4, 4, 4), 4, grid=(1, 1, 3))
+
+    def test_coords_rank_round_trip(self):
+        layout = Grid3DBlock((8, 8, 8), 8)
+        for r in range(8):
+            assert layout.rank_of(*layout.coords(r)) == r
+
+
+class TestHaloPlan:
+    def test_eight_way_kinds(self):
+        """2x2x2 process grid: every rank sees 3 faces, 3 edges, 1 corner."""
+        layout = Grid3DBlock((8, 8, 8), 8)
+        for r in range(8):
+            plan = halo_plan(layout, r)
+            kinds = sorted(e["kind"] for e in plan)
+            assert kinds == ["corner", "edge", "edge", "edge",
+                             "face", "face", "face"]
+
+    def test_single_rank_has_no_neighbours(self):
+        assert halo_plan(Grid3DBlock((4, 4, 4), 1), 0) == []
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_plan_is_symmetric(self, p):
+        """What rank a sends rank b is exactly what b expects from a."""
+        layout = Grid3DBlock((8, 8, 8), p)
+        plans = {r: {e["rank"]: e for e in halo_plan(layout, r)}
+                 for r in range(p)}
+        for a in range(p):
+            for b, entry in plans[a].items():
+                mirror = plans[b][a]
+                np.testing.assert_array_equal(
+                    entry["send_ids"], mirror["recv_ids"])
+                np.testing.assert_array_equal(
+                    entry["recv_ids"], mirror["send_ids"])
+                assert entry["kind"] == mirror["kind"]
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_sends_own_cells_receives_foreign(self, p):
+        layout = Grid3DBlock((8, 8, 8), p)
+        for r in range(p):
+            mine = set(layout.local_indices(r).tolist())
+            for e in halo_plan(layout, r):
+                assert set(e["send_ids"].tolist()) <= mine
+                assert not (set(e["recv_ids"].tolist()) & mine)
+
+    def test_recv_covers_stencil_reach(self):
+        """Every off-rank column a rank's stencil rows touch is received."""
+        layout = Grid3DBlock((8, 8, 8), 8)
+        a = stencil27(8)
+        indptr, indices = a.indptr, a.indices
+        for r in range(8):
+            rows = layout.local_indices(r)
+            cols = set()
+            for row in rows:
+                cols.update(indices[indptr[row]:indptr[row + 1]].tolist())
+            foreign = cols - set(rows.tolist())
+            received = set()
+            for e in halo_plan(layout, r):
+                received.update(e["recv_ids"].tolist())
+            assert foreign == received
+
+
+class TestHaloMatvec:
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_halo_matvec_matches_reference(self, p):
+        """The distributed (precond=none) SpMV path equals a serial SpMV."""
+        from repro.hpcg import hpcg_solve
+
+        a = stencil27(6)
+        rng = np.random.default_rng(11)
+        xstar = rng.standard_normal(a.nrows)
+        b = a @ xstar
+        res = hpcg_solve(6, nprocs=p, precond="none", b=b, maxiter=400)
+        assert res.converged
+        assert np.allclose(res.x, xstar, atol=1e-6)
+        halo = res.extras["hpcg"]["halo"]
+        assert halo["neighbors"] >= 1
