@@ -42,6 +42,8 @@ from ..core.stopping import StoppingCriterion
 from ..machine.faults import FaultPlan, RankCrash, RankSlowdown, StateCorruption
 from ..machine.reliable import ReliableConfig
 from ..machine.scheduler import DeadlockError
+from ..hpcg.program import HPCG_PRECONDS
+from ..hpcg.solve import hpcg_solve
 from ..sparse.generators import poisson1d, rhs_for_solution
 from .abft import AbftChecksumError
 from .base import (
@@ -61,9 +63,17 @@ __all__ = [
     "classify_failure",
     "format_report",
     "CHAOS_BACKENDS",
+    "CHAOS_SCENARIOS",
 ]
 
 CHAOS_BACKENDS = ("simulated", "process")
+
+#: chaos workloads: the 1-D Poisson CG baseline and the HPCG-class
+#: 27-point stencil solve (preconditioned, subcube-distributed, ABFT on)
+CHAOS_SCENARIOS = ("poisson1d", "stencil27")
+
+#: default 3-D grid for the ``stencil27`` scenario
+_STENCIL_SHAPE = (6, 6, 6)
 
 #: outcome labels every chaos run must land on
 CONVERGED = "converged"
@@ -136,6 +146,8 @@ class ChaosOutcome:
     policy: str = "respawn"
     stragglers_detected: List[int] = field(default_factory=list)
     final_nprocs: int = 0  #: 0 = never set (pre-degraded-mode outcome)
+    scenario: str = "poisson1d"  #: workload the seed ran against
+    precond: str = ""  #: preconditioner (stencil27 runs; "" for poisson1d)
 
     @property
     def ok(self) -> bool:
@@ -271,6 +283,9 @@ def chaos_run(
     stragglers: bool = False,
     straggler_deadline: float = 1.0,
     reproducible: bool = False,
+    scenario: str = "poisson1d",
+    precond: str = "mg",
+    shape: Optional[Sequence[int]] = None,
 ) -> ChaosOutcome:
     """Run one seeded chaos schedule and return its classified outcome.
 
@@ -295,16 +310,41 @@ def chaos_run(
     reference **bitwise**, ``max|err| == 0.0``, not merely to ``rtol``.
     The fault draw itself is untouched, so seeds map to the same schedules
     as in legacy (non-reproducible) runs.
+
+    ``scenario`` picks the workload: ``"poisson1d"`` is the 1-D CG
+    baseline above; ``"stencil27"`` runs the HPCG-class 27-point stencil
+    solve (:func:`~repro.hpcg.solve.hpcg_solve`) with the ``precond``
+    preconditioner on a ``shape`` grid (default ``(6, 6, 6)``), ABFT
+    checks armed, under the *same* seeded fault draw -- the seed maps to
+    one schedule regardless of workload.
     """
     if backend not in CHAOS_BACKENDS:
         raise ValueError(f"backend must be one of {CHAOS_BACKENDS}")
-    A, b = _chaos_problem(n)
+    if scenario not in CHAOS_SCENARIOS:
+        raise ValueError(f"scenario must be one of {CHAOS_SCENARIOS}")
     criterion = StoppingCriterion(rtol=1e-10, atol=0.0)
-    if reference_x is None:
-        reference_x = backend_solve(
-            "cg", A, b, backend="simulated", nprocs=nprocs,
-            criterion=criterion, reproducible=reproducible,
-        ).x
+    if scenario == "stencil27":
+        if precond not in HPCG_PRECONDS:
+            raise ValueError(f"precond must be one of {HPCG_PRECONDS}")
+        if policy not in ("respawn", "shrink"):
+            raise ValueError(
+                "stencil27 chaos supports the 'respawn' and 'shrink' "
+                "policies only (rebalancing would break the subcube halo)"
+            )
+        shape = tuple(int(s) for s in (shape or _STENCIL_SHAPE))
+        n = int(np.prod(shape))
+        if reference_x is None:
+            reference_x = hpcg_solve(
+                shape, backend="simulated", nprocs=nprocs, precond=precond,
+                criterion=criterion, reproducible=reproducible,
+            ).x
+    else:
+        A, b = _chaos_problem(n)
+        if reference_x is None:
+            reference_x = backend_solve(
+                "cg", A, b, backend="simulated", nprocs=nprocs,
+                criterion=criterion, reproducible=reproducible,
+            ).x
 
     drawn = chaos_plan(seed, nprocs, allow_crash=allow_crash,
                        allow_straggler=stragglers)
@@ -346,14 +386,23 @@ def chaos_run(
         outcome=CONVERGED, converged_to_reference=False,
         max_abs_err=float("nan"), iterations=0, elapsed=0.0,
         planned=drawn["planned"], policy=policy, final_nprocs=nprocs,
+        scenario=scenario,
+        precond=precond if scenario == "stencil27" else "",
     )
     t0 = time.perf_counter()
     try:
-        result = backend_solve(
-            "cg", A, b, backend=be, nprocs=nprocs, criterion=criterion,
-            faults=plan, resilience=cfg, policy=policy,
-            reproducible=reproducible,
-        )
+        if scenario == "stencil27":
+            result = hpcg_solve(
+                shape, backend=be, nprocs=nprocs, precond=precond,
+                criterion=criterion, faults=plan, resilience=cfg,
+                policy=policy, reproducible=reproducible, abft=True,
+            )
+        else:
+            result = backend_solve(
+                "cg", A, b, backend=be, nprocs=nprocs, criterion=criterion,
+                faults=plan, resilience=cfg, policy=policy,
+                reproducible=reproducible,
+            )
     except Exception as exc:  # noqa: BLE001 - classified or re-raised
         label = classify_failure(exc)
         if label is None:
@@ -402,14 +451,25 @@ def chaos_sweep(
     stragglers: bool = False,
     straggler_deadline: float = 1.0,
     reproducible: bool = False,
+    scenario: str = "poisson1d",
+    precond: str = "mg",
+    shape: Optional[Sequence[int]] = None,
 ) -> List[ChaosOutcome]:
     """Run every seed on every backend; reference computed once per sweep."""
-    A, b = _chaos_problem(n)
     criterion = StoppingCriterion(rtol=1e-10, atol=0.0)
-    reference = backend_solve(
-        "cg", A, b, backend="simulated", nprocs=nprocs, criterion=criterion,
-        reproducible=reproducible,
-    ).x
+    if scenario == "stencil27":
+        shape = tuple(int(s) for s in (shape or _STENCIL_SHAPE))
+        n = int(np.prod(shape))
+        reference = hpcg_solve(
+            shape, backend="simulated", nprocs=nprocs, precond=precond,
+            criterion=criterion, reproducible=reproducible,
+        ).x
+    else:
+        A, b = _chaos_problem(n)
+        reference = backend_solve(
+            "cg", A, b, backend="simulated", nprocs=nprocs,
+            criterion=criterion, reproducible=reproducible,
+        ).x
     outcomes = []
     for backend in backends:
         for seed in seeds:
@@ -421,6 +481,7 @@ def chaos_sweep(
                     stragglers=stragglers,
                     straggler_deadline=straggler_deadline,
                     reproducible=reproducible,
+                    scenario=scenario, precond=precond, shape=shape,
                 )
             )
     return outcomes

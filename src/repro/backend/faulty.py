@@ -282,6 +282,12 @@ class FaultInjectingProgram:
         self.inner.layout = value
 
     @property
+    def default_layout(self):
+        # raises AttributeError (-> getattr default) when the inner
+        # program has no layout-factory seam
+        return self.inner.default_layout
+
+    @property
     def n(self):
         return self.inner.n
 
@@ -383,6 +389,12 @@ class SlowdownProgram:
     @layout.setter
     def layout(self, value):
         self.inner.layout = value
+
+    @property
+    def default_layout(self):
+        # raises AttributeError (-> getattr default) when the inner
+        # program has no layout-factory seam
+        return self.inner.default_layout
 
     @property
     def n(self):

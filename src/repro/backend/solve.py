@@ -176,6 +176,9 @@ def _effective_layout(program, nprocs: int) -> Distribution:
     layout = getattr(program, "layout", None)
     if layout is not None and layout.nprocs == nprocs:
         return layout
+    default = getattr(program, "default_layout", None)
+    if default is not None:
+        return default(nprocs)
     return Block(program.n, nprocs)
 
 
@@ -431,9 +434,15 @@ def run_with_recovery(
                         attempts=recovery["attempt_log"],
                     ) from exc
                 survivors = [r for r in range(cur) if r != rank]
-                new_layout = IrregularBlock(
-                    cg_balanced_partitioner_1(row_weights, cur - 1)
-                )
+                default = getattr(program, "default_layout", None)
+                if default is not None:
+                    # grid-structured programs (HPCG subcubes) re-factorise
+                    # their own process grid onto the survivor count
+                    new_layout = default(cur - 1)
+                else:
+                    new_layout = IrregularBlock(
+                        cg_balanced_partitioner_1(row_weights, cur - 1)
+                    )
                 _redistribute_state(
                     backend, program, store, old_layout, new_layout,
                     survivors, cur, recovery,
@@ -512,6 +521,7 @@ def backend_solve(
     heartbeat_interval: Optional[float] = None,
     fused: bool = False,
     reproducible: bool = False,
+    store: Optional[Dict[int, Dict[int, Any]]] = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with ``solver`` on the chosen execution backend.
 
@@ -547,6 +557,13 @@ def backend_solve(
     detection on either substrate (virtual-clock lag on the simulator,
     heartbeat staleness on real processes) and ``heartbeat_interval``
     tunes the process backend's liveness cadence.
+
+    ``store`` supplies the checkpoint store (default: a fresh in-memory
+    dict).  Passing a
+    :class:`~repro.backend.store.DurableCheckpointStore` makes the solve
+    resumable across driver death: when the store already holds a
+    complete checkpoint from a previous (killed) run, the solve restarts
+    from it instead of from scratch.
     """
     if policy not in RecoveryPolicy:
         raise ValueError(
@@ -556,6 +573,7 @@ def backend_solve(
     plain = (
         faults is None and resilience is None and policy == "respawn"
         and straggler_deadline is None and heartbeat_interval is None
+        and store is None
     )
     if plain:
         program = make_solver_program(solver, matrix, b, x0=x0,
@@ -608,9 +626,15 @@ def backend_solve(
         # real lateness the heartbeat monitor can observe (the simulator
         # realises the same schedule by dilating charged compute time)
         runnable = SlowdownProgram(runnable, plan.slowdown_schedule())
+    store = {} if store is None else store
+    latest = latest_complete_checkpoint(store, nprocs)
+    if latest is not None:
+        # a durable store outlives the driver: resume from the newest
+        # complete checkpoint the previous (killed) process published
+        program.restart = latest
     run = run_with_recovery(be, runnable, nprocs,
                             max_restarts=cfg.max_restarts,
-                            policy=policy, min_ranks=min_ranks)
+                            store=store, policy=policy, min_ranks=min_ranks)
     result = assemble_backend_result(run, solver=solver, n=program.n)
     result.extras["recovery"] = dict(run.recovery)
     result.extras["resilience"] = run.results[0][4] if run.results else {}

@@ -1,0 +1,264 @@
+"""Durable, crash-safe checkpoint store.
+
+:class:`DurableCheckpointStore` is a ``MutableMapping`` drop-in for the
+plain ``dict`` checkpoint store that :func:`repro.backend.solve.run_with_recovery`
+and the backends thread through a resilient solve.  Both substrates
+publish snapshots with
+
+    store.setdefault(iteration, {})[rank] = payload
+
+so the store hands out *live* per-iteration views whose ``__setitem__``
+journals the record to disk before updating the in-memory mirror.  The
+write path is crash-safe at every point:
+
+* each ``(iteration, rank)`` snapshot is one record file, written to a
+  ``.tmp-``-prefixed sibling, flushed (``fsync`` by default), then
+  published with an atomic ``os.replace`` -- a SIGKILL mid-write leaves
+  only a tmp file, never a half-visible record;
+* every record carries a magic string, a fixed header and a CRC32 of the
+  pickled payload, so torn or bit-flipped records are detected and
+  *skipped* on load instead of poisoning recovery;
+* a ``manifest.json`` (itself written atomically) records the expected
+  record set per iteration.  The manifest is advisory: a valid record
+  missing from the manifest (kill between record rename and manifest
+  rewrite) still loads, and a manifest entry whose record is gone is
+  ignored.
+
+Because iteration completeness is judged record-by-record,
+:func:`repro.core.resilience.latest_complete_checkpoint` gives the same
+answer to a fresh process re-opening the directory as it gave to the
+process that died -- the property the driver-restart recovery path and
+the ``SolverService`` rely on.
+
+Fsync policy: ``fsync=True`` (the default) syncs the record file before
+the rename and the directory after it, making a published record survive
+power loss; ``fsync=False`` trades that for speed and still survives
+process kill (the kernel eventually writes the renamed file).  Tests and
+benches use ``fsync=False``; services should keep the default.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, Iterator, MutableMapping, Optional
+
+__all__ = ["DurableCheckpointStore"]
+
+_MAGIC = b"RPCKPT1\n"
+# iteration (int64), rank (int64), payload length (uint64), payload CRC32
+_HEADER = struct.Struct("<qqQI")
+
+
+def _record_name(iteration: int, rank: int) -> str:
+    return f"ckpt-{iteration:08d}-{rank:05d}.rec"
+
+
+def _encode_record(iteration: int, rank: int, payload: Any) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _HEADER.pack(iteration, rank, len(body), zlib.crc32(body))
+    return _MAGIC + header + body
+
+
+def _decode_record(raw: bytes) -> Optional[tuple]:
+    """Return ``(iteration, rank, payload)`` or ``None`` if torn/corrupt."""
+    if not raw.startswith(_MAGIC):
+        return None
+    header = raw[len(_MAGIC) : len(_MAGIC) + _HEADER.size]
+    if len(header) < _HEADER.size:
+        return None
+    iteration, rank, length, crc = _HEADER.unpack(header)
+    body = raw[len(_MAGIC) + _HEADER.size :]
+    if len(body) != length or zlib.crc32(body) != crc:
+        return None
+    try:
+        payload = pickle.loads(body)
+    except Exception:
+        return None
+    return iteration, rank, payload
+
+
+class _IterationView(MutableMapping):
+    """Live ``{rank: payload}`` view; writes journal through the store."""
+
+    def __init__(self, store: "DurableCheckpointStore", iteration: int):
+        self._store = store
+        self._iteration = int(iteration)
+
+    def _ranks(self) -> Dict[int, Any]:
+        return self._store._mem.setdefault(self._iteration, {})
+
+    def __getitem__(self, rank: int) -> Any:
+        return self._ranks()[rank]
+
+    def __setitem__(self, rank: int, payload: Any) -> None:
+        self._store._write_record(self._iteration, int(rank), payload)
+
+    def __delitem__(self, rank: int) -> None:
+        self._store._delete_record(self._iteration, int(rank))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ranks())
+
+    def __len__(self) -> int:
+        return len(self._ranks())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_IterationView(iteration={self._iteration}, {dict(self._ranks())!r})"
+
+
+class DurableCheckpointStore(MutableMapping):
+    """On-disk checkpoint store with atomic records and CRC validation.
+
+    Maps ``iteration -> {rank: payload}`` exactly like the in-memory dict
+    store; re-opening the same directory reloads every intact record and
+    silently skips torn or corrupt ones.
+    """
+
+    def __init__(self, path: str, fsync: bool = True):
+        self.path = os.fspath(path)
+        self.fsync = bool(fsync)
+        os.makedirs(self.path, exist_ok=True)
+        self._mem: Dict[int, Dict[int, Any]] = {}
+        self.skipped_records: list = []
+        self._load()
+
+    # ------------------------------------------------------------------ #
+    # disk plumbing
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        for name in sorted(os.listdir(self.path)):
+            full = os.path.join(self.path, name)
+            if name.startswith(".tmp-"):
+                # leftover from a kill mid-write: never published, remove.
+                try:
+                    os.unlink(full)
+                except OSError:
+                    pass
+                continue
+            if not (name.startswith("ckpt-") and name.endswith(".rec")):
+                continue
+            try:
+                with open(full, "rb") as fh:
+                    raw = fh.read()
+            except OSError:
+                self.skipped_records.append(name)
+                continue
+            decoded = _decode_record(raw)
+            if decoded is None:
+                self.skipped_records.append(name)
+                continue
+            iteration, rank, payload = decoded
+            self._mem.setdefault(iteration, {})[rank] = payload
+
+    def _atomic_write(self, name: str, data: bytes) -> None:
+        tmp = os.path.join(self.path, f".tmp-{name}-{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, os.path.join(self.path, name))
+        if self.fsync:
+            self._sync_dir()
+
+    def _sync_dir(self) -> None:
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform quirk
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+        finally:
+            os.close(fd)
+
+    def _write_record(self, iteration: int, rank: int, payload: Any) -> None:
+        self._atomic_write(
+            _record_name(iteration, rank), _encode_record(iteration, rank, payload)
+        )
+        self._mem.setdefault(iteration, {})[rank] = payload
+        self._write_manifest()
+
+    def _delete_record(self, iteration: int, rank: int) -> None:
+        ranks = self._mem.get(iteration, {})
+        del ranks[rank]
+        if not ranks:
+            self._mem.pop(iteration, None)
+        try:
+            os.unlink(os.path.join(self.path, _record_name(iteration, rank)))
+        except FileNotFoundError:
+            pass
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": 1,
+            "iterations": {
+                str(k): sorted(ranks) for k, ranks in sorted(self._mem.items())
+            },
+        }
+        buf = io.StringIO()
+        json.dump(manifest, buf, indent=0, sort_keys=True)
+        self._atomic_write("manifest.json", buf.getvalue().encode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # MutableMapping interface (iteration -> {rank: payload})
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, iteration: int) -> _IterationView:
+        if iteration not in self._mem:
+            raise KeyError(iteration)
+        return _IterationView(self, iteration)
+
+    def __setitem__(self, iteration: int, snaps: MutableMapping) -> None:
+        if iteration in self._mem:
+            del self[iteration]
+        iteration = int(iteration)
+        self._mem[iteration] = {}
+        for rank, payload in dict(snaps).items():
+            self._write_record(iteration, int(rank), payload)
+        if not self._mem[iteration]:
+            # an explicitly stored empty iteration still counts as a key
+            self._write_manifest()
+
+    def __delitem__(self, iteration: int) -> None:
+        ranks = list(self._mem.pop(iteration))
+        for rank in ranks:
+            try:
+                os.unlink(os.path.join(self.path, _record_name(iteration, rank)))
+            except FileNotFoundError:
+                pass
+        self._write_manifest()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._mem)
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def setdefault(self, iteration: int, default=None) -> _IterationView:
+        iteration = int(iteration)
+        if iteration not in self._mem:
+            self._mem[iteration] = {}
+            for rank, payload in dict(default or {}).items():
+                self._write_record(iteration, int(rank), payload)
+        return _IterationView(self, iteration)
+
+    def clear(self) -> None:
+        for iteration in list(self._mem):
+            del self[iteration]
+
+    def tmp_files(self) -> list:
+        """Leftover ``.tmp-*`` files (should always be empty)."""
+        return sorted(
+            n for n in os.listdir(self.path) if n.startswith(".tmp-")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = {k: len(v) for k, v in sorted(self._mem.items())}
+        return f"DurableCheckpointStore(path={self.path!r}, iterations={sizes})"

@@ -170,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm straggler detection: flag a rank whose heartbeat stays "
              "stale this many seconds (--backend process, cg only)",
     )
+    solve.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="stencil27 only: run the fault-tolerant program and journal "
+             "coordinated checkpoints durably to DIR; re-running with the "
+             "same DIR after a crash (even SIGKILL of this driver) resumes "
+             "from the newest complete checkpoint",
+    )
 
     gantt = sub.add_parser("gantt", help="ASCII Gantt of one mat-vec")
     gantt.add_argument("--matrix", choices=sorted(MATRICES), default="poisson2d")
@@ -210,6 +217,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("-p", "--nprocs", type=int, default=4)
     chaos.add_argument("--n", type=int, default=48, help="problem size")
+    chaos.add_argument(
+        "--scenario", choices=("poisson1d", "stencil27"), default="poisson1d",
+        help="workload under chaos: 1-D Poisson CG (default) or the "
+             "HPCG-class 27-point stencil solve with ABFT checks armed "
+             "(use --precond/--shape; same seeded fault draw either way)",
+    )
+    chaos.add_argument(
+        "--precond", choices=("none", "jacobi", "mg"), default="mg",
+        help="stencil27 preconditioner (ignored for poisson1d)",
+    )
+    chaos.add_argument(
+        "--shape", default=None, metavar="NX[xNYxNZ]",
+        help="stencil27 grid dimensions (default 6x6x6; overrides --n)",
+    )
     chaos.add_argument(
         "--timeout", type=float, default=60.0,
         help="per-run wall-clock bound for the process backend (seconds)",
@@ -305,6 +326,28 @@ def build_parser() -> argparse.ArgumentParser:
                         default="respawn")
     submit.add_argument("--fused", action="store_true",
                         help="single-reduction CG recurrence")
+    submit.add_argument(
+        "--scenario", choices=("cg", "stencil27"), default="cg",
+        help="job kind: row-block solve of --matrix (default) or the "
+             "HPCG 27-point stencil built from --shape",
+    )
+    submit.add_argument(
+        "--shape", default="8", metavar="NX[xNYxNZ]",
+        help="stencil27 grid dimensions, e.g. '8' (cube) or '16x16x8'",
+    )
+    submit.add_argument(
+        "--precond", choices=("none", "jacobi", "mg"), default="mg",
+        help="stencil27 preconditioner",
+    )
+    submit.add_argument(
+        "--reproducible", action="store_true",
+        help="bitwise-reproducible reductions (stencil27)",
+    )
+    submit.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="journal checkpoints durably to DIR; resubmitting after a "
+             "service crash resumes from the newest complete checkpoint",
+    )
     submit.add_argument(
         "--json", metavar="PATH", default=None, dest="json_path",
         help="write the job result (with attempt telemetry) as JSON to "
@@ -436,9 +479,15 @@ def _cmd_solve_hpcg(args: argparse.Namespace) -> int:
         backend = SimulatedBackend(topology=args.topology)
         machine_desc = f"{args.nprocs} procs, {args.topology} (simulated)"
     crit = StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter)
+    extra_kwargs = {}
+    if getattr(args, "checkpoint_dir", None):
+        from .backend.store import DurableCheckpointStore
+
+        extra_kwargs["store"] = DurableCheckpointStore(args.checkpoint_dir)
     result = hpcg_solve(
         shape, backend=backend, nprocs=args.nprocs, precond=args.precond,
         fused=args.fused, reproducible=args.reproducible, criterion=crit,
+        **extra_kwargs,
     )
     hp = result.extras["hpcg"]
     nx, ny, nz = shape
@@ -467,10 +516,22 @@ def _cmd_solve_hpcg(args: argparse.Namespace) -> int:
     print("phases    : " + "  ".join(
         f"{k}={ph[k] * 1e3:.2f}ms" for k in ("setup", "spmv", "mg", "dot")
     ))
+    resil = result.extras.get("resilience")
+    if resil:
+        restarted = resil.get("restarted_from")
+        print(f"resilience: checkpoints={resil.get('checkpoints_published', 0)} "
+              f"audits={resil.get('audits', 0)} "
+              f"rollbacks={resil.get('rollbacks', 0)}"
+              + (f" resumed from iteration {restarted}"
+                 if restarted is not None else ""))
     return 0 if result.converged else 1
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.checkpoint_dir and args.scenario != "stencil27":
+        print("error: --checkpoint-dir needs --scenario stencil27",
+              file=sys.stderr)
+        return 2
     if args.scenario == "stencil27":
         return _cmd_solve_hpcg(args)
     if args.backend == "process":
@@ -660,12 +721,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("error: no usable backend remains", file=sys.stderr)
         return 2
 
+    shape = None
+    if args.shape is not None:
+        try:
+            shape = _parse_shape(args.shape)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.scenario == "stencil27" and args.policy == "rebalance":
+        print("error: --scenario stencil27 supports --policy respawn|shrink "
+              "(rebalancing would break the subcube halo)", file=sys.stderr)
+        return 2
+
     outcomes = chaos_sweep(
         seeds, backends=backends, nprocs=args.nprocs, n=args.n,
         timeout=args.timeout, allow_crash=not args.no_crash,
         policy=args.policy, stragglers=args.stragglers,
         straggler_deadline=args.straggler_deadline,
         reproducible=args.reproducible,
+        scenario=args.scenario, precond=args.precond, shape=shape,
     )
     report = format_report(outcomes)
     out = _human_stream(args)
@@ -686,6 +760,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "allow_crash": not args.no_crash,
                 "stragglers": args.stragglers,
                 "straggler_deadline": args.straggler_deadline,
+                "scenario": args.scenario,
+                "precond": (
+                    args.precond if args.scenario == "stencil27" else ""
+                ),
+                "shape": list(shape) if shape else None,
             },
             "contract_held": all(o.ok for o in outcomes),
             "outcomes": [o.to_dict() for o in outcomes],
@@ -789,16 +868,37 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     else:
         backend = SimulatedBackend()
 
-    A = _make_matrix(args.matrix, args.n)
-    rng = np.random.default_rng(0)
-    b = rng.standard_normal(A.nrows)
-    spec = JobSpec(
-        matrix=A, b=b, tenant=args.tenant, solver=args.solver,
-        nprocs=args.nprocs,
+    common = dict(
+        tenant=args.tenant, nprocs=args.nprocs,
         criterion=StoppingCriterion(rtol=args.rtol, maxiter=args.maxiter),
         policy=args.policy, fused=args.fused,
         deadline=args.deadline if args.backend == "process" else None,
+        checkpoint_dir=args.checkpoint_dir,
     )
+    if args.scenario == "stencil27":
+        if args.policy == "rebalance":
+            print("error: stencil27 jobs support --policy respawn|shrink",
+                  file=sys.stderr)
+            return 2
+        try:
+            shape = _parse_shape(args.shape)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        problem_desc = (
+            f"stencil27 {'x'.join(str(s) for s in shape)} "
+            f"precond={args.precond}"
+        )
+        spec = JobSpec(
+            scenario="stencil27", shape=shape, precond=args.precond,
+            reproducible=args.reproducible, **common,
+        )
+    else:
+        A = _make_matrix(args.matrix, args.n)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(A.nrows)
+        problem_desc = f"{args.matrix} n={A.nrows} nnz={A.nnz}"
+        spec = JobSpec(matrix=A, b=b, solver=args.solver, **common)
     with SolverService(
         backend=backend, target_nprocs=args.nprocs,
         retry=RetryPolicy(max_attempts=args.retries),
@@ -811,7 +911,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
     out = _human_stream(args)
     print(f"job       : #{result.job_id} tenant={result.tenant}", file=out)
-    print(f"matrix    : {args.matrix} n={A.nrows} nnz={A.nnz}", file=out)
+    print(f"problem   : {problem_desc}", file=out)
     print(f"status    : {result.status}"
           + (f" [{result.classification}]" if result.classification else ""),
           file=out)

@@ -121,11 +121,14 @@ def latest_complete_checkpoint(
 
     A crash can interrupt a checkpoint mid-write, leaving a partial entry;
     restoring from one would mix iterations, so only complete snapshots
-    count.
+    count.  The returned rank map is materialised into a plain dict so it
+    stays valid (and picklable for the process backend) even when the
+    store is a live-view durable store that is cleared or mutated
+    afterwards.
     """
     for k in sorted(store, reverse=True):
         if len(store[k]) == size:
-            return k, store[k]
+            return k, dict(store[k])
     return None
 
 

@@ -15,16 +15,20 @@ concatenation.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..backend.solve import make_backend
+from ..backend.faulty import FaultInjectingProgram, SlowdownProgram
+from ..backend.process import ProcessBackend
+from ..backend.solve import make_backend, run_with_recovery
+from ..core.resilience import ResilienceConfig, latest_complete_checkpoint
 from ..core.result import ConvergenceHistory, SolveResult
 from ..core.stopping import StoppingCriterion
 from ..hpf.distribution import Grid3DBlock
+from ..machine.faults import FaultPlan
 from ..sparse.generators import rhs_for_solution, stencil27
-from .program import HPCGRankProgram
+from .program import HPCGRankProgram, ResilientHPCGProgram
 
 __all__ = ["hpcg_solve", "assemble_hpcg_result"]
 
@@ -92,6 +96,12 @@ def hpcg_solve(
     mg_levels: int = 4,
     grid: Optional[Tuple[int, int, int]] = None,
     matrix=None,
+    faults: Optional[FaultPlan] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    policy: str = "respawn",
+    min_ranks: int = 1,
+    abft: bool = False,
+    store: Optional[Dict[int, Dict[int, Any]]] = None,
     **backend_kwargs,
 ) -> SolveResult:
     """Solve a 27-point stencil system on an execution backend.
@@ -114,6 +124,20 @@ def hpcg_solve(
     grid:
         Process-grid override ``(px, py, pz)``; defaults to the most
         cubic factorisation of ``nprocs``.
+    faults, resilience, policy, min_ranks, abft, store:
+        Select the fault-tolerant path: the solve runs
+        :class:`~repro.hpcg.program.ResilientHPCGProgram` under
+        :func:`~repro.backend.solve.run_with_recovery`, with the same
+        plan split as :func:`~repro.backend.solve.backend_solve`
+        (message faults at the Comm boundary, state corruption inside
+        the program, crashes/slowdowns in the substrate).  ``policy``
+        may be ``"respawn"`` or ``"shrink"`` (the 3-D grid re-factorises
+        via :func:`~repro.hpf.distribution.choose_grid3d` on a shrink).
+        ``abft=True`` duplicates every reduced dot and checksums the
+        halo SpMV.  ``store`` supplies the checkpoint store; a
+        :class:`~repro.backend.store.DurableCheckpointStore` holding a
+        complete checkpoint from a killed driver makes the solve resume
+        there instead of from scratch.
     """
     if isinstance(shape, (int, np.integer)):
         shape = (int(shape),) * 3
@@ -123,7 +147,38 @@ def hpcg_solve(
         matrix = stencil27(nx, ny, nz)
     if b is None:
         b = rhs_for_solution(matrix, np.ones(matrix.nrows))
-    program = HPCGRankProgram(
+    plain = (
+        faults is None and resilience is None and policy == "respawn"
+        and not abft and store is None
+    )
+    if plain:
+        program = HPCGRankProgram(
+            matrix,
+            b,
+            shape,
+            x0=x0,
+            criterion=criterion,
+            maxiter=maxiter,
+            precond=precond,
+            fused=fused,
+            reproducible=reproducible,
+            mg_levels=mg_levels,
+            grid=grid,
+        )
+        be = make_backend(backend, **backend_kwargs)
+        run = be.run(program, nprocs)
+        layout = Grid3DBlock(shape, nprocs, grid=grid)
+        return assemble_hpcg_result(run, matrix.nrows, layout)
+
+    if policy not in ("respawn", "shrink"):
+        raise ValueError(
+            f"hpcg recovery supports the 'respawn' and 'shrink' policies, "
+            f"not {policy!r} (rebalancing would break the subcube halo)"
+        )
+    cfg = resilience or ResilienceConfig()
+    plan = faults.clone() if faults is not None else None
+    message_faults = plan is not None and plan.message_faults_enabled
+    program = ResilientHPCGProgram(
         matrix,
         b,
         shape,
@@ -135,8 +190,60 @@ def hpcg_solve(
         reproducible=reproducible,
         mg_levels=mg_levels,
         grid=grid,
+        checkpoint_interval=cfg.checkpoint_interval,
+        sanity_interval=cfg.sanity_interval,
+        sanity_rtol=cfg.sanity_rtol,
+        max_restarts=cfg.max_restarts,
+        faults=plan,  # state corruptions; rank-local derivation inside
+        reliable=message_faults,
+        reliable_config=cfg.reliable,
+        abft=abft,
     )
-    be = make_backend(backend, **backend_kwargs)
-    run = be.run(program, nprocs)
-    layout = Grid3DBlock(shape, nprocs, grid=grid)
-    return assemble_hpcg_result(run, matrix.nrows, layout)
+    runnable = (
+        FaultInjectingProgram(program, plan) if message_faults else program
+    )
+    substrate_share = plan.substrate_plan() if plan is not None else None
+    if isinstance(backend, str):
+        kwargs: Dict[str, Any] = dict(backend_kwargs)
+        kwargs["faults"] = substrate_share
+        be = make_backend(backend, **kwargs)
+    else:
+        be = backend
+    if (
+        isinstance(be, ProcessBackend)
+        and plan is not None
+        and plan.slowdown_schedule()
+    ):
+        runnable = SlowdownProgram(runnable, plan.slowdown_schedule())
+    store = {} if store is None else store
+    latest = latest_complete_checkpoint(store, nprocs)
+    if latest is not None:
+        # a durable store outlives the driver: resume from the newest
+        # complete checkpoint the previous (killed) process published
+        program.restart = latest
+    run = run_with_recovery(
+        be, runnable, nprocs,
+        max_restarts=cfg.max_restarts,
+        store=store, policy=policy, min_ranks=min_ranks,
+    )
+    n_final = len(run.results)
+    layout = (
+        program.layout
+        if isinstance(program.layout, Grid3DBlock)
+        and program.layout.nprocs == n_final
+        else program.default_layout(n_final)
+    )
+    result = assemble_hpcg_result(run, matrix.nrows, layout)
+    result.extras["recovery"] = dict(run.recovery)
+    hpcg_extras = run.results[0][4] if run.results else {}
+    result.extras["resilience"] = dict(hpcg_extras.get("resilience", {}))
+    injected: Dict[str, Any] = {}
+    for res in run.results:
+        per_rank = (res[4] or {}).get("injected_faults") or {}
+        for key, value in per_rank.items():
+            if isinstance(value, (int, float)):
+                injected[key] = injected.get(key, 0) + value
+            else:
+                injected.setdefault(key, []).extend(value)
+    result.extras["injected_faults"] = injected
+    return result

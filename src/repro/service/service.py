@@ -46,7 +46,9 @@ from ..backend.base import ExecutionBackend
 from ..backend.chaos import classify_failure
 from ..backend.process import ProcessBackend
 from ..backend.solve import backend_solve
+from ..backend.store import DurableCheckpointStore
 from ..core.resilience import RecoveryExhaustedError
+from ..hpcg.solve import hpcg_solve
 from .breaker import CircuitBreaker, CircuitOpenError
 from .pool import WarmPool
 from .queue import ServiceOverloadedError, TenantFairQueue
@@ -71,10 +73,19 @@ class JobSpec:
     and per-job SLAs.  ``deadline`` is the hard wall-clock bound *per
     attempt* (the existing backend timeout machinery enforces it);
     ``None`` keeps the pool's default.
+
+    HPCG jobs: ``scenario="stencil27"`` routes the attempt through
+    :func:`~repro.hpcg.solve.hpcg_solve` on a ``shape`` grid with the
+    ``precond`` preconditioner (``matrix``/``b`` may stay ``None`` -- the
+    stencil and its all-ones-solution RHS are built from ``shape``).
+    ``checkpoint_dir`` (either scenario) journals checkpoints to a
+    :class:`~repro.backend.store.DurableCheckpointStore` there, so a job
+    resubmitted after a service crash resumes from the newest complete
+    checkpoint instead of iteration 0.
     """
 
-    matrix: Any
-    b: np.ndarray
+    matrix: Any = None
+    b: Optional[np.ndarray] = None
     tenant: str = "default"
     solver: str = "cg"
     nprocs: int = 4
@@ -91,6 +102,15 @@ class JobSpec:
     #: deterministic mid-solve crash triggers, ``{rank: iteration}``
     #: (consumed per attempt; each retry re-arms its own copy)
     crash_on_checkpoint: Dict[int, int] = field(default_factory=dict)
+    #: ``"cg"`` (row-block solve of ``matrix``/``b``) or ``"stencil27"``
+    #: (HPCG 27-point stencil built from ``shape``)
+    scenario: str = "cg"
+    shape: Optional[Any] = None
+    precond: str = "mg"
+    reproducible: bool = False
+    abft: bool = False
+    #: durable checkpoint directory; ``None`` keeps checkpoints in memory
+    checkpoint_dir: Optional[str] = None
 
 
 @dataclass
@@ -458,10 +478,26 @@ class SolverService:
                 if spec.faults is not None else None
             )
             be.straggler_deadline = spec.straggler_deadline
+        store = (
+            DurableCheckpointStore(spec.checkpoint_dir)
+            if spec.checkpoint_dir else None
+        )
+        if spec.scenario == "stencil27":
+            if spec.shape is None:
+                raise ValueError("stencil27 jobs need a shape")
+            return hpcg_solve(
+                spec.shape, backend=be, nprocs=spec.nprocs,
+                precond=spec.precond, fused=spec.fused,
+                reproducible=spec.reproducible, x0=spec.x0,
+                criterion=spec.criterion, matrix=spec.matrix,
+                b=spec.b, faults=spec.faults,
+                resilience=spec.resilience, policy=spec.policy,
+                min_ranks=spec.min_ranks, abft=spec.abft, store=store,
+            )
         return backend_solve(
             spec.solver, spec.matrix, spec.b,
             backend=be, nprocs=spec.nprocs, x0=spec.x0,
             criterion=spec.criterion, faults=spec.faults,
             resilience=spec.resilience, policy=spec.policy,
-            min_ranks=spec.min_ranks, fused=spec.fused,
+            min_ranks=spec.min_ranks, fused=spec.fused, store=store,
         )
