@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Fail CI if the job journal's throughput overhead regresses.
+
+Benchmark E27 writes ``BENCH_e27.json`` with the warm-pool stream's
+solves/sec with and without the write-ahead job journal.  Two numbers
+are guarded:
+
+* **gate** -- the journaled (``fsync=False``) stream must keep at least
+  90% of the unjournaled throughput: durability is worth at most a 10%
+  tax on the warm pool's reason to exist (E24).  This is absolute.
+* **trajectory** -- the relative throughput must not collapse to less
+  than half the last *committed* value, catching a gross cost leak into
+  the journal write path (extra records per job, manifest churn,
+  serialization bloat) even while still above the gate.  Wall-clock
+  ratios on a shared CI host swing, so the band is wide.
+
+``fsync=True`` and the replay rates are informational: the first is the
+disk's flush latency, the second is bounded by the restart path's test
+(``test_service_crash_replay.py``), not a throughput promise.
+
+Baseline = ``git show HEAD:BENCH_e27.json``.  No committed baseline
+(first run) skips the trajectory check -- the job seeds it -- but the
+90% gate always applies.
+
+Usage: run E27 first so BENCH_e27.json reflects the checked-out code,
+then ``python scripts/check_e27_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "BENCH_e27.json"
+GATE = 0.9         # journaled stream >= 0.9x unjournaled solves/sec
+TOLERANCE = 2.0    # more than 2x below the committed ratio fails
+
+
+def load_current() -> dict:
+    if not BENCH.exists():
+        print(f"FAIL: {BENCH} missing -- run benchmark E27 first "
+              "(python -m pytest benchmarks/bench_e27_journal.py "
+              "--benchmark-disable)")
+        sys.exit(1)
+    return json.loads(BENCH.read_text(encoding="utf-8"))
+
+
+def load_baseline() -> dict | None:
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_e27.json"],
+        cwd=REPO_ROOT, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main() -> int:
+    current = load_current()
+    try:
+        relative = current["journal_nofsync"]["relative_throughput"]
+        overhead = current["journal_nofsync"]["overhead_pct"]
+        fsync_relative = current["journal_fsync"]["relative_throughput"]
+        replay = current["replay"]
+    except KeyError as missing:
+        print(f"FAIL: BENCH_e27.json is missing {missing} -- regenerate it")
+        return 1
+
+    failed = False
+
+    verdict = "OK" if relative >= GATE else "REGRESSION"
+    if verdict == "REGRESSION":
+        failed = True
+    print(f"journal (fsync=False) vs no journal: {relative:.2f}x "
+          f"({overhead:.1f}% overhead; gate >= {GATE:.2f}x) {verdict}")
+    print(f"journal (fsync=True) vs no journal:  {fsync_relative:.2f}x "
+          "(informational)")
+    for entry in replay:
+        print(f"replay load: {entry['records']} records in "
+              f"{entry['elapsed_s'] * 1e3:.1f} ms "
+              f"({entry['records_per_sec']:.0f} rec/s, informational)")
+
+    baseline = load_baseline()
+    if baseline is None:
+        print("no committed BENCH_e27.json baseline -- seeding the "
+              "trajectory with the current run.")
+    else:
+        base = baseline.get("journal_nofsync", {}).get(
+            "relative_throughput"
+        )
+        if base is not None:
+            limit = base / TOLERANCE
+            verdict = "OK" if relative >= limit else "REGRESSION"
+            if verdict == "REGRESSION":
+                failed = True
+            print(f"trajectory: {relative:.2f}x vs committed {base:.2f}x "
+                  f"(limit {limit:.2f}x) {verdict}")
+
+    if failed:
+        print("\nFAIL: the job journal is taxing warm-pool throughput -- "
+              "cost has crept into the per-job record path.")
+        return 1
+    print("\nPASS: journal durability stays within its overhead budget.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Shared crash-safe record plumbing: CRC32 framing + atomic publication.
+
+Two on-disk journals in this codebase need the same guarantees — the
+per-``(iteration, rank)`` checkpoint records of
+:class:`~repro.backend.store.DurableCheckpointStore` and the job
+lifecycle records of :class:`~repro.service.journal.JobJournal` — so the
+guarantees live here once:
+
+* **framing** (:class:`RecordCodec`): every record is ``magic`` + an
+  optional fixed-width key header + a ``(length, CRC32)`` frame + the
+  pickled payload.  Decoding returns ``None`` for anything torn,
+  truncated, bit-flipped or length-spoofed, so loaders *skip* damage
+  instead of crashing on it;
+* **publication** (:func:`atomic_write`): data goes to a ``.tmp-``
+  sibling, is flushed (``fsync`` optional), then renamed into place with
+  ``os.replace`` — a SIGKILL at any instant leaves either a complete
+  checksummed record or an unpublished tmp file, never a half-visible
+  one.  :func:`sweep_tmp` removes the leftovers on the next open.
+
+The byte layout is pickled little-endian structs with no padding, so a
+codec with key format ``"qq"`` produces exactly the bytes the historic
+``"<qqQI"`` checkpoint header produced — extracting the codec changed no
+on-disk format.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Any, Optional, Tuple
+
+__all__ = ["RecordCodec", "atomic_write", "fsync_dir", "sweep_tmp"]
+
+#: suffixed frame carried by every record: payload length, payload CRC32
+_FRAME = struct.Struct("<QI")
+
+
+class RecordCodec:
+    """Encode/decode one framed record kind.
+
+    ``magic`` discriminates record kinds (a store record never decodes as
+    a journal record); ``key_format`` is an optional :mod:`struct` field
+    list (little-endian, no ``<`` prefix) packed between the magic and
+    the frame — e.g. ``"qq"`` for the checkpoint store's
+    ``(iteration, rank)`` key.
+    """
+
+    def __init__(self, magic: bytes, key_format: str = ""):
+        if not magic:
+            raise ValueError("magic must be non-empty")
+        self.magic = bytes(magic)
+        self._key = struct.Struct("<" + key_format) if key_format else None
+        self._head = len(self.magic) + (
+            self._key.size if self._key else 0
+        )
+
+    def encode(self, payload: Any, *key: int) -> bytes:
+        """Frame ``payload`` (pickled) under ``key`` fields."""
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        head = self._key.pack(*key) if self._key else b""
+        return (
+            self.magic + head + _FRAME.pack(len(body), zlib.crc32(body))
+            + body
+        )
+
+    def decode(self, raw: bytes) -> Optional[Tuple[tuple, Any]]:
+        """``(key_fields, payload)``, or ``None`` if torn/corrupt."""
+        if not raw.startswith(self.magic):
+            return None
+        head = raw[len(self.magic):self._head]
+        frame = raw[self._head:self._head + _FRAME.size]
+        if self._key and len(head) < self._key.size:
+            return None
+        if len(frame) < _FRAME.size:
+            return None
+        length, crc = _FRAME.unpack(frame)
+        body = raw[self._head + _FRAME.size:]
+        if len(body) != length or zlib.crc32(body) != crc:
+            return None
+        try:
+            payload = pickle.loads(body)
+        except Exception:
+            return None
+        key = self._key.unpack(head) if self._key else ()
+        return key, payload
+
+
+# ---------------------------------------------------------------------- #
+# atomic publication
+# ---------------------------------------------------------------------- #
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform quirk
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform quirk
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(dirpath: str, name: str, data: bytes,
+                 fsync: bool = True) -> None:
+    """Publish ``dirpath/name`` atomically via a ``.tmp-`` sibling.
+
+    ``fsync=True`` syncs the file before the rename and the directory
+    after it (survives power loss); ``fsync=False`` still survives
+    process kill.
+    """
+    tmp = os.path.join(dirpath, f".tmp-{name}-{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(tmp, os.path.join(dirpath, name))
+    if fsync:
+        fsync_dir(dirpath)
+
+
+def sweep_tmp(dirpath: str) -> list:
+    """Remove leftover ``.tmp-*`` files (kill mid-write); returns names."""
+    swept = []
+    for name in sorted(os.listdir(dirpath)):
+        if not name.startswith(".tmp-"):
+            continue
+        try:
+            os.unlink(os.path.join(dirpath, name))
+        except OSError:  # pragma: no cover - races with another sweeper
+            continue
+        swept.append(name)
+    return swept

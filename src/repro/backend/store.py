@@ -42,16 +42,16 @@ from __future__ import annotations
 import io
 import json
 import os
-import pickle
-import struct
-import zlib
 from typing import Any, Dict, Iterator, MutableMapping, Optional
+
+from .records import RecordCodec, atomic_write, sweep_tmp
 
 __all__ = ["DurableCheckpointStore"]
 
 _MAGIC = b"RPCKPT1\n"
-# iteration (int64), rank (int64), payload length (uint64), payload CRC32
-_HEADER = struct.Struct("<qqQI")
+# key = iteration (int64), rank (int64); the codec appends the
+# (length, CRC32) frame -- byte-identical to the historic "<qqQI" header
+_CODEC = RecordCodec(_MAGIC, "qq")
 
 
 def _record_name(iteration: int, rank: int) -> str:
@@ -59,26 +59,15 @@ def _record_name(iteration: int, rank: int) -> str:
 
 
 def _encode_record(iteration: int, rank: int, payload: Any) -> bytes:
-    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    header = _HEADER.pack(iteration, rank, len(body), zlib.crc32(body))
-    return _MAGIC + header + body
+    return _CODEC.encode(payload, iteration, rank)
 
 
 def _decode_record(raw: bytes) -> Optional[tuple]:
     """Return ``(iteration, rank, payload)`` or ``None`` if torn/corrupt."""
-    if not raw.startswith(_MAGIC):
+    decoded = _CODEC.decode(raw)
+    if decoded is None:
         return None
-    header = raw[len(_MAGIC) : len(_MAGIC) + _HEADER.size]
-    if len(header) < _HEADER.size:
-        return None
-    iteration, rank, length, crc = _HEADER.unpack(header)
-    body = raw[len(_MAGIC) + _HEADER.size :]
-    if len(body) != length or zlib.crc32(body) != crc:
-        return None
-    try:
-        payload = pickle.loads(body)
-    except Exception:
-        return None
+    (iteration, rank), payload = decoded
     return iteration, rank, payload
 
 
@@ -131,15 +120,10 @@ class DurableCheckpointStore(MutableMapping):
     # disk plumbing
     # ------------------------------------------------------------------ #
     def _load(self) -> None:
+        # leftovers from a kill mid-write: never published, remove.
+        sweep_tmp(self.path)
         for name in sorted(os.listdir(self.path)):
             full = os.path.join(self.path, name)
-            if name.startswith(".tmp-"):
-                # leftover from a kill mid-write: never published, remove.
-                try:
-                    os.unlink(full)
-                except OSError:
-                    pass
-                continue
             if not (name.startswith("ckpt-") and name.endswith(".rec")):
                 continue
             try:
@@ -156,27 +140,7 @@ class DurableCheckpointStore(MutableMapping):
             self._mem.setdefault(iteration, {})[rank] = payload
 
     def _atomic_write(self, name: str, data: bytes) -> None:
-        tmp = os.path.join(self.path, f".tmp-{name}-{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-            fh.flush()
-            if self.fsync:
-                os.fsync(fh.fileno())
-        os.replace(tmp, os.path.join(self.path, name))
-        if self.fsync:
-            self._sync_dir()
-
-    def _sync_dir(self) -> None:
-        try:
-            fd = os.open(self.path, os.O_RDONLY)
-        except OSError:  # pragma: no cover - platform quirk
-            return
-        try:
-            os.fsync(fd)
-        except OSError:  # pragma: no cover - platform quirk
-            pass
-        finally:
-            os.close(fd)
+        atomic_write(self.path, name, data, fsync=self.fsync)
 
     def _write_record(self, iteration: int, rank: int, payload: Any) -> None:
         self._atomic_write(

@@ -296,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-job wall-clock SLA on the process pool "
                             "(seconds)")
     serve.add_argument(
+        "--journal-dir", metavar="DIR", default=None,
+        help="write-ahead job journal directory; accepted jobs survive a "
+             "dead driver (restart with the same DIR replays them) and "
+             "SIGTERM/SIGINT triggers a graceful drain that parks queued "
+             "jobs there instead of dropping them",
+    )
+    serve.add_argument(
         "--json", metavar="PATH", default=None, dest="json_path",
         help="write the full soak report as JSON to PATH ('-' for stdout)",
     )
@@ -347,6 +354,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-dir", metavar="DIR", default=None,
         help="journal checkpoints durably to DIR; resubmitting after a "
              "service crash resumes from the newest complete checkpoint",
+    )
+    submit.add_argument(
+        "--journal-dir", metavar="DIR", default=None,
+        help="write-ahead job journal directory for the ephemeral "
+             "service; with --idempotency-key, a resubmission returns "
+             "the recorded result instead of re-running",
+    )
+    submit.add_argument(
+        "--idempotency-key", metavar="KEY", default=None,
+        help="exactly-once key for the job (requires --journal-dir to "
+             "persist across invocations)",
     )
     submit.add_argument(
         "--json", metavar="PATH", default=None, dest="json_path",
@@ -796,6 +814,9 @@ def _emit_json(payload, path: str) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from .backend import process_backend_support
     from .backend.process import crash_injection_support
     from .service import soak_run
@@ -808,12 +829,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: process service unavailable: {detail}",
                   file=sys.stderr)
             return 2
-    report = soak_run(
-        jobs=args.jobs, seed=args.seed, backend=args.backend,
-        nprocs=args.nprocs, n=args.n, tenants=args.tenants,
-        crash_prob=args.crash_prob, straggler_prob=args.straggler_prob,
-        policy=args.policy, deadline=args.deadline,
+
+    # Graceful drain on SIGTERM/SIGINT: the handler only sets an event
+    # (it must not touch the queue lock the interrupted main thread may
+    # hold); a watcher thread does the actual drain.  Queued jobs park
+    # in the journal (replayed by the next `repro serve --journal-dir`),
+    # the in-flight job finishes, and we exit 0.
+    wake = threading.Event()
+    state: dict = {"service": None, "signalled": False, "drain": None}
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        state["signalled"] = True
+        wake.set()
+
+    def _watch():
+        wake.wait()
+        svc = state["service"]
+        if state["signalled"] and svc is not None:
+            state["drain"] = svc.graceful_drain(timeout=4 * args.deadline)
+
+    watcher = threading.Thread(
+        target=_watch, name="repro-drain-watcher", daemon=True
     )
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    watcher.start()
+    try:
+        report = soak_run(
+            jobs=args.jobs, seed=args.seed, backend=args.backend,
+            nprocs=args.nprocs, n=args.n, tenants=args.tenants,
+            crash_prob=args.crash_prob, straggler_prob=args.straggler_prob,
+            policy=args.policy, deadline=args.deadline,
+            journal_dir=args.journal_dir,
+            on_service=lambda svc: state.__setitem__("service", svc),
+        )
+    finally:
+        wake.set()  # release the watcher if no signal ever arrived
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if state["signalled"]:
+        watcher.join(timeout=10.0)
+        drain = state["drain"] or {}
+        print(
+            f"graceful drain: parked={drain.get('parked', 0)} "
+            f"cancelled={drain.get('cancelled', 0)} "
+            f"journal={drain.get('journal') or '-'}",
+            file=sys.stderr,
+        )
     out = _human_stream(args)
     header = (
         f"{'job':>4} {'tenant':<10} {'fault':<10} {'status':<9} "
@@ -842,6 +908,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.json_path:
         _emit_json(report.as_dict(), args.json_path)
+    if state["signalled"]:
+        # a drained service exits cleanly: parked jobs are journaled,
+        # not lost, so the drain itself is not a failure
+        return 0
     return 0 if report.contract_held else 1
 
 
@@ -874,6 +944,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         policy=args.policy, fused=args.fused,
         deadline=args.deadline if args.backend == "process" else None,
         checkpoint_dir=args.checkpoint_dir,
+        idempotency_key=args.idempotency_key,
     )
     if args.scenario == "stencil27":
         if args.policy == "rebalance":
@@ -899,18 +970,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         b = rng.standard_normal(A.nrows)
         problem_desc = f"{args.matrix} n={A.nrows} nnz={A.nnz}"
         spec = JobSpec(matrix=A, b=b, solver=args.solver, **common)
+    deduped = False
     with SolverService(
         backend=backend, target_nprocs=args.nprocs,
         retry=RetryPolicy(max_attempts=args.retries),
+        journal_dir=args.journal_dir,
     ) as svc:
         try:
-            result = svc.solve(spec, timeout=10 * args.deadline)
+            handle = svc.submit(spec)
+            deduped = svc.counters.deduped > 0
+            result = handle.result(timeout=10 * args.deadline)
         except ServiceOverloadedError as exc:  # pragma: no cover - depth 64
             print(f"rejected: {exc}", file=sys.stderr)
             return 1
 
     out = _human_stream(args)
     print(f"job       : #{result.job_id} tenant={result.tenant}", file=out)
+    if deduped:
+        print("dedupe    : answered from the journal (idempotency key "
+              "already terminal)", file=out)
     print(f"problem   : {problem_desc}", file=out)
     print(f"status    : {result.status}"
           + (f" [{result.classification}]" if result.classification else ""),

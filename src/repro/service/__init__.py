@@ -11,6 +11,9 @@ Layers, bottom-up:
   backoff with seeded jitter over retryable infrastructure failures;
 * :mod:`~repro.service.breaker` -- :class:`CircuitBreaker`, per-pool
   fast-fail after consecutive failures;
+* :mod:`~repro.service.journal` -- :class:`JobJournal`, the write-ahead
+  job log making accepted work survive a dead driver (replay, dedupe by
+  idempotency key, poison-job quarantine);
 * :mod:`~repro.service.service` -- :class:`SolverService`, the
   dispatcher tying them together; jobs are :class:`JobSpec`, futures
   are :class:`JobHandle`, verdicts are :class:`JobResult`;
@@ -20,6 +23,12 @@ Layers, bottom-up:
 """
 
 from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, CircuitOpenError
+from .journal import (
+    JobJournal,
+    JobQuarantinedError,
+    JobState,
+    new_idempotency_key,
+)
 from .pool import WarmPool
 from .queue import ServiceOverloadedError, TenantFairQueue
 from .retry import RetryPolicy, is_retryable
@@ -35,8 +44,11 @@ __all__ = [
     "HALF_OPEN",
     "OPEN",
     "JobHandle",
+    "JobJournal",
+    "JobQuarantinedError",
     "JobResult",
     "JobSpec",
+    "JobState",
     "JobStatus",
     "RetryPolicy",
     "ServiceCounters",
@@ -48,5 +60,6 @@ __all__ = [
     "WarmPool",
     "is_retryable",
     "leaked_pool_workers",
+    "new_idempotency_key",
     "soak_run",
 ]

@@ -136,12 +136,31 @@ class TenantFairQueue:
             self._not_empty.notify_all()
 
     def drain_remaining(self) -> list:
-        """Atomically remove and return every queued item (shutdown path)."""
+        """Atomically remove and return every queued item.
+
+        Safe to call mid-stream (drain/park paths, not only shutdown):
+        every lane is emptied — including any lane the round-robin cycle
+        does not currently reference — and the per-tenant bookkeeping is
+        reset, so ``len``/``depths`` read zero afterwards and a
+        subsequent :meth:`put` admits exactly as it would on a fresh
+        queue.  Items come back in the round-robin order :meth:`get`
+        would have served them.
+        """
         with self._lock:
             items = []
+            # fair order first: cycle the active lanes like get() would
             while self._rr:
                 tenant = self._rr.popleft()
-                items.extend(self._lanes[tenant])
-                self._lanes[tenant].clear()
+                lane = self._lanes.get(tenant)
+                if lane:
+                    items.append(lane.popleft())
+                    if lane:
+                        self._rr.append(tenant)
+            # belt and braces: any stragglers outside the cycle
+            for lane in self._lanes.values():
+                while lane:
+                    items.append(lane.popleft())
+            self._lanes.clear()
+            self._rr.clear()
             self._depth = 0
             return items

@@ -50,6 +50,7 @@ from ..backend.store import DurableCheckpointStore
 from ..core.resilience import RecoveryExhaustedError
 from ..hpcg.solve import hpcg_solve
 from .breaker import CircuitBreaker, CircuitOpenError
+from .journal import JobJournal, JobQuarantinedError, new_idempotency_key
 from .pool import WarmPool
 from .queue import ServiceOverloadedError, TenantFairQueue
 from .retry import RetryPolicy
@@ -60,6 +61,10 @@ __all__ = ["JobSpec", "JobResult", "JobHandle", "SolverService"]
 #: classification label for breaker fast-fails (not a chaos label: the
 #: job never touched the substrate)
 CIRCUIT_OPEN = "circuit_open"
+#: classification for jobs whose deadline expired while still queued
+DEADLINE_EXPIRED = "deadline_expired"
+#: classification for quarantined poison jobs
+QUARANTINE = "quarantined"
 
 
 # ---------------------------------------------------------------------- #
@@ -111,6 +116,11 @@ class JobSpec:
     abft: bool = False
     #: durable checkpoint directory; ``None`` keeps checkpoints in memory
     checkpoint_dir: Optional[str] = None
+    #: client-supplied exactly-once key.  On a journaled service, a
+    #: resubmission with the same key returns the recorded terminal
+    #: result (or joins the live job) instead of re-running; ``None``
+    #: gets a unique auto-key (journaled, but never deduped against).
+    idempotency_key: Optional[str] = None
 
 
 @dataclass
@@ -153,9 +163,11 @@ class JobResult:
 class JobHandle:
     """Caller-side future for a submitted job."""
 
-    def __init__(self, job_id: int, tenant: str):
+    def __init__(self, job_id: int, tenant: str,
+                 key: Optional[str] = None):
         self.job_id = job_id
         self.tenant = tenant
+        self.key = key  #: idempotency key (set on journaled services)
         self._event = threading.Event()
         self._result: Optional[JobResult] = None
 
@@ -201,6 +213,22 @@ class SolverService:
         Re-grow a shrunken/dead pool to ``target_nprocs`` whenever the
         queue goes idle (the degraded-mode contract: survivors keep
         serving a busy queue; healing happens between jobs).
+    journal_dir:
+        Directory for the write-ahead :class:`~repro.service.journal.JobJournal`.
+        ``None`` (default) keeps service state in memory, as before.
+        With a directory, every accepted job is journaled before it is
+        queued, and :meth:`start` replays the journal: ACCEPTED jobs are
+        re-enqueued in original tenant/FIFO order, the DISPATCHED job is
+        re-run (resuming from its ``checkpoint_dir`` when it has one),
+        terminal jobs answer resubmissions by idempotency key, and
+        poison jobs are quarantined.
+    journal_fsync:
+        Fsync policy for journal records (same trade as the checkpoint
+        store: ``True`` survives power loss, ``False`` survives kill).
+    quarantine_after:
+        Condemnation-evidence bound before a job is quarantined.  The
+        default 2 means a job that crashed the pool or driver twice is
+        never allowed to condemn a third generation.
     """
 
     def __init__(
@@ -211,7 +239,12 @@ class SolverService:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
         heal_between_jobs: bool = True,
+        journal_dir: Optional[str] = None,
+        journal_fsync: bool = True,
+        quarantine_after: int = 2,
     ):
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
         self.target_nprocs = target_nprocs
         self._backend = (
             WarmPool(target_nprocs) if backend is None else backend
@@ -220,9 +253,17 @@ class SolverService:
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.heal_between_jobs = heal_between_jobs
+        self.quarantine_after = quarantine_after
+        self.journal = (
+            JobJournal(journal_dir, fsync=journal_fsync)
+            if journal_dir else None
+        )
         self.counters = ServiceCounters()
         self._next_job_id = 0
         self._id_lock = threading.Lock()
+        #: live + recorded handles by idempotency key (journaled services)
+        self._by_key: Dict[str, JobHandle] = {}
+        self._key_lock = threading.Lock()
         self._stop = threading.Event()
         self._idle = threading.Event()
         self._idle.set()
@@ -244,6 +285,8 @@ class SolverService:
     def start(self) -> "SolverService":
         if not self._started:
             self._started = True
+            if self.journal is not None:
+                self._replay_journal()
             self._dispatcher.start()
         return self
 
@@ -254,18 +297,127 @@ class SolverService:
         self.shutdown()
 
     # -------------------------------------------------------------- #
-    def submit(self, spec: JobSpec) -> JobHandle:
-        """Enqueue a job; raises :class:`ServiceOverloadedError` when full."""
-        if not self._started:
-            raise RuntimeError("service not started (call start())")
+    def _new_job_id(self) -> int:
         with self._id_lock:
             job_id = self._next_job_id
             self._next_job_id += 1
-        handle = JobHandle(job_id, spec.tenant)
+        return job_id
+
+    def _replay_journal(self) -> None:
+        """Re-enqueue the dead driver's accepted work, in accept order.
+
+        Runs before the dispatcher thread exists, so no lock ordering to
+        worry about.  Terminal jobs become recorded handles (dedupe
+        targets); poison jobs are quarantined on the spot; everything
+        else goes back on the queue exactly as the original ``submit``
+        ordered it — the DISPATCHED job resumes from its
+        ``checkpoint_dir``'s newest complete checkpoint when it has one.
+        """
+        for state in self.journal.states():
+            key = state.key
+            if state.terminal is not None:
+                handle = JobHandle(
+                    getattr(state.result, "job_id", self._new_job_id()),
+                    state.tenant, key=key,
+                )
+                if state.result is not None:
+                    handle._fulfil(state.result)
+                self._by_key[key] = handle
+                continue
+            if not state.replayable:
+                continue
+            spec = state.spec
+            job_id = self._new_job_id()
+            handle = JobHandle(job_id, spec.tenant, key=key)
+            self._by_key[key] = handle
+            if state.condemnations >= self.quarantine_after:
+                result = self._quarantine_result(
+                    job_id, spec, state.condemnations
+                )
+                self.journal.quarantined(key, result)
+                self.counters.quarantined += 1
+                handle._fulfil(result)
+                continue
+            try:
+                self.queue.put(spec.tenant, (spec, handle, time.monotonic()))
+            except ServiceOverloadedError as exc:
+                result = JobResult(
+                    job_id=job_id, tenant=spec.tenant,
+                    status=JobStatus.REJECTED,
+                    nprocs_requested=spec.nprocs,
+                    classification="overloaded",
+                    error=f"replay rejected: {exc}",
+                )
+                self.journal.failed(key, result)
+                self.counters.rejected += 1
+                handle._fulfil(result)
+                continue
+            self.counters.replayed += 1
+            self._idle.clear()
+
+    def _quarantine_result(self, job_id: int, spec: JobSpec,
+                           condemnations: int) -> JobResult:
+        err = JobQuarantinedError(
+            spec.idempotency_key or "<auto>", condemnations,
+            self.quarantine_after,
+        )
+        return JobResult(
+            job_id=job_id, tenant=spec.tenant,
+            status=JobStatus.QUARANTINED,
+            nprocs_requested=spec.nprocs,
+            classification=QUARANTINE,
+            error=f"{type(err).__name__}: {err}",
+        )
+
+    # -------------------------------------------------------------- #
+    def handle_for(self, key: str) -> Optional[JobHandle]:
+        """The live or recorded handle for an idempotency key."""
+        with self._key_lock:
+            return self._by_key.get(key)
+
+    def submit(self, spec: JobSpec) -> JobHandle:
+        """Enqueue a job; raises :class:`ServiceOverloadedError` when full.
+
+        On a journaled service the spec is journaled (write-ahead)
+        before it is queued, and a resubmission whose
+        ``idempotency_key`` is already known returns the existing
+        handle — fulfilled with the recorded terminal result for
+        finished jobs, live for queued/running ones — instead of
+        running the job twice.
+        """
+        if not self._started:
+            raise RuntimeError("service not started (call start())")
+        key = spec.idempotency_key
+        if self.journal is not None:
+            with self._key_lock:
+                if key is not None and key in self._by_key:
+                    self.counters.deduped += 1
+                    return self._by_key[key]
+                if key is None:
+                    key = new_idempotency_key()
+                job_id = self._new_job_id()
+                handle = JobHandle(job_id, spec.tenant, key=key)
+                self._by_key[key] = handle
+            # WAL: on disk as ACCEPTED before the queue (and hence the
+            # dispatcher) can see it -- a crash after this line replays
+            self.journal.accepted(key, spec)
+        else:
+            job_id = self._new_job_id()
+            handle = JobHandle(job_id, spec.tenant, key=key)
         try:
             self.queue.put(spec.tenant, (spec, handle, time.monotonic()))
-        except ServiceOverloadedError:
+        except ServiceOverloadedError as exc:
             self.counters.rejected += 1
+            if self.journal is not None:
+                result = JobResult(
+                    job_id=handle.job_id, tenant=spec.tenant,
+                    status=JobStatus.REJECTED,
+                    nprocs_requested=spec.nprocs,
+                    classification="overloaded",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self.journal.failed(handle.key, result)
+                handle._fulfil(result)
             raise
         self.counters.submitted += 1
         self._idle.clear()
@@ -307,6 +459,53 @@ class SolverService:
         if pool is not None:
             pool.shutdown()
 
+    def graceful_drain(self, timeout: Optional[float] = None
+                       ) -> Dict[str, Any]:
+        """SIGTERM path: stop admitting, settle in-flight work, stop.
+
+        The queue closes immediately (new submits are refused), the job
+        the dispatcher already holds runs to completion, and every job
+        still queued is **parked**: on a journaled service its handle
+        resolves :data:`JobStatus.PARKED` and its journal entry stays
+        ``accepted``, so a service restarted on the same ``journal_dir``
+        replays it; without a journal parked degrades to cancelled.
+        Returns a summary dict (``parked``/``cancelled``/``drained``)
+        the CLI prints before exiting 0.
+        """
+        self.queue.close()
+        parked = cancelled = 0
+        for spec, handle, t_in in self.queue.drain_remaining():
+            if self.journal is not None:
+                # no terminal record on purpose: the job stays ACCEPTED
+                # in the journal, which is exactly what replay re-runs
+                self.counters.parked += 1
+                parked += 1
+                status, classification = JobStatus.PARKED, "parked"
+                error = "graceful drain: journaled for replay on restart"
+            else:
+                cancelled += 1
+                status, classification = JobStatus.CANCELLED, ""
+                error = "graceful drain without a journal: job dropped"
+            handle._fulfil(JobResult(
+                job_id=handle.job_id, tenant=spec.tenant, status=status,
+                nprocs_requested=spec.nprocs,
+                classification=classification, error=error,
+                queued=time.monotonic() - t_in,
+            ))
+        drained = self._idle.wait(timeout) if self._started else True
+        self._stop.set()
+        if self._started:
+            self._dispatcher.join(timeout=10.0)
+        pool = self.pool
+        if pool is not None:
+            pool.shutdown()
+        return {
+            "parked": parked,
+            "cancelled": cancelled,
+            "drained": bool(drained),
+            "journal": None if self.journal is None else self.journal.path,
+        }
+
     def status(self) -> Dict[str, Any]:
         """One observability snapshot: counters, queue, breaker, pool."""
         pool = self.pool
@@ -314,6 +513,12 @@ class SolverService:
             "counters": self.counters.as_dict(),
             "queue_depth": len(self.queue),
             "queue_by_tenant": self.queue.depths(),
+            "journal": None if self.journal is None else {
+                "path": self.journal.path,
+                "records": len(self.journal),
+                "jobs": len(self.journal.states()),
+                "skipped_records": len(self.journal.skipped_records),
+            },
             "breaker": {
                 "state": self.breaker.state,
                 "trips": self.breaker.trips,
@@ -341,9 +546,45 @@ class SolverService:
                 continue
             spec, handle, t_in = item
             queued = time.monotonic() - t_in
+            key = handle.key if self.journal is not None else None
+            # deadline-aware admission: a job that already spent its
+            # whole deadline in the queue fast-fails without ever
+            # touching the pool (no generation burned on a lost cause)
+            if spec.deadline is not None and queued > spec.deadline:
+                result = JobResult(
+                    job_id=handle.job_id, tenant=spec.tenant,
+                    status=JobStatus.EXPIRED,
+                    nprocs_requested=spec.nprocs,
+                    classification=DEADLINE_EXPIRED,
+                    error=(
+                        f"deadline {spec.deadline:.3f}s already spent in "
+                        f"the queue ({queued:.3f}s); pool untouched"
+                    ),
+                    queued=queued,
+                )
+                self.counters.expired += 1
+                self.counters.failed += 1
+                if key is not None:
+                    self.journal.failed(key, result)
+                handle._fulfil(result)
+                continue
+            # quarantine gate: poison jobs never get another generation
+            if key is not None:
+                evidence = self.journal.condemnations(key)
+                if evidence >= self.quarantine_after:
+                    result = self._quarantine_result(
+                        handle.job_id, spec, evidence
+                    )
+                    result.queued = queued
+                    self.counters.quarantined += 1
+                    self.counters.failed += 1
+                    self.journal.quarantined(key, result)
+                    handle._fulfil(result)
+                    continue
+                self.journal.dispatched(key)
             t0 = time.monotonic()
             try:
-                result = self._execute(spec, handle.job_id)
+                result = self._execute(spec, handle.job_id, key=key)
             except BaseException as exc:  # noqa: BLE001 - never kill the loop
                 result = JobResult(
                     job_id=handle.job_id, tenant=spec.tenant,
@@ -359,8 +600,18 @@ class SolverService:
             elif result.status == JobStatus.DEGRADED:
                 self.counters.completed += 1
                 self.counters.degraded += 1
+            elif result.status == JobStatus.QUARANTINED:
+                self.counters.quarantined += 1
+                self.counters.failed += 1
             else:
                 self.counters.failed += 1
+            if key is not None:
+                if result.ok:
+                    self.journal.completed(key, result)
+                elif result.status == JobStatus.QUARANTINED:
+                    self.journal.quarantined(key, result)
+                else:
+                    self.journal.failed(key, result)
             handle._fulfil(result)
         self._idle.set()
 
@@ -378,8 +629,16 @@ class SolverService:
             self.counters.heals += 1
 
     # -------------------------------------------------------------- #
-    def _execute(self, spec: JobSpec, job_id: int) -> JobResult:
-        """Run one job through breaker, retry ladder, and recovery."""
+    def _execute(self, spec: JobSpec, job_id: int,
+                 key: Optional[str] = None) -> JobResult:
+        """Run one job through breaker, retry ladder, and recovery.
+
+        On a journaled service (``key`` set), each *failed* attempt is
+        journaled with a ``condemned`` flag (did it burn a warm-pool
+        generation?); once the job's condemnation evidence reaches
+        ``quarantine_after`` the retry ladder stops and the job is
+        quarantined rather than offered a fresh generation.
+        """
         result = JobResult(
             job_id=job_id, tenant=spec.tenant, status=JobStatus.FAILED,
             nprocs_requested=spec.nprocs,
@@ -423,7 +682,28 @@ class SolverService:
                     self.breaker.trips - trips_before
                 )
                 trips_before = self.breaker.trips
+                if key is not None:
+                    # only failed attempts hit the journal (the happy
+                    # path stays at 3 records/job); condemned = this
+                    # attempt cost the pool a generation
+                    condemned = (
+                        pool is not None
+                        and pool.rebuilds > rebuilds_before
+                    )
+                    self.journal.attempt(
+                        key, attempt, rec.outcome, condemned
+                    )
+                    evidence = self.journal.condemnations(key)
+                    if evidence >= self.quarantine_after:
+                        self._account_rebuilds(rebuilds_before)
+                        quarantined = self._quarantine_result(
+                            job_id, spec, evidence
+                        )
+                        quarantined.attempts = result.attempts
+                        quarantined.elapsed = result.elapsed
+                        return quarantined
                 if self.retry.should_retry(attempt, exc):
+                    self._account_rebuilds(rebuilds_before)
                     continue
                 result.status = JobStatus.FAILED
                 result.classification = rec.outcome
@@ -455,13 +735,25 @@ class SolverService:
             self.counters.pool_rebuilds += pool.rebuilds - rebuilds_before
 
     def _run_attempt(self, spec: JobSpec):
-        """One ``backend_solve`` execution with per-job knobs applied."""
+        """One ``backend_solve`` execution with per-job knobs applied.
+
+        Per-job SLA and fault knobs live on the *shared* backend
+        instance (``backend_solve`` only applies them when constructing
+        a backend from a string).  Each attempt snapshots every knob it
+        touches and restores it on the way out -- including the
+        conditionally-set ones (``timeout``, ``heartbeat_interval``),
+        which previously leaked a job's deadline into every later job
+        that did not set its own.
+        """
         be = self._backend
-        # per-job SLA and fault knobs live on the shared backend instance
-        # (backend_solve only applies them when constructing a backend
-        # from a string; the chaos harness sets them the same way).  Every
-        # job sets all of them, so no job inherits a predecessor's.
+        saved: Dict[str, Any] = {}
         if isinstance(be, ProcessBackend):
+            saved = {
+                "timeout": be.timeout,
+                "heartbeat_interval": be.heartbeat_interval,
+                "straggler_deadline": be.straggler_deadline,
+                "crash_on_checkpoint": be.crash_on_checkpoint,
+            }
             if spec.deadline is not None:
                 be.timeout = spec.deadline
             if spec.heartbeat_interval is not None:
@@ -470,6 +762,12 @@ class SolverService:
             # consumed-once triggers: re-arm a fresh copy per attempt
             be.crash_on_checkpoint = dict(spec.crash_on_checkpoint)
         elif hasattr(be, "faults"):  # SimulatedBackend
+            saved = {
+                "faults": be.faults,
+                "straggler_deadline": getattr(
+                    be, "straggler_deadline", None
+                ),
+            }
             # the substrate executes only the crash+slowdown share; the
             # message share is injected at the Comm boundary by
             # backend_solve itself
@@ -482,22 +780,27 @@ class SolverService:
             DurableCheckpointStore(spec.checkpoint_dir)
             if spec.checkpoint_dir else None
         )
-        if spec.scenario == "stencil27":
-            if spec.shape is None:
-                raise ValueError("stencil27 jobs need a shape")
-            return hpcg_solve(
-                spec.shape, backend=be, nprocs=spec.nprocs,
-                precond=spec.precond, fused=spec.fused,
-                reproducible=spec.reproducible, x0=spec.x0,
-                criterion=spec.criterion, matrix=spec.matrix,
-                b=spec.b, faults=spec.faults,
+        try:
+            if spec.scenario == "stencil27":
+                if spec.shape is None:
+                    raise ValueError("stencil27 jobs need a shape")
+                return hpcg_solve(
+                    spec.shape, backend=be, nprocs=spec.nprocs,
+                    precond=spec.precond, fused=spec.fused,
+                    reproducible=spec.reproducible, x0=spec.x0,
+                    criterion=spec.criterion, matrix=spec.matrix,
+                    b=spec.b, faults=spec.faults,
+                    resilience=spec.resilience, policy=spec.policy,
+                    min_ranks=spec.min_ranks, abft=spec.abft, store=store,
+                )
+            return backend_solve(
+                spec.solver, spec.matrix, spec.b,
+                backend=be, nprocs=spec.nprocs, x0=spec.x0,
+                criterion=spec.criterion, faults=spec.faults,
                 resilience=spec.resilience, policy=spec.policy,
-                min_ranks=spec.min_ranks, abft=spec.abft, store=store,
+                min_ranks=spec.min_ranks, fused=spec.fused,
+                reproducible=spec.reproducible, store=store,
             )
-        return backend_solve(
-            spec.solver, spec.matrix, spec.b,
-            backend=be, nprocs=spec.nprocs, x0=spec.x0,
-            criterion=spec.criterion, faults=spec.faults,
-            resilience=spec.resilience, policy=spec.policy,
-            min_ranks=spec.min_ranks, fused=spec.fused, store=store,
-        )
+        finally:
+            for attr, value in saved.items():
+                setattr(be, attr, value)

@@ -208,6 +208,8 @@ def soak_run(
     rtol: float = 1.0e-8,
     retry: Optional[RetryPolicy] = None,
     service: Optional[SolverService] = None,
+    journal_dir: Optional[str] = None,
+    on_service: Optional[Any] = None,
 ) -> SoakReport:
     """Run a seeded soak stream through a fresh (or provided) service.
 
@@ -215,6 +217,12 @@ def soak_run(
     drops the victim and the stream then runs on the survivors until the
     idle heal -- exercising exactly the degraded-mode path the service
     exists for.
+
+    ``journal_dir`` constructs the soak's own service with a write-ahead
+    job journal (ignored when ``service`` is supplied); ``on_service``
+    is called with the started service before jobs are submitted -- the
+    hook crash-replay drivers use to expose the service they are about
+    to kill.
     """
     if backend not in ("process", "simulated"):
         raise ValueError("backend must be 'process' or 'simulated'")
@@ -249,8 +257,11 @@ def soak_run(
             retry=retry or RetryPolicy(max_attempts=2, base_delay=0.01,
                                        max_delay=0.1, seed=seed),
             breaker=CircuitBreaker(failure_threshold=5, reset_timeout=0.5),
+            journal_dir=journal_dir,
         )
     service.start()
+    if on_service is not None:
+        on_service(service)
 
     rng = np.random.default_rng(seed)
     t0 = time.perf_counter()
@@ -337,10 +348,15 @@ def _judge(res, fault, job_seed, reference_x, rtol, ref_scale):
                 f"degraded result off-reference "
                 f"(max|err|={max_err:.2e} > {rtol:g}*{ref_scale:g})"
             )
-    elif res.status == JobStatus.FAILED:
+    elif res.status in (JobStatus.FAILED, JobStatus.EXPIRED,
+                        JobStatus.QUARANTINED):
         ok = bool(res.classification)
         if not ok:
             detail = f"unclassified failure: {res.error}"
+    elif res.status == JobStatus.PARKED:
+        # graceful drain journaled it for replay: not a contract breach
+        ok = True
+        detail = "parked at graceful drain (journaled for replay)"
     else:
         detail = f"unexpected terminal status {res.status!r}"
     return SoakJobVerdict(

@@ -23,6 +23,9 @@ class JobStatus:
     FAILED = "failed"            #: classified error after all retries
     REJECTED = "rejected"        #: admission control refused the submit
     CANCELLED = "cancelled"      #: service shut down before execution
+    EXPIRED = "expired"          #: deadline spent in the queue; pool untouched
+    QUARANTINED = "quarantined"  #: poison job; never gets another generation
+    PARKED = "parked"            #: graceful drain left it journaled for replay
 
 
 @dataclass
@@ -57,6 +60,11 @@ class ServiceCounters:
     breaker_fast_fails: int = 0
     pool_rebuilds: int = 0
     heals: int = 0
+    quarantined: int = 0    #: jobs refused a fresh generation (poison)
+    expired: int = 0        #: deadline fast-fails at dequeue
+    deduped: int = 0        #: submits answered from an idempotency key
+    replayed: int = 0       #: jobs re-enqueued from the journal at start
+    parked: int = 0         #: queued jobs left journaled at graceful drain
     busy_time: float = 0.0  #: seconds the dispatcher spent executing jobs
 
     def as_dict(self) -> Dict[str, Any]:

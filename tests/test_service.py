@@ -202,6 +202,89 @@ class TestBreaker:
         assert svc.breaker.state == "closed"
 
 
+class TestPerJobKnobIsolation:
+    """Per-job SLA knobs must not leak into the shared backend.
+
+    Regression: ``_run_attempt`` sets ``timeout``/``heartbeat_interval``
+    on the shared backend only when the spec provides them, so a job
+    with a deadline used to poison every later job that did not set its
+    own.  The backend never runs (``backend_solve`` is stubbed), so a
+    bare ``ProcessBackend`` works without spawning processes.
+    """
+
+    def _stubbed_service(self, monkeypatch, backend, seen):
+        from types import SimpleNamespace
+
+        import repro.service.service as service_mod
+
+        def fake_backend_solve(solver, matrix, b, *, backend, **kw):
+            seen.append({
+                "timeout": backend.timeout,
+                "heartbeat_interval": backend.heartbeat_interval,
+                "straggler_deadline": backend.straggler_deadline,
+                "crash_on_checkpoint": dict(backend.crash_on_checkpoint),
+            })
+            return SimpleNamespace(x=np.zeros(4), iterations=1, extras={})
+
+        monkeypatch.setattr(service_mod, "backend_solve",
+                            fake_backend_solve)
+        return SolverService(backend=backend, target_nprocs=4)
+
+    def test_deadline_does_not_leak_between_jobs(self, monkeypatch):
+        from repro.backend.process import ProcessBackend
+
+        be = ProcessBackend(timeout=300.0, heartbeat_interval=0.5)
+        seen = []
+        with self._stubbed_service(monkeypatch, be, seen) as svc:
+            assert svc.solve(
+                _spec(deadline=5.0, heartbeat_interval=0.01,
+                      straggler_deadline=1.0,
+                      crash_on_checkpoint={0: 2}),
+                timeout=30.0,
+            ).ok
+            assert svc.solve(_spec(), timeout=30.0).ok
+        # job 1 saw its own knobs...
+        assert seen[0]["timeout"] == 5.0
+        assert seen[0]["heartbeat_interval"] == 0.01
+        assert seen[0]["straggler_deadline"] == 1.0
+        assert seen[0]["crash_on_checkpoint"] == {0: 2}
+        # ...job 2 saw the backend's own defaults, not job 1's leftovers
+        assert seen[1]["timeout"] == 300.0
+        assert seen[1]["heartbeat_interval"] == 0.5
+        assert seen[1]["straggler_deadline"] is None
+        assert seen[1]["crash_on_checkpoint"] == {}
+
+    def test_knobs_restored_after_each_attempt(self, monkeypatch):
+        from repro.backend.process import ProcessBackend
+
+        be = ProcessBackend(timeout=300.0, heartbeat_interval=0.5)
+        seen = []
+        with self._stubbed_service(monkeypatch, be, seen) as svc:
+            assert svc.solve(_spec(deadline=2.5), timeout=30.0).ok
+        assert be.timeout == 300.0
+        assert be.heartbeat_interval == 0.5
+        assert be.straggler_deadline is None
+        assert be.crash_on_checkpoint in (None, {})
+
+    def test_simulated_fault_plan_restored(self, monkeypatch):
+        from types import SimpleNamespace
+
+        import repro.service.service as service_mod
+
+        be = SimulatedBackend()
+        sentinel = object()
+        be.faults = sentinel
+        monkeypatch.setattr(
+            service_mod, "backend_solve",
+            lambda *a, **kw: SimpleNamespace(x=np.zeros(4), iterations=1,
+                                             extras={}),
+        )
+        with SolverService(backend=be, target_nprocs=4) as svc:
+            assert svc.solve(_spec(straggler_deadline=0.25),
+                             timeout=30.0).ok
+        assert be.faults is sentinel  # restored, not cleared
+
+
 class TestShutdown:
     def test_drain_completes_queued_work(self):
         with SolverService(backend=SimulatedBackend()) as svc:

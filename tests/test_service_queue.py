@@ -98,6 +98,45 @@ class TestLifecycle:
         assert sorted(items) == [1, 2, 3]
         assert len(q) == 0 and q.depths() == {}
 
+    def test_drain_remaining_in_fair_order(self):
+        q = TenantFairQueue()
+        for i in range(3):
+            q.put("a", f"a{i}")
+        q.put("b", "b0")
+        # drain returns exactly the order get() would have served
+        assert q.drain_remaining() == ["a0", "b0", "a1", "a2"]
+
+    def test_drain_mid_stream_then_submit_again(self):
+        # drain is not only a shutdown path: park/drain flows empty the
+        # queue mid-stream and keep using it.  The bookkeeping (depth,
+        # per-tenant lanes, round-robin cycle) must reset completely.
+        q = TenantFairQueue(max_depth=4, max_per_tenant=2)
+        q.put("a", "a0")
+        q.put("a", "a1")
+        q.put("b", "b0")
+        assert q.get(timeout=0.1) == "a0"  # mid-stream: cycle is live
+        assert q.drain_remaining() == ["b0", "a1"]
+        assert len(q) == 0 and q.depths() == {}
+        # admission behaves exactly like a fresh queue: the per-tenant
+        # bound counts only post-drain submits, and FIFO order holds
+        q.put("a", "a2")
+        q.put("a", "a3")
+        with pytest.raises(ServiceOverloadedError):
+            q.put("a", "a4")
+        q.put("b", "b1")
+        q.put("c", "c0")
+        with pytest.raises(ServiceOverloadedError):
+            q.put("c", "c1")  # global bound: 4 queued
+        assert [q.get(timeout=0.1) for _ in range(4)] == [
+            "a2", "b1", "c0", "a3"
+        ]
+
+    def test_drain_twice_is_empty_second_time(self):
+        q = TenantFairQueue()
+        q.put("a", 1)
+        assert q.drain_remaining() == [1]
+        assert q.drain_remaining() == []
+
     def test_len_and_depths(self):
         q = TenantFairQueue()
         q.put("a", 1)
