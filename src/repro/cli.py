@@ -872,14 +872,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
     if state["signalled"]:
-        watcher.join(timeout=10.0)
-        drain = state["drain"] or {}
-        print(
-            f"graceful drain: parked={drain.get('parked', 0)} "
-            f"cancelled={drain.get('cancelled', 0)} "
-            f"journal={drain.get('journal') or '-'}",
-            file=sys.stderr,
-        )
+        # the watcher drains with timeout=4*deadline; join at least that
+        # long (plus slack) so the summary reports the real outcome
+        # instead of racing the drain to process exit
+        watcher.join(timeout=4 * args.deadline + 10.0)
+        drain = state["drain"]
+        if drain is None:
+            print(
+                "graceful drain: still in progress at exit "
+                "(parked/cancelled counts unavailable)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"graceful drain: parked={drain.get('parked', 0)} "
+                f"cancelled={drain.get('cancelled', 0)} "
+                f"journal={drain.get('journal') or '-'}",
+                file=sys.stderr,
+            )
     out = _human_stream(args)
     header = (
         f"{'job':>4} {'tenant':<10} {'fault':<10} {'status':<9} "

@@ -45,6 +45,7 @@ generation to condemn.
 from __future__ import annotations
 
 import os
+import threading
 import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -133,6 +134,13 @@ class JobJournal:
     published record survive power loss, ``fsync=False`` trades that for
     speed and still survives process kill (the policy split the
     checkpoint store documents).
+
+    Thread-safe: the service appends from both the client thread
+    (``submit`` journals ACCEPTED) and the dispatcher thread (dispatch /
+    attempt / terminal records), so sequence allocation, record
+    publication, and the folded-state dicts are all guarded by one lock.
+    Without it two appends could allocate the same seq and
+    ``os.replace`` would silently drop one of the records.
     """
 
     def __init__(self, path: str, fsync: bool = True):
@@ -142,6 +150,8 @@ class JobJournal:
         self.skipped_records: List[str] = []
         self._states: Dict[str, JobState] = {}
         self._next_seq = 0
+        self._records = 0
+        self._lock = threading.Lock()
         self._load()
 
     # ------------------------------------------------------------------ #
@@ -168,6 +178,7 @@ class JobJournal:
         records.sort(key=lambda r: r[0])
         for seq, payload in records:
             self._fold(seq, payload)
+            self._records += 1
             self._next_seq = max(self._next_seq, seq + 1)
         # a dispatch still open at load end: the driver died mid-job
         for state in self._states.values():
@@ -208,14 +219,16 @@ class JobJournal:
     # append
     # ------------------------------------------------------------------ #
     def _append(self, event: str, key: str, **fields: Any) -> int:
-        seq = self._next_seq
-        self._next_seq += 1
         rec = {"event": event, "key": key, **fields}
-        atomic_write(
-            self.path, _record_name(seq), _CODEC.encode(rec, seq),
-            fsync=self.fsync,
-        )
-        self._fold(seq, rec)
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            atomic_write(
+                self.path, _record_name(seq), _CODEC.encode(rec, seq),
+                fsync=self.fsync,
+            )
+            self._fold(seq, rec)
+            self._records += 1
         return seq
 
     def accepted(self, key: str, spec: Any) -> int:
@@ -249,15 +262,20 @@ class JobJournal:
     # queries
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        """Total records folded (not jobs)."""
-        return self._next_seq
+        """Records actually folded (skipped/corrupt ones don't count)."""
+        with self._lock:
+            return self._records
 
     def state(self, key: str) -> Optional[JobState]:
-        return self._states.get(key)
+        with self._lock:
+            return self._states.get(key)
 
     def states(self) -> List[JobState]:
         """Every job, in original acceptance order."""
-        return sorted(self._states.values(), key=lambda s: s.accept_seq)
+        with self._lock:
+            return sorted(
+                self._states.values(), key=lambda s: s.accept_seq
+            )
 
     def replayable(self) -> List[JobState]:
         """Jobs a restarted service must re-enqueue, in accept order."""
@@ -265,14 +283,16 @@ class JobJournal:
 
     def terminal_result(self, key: str) -> Optional[Any]:
         """The recorded JobResult for a finished key, else ``None``."""
-        state = self._states.get(key)
-        if state is None or state.terminal is None:
-            return None
-        return state.result
+        with self._lock:
+            state = self._states.get(key)
+            if state is None or state.terminal is None:
+                return None
+            return state.result
 
     def condemnations(self, key: str) -> int:
-        state = self._states.get(key)
-        return 0 if state is None else state.condemnations
+        with self._lock:
+            state = self._states.get(key)
+            return 0 if state is None else state.condemnations
 
     def tmp_files(self) -> List[str]:
         """Leftover ``.tmp-*`` files (should always be empty)."""
@@ -282,7 +302,7 @@ class JobJournal:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"JobJournal(path={self.path!r}, records={self._next_seq}, "
+            f"JobJournal(path={self.path!r}, records={self._records}, "
             f"jobs={len(self._states)})"
         )
 

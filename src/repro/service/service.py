@@ -50,7 +50,12 @@ from ..backend.store import DurableCheckpointStore
 from ..core.resilience import RecoveryExhaustedError
 from ..hpcg.solve import hpcg_solve
 from .breaker import CircuitBreaker, CircuitOpenError
-from .journal import JobJournal, JobQuarantinedError, new_idempotency_key
+from .journal import (
+    QUARANTINED,
+    JobJournal,
+    JobQuarantinedError,
+    new_idempotency_key,
+)
 from .pool import WarmPool
 from .queue import ServiceOverloadedError, TenantFairQueue
 from .retry import RetryPolicy
@@ -316,12 +321,33 @@ class SolverService:
         for state in self.journal.states():
             key = state.key
             if state.terminal is not None:
-                handle = JobHandle(
-                    getattr(state.result, "job_id", self._new_job_id()),
-                    state.tenant, key=key,
-                )
+                job_id = getattr(state.result, "job_id", None)
+                if job_id is None:
+                    job_id = self._new_job_id()
+                handle = JobHandle(job_id, state.tenant, key=key)
                 if state.result is not None:
                     handle._fulfil(state.result)
+                else:
+                    # terminal record without a recorded result (e.g. a
+                    # torn/garbled result field): synthesize one so a
+                    # deduped resubmission resolves instead of blocking
+                    # on a handle nobody will ever fulfil.  A lost
+                    # COMPLETED payload cannot honestly claim ``ok``
+                    # (there is no solution vector to hand back), so
+                    # everything but quarantine degrades to FAILED.
+                    handle._fulfil(JobResult(
+                        job_id=job_id, tenant=state.tenant,
+                        status=(
+                            JobStatus.QUARANTINED
+                            if state.terminal == QUARANTINED
+                            else JobStatus.FAILED
+                        ),
+                        classification="journal_result_missing",
+                        error=(
+                            f"journal records terminal state "
+                            f"{state.terminal!r} but no result payload"
+                        ),
+                    ))
                 self._by_key[key] = handle
                 continue
             if not state.replayable:
@@ -340,17 +366,13 @@ class SolverService:
                 continue
             try:
                 self.queue.put(spec.tenant, (spec, handle, time.monotonic()))
-            except ServiceOverloadedError as exc:
-                result = JobResult(
-                    job_id=job_id, tenant=spec.tenant,
-                    status=JobStatus.REJECTED,
-                    nprocs_requested=spec.nprocs,
-                    classification="overloaded",
-                    error=f"replay rejected: {exc}",
-                )
-                self.journal.failed(key, result)
+            except ServiceOverloadedError:
+                # Queue smaller than the journal backlog: leave the job
+                # ACCEPTED (non-terminal) so the *next* restart replays
+                # it, and keep no handle so a live resubmission with the
+                # same key re-attempts rather than seeing a rejection.
+                self._by_key.pop(key, None)
                 self.counters.rejected += 1
-                handle._fulfil(result)
                 continue
             self.counters.replayed += 1
             self._idle.clear()
@@ -409,15 +431,22 @@ class SolverService:
         except ServiceOverloadedError as exc:
             self.counters.rejected += 1
             if self.journal is not None:
-                result = JobResult(
+                # A rejection is *not* terminal for idempotency: drop the
+                # live handle so a later resubmission with the same key
+                # re-attempts instead of deduping to a stale rejection.
+                # The ACCEPTED record stays non-terminal on purpose --
+                # like a parked job, a restart on this journal_dir will
+                # replay it, so a submit racing graceful drain's
+                # queue.close() is deferred, not lost.
+                with self._key_lock:
+                    self._by_key.pop(handle.key, None)
+                handle._fulfil(JobResult(
                     job_id=handle.job_id, tenant=spec.tenant,
                     status=JobStatus.REJECTED,
                     nprocs_requested=spec.nprocs,
                     classification="overloaded",
                     error=f"{type(exc).__name__}: {exc}",
-                )
-                self.journal.failed(handle.key, result)
-                handle._fulfil(result)
+                ))
             raise
         self.counters.submitted += 1
         self._idle.clear()

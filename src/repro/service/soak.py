@@ -39,6 +39,7 @@ from ..core.resilience import ReliableConfig, ResilienceConfig
 from ..core.stopping import StoppingCriterion
 from ..machine.faults import FaultPlan, RankCrash, RankSlowdown
 from .breaker import CircuitBreaker
+from .journal import JobJournal
 from .pool import WarmPool
 from .queue import TenantFairQueue
 from .retry import RetryPolicy
@@ -246,6 +247,13 @@ def soak_run(
 
     own_service = service is None
     if own_service:
+        # size admission for the submitted stream *plus* the journal's
+        # replay backlog: a rerun on a parked journal must re-enqueue
+        # every non-terminal job in one go, not dribble them out over
+        # several restarts because the queue was sized for --jobs alone
+        backlog = 0
+        if journal_dir is not None:
+            backlog = len(JobJournal(journal_dir).replayable())
         service = SolverService(
             backend=(
                 WarmPool(nprocs, timeout=deadline)
@@ -253,7 +261,7 @@ def soak_run(
                 else SimulatedBackend(straggler_deadline=0.25)
             ),
             target_nprocs=nprocs,
-            queue=TenantFairQueue(max_depth=jobs + 8),
+            queue=TenantFairQueue(max_depth=jobs + backlog + 8),
             retry=retry or RetryPolicy(max_attempts=2, base_delay=0.01,
                                        max_delay=0.1, seed=seed),
             breaker=CircuitBreaker(failure_threshold=5, reset_timeout=0.5),

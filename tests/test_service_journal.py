@@ -5,6 +5,8 @@ SIGKILL-the-driver test lives in ``test_service_crash_replay.py``.
 """
 
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -82,12 +84,46 @@ class TestRecordLifecycle:
         # no pool on this backend: crashes are not condemnation evidence
         assert state.condemnations == 0
 
-    def test_overload_is_journaled_terminal(self, tmp_path):
+    def test_overload_rejection_does_not_poison_the_key(self, tmp_path):
+        # a transient queue-full must not permanently fail the key: the
+        # rejection is non-terminal for idempotency, so a resubmission
+        # re-attempts instead of deduping to the stale rejection
         svc = _service(tmp_path, queue=TenantFairQueue(max_depth=1))
         svc.start()
         try:
             rejected_key = None
-            for i in range(30):
+            for i in range(50):
+                try:
+                    svc.submit(_spec(key=f"k{i}"))
+                except ServiceOverloadedError:
+                    rejected_key = f"k{i}"
+                    break
+            assert rejected_key is not None
+            # the key was released, not bound to the rejection
+            assert svc.handle_for(rejected_key) is None
+            handle = None
+            for _ in range(200):
+                try:
+                    handle = svc.submit(_spec(key=rejected_key))
+                    break
+                except ServiceOverloadedError:
+                    time.sleep(0.02)
+            assert handle is not None, "resubmission never accepted"
+            assert svc.counters.deduped == 0
+            assert handle.result(timeout=30.0).ok
+        finally:
+            svc.shutdown()
+        journal = JobJournal(str(tmp_path / "journal"))
+        assert journal.state(rejected_key).terminal == COMPLETED
+
+    def test_rejected_job_is_replayed_by_restart(self, tmp_path):
+        # without a resubmission, the rejected job's ACCEPTED record
+        # stays non-terminal -- parked-like, a restart completes it
+        svc = _service(tmp_path, queue=TenantFairQueue(max_depth=1))
+        svc.start()
+        rejected_key = None
+        try:
+            for i in range(50):
                 try:
                     svc.submit(_spec(key=f"k{i}"))
                 except ServiceOverloadedError:
@@ -97,15 +133,10 @@ class TestRecordLifecycle:
         finally:
             svc.shutdown()
         journal = JobJournal(str(tmp_path / "journal"))
-        state = journal.state(rejected_key)
-        assert state.terminal == FAILED
-        assert state.result.status == JobStatus.REJECTED
-        # the rejected job must NOT be replayed by a restart
+        assert journal.state(rejected_key).terminal is None
         with _service(tmp_path) as svc2:
-            assert svc2.handle_for(rejected_key).result(
-                timeout=5.0
-            ).status == JobStatus.REJECTED
-        assert svc2.counters.deduped == 0
+            assert svc2.counters.replayed == 1
+            assert svc2.handle_for(rejected_key).result(timeout=30.0).ok
 
     def test_auto_keys_are_unique(self):
         keys = {new_idempotency_key() for _ in range(64)}
@@ -202,10 +233,79 @@ class TestReplay:
         (jdir / victim).write_bytes(bytes(raw))
         journal = JobJournal(str(jdir))
         assert journal.skipped_records == [victim]
+        # __len__ counts folded records, not max-seq: the corrupt
+        # record must not inflate the telemetry count
+        assert len(journal) == 5
         assert journal.state("k0").terminal == COMPLETED
         with _service(tmp_path) as svc2:
             assert svc2.counters.replayed == 1
             assert svc2.handle_for("k1").result(timeout=30.0).ok
+
+
+class TestConcurrency:
+    def test_concurrent_appends_lose_no_records(self, tmp_path):
+        # submit() journals ACCEPTED from client threads while the
+        # dispatcher journals everything else; without the journal's
+        # lock two appends can claim one seq and os.replace silently
+        # drops a record
+        journal = JobJournal(str(tmp_path / "journal"), fsync=False)
+        n_threads, per_thread = 8, 25
+        barrier = threading.Barrier(n_threads)
+
+        def writer(t):
+            barrier.wait()
+            for i in range(per_thread):
+                journal.accepted(f"t{t}-{i}", None)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        total = n_threads * per_thread
+        assert len(journal) == total
+        reloaded = JobJournal(str(tmp_path / "journal"))
+        assert reloaded.skipped_records == []
+        assert len(reloaded) == total
+        assert len(reloaded.states()) == total
+
+
+class TestReplayEdgeCases:
+    def test_terminal_record_without_result_still_resolves(self, tmp_path):
+        # a terminal record whose result payload is None must not leave
+        # an unfulfilled handle (a deduped resubmission would block
+        # until timeout) -- it resolves with a synthesized result
+        journal = JobJournal(str(tmp_path / "journal"))
+        journal.accepted("k", _spec(key="k"))
+        journal.dispatched("k")
+        journal.completed("k", None)
+        journal.accepted("q", _spec(key="q"))
+        journal.quarantined("q", None)
+        with _service(tmp_path) as svc:
+            assert svc.counters.replayed == 0
+            hk, hq = svc.handle_for("k"), svc.handle_for("q")
+            assert hk.done() and hq.done()
+            rk = hk.result(timeout=1.0)
+            rq = hq.result(timeout=1.0)
+            # dedupe resolves immediately instead of blocking
+            r2 = svc.submit(_spec(key="k")).result(timeout=1.0)
+        assert rk.classification == "journal_result_missing"
+        assert rk.status == JobStatus.FAILED  # lost payload can't claim ok
+        assert rq.status == JobStatus.QUARANTINED
+        assert r2 is rk and svc.counters.deduped == 1
+
+    def test_terminal_replay_does_not_consume_job_ids(self, tmp_path):
+        # the recorded job_id is reused; the fallback _new_job_id() must
+        # be lazy, not evaluated for every replayed terminal record
+        with _service(tmp_path) as svc:
+            first = svc.solve(_spec(key="k"), timeout=30.0)
+        with _service(tmp_path) as svc2:
+            assert svc2.handle_for("k").result(timeout=1.0).job_id \
+                == first.job_id
+            assert svc2._next_job_id == 0
 
 
 class TestQuarantine:
